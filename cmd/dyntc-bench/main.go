@@ -1,0 +1,42 @@
+// Command dyntc-bench regenerates the experiment tables of EXPERIMENTS.md:
+// one table per theorem of Reif & Tate (SPAA'94), validating the claimed
+// bounds on the metered PRAM simulator.
+//
+// Usage:
+//
+//	dyntc-bench                 # run all experiments at full size
+//	dyntc-bench -experiment=E3  # one experiment
+//	dyntc-bench -quick          # reduced sizes (seconds, for smoke runs)
+//	dyntc-bench -seed=7         # change the randomness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dyntc/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
+		quick = flag.Bool("quick", false, "reduced problem sizes")
+		seed  = flag.Uint64("seed", 42, "randomness seed")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	if *exp == "all" {
+		for _, tb := range bench.All(cfg) {
+			tb.Fprint(os.Stdout)
+		}
+		return
+	}
+	tb, ok := bench.ByID(*exp, cfg)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dyntc-bench: unknown experiment %q (want E1..E11 or all)\n", *exp)
+		os.Exit(2)
+	}
+	tb.Fprint(os.Stdout)
+}

@@ -1,0 +1,120 @@
+// Command dyntc evaluates arithmetic expressions with dynamic parallel
+// tree contraction and demonstrates incremental updates.
+//
+// The expression language is fully parenthesized s-expressions over + and *
+// with integer leaves:
+//
+//	dyntc '(+ (* 3 4) 5)'
+//
+// prints the value, then (with -trace) applies a few random leaf updates,
+// showing the healed root value and the wound size after each — the
+// self-healing behaviour of the paper's §1.4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyntc"
+	"dyntc/internal/prng"
+)
+
+func main() {
+	var (
+		mod   = flag.Int64("mod", 1_000_000_007, "evaluate modulo this prime")
+		trace = flag.Bool("trace", false, "apply random updates and show healing stats")
+		seed  = flag.Uint64("seed", 1, "randomness seed")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dyntc [flags] '(+ (* 3 4) 5)'")
+		os.Exit(2)
+	}
+
+	ring := dyntc.ModRing(*mod)
+	e := dyntc.NewExpr(ring, 0, dyntc.WithSeed(*seed))
+	leaves, err := parseInto(e, ring, flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dyntc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("value = %d (mod %d)\n", e.Root(), *mod)
+
+	if *trace {
+		src := prng.New(*seed + 1)
+		for i := 0; i < 5 && len(leaves) > 0; i++ {
+			leaf := leaves[src.Intn(len(leaves))]
+			nv := src.Int63() % 100
+			e.SetLeaf(leaf, nv)
+			st := e.Stats()
+			fmt.Printf("set leaf -> %2d : value = %d  (wound: %d records over %d rounds)\n",
+				nv, e.Root(), st.WoundRecords, st.WoundRounds)
+		}
+	}
+}
+
+// parseInto parses the s-expression into e (which must be a fresh
+// single-leaf Expr) and returns the leaf handles.
+func parseInto(e *dyntc.Expr, ring dyntc.Ring, s string) ([]*dyntc.Node, error) {
+	toks := tokenize(s)
+	pos := 0
+	var leaves []*dyntc.Node
+	var build func(at *dyntc.Node) error
+	build = func(at *dyntc.Node) error {
+		if pos >= len(toks) {
+			return fmt.Errorf("unexpected end of expression")
+		}
+		tok := toks[pos]
+		pos++
+		if tok != "(" {
+			v, err := strconv.ParseInt(tok, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad token %q", tok)
+			}
+			e.SetLeaf(at, v)
+			leaves = append(leaves, at)
+			return nil
+		}
+		if pos >= len(toks) {
+			return fmt.Errorf("missing operator")
+		}
+		var op dyntc.Op
+		switch toks[pos] {
+		case "+":
+			op = dyntc.OpAdd(ring)
+		case "*":
+			op = dyntc.OpMul(ring)
+		default:
+			return fmt.Errorf("unknown operator %q", toks[pos])
+		}
+		pos++
+		l, r := e.Grow(at, op, 0, 0)
+		if err := build(l); err != nil {
+			return err
+		}
+		if err := build(r); err != nil {
+			return err
+		}
+		if pos >= len(toks) || toks[pos] != ")" {
+			return fmt.Errorf("missing )")
+		}
+		pos++
+		return nil
+	}
+	if err := build(e.Tree().Root); err != nil {
+		return nil, err
+	}
+	if pos != len(toks) {
+		return nil, fmt.Errorf("trailing tokens after expression")
+	}
+	return leaves, nil
+}
+
+func tokenize(s string) []string {
+	s = strings.ReplaceAll(s, "(", " ( ")
+	s = strings.ReplaceAll(s, ")", " ) ")
+	return strings.Fields(s)
+}

@@ -1,0 +1,51 @@
+// Critical path analysis over the (max, +) tropical semiring.
+//
+// A hierarchical project plan is a binary tree: leaves are tasks with
+// durations; an internal node either runs its two children in sequence
+// (durations add: tropical ×) or in parallel (the longer one dominates:
+// tropical +, i.e. max). The contraction maintains the project's critical
+// path length while tasks are re-estimated and the plan is restructured —
+// the expression-evaluation application of Theorem 5.1 over a non-numeric
+// ring.
+//
+//	go run ./examples/criticalpath
+package main
+
+import (
+	"fmt"
+
+	"dyntc"
+)
+
+func main() {
+	ring := dyntc.MaxPlus()
+	seq := dyntc.OpMul(ring) // sequential composition: durations add
+	par := dyntc.OpAdd(ring) // parallel composition: max dominates
+
+	// Plan:
+	//   release = design ; (build-backend ∥ build-frontend) ; test
+	e := dyntc.NewExpr(ring, 0, dyntc.WithSeed(7))
+	root := e.Tree().Root
+
+	designPhase, rest := e.Grow(root, seq, 0, 0)
+	e.SetLeaf(designPhase, 10) // design: 10 days
+	buildPhase, testLeaf := e.Grow(rest, seq, 0, 4)
+	backend, frontend := e.Grow(buildPhase, par, 15, 9)
+
+	fmt.Println("plan: design(10) ; (backend(15) ∥ frontend(9)) ; test(4)")
+	fmt.Printf("critical path: %d days\n", e.Root()) // 10+15+4 = 29
+
+	// The frontend estimate doubles — but the backend still dominates.
+	e.SetLeaf(frontend, 18)
+	fmt.Printf("frontend→18:   %d days\n", e.Root()) // 10+18+4 = 32
+
+	// Split the backend into two sequential subtasks.
+	api, db := e.Grow(backend, seq, 8, 12)
+	fmt.Printf("backend=api(8);db(12): %d days\n", e.Root()) // 10+20+4 = 34
+
+	// Re-estimate in one batch: both build tracks shrink.
+	e.SetLeaves([]*dyntc.Node{api, db, frontend}, []int64{5, 6, 13})
+	fmt.Printf("after re-estimation:   %d days\n", e.Root()) // 10+13+4 = 27
+	fmt.Printf("build phase alone:     %d days\n", e.Value(buildPhase))
+	_ = testLeaf
+}

@@ -1,0 +1,57 @@
+// Dynamic least common ancestors on a growing taxonomy.
+//
+// The Eulerian-tour application of Theorems 5.1/5.2: a binary phylogeny
+// grows by splitting species into subspecies pairs; at every moment the
+// structure answers LCA ("nearest common ancestor of two species"),
+// ancestor counts, and subtree sizes in O(log n) expected time per query.
+//
+//	go run ./examples/dynlca
+package main
+
+import (
+	"fmt"
+
+	"dyntc"
+)
+
+func main() {
+	ring := dyntc.ModRing(97) // label values are irrelevant here
+	e := dyntc.NewExpr(ring, 0, dyntc.WithSeed(3), dyntc.WithTour())
+
+	names := map[*dyntc.Node]string{}
+	life := e.Tree().Root
+	names[life] = "life"
+
+	split := func(n *dyntc.Node, a, b string) (*dyntc.Node, *dyntc.Node) {
+		l, r := e.Grow(n, dyntc.OpAdd(ring), 0, 0)
+		names[n] = names[n] // the split node keeps its name as a clade
+		names[l], names[r] = a, b
+		return l, r
+	}
+
+	animals, plants := split(life, "animals", "plants")
+	vertebrates, insects := split(animals, "vertebrates", "insects")
+	mammals, birds := split(vertebrates, "mammals", "birds")
+	cats, dogs := split(mammals, "cats", "dogs")
+	oaks, pines := split(plants, "oaks", "pines")
+
+	show := func(a, b *dyntc.Node) {
+		fmt.Printf("LCA(%-11s, %-11s) = %s\n", names[a], names[b], names[e.LCA(a, b)])
+	}
+	show(cats, dogs)    // mammals
+	show(cats, birds)   // vertebrates
+	show(cats, insects) // animals
+	show(cats, pines)   // life
+	show(oaks, pines)   // plants
+
+	fmt.Printf("\nancestors(cats)      = %d\n", e.Ancestors(cats))
+	fmt.Printf("subtree(vertebrates) = %d nodes\n", e.SubtreeSize(vertebrates))
+	fmt.Printf("preorder(insects)    = %d\n", e.Preorder(insects))
+
+	// The taxonomy keeps growing; queries stay consistent.
+	lions, tigers := split(cats, "lions", "tigers")
+	show(lions, tigers) // cats
+	show(tigers, dogs)  // mammals
+	fmt.Printf("\nEuler tour has %d visits for %d nodes\n",
+		len(e.EulerTour()), e.Tree().Len())
+}

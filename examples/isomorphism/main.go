@@ -1,0 +1,69 @@
+// Dynamically maintained canonical forms (unordered-isomorphism codes) —
+// application (e) of Theorem 5.2.
+//
+// Two expression trees evolve through different edit histories; their
+// randomized canonical codes, maintained incrementally by the contraction
+// engine over GF(p), agree exactly when the underlying unordered shapes are
+// isomorphic (verified against the deterministic AHU form).
+//
+//	go run ./examples/isomorphism
+package main
+
+import (
+	"fmt"
+
+	"dyntc/internal/canon"
+	"dyntc/internal/core"
+	"dyntc/internal/tree"
+)
+
+func main() {
+	h := canon.NewHasher(2024)
+
+	// Tree A: grow a chain by always extending the LEFT child.
+	ta := tree.New(h.Ring, h.LeafCode())
+	ca := core.New(ta, 1, nil)
+	curA := ta.Root
+	for i := 0; i < 4; i++ {
+		pair := ca.AddLeaves([]core.AddOp{{Leaf: curA, Op: h.Op,
+			LeftVal: h.LeafCode(), RightVal: h.LeafCode()}})
+		curA = pair[0][0]
+	}
+
+	// Tree B: grow a chain by alternating sides — a mirror-image history.
+	tb := tree.New(h.Ring, h.LeafCode())
+	cb := core.New(tb, 2, nil)
+	curB := tb.Root
+	for i := 0; i < 4; i++ {
+		pair := cb.AddLeaves([]core.AddOp{{Leaf: curB, Op: h.Op,
+			LeftVal: h.LeafCode(), RightVal: h.LeafCode()}})
+		curB = pair[0][i%2]
+	}
+
+	fmt.Println("A: left-extended chain, code =", ca.RootValue())
+	fmt.Println("B: zigzag chain,       code =", cb.RootValue())
+	fmt.Println("codes equal:           ", ca.RootValue() == cb.RootValue())
+	fmt.Println("AHU oracle isomorphic: ", canon.Isomorphic(ta.Root, tb.Root))
+
+	// Tree C: a balanced shape of the same size — NOT isomorphic.
+	tc := tree.New(h.Ring, h.LeafCode())
+	cc := core.New(tc, 3, nil)
+	frontier := []*tree.Node{tc.Root}
+	for len(frontier) < 5 {
+		leaf := frontier[0]
+		frontier = frontier[1:]
+		pair := cc.AddLeaves([]core.AddOp{{Leaf: leaf, Op: h.Op,
+			LeftVal: h.LeafCode(), RightVal: h.LeafCode()}})
+		frontier = append(frontier, pair[0][0], pair[0][1])
+	}
+
+	fmt.Println("\nC: balanced shape,     code =", cc.RootValue())
+	fmt.Println("A ≅ C by codes:        ", ca.RootValue() == cc.RootValue())
+	fmt.Println("AHU oracle isomorphic: ", canon.Isomorphic(ta.Root, tc.Root))
+
+	// Continue editing A; its code tracks the shape change immediately.
+	ca.AddLeaves([]core.AddOp{{Leaf: curA, Op: h.Op,
+		LeftVal: h.LeafCode(), RightVal: h.LeafCode()}})
+	fmt.Println("\nafter growing A once more, A ≅ B:",
+		ca.RootValue() == cb.RootValue())
+}

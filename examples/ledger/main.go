@@ -1,0 +1,53 @@
+// Running-balance ledger on the incremental list prefix structure (§3).
+//
+// A ledger of signed transactions supports: batch prefix-sum queries
+// ("balance after transaction k"), point corrections, splicing in
+// backdated transactions, deleting erroneous ones, and finding the first
+// moment the balance crossed a threshold — all in O(log n) expected per
+// operation (Theorem 3.1).
+//
+//	go run ./examples/ledger
+package main
+
+import (
+	"fmt"
+
+	"dyntc"
+)
+
+func main() {
+	// Opening ledger: deposits and withdrawals, in order.
+	amounts := []int64{+500, -120, +75, -300, +400, -90, +210}
+	l := dyntc.NewList(11, dyntc.SumMonoid(), amounts)
+
+	fmt.Println("transactions:", amounts)
+	fmt.Println("final balance:", l.Total())
+
+	// Balance after every transaction (a batch prefix query).
+	var elems []*dyntc.ListElem[int64]
+	for e := l.Head(); e != nil; e = e.Next() {
+		elems = append(elems, e)
+	}
+	fmt.Println("running balances:", l.BatchPrefix(nil, elems))
+
+	// A backdated transaction is discovered: splice it after entry 2.
+	l.Insert(nil, l.At(2), []int64{-50})
+	fmt.Println("\nafter backdated -50 at position 3:")
+	fmt.Println("transactions:", l.Values())
+	fmt.Println("final balance:", l.Total())
+
+	// Entry 1 was keyed wrong: correct -120 to -20.
+	l.Update(l.At(1), -20)
+	fmt.Println("\nafter correcting entry 1 to -20, balance:", l.Total())
+
+	// When did the balance first reach 600?
+	e := l.SearchPrefix(func(v int64) bool { return v >= 600 })
+	if e != nil {
+		fmt.Printf("balance first reached 600 at position %d (amount %d)\n",
+			e.Index(), e.Payload())
+	}
+
+	// Remove a fraudulent transaction entirely.
+	l.Delete(nil, []*dyntc.ListElem[int64]{l.At(4)})
+	fmt.Println("\nafter deleting position 4, balance:", l.Total())
+}

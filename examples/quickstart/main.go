@@ -1,0 +1,45 @@
+// Quickstart: build a small arithmetic expression, evaluate it with
+// dynamic parallel tree contraction, then update leaves and watch the
+// structure heal incrementally instead of re-evaluating from scratch.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"dyntc"
+)
+
+func main() {
+	ring := dyntc.ModRing(1_000_000_007)
+
+	// Start from a single leaf and grow the expression (3*4) + (5+6).
+	e := dyntc.NewExpr(ring, 0, dyntc.WithSeed(42))
+	root := e.Tree().Root
+	mul, add := e.Grow(root, dyntc.OpAdd(ring), 0, 0)
+	a, b := e.Grow(mul, dyntc.OpMul(ring), 3, 4)
+	c, d := e.Grow(add, dyntc.OpAdd(ring), 5, 6)
+
+	fmt.Println("expression: (3*4) + (5+6)")
+	fmt.Println("value:     ", e.Root()) // 23
+
+	// Point update: one leaf changes, the wound heals in O(log n).
+	e.SetLeaf(a, 10)
+	fmt.Println("after 3→10:", e.Root()) // 51
+	fmt.Printf("healed %d rake records over %d rounds\n",
+		e.Stats().WoundRecords, e.Stats().WoundRounds)
+
+	// Batch update: both requests processed as one parallel batch.
+	e.SetLeaves([]*dyntc.Node{b, c}, []int64{100, 1})
+	fmt.Println("after batch:", e.Root()) // 10*100 + (1+6) = 1007
+
+	// Subexpression queries replay the expansion lazily.
+	fmt.Println("left subtree: ", e.Value(mul)) // 1000
+	fmt.Println("right subtree:", e.Value(add)) // 7
+
+	// Structural change: collapse the right subtree back to a constant.
+	e.Collapse(add, 50)
+	fmt.Println("after collapse:", e.Root()) // 1050
+	_ = d
+}

@@ -1,0 +1,54 @@
+// Dynamic series-parallel network maintenance — the incremental graph
+// application the paper announces as follow-up work (§6, "parallel series
+// graphs").
+//
+// A data-center link between two routers evolves: links are subdivided
+// (new switches) and duplicated (redundant cables); the structure maintains
+// both the shortest s-t latency and the widest s-t bandwidth under batch
+// re-measurements, healing O(log n) state per change instead of
+// recomputing the network.
+//
+//	go run ./examples/spnetwork
+package main
+
+import (
+	"fmt"
+
+	"dyntc/internal/spgraph"
+)
+
+func main() {
+	// Latency view (min-plus): series adds, parallel takes the fastest.
+	lat := spgraph.New(spgraph.ShortestPath, 1, 40)
+	// Bandwidth view (max-min): series bottlenecks, parallel aggregates
+	// the best alternative.
+	bw := spgraph.New(spgraph.WidestPath, 2, 10)
+
+	fmt.Println("single 40ms / 10Gbps link:")
+	fmt.Printf("  latency %dms, bandwidth %dGbps\n", lat.Metric(), bw.Metric())
+
+	// A switch splits the link: 15ms + 25ms; capacities 10 and 40.
+	l1, l2 := lat.Subdivide(lat.Edges()[0], 15, 25)
+	b1, b2 := bw.Subdivide(bw.Edges()[0], 10, 40)
+	fmt.Println("after inserting a switch (15+25ms, 10/40Gbps):")
+	fmt.Printf("  latency %dms, bandwidth %dGbps\n", lat.Metric(), bw.Metric())
+
+	// Redundant cable across the second hop: 30ms but 100Gbps.
+	lat.Duplicate(l2, 25, 30)
+	bw.Duplicate(b2, 40, 100)
+	fmt.Println("after adding a redundant second hop (30ms/100Gbps):")
+	fmt.Printf("  latency %dms, bandwidth %dGbps\n", lat.Metric(), bw.Metric())
+
+	// The first hop degrades badly; re-measure in a batch.
+	lat.SetWeights([]*spgraph.Edge{l1}, []int64{55})
+	bw.SetWeights([]*spgraph.Edge{b1}, []int64{3})
+	fmt.Println("after first hop degrades (55ms, 3Gbps):")
+	fmt.Printf("  latency %dms, bandwidth %dGbps\n", lat.Metric(), bw.Metric())
+	fmt.Printf("  (healed %d rake records)\n", lat.Stats().WoundRecords)
+
+	// Add a parallel first hop to route around the degradation.
+	lat.Duplicate(l1, 55, 12)
+	bw.Duplicate(b1, 3, 25)
+	fmt.Println("after provisioning a parallel first hop (12ms/25Gbps):")
+	fmt.Printf("  latency %dms, bandwidth %dGbps\n", lat.Metric(), bw.Metric())
+}

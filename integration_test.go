@@ -1,0 +1,184 @@
+package dyntc
+
+// Integration tests exercising several modules together: the public facade
+// with tour maintenance, the series-parallel application on top of the
+// contraction core, and cross-checks between independently maintained
+// structures over the same tree.
+
+import (
+	"testing"
+
+	"dyntc/internal/prng"
+	"dyntc/internal/seqdyn"
+	"dyntc/internal/spgraph"
+)
+
+// TestExprVsSeqdynLockstep drives the facade and the sequential baseline
+// through an identical random workload and compares every answer.
+func TestExprVsSeqdynLockstep(t *testing.T) {
+	ring := ModRing(1_000_000_007)
+	e := NewExpr(ring, 7, WithSeed(21))
+	p := seqdyn.NewPathEval(e.Tree())
+	src := prng.New(23)
+
+	for step := 0; step < 150; step++ {
+		leaves := e.Tree().Leaves()
+		switch src.Intn(3) {
+		case 0:
+			leaf := leaves[src.Intn(len(leaves))]
+			op := OpAdd(ring)
+			if src.Intn(2) == 1 {
+				op = OpMul(ring)
+			}
+			e.Grow(leaf, op, src.Int63(), src.Int63())
+			p.Rebuild() // baseline re-syncs after structural changes
+		case 1:
+			leaf := leaves[src.Intn(len(leaves))]
+			v := src.Int63()
+			e.SetLeaf(leaf, v)
+			p.SetValue(leaf, v)
+		default:
+			var q *Node
+			for q == nil {
+				cand := e.Tree().Nodes[src.Intn(len(e.Tree().Nodes))]
+				if cand != nil {
+					q = cand
+				}
+			}
+			if e.Value(q) != p.Value(q) {
+				t.Fatalf("step %d: query disagreement at node %d", step, q.ID)
+			}
+		}
+		if e.Root() != p.Root() {
+			t.Fatalf("step %d: root %d vs baseline %d", step, e.Root(), p.Root())
+		}
+	}
+}
+
+// TestTourTracksContraction keeps the tour and the contraction over one
+// tree and checks both stay consistent under interleaved operations.
+func TestTourTracksContraction(t *testing.T) {
+	ring := MinPlus()
+	e := NewExpr(ring, 5, WithSeed(31), WithTour())
+	src := prng.New(37)
+	for step := 0; step < 100; step++ {
+		leaves := e.Tree().Leaves()
+		leaf := leaves[src.Intn(len(leaves))]
+		if src.Intn(4) == 0 && e.Tree().LeafCount() > 2 {
+			var cand *Node
+			for _, n := range e.Tree().Nodes {
+				if n != nil && !n.IsLeaf() && n.Left.IsLeaf() && n.Right.IsLeaf() {
+					cand = n
+					break
+				}
+			}
+			if cand != nil {
+				e.Collapse(cand, int64(src.Intn(100)))
+			}
+		} else {
+			e.Grow(leaf, OpAdd(ring), int64(src.Intn(100)), int64(src.Intn(100)))
+		}
+		if got, want := e.Root(), e.Tree().Eval(); got != want {
+			t.Fatalf("step %d: root %d want %d", step, got, want)
+		}
+		// Tour properties consistent with the real tree.
+		n := e.Tree().Nodes[src.Intn(len(e.Tree().Nodes))]
+		if n == nil {
+			continue
+		}
+		depth := 0
+		for x := n; x.Parent != nil; x = x.Parent {
+			depth++
+		}
+		if e.Ancestors(n) != depth {
+			t.Fatalf("step %d: ancestors(%d) = %d want %d", step, n.ID, e.Ancestors(n), depth)
+		}
+	}
+}
+
+// TestSPGraphUnderHeavyChurn stresses the §6 application across all three
+// semirings simultaneously on mirrored topologies.
+func TestSPGraphUnderHeavyChurn(t *testing.T) {
+	sp := spgraph.New(spgraph.ShortestPath, 41, 10)
+	wp := spgraph.New(spgraph.WidestPath, 43, 10)
+	src := prng.New(47)
+	for step := 0; step < 200; step++ {
+		i := src.Intn(sp.EdgeCount())
+		se := sp.Edges()[i]
+		we := wp.Edges()[i] // same growth history ⇒ same index space
+		w1, w2 := int64(src.Intn(500)), int64(src.Intn(500))
+		switch src.Intn(3) {
+		case 0:
+			sp.Subdivide(se, w1, w2)
+			wp.Subdivide(we, w1, w2)
+		case 1:
+			sp.Duplicate(se, w1, w2)
+			wp.Duplicate(we, w1, w2)
+		default:
+			sp.SetWeight(se, w1)
+			wp.SetWeight(we, w1)
+		}
+		if got, want := sp.Metric(), sp.MetricOracle(); got != want {
+			t.Fatalf("step %d: shortest %d want %d", step, got, want)
+		}
+		if got, want := wp.Metric(), wp.MetricOracle(); got != want {
+			t.Fatalf("step %d: widest %d want %d", step, got, want)
+		}
+	}
+}
+
+// TestMeteringMonotone checks the PRAM meters accumulate sensibly across a
+// workload (work ≥ span, processors ≥ 1 once used).
+func TestMeteringMonotone(t *testing.T) {
+	ring := ModRing(97)
+	e := NewExpr(ring, 1, WithSeed(51))
+	src := prng.New(53)
+	var lastWork int64
+	for i := 0; i < 40; i++ {
+		leaves := e.Tree().Leaves()
+		e.Grow(leaves[src.Intn(len(leaves))], OpAdd(ring), 1, 2)
+		m := e.PRAM()
+		if m.Work < lastWork {
+			t.Fatal("work went backwards")
+		}
+		if m.Work < m.Steps {
+			t.Fatalf("work %d < steps %d", m.Work, m.Steps)
+		}
+		lastWork = m.Work
+	}
+	if e.PRAM().MaxProcs < 1 {
+		t.Fatal("no processors recorded")
+	}
+}
+
+// TestListAndExprShareNothing guards against accidental global state: two
+// structures with the same seed must evolve identically, and structures
+// with different seeds independently.
+func TestListAndExprShareNothing(t *testing.T) {
+	mk := func(seed uint64) []int64 {
+		ring := ModRing(1_000_000_007)
+		e := NewExpr(ring, 1, WithSeed(seed))
+		src := prng.New(99)
+		var roots []int64
+		for i := 0; i < 30; i++ {
+			leaves := e.Tree().Leaves()
+			e.Grow(leaves[src.Intn(len(leaves))], OpMul(ring), src.Int63(), src.Int63())
+			roots = append(roots, e.Root())
+		}
+		return roots
+	}
+	a, b, c := mk(1), mk(1), mk(2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	// Values are workload-determined, equal across seeds; but the PT shape
+	// differs — just ensure c computed correctly (values match since the
+	// workload is identical and values are seed-independent).
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("expression values must not depend on PT randomness")
+		}
+	}
+}

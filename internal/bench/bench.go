@@ -1,0 +1,140 @@
+// Package bench contains the experiment harness that regenerates every
+// table of EXPERIMENTS.md. The paper (an extended abstract) publishes
+// theorems rather than measured tables, so each experiment E1–E11 validates
+// the *shape* of one claimed bound — slopes, ratios and crossovers on the
+// metered PRAM simulator — as laid out in DESIGN.md §5.
+//
+// Each experiment function returns a Table; cmd/dyntc-bench prints them,
+// and the root bench_test.go wraps each in a testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper bound being validated
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Config scales every experiment. Quick shrinks sizes for test runs.
+type Config struct {
+	Quick bool
+	Seed  uint64
+}
+
+// sizes returns n sweeps depending on Quick mode.
+func (c Config) sizes(full, quick []int) []int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// All runs every experiment in order.
+func All(cfg Config) []Table {
+	return []Table{
+		E1Build(cfg),
+		E2Activation(cfg),
+		E3InsertDelete(cfg),
+		E4ListPrefix(cfg),
+		E5StaticContraction(cfg),
+		E6DynamicBatch(cfg),
+		E7SingleUpdate(cfg),
+		E8TreeProps(cfg),
+		E9LCACanon(cfg),
+		E10Baselines(cfg),
+		E11Ablation(cfg),
+	}
+}
+
+// ByID returns the experiment with the given ID (e.g. "E3").
+func ByID(id string, cfg Config) (Table, bool) {
+	switch strings.ToUpper(id) {
+	case "E1":
+		return E1Build(cfg), true
+	case "E2":
+		return E2Activation(cfg), true
+	case "E3":
+		return E3InsertDelete(cfg), true
+	case "E4":
+		return E4ListPrefix(cfg), true
+	case "E5":
+		return E5StaticContraction(cfg), true
+	case "E6":
+		return E6DynamicBatch(cfg), true
+	case "E7":
+		return E7SingleUpdate(cfg), true
+	case "E8":
+		return E8TreeProps(cfg), true
+	case "E9":
+		return E9LCACanon(cfg), true
+	case "E10":
+		return E10Baselines(cfg), true
+	case "E11":
+		return E11Ablation(cfg), true
+	}
+	return Table{}, false
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 42}
+	tables := All(cfg)
+	if len(tables) != 11 {
+		t.Fatalf("got %d experiments", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s produced no rows", tb.ID)
+		}
+		var buf bytes.Buffer
+		tb.Fprint(&buf)
+		out := buf.String()
+		if !strings.Contains(out, tb.ID) || !strings.Contains(out, tb.Columns[0]) {
+			t.Fatalf("%s rendered badly:\n%s", tb.ID, out)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	for _, id := range []string{"E1", "e5", "E11"} {
+		tb, ok := ByID(id, cfg)
+		if !ok || len(tb.Rows) == 0 {
+			t.Fatalf("ByID(%q) failed", id)
+		}
+	}
+	if _, ok := ByID("E99", cfg); ok {
+		t.Fatal("ByID accepted unknown experiment")
+	}
+}
+
+func TestE5ValuesAgree(t *testing.T) {
+	tb := E5StaticContraction(Config{Quick: true, Seed: 7})
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("E5 disagreement: %v", row)
+		}
+	}
+}
+
+func TestE3RebuildRatioBounded(t *testing.T) {
+	tb := E3InsertDelete(Config{Quick: true, Seed: 9})
+	for _, row := range tb.Rows {
+		// mean/(|U|·ln n) sits in column 4.
+		var ratio float64
+		if _, err := fmt.Sscan(row[4], &ratio); err != nil {
+			t.Fatalf("bad ratio cell %q", row[4])
+		}
+		// The per-insert rebuild size has heavy tails (a root rebuild is
+		// Θ(n) with probability Θ(1/n)); the mean over dozens of trials
+		// stays within a generous constant of |U|·ln n.
+		if ratio > 15 {
+			t.Fatalf("rebuild ratio %f too large: %v", ratio, row)
+		}
+	}
+}

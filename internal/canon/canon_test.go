@@ -1,0 +1,163 @@
+package canon
+
+import (
+	"testing"
+
+	"dyntc/internal/core"
+	"dyntc/internal/prng"
+	"dyntc/internal/semiring"
+	"dyntc/internal/tree"
+)
+
+var testRing = semiring.NewMod(1_000_000_007)
+
+// mirror returns a copy of the tree with every node's children swapped.
+func mirror(t *tree.Tree, h *Hasher) *tree.Tree {
+	out := tree.New(h.Ring, h.LeafCode())
+	var clone func(src, dst *tree.Node)
+	clone = func(src, dst *tree.Node) {
+		if src.IsLeaf() {
+			return
+		}
+		l, r := out.AddChildren(dst, h.Op, h.LeafCode(), h.LeafCode())
+		clone(src.Right, l) // swapped
+		clone(src.Left, r)
+	}
+	clone(t.Root, out.Root)
+	return out
+}
+
+func TestCodeInvariantUnderMirror(t *testing.T) {
+	h := NewHasher(42)
+	for seed := uint64(0); seed < 20; seed++ {
+		shape := tree.Generate(testRing, prng.New(seed), 1+int(seed*7)%60, tree.ShapeRandom)
+		ct := h.NewCodeTree(shape)
+		mt := mirror(ct, h)
+		if h.Code(ct.Root) != h.Code(mt.Root) {
+			t.Fatalf("seed %d: mirror changed the code", seed)
+		}
+		if !Isomorphic(ct.Root, mt.Root) {
+			t.Fatalf("seed %d: oracle disagrees on mirror", seed)
+		}
+	}
+}
+
+func TestCodesSeparateShapes(t *testing.T) {
+	// Every distinct unordered shape with k leaves must get a distinct
+	// code (up to the Schwartz–Zippel collision bound; with ~p=1e9 and a
+	// few hundred shapes, a collision indicates a bug).
+	h := NewHasher(7)
+	for _, k := range []int{2, 3, 4, 5, 6, 7, 8, 9} {
+		shapes := AllShapes(k)
+		codes := map[int64]string{}
+		for _, s := range shapes {
+			tr := fromAHU(s, h)
+			c := h.Code(tr.Root)
+			if prev, ok := codes[c]; ok && prev != s {
+				t.Fatalf("k=%d: shapes %q and %q collide", k, prev, s)
+			}
+			codes[c] = s
+			if AHU(tr.Root) != s {
+				t.Fatalf("k=%d: AHU round-trip failed for %q", k, s)
+			}
+		}
+		if len(codes) != len(shapes) {
+			t.Fatalf("k=%d: %d codes for %d shapes", k, len(codes), len(shapes))
+		}
+	}
+}
+
+// fromAHU parses an AHU string back into a code tree.
+func fromAHU(s string, h *Hasher) *tree.Tree {
+	tr := tree.New(h.Ring, h.LeafCode())
+	var build func(s string, at *tree.Node)
+	build = func(s string, at *tree.Node) {
+		inner := s[1 : len(s)-1] // strip outer parens
+		if inner == "" {
+			return
+		}
+		// Split inner into two balanced halves.
+		depth := 0
+		split := -1
+		for i, ch := range inner {
+			if ch == '(' {
+				depth++
+			} else {
+				depth--
+			}
+			if depth == 0 {
+				split = i + 1
+				break
+			}
+		}
+		l, r := tr.AddChildren(at, h.Op, h.LeafCode(), h.LeafCode())
+		build(inner[:split], l)
+		build(inner[split:], r)
+	}
+	build(s, tr.Root)
+	return tr
+}
+
+func TestAllShapesCounts(t *testing.T) {
+	// Wedderburn–Etherington numbers for unordered binary trees by leaf
+	// count: 1, 1, 1, 2, 3, 6, 11, 23, 46, 98.
+	want := []int{1, 1, 2, 3, 6, 11, 23, 46}
+	for i, w := range want {
+		if got := len(AllShapes(i + 2)); got != w {
+			t.Fatalf("shapes(%d leaves) = %d, want %d", i+2, got, w)
+		}
+	}
+}
+
+func TestDynamicCodeMaintenance(t *testing.T) {
+	// The isomorphism code is maintained by the contraction engine under
+	// growth, and equals the static code at every step.
+	h := NewHasher(99)
+	shape := tree.Generate(testRing, prng.New(1), 10, tree.ShapeRandom)
+	ct := h.NewCodeTree(shape)
+	c := core.New(ct, 5, nil)
+	src := prng.New(11)
+	for step := 0; step < 50; step++ {
+		leaves := ct.Leaves()
+		leaf := leaves[src.Intn(len(leaves))]
+		c.AddLeaves([]core.AddOp{{Leaf: leaf, Op: h.Op, LeftVal: h.LeafCode(), RightVal: h.LeafCode()}})
+		if got, want := c.RootValue(), h.Code(ct.Root); got != want {
+			t.Fatalf("step %d: dynamic code %d, static %d", step, got, want)
+		}
+	}
+}
+
+func TestDynamicIsoDetection(t *testing.T) {
+	// Two trees grown through different orders into the same unordered
+	// shape must agree on their maintained codes.
+	h := NewHasher(123)
+	build := func(order []int) *core.Contraction {
+		tr := tree.New(h.Ring, h.LeafCode())
+		c := core.New(tr, 77, nil)
+		// Grow a left comb then attach one extra node per order entry,
+		// alternating sides based on the order value.
+		cur := tr.Root
+		for _, o := range order {
+			pair := c.AddLeaves([]core.AddOp{{Leaf: cur, Op: h.Op, LeftVal: h.LeafCode(), RightVal: h.LeafCode()}})
+			if o%2 == 0 {
+				cur = pair[0][0]
+			} else {
+				cur = pair[0][1]
+			}
+		}
+		return c
+	}
+	// A chain is a chain no matter which side each extension took:
+	// unordered isomorphism ignores the left/right choice.
+	a := build([]int{0, 0, 0, 0, 0})
+	b := build([]int{1, 0, 1, 0, 1})
+	if a.RootValue() != b.RootValue() {
+		t.Fatalf("codes differ for isomorphic growth histories: %d vs %d",
+			a.RootValue(), b.RootValue())
+	}
+	// And a genuinely different shape must differ.
+	c3 := build([]int{0, 0})
+	if a.RootValue() == c3.RootValue() {
+		t.Fatal("different shapes share a code")
+	}
+}

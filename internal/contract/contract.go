@@ -1,0 +1,232 @@
+// Package contract implements the classical static parallel tree
+// contraction of Kosaraju & Delcher (reference [11] of Reif & Tate;
+// described in their §4): find an Euler tour of the expression tree, list
+// rank it to order the leaves left to right, then repeatedly rake the
+// leaves in odd positions until a single node remains.
+//
+// It is the baseline the paper's randomized RBSTS-guided contraction (in
+// package core) is compared against in experiment E5: both take O(log n)
+// rounds, but only the randomized schedule extends to batch-dynamic
+// updates.
+//
+// A rake of leaf v with parent p and sibling w is the paper's two
+// half-steps over linear-form labels: small-rake (absorb v's constant into
+// p's pending form through p's operation) and small-compress (compose p's
+// form onto w's). Each round rakes odd-positioned leaves in two conflict-
+// free sub-steps — first those that are left children, then right children:
+// a raked leaf's sibling is always adjacent in leaf order and hence
+// even-positioned, so no two simultaneous rakes touch the same node.
+package contract
+
+import (
+	"dyntc/internal/pram"
+	"dyntc/internal/semiring"
+	"dyntc/internal/tree"
+)
+
+// Result reports a contraction: the expression value and the PRAM rounds
+// the rake phase used (excluding the leaf-ordering preprocessing, reported
+// separately).
+type Result struct {
+	Value      int64
+	RakeRounds int64
+	OrderSteps int64
+}
+
+// EulerLeafOrder computes the left-to-right leaf order of tr on the PRAM:
+// build the Euler tour successor list in one round, rank it by pointer
+// jumping (Wyllie), and place leaves by rank. This is the paper's "finding
+// an Euler tour of the expression tree, performing a list ranking to order
+// the leaves" preprocessing.
+func EulerLeafOrder(m *pram.Machine, tr *tree.Tree) []*tree.Node {
+	nodes := tr.Nodes
+	// Arcs: 2*ID = enter(node), 2*ID+1 = leave(node).
+	nArcs := 2 * len(nodes)
+	next := make([]int, nArcs)
+	m.Step(len(nodes), func(i int) {
+		n := nodes[i]
+		if n == nil {
+			next[2*i], next[2*i+1] = -1, -1
+			return
+		}
+		down, up := 2*n.ID, 2*n.ID+1
+		if n.IsLeaf() {
+			next[down] = up
+		} else {
+			next[down] = 2 * n.Left.ID
+		}
+		switch {
+		case n.Parent == nil:
+			next[up] = -1
+		case n == n.Parent.Left:
+			next[up] = 2 * n.Parent.Right.ID
+		default:
+			next[up] = 2*n.Parent.ID + 1
+		}
+	})
+	// The rake schedule needs leaf positions, which come from a single
+	// weighted list ranking over the tour with unit weights on leaf enter
+	// arcs.
+	leafCount := tr.LeafCount()
+	order := make([]*tree.Node, leafCount)
+	weights := make([]int, nArcs)
+	m.Step(len(nodes), func(i int) {
+		n := nodes[i]
+		if n != nil && n.IsLeaf() {
+			weights[2*n.ID] = 1
+		}
+	})
+	suffix := weightedSuffix(m, next, weights)
+	m.Step(len(nodes), func(i int) {
+		n := nodes[i]
+		if n == nil || !n.IsLeaf() {
+			return
+		}
+		// suffix counts leaf arcs at or after this arc; position from the
+		// left is leafCount - suffix.
+		order[leafCount-suffix[2*n.ID]] = n
+	})
+	return order
+}
+
+// weightedSuffix computes, for each list element, the sum of weights from
+// the element (inclusive) to the tail, by pointer jumping.
+func weightedSuffix(m *pram.Machine, next []int, weights []int) []int {
+	n := len(next)
+	val := make([]int, n)
+	jump := make([]int, n)
+	m.Step(n, func(i int) {
+		val[i] = weights[i]
+		jump[i] = next[i]
+	})
+	newVal := make([]int, n)
+	newJump := make([]int, n)
+	for {
+		var active int64
+		m.Step(n, func(i int) {
+			j := jump[i]
+			if j >= 0 {
+				pram.AddInt64(&active, 1)
+				newVal[i] = val[i] + val[j]
+				newJump[i] = jump[j]
+			} else {
+				newVal[i] = val[i]
+				newJump[i] = -1
+			}
+		})
+		if active == 0 {
+			break
+		}
+		val, newVal = newVal, val
+		jump, newJump = newJump, jump
+	}
+	return val
+}
+
+// KD contracts the tree with the classical odd-leaf raking schedule and
+// returns the expression value. The PRAM metering covers the Euler tour
+// ordering and every rake round.
+func KD(m *pram.Machine, tr *tree.Tree) Result {
+	if m == nil {
+		m = pram.Sequential()
+	}
+	r := tr.Ring
+	startSteps := m.Metrics().Steps
+	leaves := EulerLeafOrder(m, tr)
+	orderSteps := m.Metrics().Steps - startSteps
+
+	// Labels: (A,B) linear forms; leaves constant, internals identity.
+	labels := make([]semiring.Linear, len(tr.Nodes))
+	m.Step(len(tr.Nodes), func(i int) {
+		n := tr.Nodes[i]
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			labels[i] = semiring.Const(r, n.Value)
+		} else {
+			labels[i] = semiring.Identity(r)
+		}
+	})
+
+	// Current-structure overlays (the tree itself is not mutated).
+	parent := make([]*tree.Node, len(tr.Nodes))
+	childL := make([]*tree.Node, len(tr.Nodes))
+	childR := make([]*tree.Node, len(tr.Nodes))
+	m.Step(len(tr.Nodes), func(i int) {
+		n := tr.Nodes[i]
+		if n == nil {
+			return
+		}
+		parent[i] = n.Parent
+		childL[i] = n.Left
+		childR[i] = n.Right
+	})
+
+	rakeStart := m.Metrics().Steps
+	cur := leaves
+	for len(cur) > 1 {
+		// Two conflict-free sub-steps: odd positions that are left
+		// children, then odd positions that are right children.
+		for _, wantLeft := range []bool{true, false} {
+			var batch []*tree.Node
+			for pos := 0; pos < len(cur); pos += 2 {
+				v := cur[pos]
+				p := parent[v.ID]
+				if p == nil {
+					continue // v is the final survivor
+				}
+				if (childL[p.ID] == v) == wantLeft {
+					batch = append(batch, v)
+				}
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			m.Step(len(batch), func(i int) {
+				v := batch[i]
+				p := parent[v.ID]
+				var w *tree.Node
+				if childL[p.ID] == v {
+					w = childR[p.ID]
+				} else {
+					w = childL[p.ID]
+				}
+				// small-rake: absorb v's constant through p's operation.
+				pl := labels[p.ID].Compose(r, p.Op.Partial(r, labels[v.ID].B))
+				// small-compress: compose p's pending form onto w.
+				labels[w.ID] = pl.Compose(r, labels[w.ID])
+				// Splice w into p's place.
+				g := parent[p.ID]
+				parent[w.ID] = g
+				if g != nil {
+					if childL[g.ID] == p {
+						childL[g.ID] = w
+					} else {
+						childR[g.ID] = w
+					}
+				}
+			})
+		}
+		// Keep even positions (odd ones were raked unless they survived as
+		// the root remnant; a skipped odd leaf can only be the final one).
+		nextCur := cur[:0:0]
+		for pos := 0; pos < len(cur); pos++ {
+			v := cur[pos]
+			if pos%2 == 1 || parent[v.ID] == nil {
+				nextCur = append(nextCur, v)
+			}
+		}
+		if len(nextCur) == len(cur) {
+			panic("contract: KD made no progress")
+		}
+		cur = nextCur
+	}
+	res := Result{
+		RakeRounds: m.Metrics().Steps - rakeStart,
+		OrderSteps: orderSteps,
+	}
+	last := cur[0]
+	res.Value = labels[last.ID].B
+	return res
+}

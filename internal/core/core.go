@@ -1,0 +1,338 @@
+// Package core implements dynamic parallel tree contraction — the primary
+// contribution of Reif & Tate, SPAA'94 (§4).
+//
+// A Contraction maintains, for a dynamic expression tree T over a
+// commutative (semi)ring:
+//
+//   - PT: an RBSTS (§2) over T's leaves. Internal PT nodes correspond 1–1
+//     with gaps between adjacent leaves; the paper's randomized
+//     Kosaraju–Delcher schedule is equivalent to firing, at round equal to
+//     the gap node's height, a rake of the leaf immediately left of the
+//     gap into its current parent (within any contracted interval the
+//     rightmost leaf survives). Two rakes of one round can never share a
+//     parent (the paper's "never rake two siblings" guarantee: a shared
+//     parent would force the separating gap's PT node to be an ancestor of
+//     both gap nodes, hence strictly higher) nor compress into the same
+//     sibling. One round MAY however chain — rake B compressing into the
+//     node rake A removes; rounds are therefore executed in deterministic
+//     raked-leaf-ID order, which is one of the valid sequentializations
+//     (every prefix is a legal rake sequence), and the heal worklist uses
+//     the same (round, leaf ID) key so producers always precede consumers.
+//   - the rake trace: one Record per gap holding the participants (v, p, w)
+//     and the paper's two label half-steps (small-rake, small-compress)
+//     over (A,B) linear forms, linked by producer/consumer edges — this is
+//     the rake tree RT of §4.2, stored record-wise.
+//
+// Dynamic requests follow the paper's self-healing paradigm:
+//
+//   - Label modifications (leaf values, node operations) locate the wound
+//     RT(W) — the consumer chains of the changed labels — and re-execute
+//     exactly those records in round order (Theorem 4.2's
+//     O(log(|U| log n))-expected batch update; a single update touches one
+//     O(log n) chain).
+//   - Structural modifications (add/delete leaves, §4.1) first update PT
+//     with the randomized-rebuild machinery of Theorems 2.2/2.3 (expected
+//     O(|U| log n) rebuild size), then re-simulate the rake trace. The
+//     re-simulation is global — the extended abstract defers the
+//     fully-incremental schedule repair to the never-published full paper;
+//     the deviation is documented in DESIGN.md §4.3 and measured in
+//     experiment E6.
+//   - Value queries at arbitrary nodes replay the expansion lazily:
+//     val(n) = op_n applied to the values merged into n's two children at
+//     the record that removed n, a well-founded recursion over strict
+//     descendants, memoized per batch.
+package core
+
+import (
+	"fmt"
+
+	"dyntc/internal/pram"
+	"dyntc/internal/rbsts"
+	"dyntc/internal/semiring"
+	"dyntc/internal/tree"
+)
+
+// ptNode abbreviates the splitting-tree node type used throughout.
+type ptNode = rbsts.Node[*tree.Node, struct{}]
+
+// Record is one rake of the contraction trace: at round Round, leaf V is
+// raked into its current parent P, and P's pending form is compressed onto
+// V's current sibling W. The stored labels are the inputs/outputs of the
+// two half-steps; VPrev/PPrev/WPrev point at the records that produced the
+// inputs (nil means the initial label), and Next at the single record that
+// consumes LwOut.
+type Record struct {
+	V, P, W *tree.Node
+	Round   int
+
+	Lv    semiring.Linear // V's label at rake time (constant: A = 0)
+	LpIn  semiring.Linear // P's pending form before the small-rake
+	LwIn  semiring.Linear // W's form before the small-compress
+	LwOut semiring.Linear // W's form after the small-compress
+
+	// Wrep is the original node whose subtree value equals the value
+	// flowing through W at rake time: the top of the removed chain merged
+	// into W's position, or W itself when nothing was merged yet. It
+	// drives the expansion recursion for value queries.
+	Wrep *tree.Node
+
+	VPrev, PPrev, WPrev *Record
+	Next                *Record
+
+	// dirty marks membership in the current wound's worklist.
+	dirty bool
+}
+
+// Contraction is the dynamic parallel tree contraction structure.
+type Contraction struct {
+	T    *tree.Tree
+	ring semiring.Ring
+
+	pt *rbsts.Tree[*tree.Node, struct{}]
+	// ptLeaf maps a T-leaf to its PT leaf.
+	ptLeaf map[*tree.Node]*ptNode
+
+	// recOf maps the raked leaf (the gap's left leaf) to its record.
+	recOf map[*tree.Node]*Record
+	// removedBy maps each removed internal node to the record removing it.
+	removedBy map[*tree.Node]*Record
+	// firstTouch maps a node to the earliest record reading its label.
+	firstTouch map[*tree.Node]*Record
+
+	rootValue int64
+	survivor  *tree.Node
+
+	machine *pram.Machine
+
+	// stats of the most recent operation, for the experiments.
+	lastHeal HealStats
+}
+
+// HealStats reports the cost of the most recent dynamic operation.
+type HealStats struct {
+	// WoundRecords is the number of rake records re-executed.
+	WoundRecords int
+	// WoundRounds is the number of distinct rounds among them (the span of
+	// the healing phase in the PRAM model).
+	WoundRounds int
+	// Resimulated reports that the whole trace was rebuilt (structural
+	// updates).
+	Resimulated bool
+	// RebuildLeaves is the total size of PT subtree rebuilds (Theorem 2.2's
+	// random variable S).
+	RebuildLeaves int
+}
+
+// New builds a Contraction over the given expression tree. The seed drives
+// all of PT's randomness. The machine (nil = sequential) meters every
+// parallel phase.
+func New(t *tree.Tree, seed uint64, m *pram.Machine) *Contraction {
+	if m == nil {
+		m = pram.Sequential()
+	}
+	c := &Contraction{
+		T:       t,
+		ring:    t.Ring,
+		machine: m,
+	}
+	leaves := t.Leaves()
+	c.pt = rbsts.New[*tree.Node, struct{}](seed, nil, nil, leaves)
+	c.ptLeaf = make(map[*tree.Node]*ptNode, len(leaves))
+	for l := c.pt.Head(); l != nil; l = l.Next() {
+		c.ptLeaf[l.Payload()] = l
+	}
+	c.simulate()
+	return c
+}
+
+// Machine returns the PRAM machine metering this contraction.
+func (c *Contraction) Machine() *pram.Machine { return c.machine }
+
+// LastHeal returns cost statistics of the most recent dynamic operation.
+func (c *Contraction) LastHeal() HealStats { return c.lastHeal }
+
+// RootValue returns the value of the whole expression (exactly maintained).
+func (c *Contraction) RootValue() int64 { return c.rootValue }
+
+// PTDepth returns the current depth (= contraction round count) of PT.
+func (c *Contraction) PTDepth() int {
+	if c.pt.Root() == nil {
+		return 0
+	}
+	return c.pt.Root().Height()
+}
+
+// Records returns the number of rake records (= leaves - 1).
+func (c *Contraction) Records() int { return len(c.recOf) }
+
+// simulate rebuilds the entire rake trace from the current T and PT: the
+// §4.2 randomized contraction. Records are processed in (round, leaf ID)
+// order; rounds are metered as parallel steps grouped by round.
+func (c *Contraction) simulate() {
+	n := len(c.T.Nodes)
+	c.recOf = make(map[*tree.Node]*Record, c.pt.Len())
+	c.removedBy = make(map[*tree.Node]*Record, c.pt.Len())
+	c.firstTouch = make(map[*tree.Node]*Record, n)
+
+	if c.pt.Len() == 0 {
+		c.rootValue = c.ring.Zero()
+		c.survivor = nil
+		return
+	}
+	if c.pt.Len() == 1 {
+		c.survivor = c.pt.Head().Payload()
+		c.rootValue = c.survivor.Value
+		return
+	}
+
+	// Gather the gap records in schedule order.
+	recs := make([]*Record, 0, c.pt.Len()-1)
+	for l := c.pt.Head(); l.Next() != nil; l = l.Next() {
+		recs = append(recs, &Record{
+			V:     l.Payload(),
+			Round: l.GapNode().Height(),
+		})
+	}
+	sortRecords(recs)
+
+	// Overlay state of the contracting tree, indexed by node ID.
+	parent := make([]*tree.Node, n)
+	childL := make([]*tree.Node, n)
+	childR := make([]*tree.Node, n)
+	label := make([]semiring.Linear, n)
+	rep := make([]*tree.Node, n)
+	lastTouch := make([]*Record, n)
+	for _, nd := range c.T.Nodes {
+		if nd == nil {
+			continue
+		}
+		parent[nd.ID] = nd.Parent
+		childL[nd.ID] = nd.Left
+		childR[nd.ID] = nd.Right
+		rep[nd.ID] = nd
+		if nd.IsLeaf() {
+			label[nd.ID] = semiring.Const(c.ring, nd.Value)
+		} else {
+			label[nd.ID] = semiring.Identity(c.ring)
+		}
+	}
+
+	touch := func(r *Record, nd *tree.Node) *Record {
+		prev := lastTouch[nd.ID]
+		lastTouch[nd.ID] = r
+		if prev != nil {
+			prev.Next = r
+		}
+		if c.firstTouch[nd] == nil {
+			c.firstTouch[nd] = r
+		}
+		return prev
+	}
+
+	// Execute rounds in order, metering one parallel step per round.
+	i := 0
+	for i < len(recs) {
+		j := i
+		for j < len(recs) && recs[j].Round == recs[i].Round {
+			j++
+		}
+		c.machine.Charge(j - i)
+		for _, r := range recs[i:j] {
+			v := r.V
+			p := parent[v.ID]
+			var w *tree.Node
+			if childL[p.ID] == v {
+				w = childR[p.ID]
+			} else {
+				w = childL[p.ID]
+			}
+			r.P, r.W = p, w
+			r.VPrev = touch(r, v)
+			r.PPrev = touch(r, p)
+			r.WPrev = touch(r, w)
+			r.Lv = label[v.ID]
+			r.LpIn = label[p.ID]
+			r.LwIn = label[w.ID]
+			// small-rake then small-compress (§4.2).
+			lpOut := r.LpIn.Compose(c.ring, p.Op.Partial(c.ring, r.Lv.B))
+			r.LwOut = lpOut.Compose(c.ring, r.LwIn)
+			label[w.ID] = r.LwOut
+			r.Wrep = rep[w.ID]
+			rep[w.ID] = rep[p.ID]
+			// Splice w into p's place.
+			g := parent[p.ID]
+			parent[w.ID] = g
+			if g != nil {
+				if childL[g.ID] == p {
+					childL[g.ID] = w
+				} else {
+					childR[g.ID] = w
+				}
+			}
+			c.recOf[v] = r
+			c.removedBy[p] = r
+		}
+		i = j
+	}
+
+	c.survivor = c.pt.Tail().Payload()
+	final := label[c.survivor.ID]
+	if final.A != c.ring.Zero() {
+		panic("core: survivor label is not constant")
+	}
+	c.rootValue = final.B
+}
+
+// sortRecords orders records by (round, raked-leaf ID); the ID tiebreak is
+// arbitrary but deterministic (same-round rakes are independent).
+func sortRecords(recs []*Record) {
+	// Simple in-place sort without reflect overhead.
+	lessRec := func(a, b *Record) bool {
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		return a.V.ID < b.V.ID
+	}
+	// Standard library sort via interface adapter.
+	sortSlice(recs, lessRec)
+}
+
+// Validate checks trace invariants against the current T and PT (tests).
+func (c *Contraction) Validate() error {
+	if c.pt.Len() != c.T.LeafCount() {
+		return fmt.Errorf("core: PT has %d leaves, T has %d", c.pt.Len(), c.T.LeafCount())
+	}
+	if err := c.pt.Validate(); err != nil {
+		return err
+	}
+	// PT leaf payloads must be exactly T's leaves in order.
+	tl := c.T.Leaves()
+	i := 0
+	for l := c.pt.Head(); l != nil; l = l.Next() {
+		if i >= len(tl) || l.Payload() != tl[i] {
+			return fmt.Errorf("core: PT leaf %d does not match T leaf order", i)
+		}
+		if c.ptLeaf[l.Payload()] != l {
+			return fmt.Errorf("core: ptLeaf map stale at %d", i)
+		}
+		i++
+	}
+	if len(c.recOf) != maxInt(0, c.pt.Len()-1) {
+		return fmt.Errorf("core: %d records for %d leaves", len(c.recOf), c.pt.Len())
+	}
+	// Every record's labels must recompose.
+	for _, r := range c.recOf {
+		lpOut := r.LpIn.Compose(c.ring, r.P.Op.Partial(c.ring, r.Lv.B))
+		if lpOut.Compose(c.ring, r.LwIn) != r.LwOut {
+			return fmt.Errorf("core: record labels inconsistent at leaf %d", r.V.ID)
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

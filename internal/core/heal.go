@@ -1,0 +1,269 @@
+package core
+
+import (
+	"container/heap"
+	"dyntc/internal/rbsts"
+	"sort"
+
+	"dyntc/internal/semiring"
+	"dyntc/internal/tree"
+)
+
+// sortSlice sorts records with the given less function.
+func sortSlice(recs []*Record, less func(a, b *Record) bool) {
+	sort.Slice(recs, func(i, j int) bool { return less(recs[i], recs[j]) })
+}
+
+// recHeap is a min-heap of records ordered by (Round, V.ID): the wound is
+// healed in schedule order.
+type recHeap []*Record
+
+func (h recHeap) Len() int { return len(h) }
+func (h recHeap) Less(i, j int) bool {
+	if h[i].Round != h[j].Round {
+		return h[i].Round < h[j].Round
+	}
+	return h[i].V.ID < h[j].V.ID
+}
+func (h recHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *recHeap) Push(x interface{}) { *h = append(*h, x.(*Record)) }
+func (h *recHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}
+
+// SetValue updates a single leaf value and heals the wound: the chain of
+// records consuming the leaf's label, re-executed bottom-up. This is
+// Theorem 4.2's "single update with a single processor in O(log n) time".
+func (c *Contraction) SetValue(leaf *tree.Node, value int64) {
+	c.SetValues([]*tree.Node{leaf}, []int64{value})
+}
+
+// SetValues applies a batch of leaf value updates (the paper's "modify
+// labels of leaves of T") and heals the wound RT(W). The wound is located
+// by activating PT(U) — exactly the paper's Step 1 — and healed by
+// re-executing the consumer chains of every changed label in round order,
+// one parallel step per wound round.
+func (c *Contraction) SetValues(leaves []*tree.Node, values []int64) {
+	if len(leaves) != len(values) {
+		panic("core: SetValues length mismatch")
+	}
+	c.lastHeal = HealStats{}
+	if len(leaves) == 0 {
+		return
+	}
+	// Step 1: wound location / processor activation over PT (Thm 2.1).
+	ptLeaves := make([]*ptNode, len(leaves))
+	for i, l := range leaves {
+		pl, ok := c.ptLeaf[l]
+		if !ok {
+			panic("core: SetValues on a node that is not a live leaf")
+		}
+		ptLeaves[i] = pl
+	}
+	act := c.pt.Activate(c.machine, ptLeaves)
+	act.Release(c.machine)
+
+	for i, l := range leaves {
+		c.T.SetValue(l, values[i])
+	}
+
+	var seeds []*Record
+	for _, l := range leaves {
+		if r := c.firstTouch[l]; r != nil {
+			seeds = append(seeds, r)
+		}
+	}
+	c.heal(seeds)
+
+	if c.pt.Len() == 1 {
+		c.rootValue = c.survivor.Value
+	}
+}
+
+// SetOp updates the operation of an internal node and heals the single
+// record that uses it (the paper's "modify labels of internal nodes").
+func (c *Contraction) SetOp(n *tree.Node, op semiring.Op) {
+	c.SetOps([]*tree.Node{n}, []semiring.Op{op})
+}
+
+// SetOps applies a batch of internal-operation updates. The operation of p
+// is read exactly once in the trace — by the record that removes p — so the
+// wound seeds are those records.
+func (c *Contraction) SetOps(nodes []*tree.Node, ops []semiring.Op) {
+	if len(nodes) != len(ops) {
+		panic("core: SetOps length mismatch")
+	}
+	c.lastHeal = HealStats{}
+	var seeds []*Record
+	for i, n := range nodes {
+		c.T.SetOp(n, ops[i])
+		if r := c.removedBy[n]; r != nil {
+			seeds = append(seeds, r)
+		}
+	}
+	c.heal(seeds)
+}
+
+// heal re-executes the wound: starting from the seed records, each record
+// recomputes its labels from its producers; when its output changes, the
+// consumer joins the worklist. Records are processed in (round, ID) order,
+// so all producers of a record are final before it runs. One parallel step
+// is charged per distinct wound round.
+func (c *Contraction) heal(seeds []*Record) {
+	h := &recHeap{}
+	for _, r := range seeds {
+		if !r.dirty {
+			r.dirty = true
+			heap.Push(h, r)
+		}
+	}
+	lastRound := -1
+	roundCount := 0
+	for h.Len() > 0 {
+		r := heap.Pop(h).(*Record)
+		r.dirty = false
+		if r.Round != lastRound {
+			roundCount++
+			lastRound = r.Round
+			// The records of one wound round re-execute as one parallel
+			// step; peeking ahead for exact grouping is unnecessary for
+			// the meters (work is charged per record below).
+		}
+		c.machine.ChargeSpan(0, 1, 1)
+		c.lastHeal.WoundRecords++
+
+		r.Lv = c.labelFromProducer(r.VPrev, r.V)
+		r.LpIn = c.labelFromProducer(r.PPrev, r.P)
+		r.LwIn = c.labelFromProducer(r.WPrev, r.W)
+		lpOut := r.LpIn.Compose(c.ring, r.P.Op.Partial(c.ring, r.Lv.B))
+		out := lpOut.Compose(c.ring, r.LwIn)
+		if out == r.LwOut {
+			continue // wound healed locally; nothing propagates
+		}
+		r.LwOut = out
+		if r.Next != nil {
+			if !r.Next.dirty {
+				r.Next.dirty = true
+				heap.Push(h, r.Next)
+			}
+		} else {
+			// The final record of the survivor's chain: refresh the root.
+			c.rootValue = out.B
+		}
+	}
+	c.lastHeal.WoundRounds = roundCount
+	c.machine.ChargeSpan(int64(roundCount), 0, 1)
+}
+
+// labelFromProducer returns the node's label as of a record's execution:
+// the producing record's output, or the node's initial label.
+func (c *Contraction) labelFromProducer(prev *Record, n *tree.Node) semiring.Linear {
+	if prev != nil {
+		return prev.LwOut
+	}
+	if n.IsLeaf() {
+		return semiring.Const(c.ring, n.Value)
+	}
+	return semiring.Identity(c.ring)
+}
+
+// AddOp grows a leaf into an operation node with two fresh leaf children
+// (§4.1 "add two new children below a current leaf").
+type AddOp struct {
+	Leaf     *tree.Node
+	Op       semiring.Op
+	LeftVal  int64
+	RightVal int64
+}
+
+// AddLeaves applies a batch of leaf expansions: T mutates, PT replaces each
+// expanded leaf by the two new leaves using the randomized-rebuild
+// insert/delete of Theorems 2.2/2.3, and the rake trace is re-simulated on
+// the healed PT (see the package comment for the scope of this step).
+// It returns the new (left, right) leaf pairs in batch order.
+func (c *Contraction) AddLeaves(ops []AddOp) [][2]*tree.Node {
+	c.lastHeal = HealStats{Resimulated: true}
+	if len(ops) == 0 {
+		c.lastHeal.Resimulated = false
+		return nil
+	}
+	out := make([][2]*tree.Node, len(ops))
+
+	// Collect insertion gaps against the pre-batch PT.
+	insOps := make([]rbsts.InsertOp[*tree.Node], 0, len(ops))
+	oldLeaves := make([]*ptNode, 0, len(ops))
+	for _, op := range ops {
+		pl, ok := c.ptLeaf[op.Leaf]
+		if !ok {
+			panic("core: AddLeaves on a node that is not a live leaf")
+		}
+		insOps = append(insOps, rbsts.InsertOp[*tree.Node]{Gap: pl.Index(), Payloads: nil})
+		oldLeaves = append(oldLeaves, pl)
+	}
+	// Mutate T and fill payloads.
+	for i, op := range ops {
+		l, r := c.T.AddChildren(op.Leaf, op.Op, op.LeftVal, op.RightVal)
+		out[i] = [2]*tree.Node{l, r}
+		insOps[i].Payloads = []*tree.Node{l, r}
+	}
+	rep := c.pt.BatchInsert(c.machine, insOps)
+	c.lastHeal.RebuildLeaves += rep.RebuildLeaves
+	for i := range ops {
+		c.ptLeaf[out[i][0]] = rep.NewLeaves[2*i]
+		c.ptLeaf[out[i][1]] = rep.NewLeaves[2*i+1]
+	}
+	drep := c.pt.BatchDelete(c.machine, oldLeaves)
+	c.lastHeal.RebuildLeaves += drep.RebuildLeaves
+	for _, op := range ops {
+		delete(c.ptLeaf, op.Leaf)
+	}
+	c.simulate()
+	return out
+}
+
+// RemoveOp collapses an internal node whose children are both leaves back
+// into a leaf with the given value (§4.1 "delete two leaf children").
+type RemoveOp struct {
+	Node     *tree.Node
+	NewValue int64
+}
+
+// RemoveLeaves applies a batch of leaf-pair deletions, mirroring AddLeaves.
+func (c *Contraction) RemoveLeaves(ops []RemoveOp) {
+	c.lastHeal = HealStats{Resimulated: true}
+	if len(ops) == 0 {
+		c.lastHeal.Resimulated = false
+		return
+	}
+	insOps := make([]rbsts.InsertOp[*tree.Node], 0, len(ops))
+	var oldLeaves []*ptNode
+	for _, op := range ops {
+		n := op.Node
+		if n.IsLeaf() || !n.Left.IsLeaf() || !n.Right.IsLeaf() {
+			panic("core: RemoveLeaves requires an internal node with two leaf children")
+		}
+		pl, pr := c.ptLeaf[n.Left], c.ptLeaf[n.Right]
+		if pl == nil || pr == nil {
+			panic("core: RemoveLeaves children not tracked")
+		}
+		insOps = append(insOps, rbsts.InsertOp[*tree.Node]{Gap: pl.Index(), Payloads: []*tree.Node{n}})
+		oldLeaves = append(oldLeaves, pl, pr)
+	}
+	rep := c.pt.BatchInsert(c.machine, insOps)
+	c.lastHeal.RebuildLeaves += rep.RebuildLeaves
+	for i, op := range ops {
+		c.ptLeaf[op.Node] = rep.NewLeaves[i]
+	}
+	drep := c.pt.BatchDelete(c.machine, oldLeaves)
+	c.lastHeal.RebuildLeaves += drep.RebuildLeaves
+	for _, op := range ops {
+		delete(c.ptLeaf, op.Node.Left)
+		delete(c.ptLeaf, op.Node.Right)
+		c.T.DeleteChildren(op.Node, op.NewValue)
+	}
+	c.simulate()
+}

@@ -1,0 +1,92 @@
+package core
+
+import "dyntc/internal/tree"
+
+// Value returns the value of the subexpression rooted at n (the paper's
+// "parallel tree contraction queries which require recomputing values at
+// specified nodes"). Leaves answer directly; internal nodes replay the
+// expansion lazily: at the record that removed n, the values flowing
+// through n's two current children were exactly the subtree values of the
+// nodes merged into those positions, so
+//
+//	val(n) = op_n( VAL(v-side), VAL(w-side) )
+//
+// where the v-side is the raked leaf's constant label and the w-side
+// recurses into Wrep — a strict descendant of n — giving a well-founded
+// recursion memoized per call.
+func (c *Contraction) Value(n *tree.Node) int64 {
+	return c.ValuesBatch([]*tree.Node{n})[0]
+}
+
+// ValuesBatch answers a set of value queries, sharing one memo table (the
+// paper's batch query with the same wound-activation bounds; the shared
+// memo is what makes overlapping query paths cost their union, not their
+// sum).
+func (c *Contraction) ValuesBatch(nodes []*tree.Node) []int64 {
+	memo := make(map[*tree.Node]int64)
+	out := make([]int64, len(nodes))
+	work := 0
+	for i, n := range nodes {
+		out[i] = c.value(n, memo, &work)
+	}
+	// Metering: the expansion replays one record per memo entry; rounds
+	// are bounded by the wound depth (measured rather than recharged
+	// per-level here).
+	c.machine.ChargeSpan(1, int64(work), int64(len(nodes)))
+	return out
+}
+
+// value computes val(n) iteratively with an explicit stack so adversarially
+// deep dependency chains cannot overflow the goroutine stack.
+func (c *Contraction) value(n *tree.Node, memo map[*tree.Node]int64, work *int) int64 {
+	type frame struct {
+		n    *tree.Node
+		seen bool
+	}
+	stack := []frame{{n, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := memo[f.n]; ok {
+			continue
+		}
+		if f.n.IsLeaf() {
+			memo[f.n] = f.n.Value
+			continue
+		}
+		r := c.removedBy[f.n]
+		if r == nil {
+			panic("core: query on a node outside the trace")
+		}
+		dep := c.wSideDep(r)
+		if !f.seen {
+			stack = append(stack, frame{f.n, true})
+			if dep != nil {
+				stack = append(stack, frame{dep, false})
+			}
+			continue
+		}
+		*work++
+		var wVal int64
+		if dep != nil {
+			wVal = memo[dep]
+		} else {
+			wVal = r.LwIn.B // w was a leaf: its label is the constant value
+		}
+		memo[f.n] = f.n.Op.Eval(c.ring, r.Lv.B, wVal)
+	}
+	return memo[n]
+}
+
+// wSideDep returns the node whose memoized value feeds the w-side of the
+// record, or nil when the w-side is a direct leaf constant.
+func (c *Contraction) wSideDep(r *Record) *tree.Node {
+	if r.W.IsLeaf() {
+		return nil
+	}
+	return r.Wrep
+}
+
+// ValueOracle recomputes val(n) directly from T (tests compare Value
+// against it).
+func (c *Contraction) ValueOracle(n *tree.Node) int64 { return c.T.EvalAt(n) }

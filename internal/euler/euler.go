@@ -1,0 +1,287 @@
+// Package euler maintains the Eulerian tour of a dynamic expression tree
+// and the standard tree properties derived from it — applications (a) and
+// (b) of Reif & Tate, SPAA'94, §5 (Theorem 5.1: "maintaining the standard
+// tree properties (such as preorder, number of ancestors), as well as
+// Eulerian tour"), plus least common ancestors (Theorem 5.2).
+//
+// The tour is a dynamic list over an RBSTS (§2/§3 machinery): every tree
+// node contributes an enter entry and an exit entry. The list aggregation
+// keeps, per sublist: the number of enter entries, the ±1 depth-delta
+// total, and the minimum prefix of depth-deltas with its first witness.
+// From these, with O(log n) expected root-path walks:
+//
+//	preorder(n)  = #enter entries up to enter(n)
+//	#ancestors(n) = (±1 prefix at enter(n)) - 1
+//	subtree size = (pos(exit(n)) - pos(enter(n)) + 1) / 2
+//	LCA(u, v)    = witness of the minimum depth prefix on [enter(u), enter(v)]
+//
+// Structural tree mutations translate to inserting or deleting four
+// adjacent tour entries — exactly the dynamic-list updates of Theorem 2.3,
+// so every bound carries over.
+package euler
+
+import (
+	"fmt"
+
+	"dyntc/internal/pram"
+	"dyntc/internal/rbsts"
+	"dyntc/internal/tree"
+)
+
+// Entry is one tour event: entering or leaving a node. Entry values are
+// allocated once and stable; Self points back at the list leaf holding the
+// entry (valid across rebuilds because leaf objects are stable).
+type Entry struct {
+	Node  *tree.Node
+	Enter bool
+	Self  *rbsts.Node[*Entry, Sum]
+}
+
+// Sum is the tour aggregation: Ent counts enter entries, Total sums the ±1
+// depth deltas, MinPref is the minimum over nonempty prefixes of the
+// segment's deltas, and Arg is the first entry attaining it.
+type Sum struct {
+	Ent     int
+	Total   int
+	MinPref int
+	Arg     *Entry
+}
+
+func leafSum(e *Entry) Sum {
+	if e.Enter {
+		return Sum{Ent: 1, Total: 1, MinPref: 1, Arg: e}
+	}
+	return Sum{Ent: 0, Total: -1, MinPref: -1, Arg: e}
+}
+
+func mergeSum(a, b Sum) Sum {
+	out := Sum{
+		Ent:   a.Ent + b.Ent,
+		Total: a.Total + b.Total,
+	}
+	if a.MinPref <= a.Total+b.MinPref {
+		out.MinPref = a.MinPref
+		out.Arg = a.Arg
+	} else {
+		out.MinPref = a.Total + b.MinPref
+		out.Arg = b.Arg
+	}
+	return out
+}
+
+// Tour is the maintained Eulerian tour.
+type Tour struct {
+	t    *tree.Tree
+	list *rbsts.Tree[*Entry, Sum]
+	ent  map[*tree.Node]*Entry // enter entry of each node
+	ext  map[*tree.Node]*Entry // exit entry of each node
+}
+
+// New builds the tour of the given tree.
+func New(t *tree.Tree, seed uint64) *Tour {
+	e := &Tour{
+		t:   t,
+		ent: make(map[*tree.Node]*Entry),
+		ext: make(map[*tree.Node]*Entry),
+	}
+	var entries []*Entry
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		in := &Entry{Node: n, Enter: true}
+		out := &Entry{Node: n, Enter: false}
+		e.ent[n], e.ext[n] = in, out
+		entries = append(entries, in)
+		if !n.IsLeaf() {
+			walk(n.Left)
+			walk(n.Right)
+		}
+		entries = append(entries, out)
+	}
+	walk(t.Root)
+	e.list = rbsts.New[*Entry, Sum](seed, leafSum, mergeSum, entries)
+	for l := e.list.Head(); l != nil; l = l.Next() {
+		l.Payload().Self = l
+	}
+	return e
+}
+
+// Len returns the number of tour entries (2 × nodes).
+func (e *Tour) Len() int { return e.list.Len() }
+
+// Sequence returns the Eulerian tour as the ordered node-visit list (the
+// paper's Eulerian tour query).
+func (e *Tour) Sequence() []*Entry {
+	out := make([]*Entry, 0, e.list.Len())
+	for l := e.list.Head(); l != nil; l = l.Next() {
+		out = append(out, l.Payload())
+	}
+	return out
+}
+
+// AddChildren records that leaf n grew children l and r (call after
+// tree.AddChildren): four entries are spliced between enter(n) and exit(n).
+func (e *Tour) AddChildren(m *pram.Machine, n, l, r *tree.Node) {
+	el := &Entry{Node: l, Enter: true}
+	xl := &Entry{Node: l, Enter: false}
+	er := &Entry{Node: r, Enter: true}
+	xr := &Entry{Node: r, Enter: false}
+	leaves := e.list.InsertAfter(m, e.ent[n].Self, []*Entry{el, xl, er, xr})
+	for i, en := range []*Entry{el, xl, er, xr} {
+		en.Self = leaves[i]
+	}
+	e.ent[l], e.ext[l] = el, xl
+	e.ent[r], e.ext[r] = er, xr
+}
+
+// DeleteChildren records that the leaf children l and r of a node were
+// deleted (call around tree.DeleteChildren).
+func (e *Tour) DeleteChildren(m *pram.Machine, l, r *tree.Node) {
+	e.list.BatchDelete(m, []*rbsts.Node[*Entry, Sum]{
+		e.ent[l].Self, e.ext[l].Self, e.ent[r].Self, e.ext[r].Self,
+	})
+	delete(e.ent, l)
+	delete(e.ext, l)
+	delete(e.ent, r)
+	delete(e.ext, r)
+}
+
+// position returns the entry's index in the tour.
+func (e *Tour) position(en *Entry) int { return en.Self.Index() }
+
+// prefix returns the aggregation over entries [0..en], inclusive, via a
+// root-path walk (O(log n) expected).
+func (e *Tour) prefix(en *Entry) Sum {
+	acc := en.Self.Sum()
+	for v := en.Self; v.Parent() != nil; v = v.Parent() {
+		if v == v.Parent().Right() {
+			acc = mergeSum(v.Parent().Left().Sum(), acc)
+		}
+	}
+	return acc
+}
+
+// Preorder returns n's 1-based preorder number.
+func (e *Tour) Preorder(n *tree.Node) int { return e.prefix(e.ent[n]).Ent }
+
+// Postorder returns n's 1-based postorder number: exit entries up to
+// exit(n).
+func (e *Tour) Postorder(n *tree.Node) int {
+	p := e.prefix(e.ext[n])
+	return e.position(e.ext[n]) + 1 - p.Ent
+}
+
+// Ancestors returns the number of proper ancestors of n (= its depth).
+func (e *Tour) Ancestors(n *tree.Node) int { return e.prefix(e.ent[n]).Total - 1 }
+
+// SubtreeSize returns the number of nodes in n's subtree.
+func (e *Tour) SubtreeSize(n *tree.Node) int {
+	return (e.position(e.ext[n]) - e.position(e.ent[n]) + 1) / 2
+}
+
+// IsAncestor reports whether a is an ancestor of b (inclusive).
+func (e *Tour) IsAncestor(a, b *tree.Node) bool {
+	return e.position(e.ent[a]) <= e.position(e.ent[b]) &&
+		e.position(e.ext[b]) <= e.position(e.ext[a])
+}
+
+// LCA returns the least common ancestor of u and v (Theorem 5.2) via the
+// minimum depth-prefix witness on the tour range [enter(u), enter(v)].
+func (e *Tour) LCA(u, v *tree.Node) *tree.Node {
+	if u == v {
+		return u
+	}
+	iu, iv := e.position(e.ent[u]), e.position(e.ent[v])
+	if iu > iv {
+		u, v = v, u
+		iu, iv = iv, iu
+	}
+	if e.IsAncestor(u, v) {
+		return u
+	}
+	s := e.rangeSum(iu, iv)
+	arg := s.Arg
+	if arg.Enter {
+		return arg.Node
+	}
+	return arg.Node.Parent
+}
+
+// rangeSum folds the aggregation over entry indices [lo, hi].
+func (e *Tour) rangeSum(lo, hi int) Sum {
+	if lo > hi {
+		panic(fmt.Sprintf("euler: bad range [%d,%d]", lo, hi))
+	}
+	var acc Sum
+	first := true
+	var rec func(v *rbsts.Node[*Entry, Sum], lo, hi int)
+	rec = func(v *rbsts.Node[*Entry, Sum], lo, hi int) {
+		if lo <= 0 && hi >= v.LeafCount()-1 {
+			if first {
+				acc, first = v.Sum(), false
+			} else {
+				acc = mergeSum(acc, v.Sum())
+			}
+			return
+		}
+		left := v.Left().LeafCount()
+		if hi < left {
+			rec(v.Left(), lo, hi)
+			return
+		}
+		if lo >= left {
+			rec(v.Right(), lo-left, hi-left)
+			return
+		}
+		rec(v.Left(), lo, left-1)
+		rec(v.Right(), 0, hi-left)
+	}
+	rec(e.list.Root(), lo, hi)
+	return acc
+}
+
+// BatchPreorder answers preorder queries for a set of nodes; the underlying
+// parse-tree activation is exercised through the shared list machinery.
+func (e *Tour) BatchPreorder(m *pram.Machine, nodes []*tree.Node) []int {
+	if m == nil {
+		m = pram.Sequential()
+	}
+	out := make([]int, len(nodes))
+	var span int64
+	for i, n := range nodes {
+		out[i] = e.Preorder(n)
+		if d := int64(e.ent[n].Self.Depth()); d > span {
+			span = d
+		}
+	}
+	m.ChargeSpan(span, int64(len(nodes))*span, int64(len(nodes)))
+	return out
+}
+
+// Validate checks tour invariants against the tree (tests).
+func (e *Tour) Validate() error {
+	if err := e.list.Validate(); err != nil {
+		return err
+	}
+	if e.list.Len() != 2*e.t.Len() {
+		return fmt.Errorf("euler: %d entries for %d nodes", e.list.Len(), e.t.Len())
+	}
+	depth := 0
+	for l := e.list.Head(); l != nil; l = l.Next() {
+		en := l.Payload()
+		if en.Self != l {
+			return fmt.Errorf("euler: stale Self pointer at %v", en.Node.ID)
+		}
+		if en.Enter {
+			depth++
+		} else {
+			depth--
+		}
+		if depth < 0 {
+			return fmt.Errorf("euler: unbalanced tour")
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("euler: tour does not close")
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package euler
+
+import (
+	"testing"
+
+	"dyntc/internal/prng"
+	"dyntc/internal/semiring"
+	"dyntc/internal/tree"
+)
+
+var testRing = semiring.NewMod(1_000_000_007)
+
+// oracle computes tree properties naively.
+type oracle struct {
+	pre, post, depth, size map[*tree.Node]int
+}
+
+func buildOracle(t *tree.Tree) *oracle {
+	o := &oracle{
+		pre:   map[*tree.Node]int{},
+		post:  map[*tree.Node]int{},
+		depth: map[*tree.Node]int{},
+		size:  map[*tree.Node]int{},
+	}
+	preCtr, postCtr := 0, 0
+	var walk func(n *tree.Node, d int) int
+	walk = func(n *tree.Node, d int) int {
+		preCtr++
+		o.pre[n] = preCtr
+		o.depth[n] = d
+		sz := 1
+		if !n.IsLeaf() {
+			sz += walk(n.Left, d+1) + walk(n.Right, d+1)
+		}
+		postCtr++
+		o.post[n] = postCtr
+		o.size[n] = sz
+		return sz
+	}
+	walk(t.Root, 0)
+	return o
+}
+
+func naiveLCA(u, v *tree.Node) *tree.Node {
+	anc := map[*tree.Node]bool{}
+	for x := u; x != nil; x = x.Parent {
+		anc[x] = true
+	}
+	for x := v; x != nil; x = x.Parent {
+		if anc[x] {
+			return x
+		}
+	}
+	return nil
+}
+
+func checkAll(t *testing.T, tr *tree.Tree, e *Tour) {
+	t.Helper()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	o := buildOracle(tr)
+	for _, n := range tr.Nodes {
+		if n == nil {
+			continue
+		}
+		if got := e.Preorder(n); got != o.pre[n] {
+			t.Fatalf("preorder(%d) = %d, want %d", n.ID, got, o.pre[n])
+		}
+		if got := e.Postorder(n); got != o.post[n] {
+			t.Fatalf("postorder(%d) = %d, want %d", n.ID, got, o.post[n])
+		}
+		if got := e.Ancestors(n); got != o.depth[n] {
+			t.Fatalf("ancestors(%d) = %d, want %d", n.ID, got, o.depth[n])
+		}
+		if got := e.SubtreeSize(n); got != o.size[n] {
+			t.Fatalf("size(%d) = %d, want %d", n.ID, got, o.size[n])
+		}
+	}
+}
+
+func TestStaticProperties(t *testing.T) {
+	for _, shape := range []tree.Shape{tree.ShapeRandom, tree.ShapeBalanced, tree.ShapeLeftComb, tree.ShapeRightComb} {
+		for _, n := range []int{1, 2, 3, 9, 100} {
+			tr := tree.Generate(testRing, prng.New(uint64(5*n+int(shape))), n, shape)
+			e := New(tr, uint64(n))
+			checkAll(t, tr, e)
+		}
+	}
+}
+
+func TestLCAAllPairs(t *testing.T) {
+	tr := tree.Generate(testRing, prng.New(3), 60, tree.ShapeRandom)
+	e := New(tr, 5)
+	for _, u := range tr.Nodes {
+		if u == nil {
+			continue
+		}
+		for _, v := range tr.Nodes {
+			if v == nil {
+				continue
+			}
+			if got, want := e.LCA(u, v), naiveLCA(u, v); got != want {
+				t.Fatalf("LCA(%d,%d) = %v, want %v", u.ID, v.ID, got.ID, want.ID)
+			}
+		}
+	}
+}
+
+func TestSequenceIsEulerTour(t *testing.T) {
+	tr := tree.Generate(testRing, prng.New(7), 50, tree.ShapeRandom)
+	e := New(tr, 9)
+	seq := e.Sequence()
+	if len(seq) != 2*tr.Len() {
+		t.Fatalf("tour length %d", len(seq))
+	}
+	if seq[0].Node != tr.Root || !seq[0].Enter {
+		t.Fatal("tour does not start by entering the root")
+	}
+	if seq[len(seq)-1].Node != tr.Root || seq[len(seq)-1].Enter {
+		t.Fatal("tour does not end by leaving the root")
+	}
+	// Consecutive entries must be tree-adjacent moves.
+	for i := 0; i+1 < len(seq); i++ {
+		a, b := seq[i], seq[i+1]
+		ok := false
+		switch {
+		case a.Enter && b.Enter:
+			ok = b.Node.Parent == a.Node && a.Node.Left == b.Node
+		case a.Enter && !b.Enter:
+			ok = a.Node == b.Node && a.Node.IsLeaf()
+		case !a.Enter && b.Enter:
+			ok = a.Node.Parent == b.Node.Parent && a.Node.Parent.Right == b.Node
+		default:
+			ok = a.Node.Parent == b.Node
+		}
+		if !ok {
+			t.Fatalf("tour discontinuity at %d", i)
+		}
+	}
+}
+
+func TestDynamicGrowShrink(t *testing.T) {
+	tr := tree.New(testRing, 1)
+	e := New(tr, 11)
+	src := prng.New(13)
+	// Grow randomly, checking properties each step.
+	for step := 0; step < 60; step++ {
+		leaves := tr.Leaves()
+		leaf := leaves[src.Intn(len(leaves))]
+		l, r := tr.AddChildren(leaf, semiring.OpAdd(testRing), src.Int63(), src.Int63())
+		e.AddChildren(nil, leaf, l, r)
+		if step%10 == 0 {
+			checkAll(t, tr, e)
+		}
+	}
+	checkAll(t, tr, e)
+	// Shrink back down.
+	for step := 0; tr.LeafCount() > 1; step++ {
+		var cand *tree.Node
+		for _, n := range tr.Nodes {
+			if n != nil && !n.IsLeaf() && n.Left.IsLeaf() && n.Right.IsLeaf() {
+				cand = n
+				break
+			}
+		}
+		e.DeleteChildren(nil, cand.Left, cand.Right)
+		tr.DeleteChildren(cand, 0)
+		if step%10 == 0 {
+			checkAll(t, tr, e)
+		}
+	}
+	checkAll(t, tr, e)
+}
+
+func TestLCAAfterMutations(t *testing.T) {
+	tr := tree.Generate(testRing, prng.New(17), 30, tree.ShapeRandom)
+	e := New(tr, 19)
+	src := prng.New(23)
+	for step := 0; step < 40; step++ {
+		leaves := tr.Leaves()
+		leaf := leaves[src.Intn(len(leaves))]
+		l, r := tr.AddChildren(leaf, semiring.OpAdd(testRing), 1, 2)
+		e.AddChildren(nil, leaf, l, r)
+		// Check a handful of random pairs.
+		var live []*tree.Node
+		for _, n := range tr.Nodes {
+			if n != nil {
+				live = append(live, n)
+			}
+		}
+		for k := 0; k < 10; k++ {
+			u := live[src.Intn(len(live))]
+			v := live[src.Intn(len(live))]
+			if got, want := e.LCA(u, v), naiveLCA(u, v); got != want {
+				t.Fatalf("step %d: LCA(%d,%d) = %d, want %d", step, u.ID, v.ID, got.ID, want.ID)
+			}
+		}
+	}
+}
+
+func TestBatchPreorder(t *testing.T) {
+	tr := tree.Generate(testRing, prng.New(29), 200, tree.ShapeRandom)
+	e := New(tr, 31)
+	o := buildOracle(tr)
+	var qs []*tree.Node
+	for _, n := range tr.Nodes {
+		if n != nil {
+			qs = append(qs, n)
+		}
+	}
+	got := e.BatchPreorder(nil, qs)
+	for i, n := range qs {
+		if got[i] != o.pre[n] {
+			t.Fatalf("batch preorder(%d) = %d, want %d", n.ID, got[i], o.pre[n])
+		}
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	tr := tree.Generate(testRing, prng.New(37), 80, tree.ShapeRandom)
+	e := New(tr, 41)
+	for _, u := range tr.Nodes {
+		if u == nil {
+			continue
+		}
+		for _, v := range tr.Nodes {
+			if v == nil {
+				continue
+			}
+			want := naiveLCA(u, v) == u
+			if got := e.IsAncestor(u, v); got != want {
+				t.Fatalf("IsAncestor(%d,%d) = %v want %v", u.ID, v.ID, got, want)
+			}
+		}
+	}
+}

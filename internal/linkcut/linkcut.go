@@ -1,0 +1,220 @@
+// Package linkcut implements Sleator–Tarjan link-cut trees — reference [16]
+// of Reif & Tate and the canonical sequential dynamic-trees baseline the
+// paper positions itself against (§1.1): every operation runs in O(log n)
+// amortized sequential time, versus the paper's O(log(|U| log n)) expected
+// parallel time for batches of |U| operations.
+//
+// The implementation is the standard splay-tree realization with access/
+// expose, supporting link, cut, root finding, LCA, path length, and a
+// maximum-cost path aggregate. Experiment E10 runs it head-to-head against
+// the batch-parallel structures.
+package linkcut
+
+// Node is a vertex of the represented forest. The zero value is not
+// usable; create nodes with NewNode.
+type Node struct {
+	// Splay tree links over the preferred-path decomposition.
+	left, right, parent *Node
+	// pathParent connects a preferred path's splay root to its parent
+	// vertex in the represented tree.
+	pathParent *Node
+
+	// Cost is the vertex cost used by path aggregates.
+	Cost int64
+	// maxCost is the maximum cost in this node's splay subtree.
+	maxCost int64
+	// size is the splay subtree size (vertices on the preferred path
+	// segment), used for path length queries.
+	size int
+
+	// Label is free for the caller.
+	Label any
+}
+
+// NewNode returns a fresh singleton vertex with the given cost.
+func NewNode(cost int64) *Node {
+	n := &Node{Cost: cost}
+	n.pull()
+	return n
+}
+
+// pull recomputes the node's aggregates from its splay children.
+func (n *Node) pull() {
+	n.maxCost = n.Cost
+	n.size = 1
+	if n.left != nil {
+		n.size += n.left.size
+		if n.left.maxCost > n.maxCost {
+			n.maxCost = n.left.maxCost
+		}
+	}
+	if n.right != nil {
+		n.size += n.right.size
+		if n.right.maxCost > n.maxCost {
+			n.maxCost = n.right.maxCost
+		}
+	}
+}
+
+// isSplayRoot reports whether n is the root of its splay tree.
+func (n *Node) isSplayRoot() bool {
+	return n.parent == nil || (n.parent.left != n && n.parent.right != n)
+}
+
+// rotate promotes n above its splay parent.
+func (n *Node) rotate() {
+	p := n.parent
+	g := p.parent
+	if !p.isSplayRoot() {
+		if g.left == p {
+			g.left = n
+		} else {
+			g.right = n
+		}
+	} else {
+		// n inherits p's path-parent pointer.
+		n.pathParent = p.pathParent
+		p.pathParent = nil
+	}
+	n.parent = g
+
+	if p.left == n {
+		p.left = n.right
+		if p.left != nil {
+			p.left.parent = p
+		}
+		n.right = p
+	} else {
+		p.right = n.left
+		if p.right != nil {
+			p.right.parent = p
+		}
+		n.left = p
+	}
+	p.parent = n
+	p.pull()
+	n.pull()
+}
+
+// splay brings n to the root of its splay tree.
+func (n *Node) splay() {
+	for !n.isSplayRoot() {
+		p := n.parent
+		if !p.isSplayRoot() {
+			g := p.parent
+			if (g.left == p) == (p.left == n) {
+				p.rotate() // zig-zig
+			} else {
+				n.rotate() // zig-zag
+			}
+		}
+		n.rotate()
+	}
+}
+
+// access makes the path from the tree root to n preferred and returns the
+// previous splay root encountered last (used by LCA).
+func access(n *Node) *Node {
+	n.splay()
+	// Detach n's deeper preferred subpath.
+	if n.right != nil {
+		n.right.parent = nil
+		n.right.pathParent = n
+		n.right = nil
+		n.pull()
+	}
+	last := n
+	for n.pathParent != nil {
+		q := n.pathParent
+		last = q
+		q.splay()
+		if q.right != nil {
+			q.right.parent = nil
+			q.right.pathParent = q
+			q.right = nil
+		}
+		q.right = n
+		n.parent = q
+		n.pathParent = nil
+		q.pull()
+		n.splay()
+	}
+	return last
+}
+
+// FindRoot returns the root of n's represented tree.
+func FindRoot(n *Node) *Node {
+	access(n)
+	// The root is the leftmost node on the preferred path.
+	for n.left != nil {
+		n = n.left
+	}
+	n.splay()
+	return n
+}
+
+// Link makes child (which must be the root of its own tree) a child of
+// parent. It panics if child is not a tree root or the link would create a
+// cycle.
+func Link(child, parent *Node) {
+	if FindRoot(parent) == FindRoot(child) {
+		panic("linkcut: Link would create a cycle")
+	}
+	access(child)
+	if child.left != nil {
+		panic("linkcut: Link of a non-root")
+	}
+	access(parent)
+	child.pathParent = parent
+}
+
+// Cut removes the edge between n and its parent. It panics if n is a root.
+func Cut(n *Node) {
+	access(n)
+	if n.left == nil {
+		panic("linkcut: Cut of a root")
+	}
+	n.left.parent = nil
+	n.left = nil
+	n.pull()
+}
+
+// Connected reports whether two vertices are in the same tree.
+func Connected(a, b *Node) bool {
+	if a == b {
+		return true
+	}
+	return FindRoot(a) == FindRoot(b)
+}
+
+// LCA returns the least common ancestor of a and b, or nil if they are in
+// different trees.
+func LCA(a, b *Node) *Node {
+	if a == b {
+		return a
+	}
+	if !Connected(a, b) {
+		return nil
+	}
+	access(a)
+	return access(b)
+}
+
+// PathMax returns the maximum cost on the path from n to its tree root.
+func PathMax(n *Node) int64 {
+	access(n)
+	return n.maxCost
+}
+
+// Depth returns the number of edges from n to its tree root.
+func Depth(n *Node) int {
+	access(n)
+	return n.size - 1
+}
+
+// SetCost updates n's cost.
+func SetCost(n *Node, cost int64) {
+	access(n)
+	n.Cost = cost
+	n.pull()
+}

@@ -1,0 +1,177 @@
+package linkcut
+
+import (
+	"testing"
+
+	"dyntc/internal/prng"
+)
+
+// naiveForest is the reference model: explicit parent pointers.
+type naiveForest struct {
+	parent map[*Node]*Node
+	cost   map[*Node]int64
+}
+
+func newNaive() *naiveForest {
+	return &naiveForest{parent: map[*Node]*Node{}, cost: map[*Node]int64{}}
+}
+
+func (f *naiveForest) root(n *Node) *Node {
+	for f.parent[n] != nil {
+		n = f.parent[n]
+	}
+	return n
+}
+
+func (f *naiveForest) depth(n *Node) int {
+	d := 0
+	for f.parent[n] != nil {
+		n = f.parent[n]
+		d++
+	}
+	return d
+}
+
+func (f *naiveForest) pathMax(n *Node) int64 {
+	best := f.cost[n]
+	for x := n; x != nil; x = f.parent[x] {
+		if f.cost[x] > best {
+			best = f.cost[x]
+		}
+	}
+	return best
+}
+
+func (f *naiveForest) lca(a, b *Node) *Node {
+	anc := map[*Node]bool{}
+	for x := a; x != nil; x = f.parent[x] {
+		anc[x] = true
+	}
+	for x := b; x != nil; x = f.parent[x] {
+		if anc[x] {
+			return x
+		}
+	}
+	return nil
+}
+
+func TestBasicLinkCut(t *testing.T) {
+	a, b, c := NewNode(1), NewNode(2), NewNode(3)
+	Link(b, a)
+	Link(c, b)
+	if FindRoot(c) != a {
+		t.Fatal("root of c should be a")
+	}
+	if Depth(c) != 2 {
+		t.Fatalf("depth(c) = %d", Depth(c))
+	}
+	if PathMax(c) != 3 {
+		t.Fatalf("pathmax(c) = %d", PathMax(c))
+	}
+	Cut(b)
+	if FindRoot(c) != b {
+		t.Fatal("after cut, root of c should be b")
+	}
+	if Connected(a, c) {
+		t.Fatal("a and c still connected")
+	}
+}
+
+func TestLinkPanicsOnCycle(t *testing.T) {
+	a, b := NewNode(0), NewNode(0)
+	Link(b, a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on cycle")
+		}
+	}()
+	Link(a, b)
+}
+
+func TestCutPanicsOnRoot(t *testing.T) {
+	a := NewNode(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on root cut")
+		}
+	}()
+	Cut(a)
+}
+
+func TestRandomSoakAgainstNaive(t *testing.T) {
+	src := prng.New(42)
+	const n = 120
+	nodes := make([]*Node, n)
+	model := newNaive()
+	for i := range nodes {
+		nodes[i] = NewNode(int64(i))
+		model.cost[nodes[i]] = int64(i)
+	}
+	for step := 0; step < 4000; step++ {
+		switch src.Intn(5) {
+		case 0: // link two random trees
+			a := nodes[src.Intn(n)]
+			b := nodes[src.Intn(n)]
+			if model.root(a) != model.root(b) && model.parent[a] == nil {
+				Link(a, b)
+				model.parent[a] = b
+			}
+		case 1: // cut a random non-root
+			a := nodes[src.Intn(n)]
+			if model.parent[a] != nil {
+				Cut(a)
+				delete(model.parent, a)
+			}
+		case 2: // root + depth query
+			a := nodes[src.Intn(n)]
+			if FindRoot(a) != model.root(a) {
+				t.Fatalf("step %d: FindRoot mismatch", step)
+			}
+			if Depth(a) != model.depth(a) {
+				t.Fatalf("step %d: Depth mismatch: %d vs %d", step, Depth(a), model.depth(a))
+			}
+		case 3: // path max + cost update
+			a := nodes[src.Intn(n)]
+			v := src.Int63() % 1000
+			SetCost(a, v)
+			model.cost[a] = v
+			if PathMax(a) != model.pathMax(a) {
+				t.Fatalf("step %d: PathMax mismatch", step)
+			}
+		default: // lca + connectivity
+			a := nodes[src.Intn(n)]
+			b := nodes[src.Intn(n)]
+			wantConn := model.root(a) == model.root(b)
+			if Connected(a, b) != wantConn {
+				t.Fatalf("step %d: connectivity mismatch", step)
+			}
+			if wantConn {
+				if got, want := LCA(a, b), model.lca(a, b); got != want {
+					t.Fatalf("step %d: LCA mismatch", step)
+				}
+			}
+		}
+	}
+}
+
+func TestDeepChainPerformance(t *testing.T) {
+	// A 100k chain must be traversable without quadratic blowup (splay
+	// amortization); this also guards against stack-depth accidents.
+	const n = 100000
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(int64(i))
+		if i > 0 {
+			Link(nodes[i], nodes[i-1])
+		}
+	}
+	if FindRoot(nodes[n-1]) != nodes[0] {
+		t.Fatal("wrong root")
+	}
+	if Depth(nodes[n-1]) != n-1 {
+		t.Fatal("wrong depth")
+	}
+	if PathMax(nodes[n-1]) != n-1 {
+		t.Fatal("wrong path max")
+	}
+}

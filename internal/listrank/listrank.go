@@ -1,0 +1,87 @@
+// Package listrank implements list ranking, the substrate the classical
+// Kosaraju–Delcher tree-contraction algorithm uses to order the leaves of
+// the expression tree left to right (Reif & Tate §4: "finding an Euler tour
+// of the expression tree, performing a list ranking to order the leaves").
+//
+// Two algorithms are provided:
+//
+//   - Sequential: a single walk, O(n) work, Θ(n) span.
+//   - Wyllie: pointer jumping on a metered PRAM machine, O(log n) rounds and
+//     O(n log n) work. This is the textbook non-work-optimal ranker; it is
+//     used both as a real substrate and as a baseline whose metered span is
+//     compared against the paper's structures in the experiments.
+package listrank
+
+import "dyntc/internal/pram"
+
+// Sequential computes, for each node i of the linked list described by
+// next (next[i] < 0 terminates), the number of nodes strictly after i.
+// head is the first node. Nodes not on the list keep rank 0.
+func Sequential(next []int, head int) []int {
+	rank := make([]int, len(next))
+	// First pass: count list length from head.
+	length := 0
+	for i := head; i >= 0; i = next[i] {
+		length++
+	}
+	pos := 0
+	for i := head; i >= 0; i = next[i] {
+		rank[i] = length - 1 - pos
+		pos++
+	}
+	return rank
+}
+
+// Wyllie computes the same ranks by pointer jumping on machine m: every
+// node repeatedly adds its successor's accumulated rank and doubles its
+// jump pointer, for ⌈log₂ n⌉ rounds. All n processors are active every
+// round, so the metered cost is Θ(log n) span and Θ(n log n) work.
+func Wyllie(m *pram.Machine, next []int) []int {
+	n := len(next)
+	rank := make([]int, n)
+	jump := make([]int, n)
+	m.Step(n, func(i int) {
+		jump[i] = next[i]
+		if next[i] >= 0 {
+			rank[i] = 1
+		}
+	})
+	// Double until no pointers remain. Each iteration is two PRAM rounds
+	// (read phase into shadow arrays, then write phase) to respect the
+	// synchronous read-before-write semantics of the model.
+	newRank := make([]int, n)
+	newJump := make([]int, n)
+	for {
+		var active int64
+		m.Step(n, func(i int) {
+			j := jump[i]
+			if j >= 0 {
+				pram.AddInt64(&active, 1)
+				newRank[i] = rank[i] + rank[j]
+				newJump[i] = jump[j]
+			} else {
+				newRank[i] = rank[i]
+				newJump[i] = -1
+			}
+		})
+		if active == 0 {
+			break
+		}
+		rank, newRank = newRank, rank
+		jump, newJump = newJump, jump
+	}
+	return rank
+}
+
+// PrefixSums computes, for the list described by next/head with the given
+// node values, the inclusive prefix sum at every node (sum of values from
+// head up to and including the node), sequentially.
+func PrefixSums(next []int, head int, values []int64) []int64 {
+	out := make([]int64, len(next))
+	var acc int64
+	for i := head; i >= 0; i = next[i] {
+		acc += values[i]
+		out[i] = acc
+	}
+	return out
+}

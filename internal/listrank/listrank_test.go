@@ -1,0 +1,109 @@
+package listrank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dyntc/internal/pram"
+	"dyntc/internal/prng"
+)
+
+// randomList builds a random permutation list over n nodes, returning the
+// next array and the head index.
+func randomList(src *prng.Source, n int) (next []int, head int) {
+	perm := src.Perm(n)
+	next = make([]int, n)
+	for i := range next {
+		next[i] = -1
+	}
+	for i := 0; i+1 < n; i++ {
+		next[perm[i]] = perm[i+1]
+	}
+	if n > 0 {
+		head = perm[0]
+	}
+	return next, head
+}
+
+func TestSequentialSmall(t *testing.T) {
+	// List: 2 -> 0 -> 1.
+	next := []int{1, -1, 0}
+	rank := Sequential(next, 2)
+	want := []int{1, 0, 2}
+	for i := range want {
+		if rank[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", rank, want)
+		}
+	}
+}
+
+func TestWyllieMatchesSequential(t *testing.T) {
+	src := prng.New(1)
+	for _, n := range []int{1, 2, 3, 10, 100, 1000} {
+		next, head := randomList(src, n)
+		seq := Sequential(next, head)
+		wy := Wyllie(pram.New(4), next)
+		for i := 0; i < n; i++ {
+			if seq[i] != wy[i] {
+				t.Fatalf("n=%d node %d: seq %d wyllie %d", n, i, seq[i], wy[i])
+			}
+		}
+	}
+}
+
+func TestWyllieQuick(t *testing.T) {
+	src := prng.New(2)
+	f := func(seed uint64) bool {
+		n := int(seed%200) + 1
+		next, head := randomList(src, n)
+		seq := Sequential(next, head)
+		wy := Wyllie(pram.Sequential(), next)
+		for i := 0; i < n; i++ {
+			if seq[i] != wy[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWyllieSpanIsLogarithmic(t *testing.T) {
+	src := prng.New(3)
+	const n = 1 << 14
+	next, _ := randomList(src, n)
+	m := pram.Sequential()
+	Wyllie(m, next)
+	steps := m.Metrics().Steps
+	// log2(2^14) = 14 jump rounds plus init and the final quiescence check.
+	if steps < 14 || steps > 20 {
+		t.Fatalf("Wyllie used %d rounds for n=%d, want ~log n", steps, n)
+	}
+	if m.Metrics().Work < int64(n)*14 {
+		t.Fatalf("Wyllie work %d suspiciously low", m.Metrics().Work)
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	next := []int{1, 2, -1}
+	vals := []int64{5, 7, 9}
+	got := PrefixSums(next, 0, vals)
+	want := []int64{5, 12, 21}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefix = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSingletonList(t *testing.T) {
+	next := []int{-1}
+	if r := Sequential(next, 0); r[0] != 0 {
+		t.Fatalf("singleton rank = %d", r[0])
+	}
+	if r := Wyllie(pram.Sequential(), next); r[0] != 0 {
+		t.Fatalf("singleton wyllie rank = %d", r[0])
+	}
+}

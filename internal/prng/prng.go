@@ -1,0 +1,97 @@
+// Package prng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the library.
+//
+// All randomized structures in this module (random binary splitting trees,
+// randomized rebuild decisions, workload generators) draw from prng so that
+// every experiment and test is reproducible from a single seed. The
+// generator is splitmix64 (Steele, Lea, Flood 2014): a 64-bit state advanced
+// by a Weyl constant and finalized with a variant of the MurmurHash3
+// finalizer. It passes BigCrush when used as described and is splittable,
+// which the parallel construction paths rely on to give each goroutine an
+// independent stream.
+package prng
+
+import "math/bits"
+
+// Source is a deterministic splitmix64 generator. The zero value is a valid
+// generator seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// golden is the 64-bit golden-ratio Weyl increment of splitmix64.
+const golden = 0x9E3779B97F4A7C15
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Split returns a new Source whose stream is statistically independent of
+// the receiver's. The receiver advances by one step.
+func (s *Source) Split() *Source {
+	return &Source{state: s.Uint64()}
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(s.boundedUint64(uint64(n)))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// boundedUint64 returns a uniform value in [0, n) using Lemire's
+// multiply-shift method with rejection of the biased region.
+func (s *Source) boundedUint64(n uint64) uint64 {
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability num/den. It panics if den <= 0 or
+// num < 0. Probabilities above 1 always return true.
+func (s *Source) Bernoulli(num, den int) bool {
+	if den <= 0 || num < 0 {
+		panic("prng: Bernoulli with invalid ratio")
+	}
+	if num >= den {
+		return true
+	}
+	return s.Intn(den) < num
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,138 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(7)
+	c := a.Split()
+	// The split stream must not be a shifted copy of the parent stream.
+	parent := make([]uint64, 64)
+	for i := range parent {
+		parent[i] = a.Uint64()
+	}
+	for i := 0; i < 32; i++ {
+		v := c.Uint64()
+		for _, p := range parent {
+			if v == p {
+				t.Fatalf("split stream collided with parent stream")
+			}
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	check := func(n int) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		n = n%1000 + 1
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	// Chi-square-ish sanity test over 8 buckets.
+	s := New(99)
+	const buckets, draws = 8, 80000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	expect := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Fatalf("bucket %d count %d too far from %f", b, c, expect)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	s := New(11)
+	hits := 0
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		if s.Bernoulli(1, 4) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if p < 0.23 || p > 0.27 {
+		t.Fatalf("Bernoulli(1/4) frequency %f", p)
+	}
+	if !s.Bernoulli(5, 4) {
+		t.Fatal("Bernoulli with num>den must be true")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 1000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}

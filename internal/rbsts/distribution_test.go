@@ -1,0 +1,102 @@
+package rbsts
+
+// Statistical tests of the random-split distribution (DESIGN.md §4.6): the
+// RBST over leaves is equivalent to a treap over gaps with i.i.d.
+// priorities, whose root split is uniform. These tests verify uniformity
+// of split positions in trees maintained through the randomized-rebuild
+// insert/delete paths, which is the exactness claim of Theorems 2.2/2.3.
+
+import (
+	"math"
+	"testing"
+
+	"dyntc/internal/prng"
+)
+
+// chiSquareUniform returns the chi-square statistic of observed counts
+// against a uniform distribution over len(counts) buckets.
+func chiSquareUniform(counts []int, total int) float64 {
+	expect := float64(total) / float64(len(counts))
+	var x2 float64
+	for _, c := range counts {
+		d := float64(c) - expect
+		x2 += d * d / expect
+	}
+	return x2
+}
+
+// criticalValue999 approximates the 99.9% chi-square critical value for
+// df degrees of freedom (Wilson–Hilferty).
+func criticalValue999(df int) float64 {
+	z := 3.09 // 99.9% normal quantile
+	k := float64(df)
+	return k * math.Pow(1-2/(9*k)+z*math.Sqrt(2/(9*k)), 3)
+}
+
+func TestFreshBuildSplitUniform(t *testing.T) {
+	// Root split of a fresh 8-leaf tree must be uniform over 7 positions.
+	const n, trials = 8, 14000
+	counts := make([]int, n-1)
+	for i := 0; i < trials; i++ {
+		tr := newIntTree(uint64(i)+1, n)
+		counts[tr.Root().Left().LeafCount()-1]++
+	}
+	if x2 := chiSquareUniform(counts, trials); x2 > criticalValue999(n-2) {
+		t.Fatalf("fresh build split not uniform: chi2=%.1f counts=%v", x2, counts)
+	}
+}
+
+func TestGrownSplitUniform(t *testing.T) {
+	// Trees grown leaf-by-leaf through the Theorem 2.2 insertion procedure
+	// must show the same uniform root split.
+	const n, trials = 8, 14000
+	src := prng.New(31337)
+	counts := make([]int, n-1)
+	for i := 0; i < trials; i++ {
+		tr := newIntTree(uint64(i)*2+1, 1)
+		for tr.Len() < n {
+			gap := src.Intn(tr.Len() + 1)
+			tr.BatchInsert(nil, []InsertOp[int64]{{Gap: gap, Payloads: []int64{0}}})
+		}
+		counts[tr.Root().Left().LeafCount()-1]++
+	}
+	if x2 := chiSquareUniform(counts, trials); x2 > criticalValue999(n-2) {
+		t.Fatalf("grown split not uniform: chi2=%.1f counts=%v", x2, counts)
+	}
+}
+
+func TestShrunkSplitUniform(t *testing.T) {
+	// Trees shrunk through the deletion procedure must also stay uniform.
+	const n, start, trials = 6, 12, 12000
+	src := prng.New(271828)
+	counts := make([]int, n-1)
+	for i := 0; i < trials; i++ {
+		tr := newIntTree(uint64(i)*2+7, start)
+		for tr.Len() > n {
+			tr.Delete(nil, tr.LeafAt(src.Intn(tr.Len())))
+		}
+		counts[tr.Root().Left().LeafCount()-1]++
+	}
+	if x2 := chiSquareUniform(counts, trials); x2 > criticalValue999(n-2) {
+		t.Fatalf("shrunk split not uniform: chi2=%.1f counts=%v", x2, counts)
+	}
+}
+
+func TestMixedChurnSplitUniform(t *testing.T) {
+	// Interleaved inserts and deletes around a fixed size.
+	const n, trials = 7, 12000
+	src := prng.New(1618)
+	counts := make([]int, n-1)
+	for i := 0; i < trials; i++ {
+		tr := newIntTree(uint64(i)*2+3, n)
+		for step := 0; step < 10; step++ {
+			gap := src.Intn(tr.Len() + 1)
+			tr.BatchInsert(nil, []InsertOp[int64]{{Gap: gap, Payloads: []int64{0}}})
+			tr.Delete(nil, tr.LeafAt(src.Intn(tr.Len())))
+		}
+		counts[tr.Root().Left().LeafCount()-1]++
+	}
+	if x2 := chiSquareUniform(counts, trials); x2 > criticalValue999(n-2) {
+		t.Fatalf("churned split not uniform: chi2=%.1f counts=%v", x2, counts)
+	}
+}

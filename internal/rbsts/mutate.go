@@ -1,0 +1,502 @@
+package rbsts
+
+import (
+	"fmt"
+	"sort"
+
+	"dyntc/internal/pram"
+)
+
+// InsertOp requests insertion of Payloads (in order) at gap Gap: the new
+// leaves end up immediately before the leaf currently at index Gap, with
+// Gap == Len() meaning "after the last leaf". Gap indices in one batch all
+// refer to the tree state before the batch.
+type InsertOp[P any] struct {
+	Gap      int
+	Payloads []P
+}
+
+// Report summarizes a batch mutation: which subtrees were rebuilt (their
+// new roots) and how many leaves those rebuilds touched. The dynamic
+// contraction layer uses Rebuilt to locate its wound.
+type Report[P, S any] struct {
+	// Rebuilt holds the roots of freshly rebuilt subtrees (after the
+	// mutation; internal nodes inside them are new objects).
+	Rebuilt []*Node[P, S]
+	// RebuildLeaves is the total leaf count over all rebuilt subtrees —
+	// the paper's random variable S of Theorem 2.2, whose expectation is
+	// O(|U| log n).
+	RebuildLeaves int
+	// FullRebuild reports that the entire tree was rebuilt (threshold
+	// drift or emptied tree).
+	FullRebuild bool
+	// NewLeaves holds the leaf nodes created for inserted payloads, in
+	// batch order (ops[0].Payloads[0], ops[0].Payloads[1], ...). Empty for
+	// deletions.
+	NewLeaves []*Node[P, S]
+}
+
+// pendingItem is one payload waiting to be spliced into a rebuild, at gap
+// index gap relative to the plan subtree's original leaves; seq is the
+// item's position in batch order and doubles as the within-gap tiebreak.
+type pendingItem[P any] struct {
+	gap     int
+	seq     int
+	payload P
+}
+
+// rebuildPlan is a scheduled randomized rebuild of the subtree rooted at
+// node, with items to splice in and/or leaves to remove.
+//
+// pinSeq implements the paper's insertion rebuild exactly: "build a new
+// RBSTS with root w and subtrees containing the leaves (v1,...,vk) and
+// (z, vk+1,...,vn)" — the new root's split is PINNED at the inserted
+// item's position rather than drawn fresh. Pinning is what makes the
+// 1/m-coin walk produce exactly the uniform split distribution: the
+// structural descent realizes every new split value except the insertion
+// gap itself, and the pinned rebuild supplies that one missing value with
+// the complementary probability. (A fresh random split here would
+// re-randomize an already-conditioned choice and bias splits away from
+// the insertion gap; the chi-square tests in distribution_test.go catch
+// this.) pinSeq < 0 means no pin (deletion-triggered plans re-randomize a
+// deterministically chosen region, which is exact as-is).
+type rebuildPlan[P, S any] struct {
+	node     *Node[P, S]
+	items    []pendingItem[P]
+	removals map[*Node[P, S]]bool
+	dead     bool // subsumed into an ancestor plan
+	pinSeq   int  // seq of the split-pinning item, or -1
+}
+
+// planner accumulates rebuild plans for one batch.
+type planner[P, S any] struct {
+	tree     *Tree[P, S]
+	plans    []*rebuildPlan[P, S]
+	byNod    map[*Node[P, S]]*rebuildPlan[P, S]
+	newBySeq []*Node[P, S] // inserted leaf per batch sequence number
+}
+
+func newPlanner[P, S any](t *Tree[P, S], items int) *planner[P, S] {
+	return &planner[P, S]{
+		tree:     t,
+		byNod:    make(map[*Node[P, S]]*rebuildPlan[P, S]),
+		newBySeq: make([]*Node[P, S], items),
+	}
+}
+
+// origLeafOffset returns the number of original leaves of v lying strictly
+// left of d's subtree (v must be an ancestor of d).
+func origLeafOffset[P, S any](d, v *Node[P, S]) int {
+	off := 0
+	for c := d; c != v; c = c.parent {
+		if c == c.parent.right {
+			off += c.parent.left.leaves
+		}
+	}
+	return off
+}
+
+// planAt returns the plan rooted at node, creating it if needed, and in
+// either case subsumes plans strictly inside node's subtree: a fresh
+// rebuild of the larger subtree re-draws all interior randomness, so
+// folding nested plans in keeps the distribution exact.
+func (pl *planner[P, S]) planAt(node *Node[P, S]) *rebuildPlan[P, S] {
+	p, ok := pl.byNod[node]
+	if !ok {
+		p = &rebuildPlan[P, S]{node: node, removals: make(map[*Node[P, S]]bool), pinSeq: -1}
+		pl.plans = append(pl.plans, p)
+		pl.byNod[node] = p
+	}
+	for _, q := range pl.plans {
+		if q == p || q.dead {
+			continue
+		}
+		if node.isAncestorOf(q.node) {
+			off := origLeafOffset(q.node, node)
+			for _, it := range q.items {
+				it.gap += off
+				p.items = append(p.items, it)
+			}
+			for z := range q.removals {
+				p.removals[z] = true
+			}
+			q.dead = true
+			delete(pl.byNod, q.node)
+		}
+	}
+	return p
+}
+
+// markedAncestor returns the live plan at the closest marked ancestor of v
+// (possibly v itself), or nil.
+func (pl *planner[P, S]) markedAncestor(v *Node[P, S]) *rebuildPlan[P, S] {
+	for a := v; a != nil; a = a.parent {
+		if p, ok := pl.byNod[a]; ok && !p.dead {
+			return p
+		}
+	}
+	return nil
+}
+
+// liftIfEmpty escalates a plan to its parent while the plan would empty its
+// subtree entirely (a full binary tree cannot host an empty child). The
+// larger fresh rebuild remains distribution-exact. It returns the surviving
+// plan.
+func (pl *planner[P, S]) liftIfEmpty(p *rebuildPlan[P, S]) *rebuildPlan[P, S] {
+	for !p.dead && p.node.parent != nil &&
+		len(p.removals) >= p.node.leaves && len(p.items) == 0 {
+		p = pl.planAt(p.node.parent)
+	}
+	return p
+}
+
+// BatchInsert inserts a set of payloads at the given gaps (Theorem 2.2).
+// Each inserted leaf walks (logically) down from the root; at a subtree of
+// effective size m the walk triggers a rebuild of that subtree with
+// probability 1/m, which preserves the random-split distribution exactly
+// (the split value a structural descent cannot produce is exactly the one
+// the rebuild realizes). Walks stopping inside an already-scheduled rebuild
+// simply join it: the fresh rebuild of the final content dominates any
+// interior randomness.
+func (t *Tree[P, S]) BatchInsert(m *pram.Machine, ops []InsertOp[P]) Report[P, S] {
+	if m == nil {
+		m = pram.Sequential()
+	}
+	var rep Report[P, S]
+	total := 0
+	base := make([]int, len(ops))
+	for i, op := range ops {
+		if op.Gap < 0 || op.Gap > t.count {
+			panic(fmt.Sprintf("rbsts: insert gap %d out of range [0,%d]", op.Gap, t.count))
+		}
+		base[i] = total
+		total += len(op.Payloads)
+	}
+	if total == 0 {
+		return rep
+	}
+	sorted := make([]int, len(ops))
+	for i := range sorted {
+		sorted[i] = i
+	}
+	sort.SliceStable(sorted, func(a, b int) bool { return ops[sorted[a]].Gap < ops[sorted[b]].Gap })
+
+	// Empty tree: build everything fresh.
+	if t.count == 0 {
+		newBySeq := make([]*Node[P, S], total)
+		leaves := make([]*Node[P, S], 0, total)
+		for _, oi := range sorted {
+			for j, p := range ops[oi].Payloads {
+				l := &Node[P, S]{leaves: 1, payload: p}
+				if t.leafFn != nil {
+					l.sum = t.leafFn(p)
+				}
+				newBySeq[base[oi]+j] = l
+				leaves = append(leaves, l)
+			}
+		}
+		t.rebuildAll(leaves)
+		rep.Rebuilt = []*Node[P, S]{t.root}
+		rep.RebuildLeaves = len(leaves)
+		rep.FullRebuild = true
+		rep.NewLeaves = newBySeq
+		return rep
+	}
+
+	pl := newPlanner(t, total)
+	pending := make(map[*Node[P, S]]int)
+	var walkSpan, walkWork int64
+	for _, oi := range sorted {
+		op := ops[oi]
+		for j, payload := range op.Payloads {
+			seq := base[oi] + j
+			v := t.root
+			gRel := op.Gap
+			var path []*Node[P, S]
+			var steps int64
+			for {
+				steps++
+				if p, ok := pl.byNod[v]; ok && !p.dead {
+					p.items = append(p.items, pendingItem[P]{gap: gRel, seq: seq, payload: payload})
+					break
+				}
+				mEff := v.leaves + pending[v]
+				if v.IsLeaf() || t.src.Bernoulli(1, mEff) {
+					created := pl.byNod[v] == nil
+					p := pl.planAt(v)
+					if created {
+						// This item's position pins the new root split
+						// (the paper's insertion rebuild; see rebuildPlan).
+						p.pinSeq = seq
+					}
+					p.items = append(p.items, pendingItem[P]{gap: gRel, seq: seq, payload: payload})
+					break
+				}
+				path = append(path, v)
+				if gRel <= v.left.leaves {
+					v = v.left
+				} else {
+					gRel -= v.left.leaves
+					v = v.right
+				}
+			}
+			for _, n := range path {
+				pending[n]++
+			}
+			pending[v]++
+			walkWork += steps
+			if steps > walkSpan {
+				walkSpan = steps
+			}
+		}
+	}
+	// The walks correspond to the parallel decision phase: activation of
+	// the insertion paths plus one coin round per level.
+	m.ChargeSpan(walkSpan, walkWork, int64(total))
+
+	t.executePlans(m, pl, &rep)
+	rep.NewLeaves = pl.newBySeq
+	t.maybeRethreshold(&rep)
+	return rep
+}
+
+// BatchDelete removes the given leaves (Theorem 2.3 / §2 "deletions can be
+// handled similarly"). For each deleted leaf z the rebuild site is the
+// higher of z's two adjacent-gap ancestors (for boundary leaves, the
+// parent): rebuilding that subtree without z refreshes exactly the gaps
+// whose priorities the treap-equivalent view requires re-randomized, so the
+// random-split distribution is preserved exactly. Expected rebuild size is
+// O(log n) per deleted leaf.
+func (t *Tree[P, S]) BatchDelete(m *pram.Machine, leaves []*Node[P, S]) Report[P, S] {
+	if m == nil {
+		m = pram.Sequential()
+	}
+	var rep Report[P, S]
+	if len(leaves) == 0 {
+		return rep
+	}
+	seen := make(map[*Node[P, S]]bool, len(leaves))
+	pl := newPlanner(t, 0)
+	var walkSpan, walkWork int64
+	for _, z := range leaves {
+		if z == nil || !z.IsLeaf() || seen[z] {
+			continue
+		}
+		seen[z] = true
+		if z.parent == nil {
+			// Deleting the only leaf empties the tree.
+			t.rebuildAll(nil)
+			rep.FullRebuild = true
+			return rep
+		}
+		// Join an enclosing scheduled rebuild when one exists.
+		if p := pl.markedAncestor(z); p != nil {
+			p.removals[z] = true
+			pl.liftIfEmpty(p)
+			continue
+		}
+		v := z.parent
+		var other *Node[P, S]
+		if z == z.parent.left {
+			if z.prev != nil {
+				other = z.prev.gapNode
+			}
+		} else {
+			other = z.gapNode
+		}
+		if other != nil && other.depth < v.depth {
+			v = other
+		}
+		walkWork += int64(z.depth-v.depth) + 1
+		if int64(z.depth-v.depth) > walkSpan {
+			walkSpan = int64(z.depth - v.depth)
+		}
+		p := pl.planAt(v)
+		p.removals[z] = true
+		pl.liftIfEmpty(p)
+	}
+	m.ChargeSpan(walkSpan+1, walkWork, int64(len(seen)))
+
+	// A plan that empties the whole tree.
+	for _, p := range pl.plans {
+		if !p.dead && p.node == t.root && len(p.removals) == t.count && len(p.items) == 0 {
+			t.rebuildAll(nil)
+			rep.FullRebuild = true
+			return rep
+		}
+	}
+	t.executePlans(m, pl, &rep)
+	t.maybeRethreshold(&rep)
+	return rep
+}
+
+// executePlans runs every surviving rebuild plan: collect the subtree's
+// leaves, drop removals, splice insertions, rebuild fresh, reattach, and
+// refresh metadata up the root path. Plans are disjoint subtrees, so the
+// execution order only matters for RNG determinism (creation order).
+func (t *Tree[P, S]) executePlans(m *pram.Machine, pl *planner[P, S], rep *Report[P, S]) {
+	var rebuildWork int64
+	var rebuildSpan int64
+	for _, p := range pl.plans {
+		if p.dead {
+			continue
+		}
+		node := p.node
+		// Collect original leaves of the subtree, left to right, via the
+		// leaf list between the subtree's extreme leaves.
+		first := node
+		for !first.IsLeaf() {
+			first = first.left
+		}
+		last := node
+		for !last.IsLeaf() {
+			last = last.right
+		}
+		orig := make([]*Node[P, S], 0, node.leaves)
+		for l := first; ; l = l.next {
+			orig = append(orig, l)
+			if l == last {
+				break
+			}
+		}
+		before, after := first.prev, last.next
+		outerGap := last.gapNode // gap to the right of the subtree's span
+
+		// Splice: walk gaps 0..len(orig), emitting pending items and
+		// surviving originals in order.
+		items := p.items
+		sort.SliceStable(items, func(a, b int) bool {
+			if items[a].gap != items[b].gap {
+				return items[a].gap < items[b].gap
+			}
+			return items[a].seq < items[b].seq
+		})
+		merged := make([]*Node[P, S], 0, len(orig)+len(items))
+		pinPos := -1
+		ii := 0
+		for gap := 0; gap <= len(orig); gap++ {
+			for ii < len(items) && items[ii].gap == gap {
+				l := &Node[P, S]{leaves: 1, payload: items[ii].payload}
+				if t.leafFn != nil {
+					l.sum = t.leafFn(items[ii].payload)
+				}
+				pl.newBySeq[items[ii].seq] = l
+				if items[ii].seq == p.pinSeq {
+					pinPos = len(merged)
+				}
+				merged = append(merged, l)
+				ii++
+			}
+			if gap < len(orig) && !p.removals[orig[gap]] {
+				merged = append(merged, orig[gap])
+			}
+		}
+		// Detach removed leaves for hygiene.
+		for z := range p.removals {
+			z.next, z.prev, z.parent, z.gapNode = nil, nil, nil, nil
+		}
+		if len(merged) == 0 {
+			panic("rbsts: internal error: plan emptied a subtree (lift failed)")
+		}
+
+		parent := node.parent
+		wasLeft := parent != nil && parent.left == node
+		var fresh *Node[P, S]
+		if pinPos >= 0 && len(merged) > 1 {
+			// Pinned insertion rebuild: the new root separates the pinned
+			// item at its gap (split = pinPos, or 1 when the item is the
+			// leftmost leaf); both sides are fresh random subtrees.
+			split := pinPos
+			if split == 0 {
+				split = 1
+			}
+			fresh = t.buildSubtreeSplit(merged, node.depth, split)
+		} else {
+			fresh = t.buildSubtree(merged, node.depth)
+		}
+		if parent == nil {
+			t.root = fresh
+			fresh.parent = nil
+		} else if wasLeft {
+			parent.left = fresh
+			fresh.parent = parent
+		} else {
+			parent.right = fresh
+			fresh.parent = parent
+		}
+		t.relink(merged, before, after)
+		newLast := merged[len(merged)-1]
+		newLast.gapNode = outerGap
+		if outerGap != nil {
+			outerGap.gapLeaf = newLast
+		}
+		t.count += len(merged) - len(orig)
+		t.recomputeUp(fresh)
+		stack := t.ancestorStack(fresh)
+		t.assignShortcuts(fresh, stack)
+		// Ancestors whose height just crossed the shortcut threshold
+		// (because the subtree below grew) must gain shortcut lists now so
+		// the activation invariant — every node at or above τ in height
+		// carries shortcuts — keeps holding between full rebuilds.
+		for _, a := range stack {
+			if a.height >= t.shortcutMinHeight && a.depth > 0 && a.shortcuts == nil {
+				depths := shortcutDepths(a.depth)
+				sc := make([]*Node[P, S], len(depths))
+				for i, d := range depths {
+					sc[i] = stack[d]
+				}
+				a.shortcuts = sc
+			}
+		}
+		t.rebuildEpoch++
+
+		rep.Rebuilt = append(rep.Rebuilt, fresh)
+		rep.RebuildLeaves += len(merged)
+		rebuildWork += int64(2 * len(merged))
+		if s := int64(fresh.height) + 1; s > rebuildSpan {
+			rebuildSpan = s
+		}
+	}
+	// Rebuild cost in the PRAM model (Lemma 2.1): O(log S) span, O(S) work.
+	if rebuildWork > 0 {
+		m.ChargeSpan(rebuildSpan, rebuildWork, rebuildWork/2+1)
+	}
+}
+
+// maybeRethreshold rebuilds the whole tree when log₂log₂ n has drifted a
+// full unit away from the stored shortcut threshold τ. The paper's relaxed
+// condition (§2: shortcuts required at subtree depth ≥ 2·log log n, only
+// forbidden below ½·log log n) tolerates a wide band, and the paper notes a
+// tree whose size moved that much "will be entirely rebuilt with high
+// probability" anyway. The hysteresis also prevents thrashing when n sits
+// exactly on a ⌈log₂log₂ n⌉ boundary (e.g. 2^16 ± 1).
+func (t *Tree[P, S]) maybeRethreshold(rep *Report[P, S]) {
+	if t.count == 0 {
+		return
+	}
+	x := logLog2(t.count)
+	tau := float64(t.shortcutMinHeight)
+	if x < tau+1 && x > tau-1.5 {
+		return
+	}
+	t.rebuildAll(t.Leaves())
+	rep.Rebuilt = []*Node[P, S]{t.root}
+	rep.RebuildLeaves = t.count
+	rep.FullRebuild = true
+}
+
+// InsertAfter inserts payloads immediately after the given leaf (or at the
+// very front when after is nil), returning the new leaves in order.
+func (t *Tree[P, S]) InsertAfter(m *pram.Machine, after *Node[P, S], payloads []P) []*Node[P, S] {
+	gap := 0
+	if after != nil {
+		gap = after.Index() + 1
+	}
+	rep := t.BatchInsert(m, []InsertOp[P]{{Gap: gap, Payloads: payloads}})
+	return rep.NewLeaves
+}
+
+// Delete removes a single leaf.
+func (t *Tree[P, S]) Delete(m *pram.Machine, leaf *Node[P, S]) {
+	t.BatchDelete(m, []*Node[P, S]{leaf})
+}

@@ -1,0 +1,173 @@
+// Package rbsts implements the random binary splitting tree with shortcuts
+// (RBSTS) of Reif & Tate, SPAA'94, §2 — the data structure underlying every
+// dynamic algorithm in this library.
+//
+// An RBSTS is a full binary tree over a sequence of leaves whose shape is
+// drawn from the random-split distribution: the root separates the leaves
+// after a uniformly random position, recursively. Such trees have expected
+// depth O(log n). Every node stores its depth, subtree leaf count and
+// height; nodes whose subtree height reaches the tree's shortcut threshold
+// (≈ log log n) additionally store a geometric list of ancestor shortcuts,
+// entry i pointing to the ancestor at depth ⌊d·(1-(2/3)^i)⌋ (realized with
+// an integer 2/3 recurrence; see shortcutDepths). Shortcuts are what let
+// the activation procedure of Theorem 2.1 identify a parse tree PT(U) in
+// O(log(|U| log n)) rounds rather than Θ(depth).
+//
+// The tree supports, with the paper's expected bounds:
+//
+//   - construction from a leaf sequence (Lemma 2.1),
+//   - parse-tree identification and processor activation (Theorem 2.1),
+//   - batch leaf insertion and deletion via randomized subtree rebuilds
+//     (Theorems 2.2/2.3); leaf node objects are stable across rebuilds so
+//     clients may hold leaf references indefinitely,
+//   - an optional monoid aggregation (payload summaries combined bottom-up),
+//     which is how §3's incremental list prefix and §5's applications
+//     augment the structure.
+//
+// Internal nodes correspond 1–1 with gaps between adjacent leaves; the
+// GapNode/GapLeaf links expose that correspondence to the dynamic tree
+// contraction layer, which schedules one rake per gap at a round equal to
+// the gap node's height (§4.2).
+package rbsts
+
+// Node is a node of the splitting tree. Leaves carry the client payload P;
+// internal nodes carry the aggregated summary S of their subtree (when the
+// tree has an aggregator). Leaf Node objects survive subtree rebuilds;
+// internal Node objects do not.
+type Node[P, S any] struct {
+	parent, left, right *Node[P, S]
+
+	// leaves is the number of leaves in this subtree (1 for a leaf).
+	leaves int
+	// depth is the number of edges from the root (root = 0).
+	depth int
+	// height is the subtree height in edges (leaf = 0).
+	height int
+
+	// active is the CRCW ACTIVE flag of §2, set during activation via
+	// atomic test-and-set and cleared when the parse tree is released.
+	active int32
+
+	// shortcuts[i] is the ancestor at the i-th shortcut depth (see
+	// shortcutDepths); shortcuts[0] is the root. Only present on nodes
+	// with height >= the tree's shortcut threshold.
+	shortcuts []*Node[P, S]
+
+	// payload is the client value (leaves only).
+	payload P
+	// sum is the aggregated summary of the subtree (maintained only when
+	// the tree has an aggregator; on leaves it caches leafFn(payload)).
+	sum S
+
+	// Leaf-list links (leaves only): the leaves form a doubly linked list
+	// in left-to-right order.
+	next, prev *Node[P, S]
+
+	// Gap correspondence: for an internal node, gapLeaf is the rightmost
+	// leaf of its left subtree (the leaf immediately left of the node's
+	// gap). For a leaf, gapNode is the internal node owning the gap to the
+	// leaf's immediate right (nil for the last leaf).
+	gapLeaf, gapNode *Node[P, S]
+}
+
+// IsLeaf reports whether n is a leaf.
+func (n *Node[P, S]) IsLeaf() bool { return n.left == nil }
+
+// Parent returns the parent node (nil at the root).
+func (n *Node[P, S]) Parent() *Node[P, S] { return n.parent }
+
+// Left returns the left child (nil for leaves).
+func (n *Node[P, S]) Left() *Node[P, S] { return n.left }
+
+// Right returns the right child (nil for leaves).
+func (n *Node[P, S]) Right() *Node[P, S] { return n.right }
+
+// Depth returns the number of edges from the root.
+func (n *Node[P, S]) Depth() int { return n.depth }
+
+// Height returns the subtree height in edges (0 for leaves). For an
+// internal node this is also the contraction round at which the node's gap
+// rakes (§4.2).
+func (n *Node[P, S]) Height() int { return n.height }
+
+// LeafCount returns the number of leaves in the subtree.
+func (n *Node[P, S]) LeafCount() int { return n.leaves }
+
+// Payload returns the client payload of a leaf.
+func (n *Node[P, S]) Payload() P { return n.payload }
+
+// Sum returns the aggregated subtree summary. It is only meaningful when
+// the tree was built with an aggregator.
+func (n *Node[P, S]) Sum() S { return n.sum }
+
+// Next returns the next leaf in left-to-right order (nil at the tail).
+func (n *Node[P, S]) Next() *Node[P, S] { return n.next }
+
+// Prev returns the previous leaf in left-to-right order (nil at the head).
+func (n *Node[P, S]) Prev() *Node[P, S] { return n.prev }
+
+// GapLeaf returns, for an internal node, the leaf immediately left of the
+// node's gap (the rightmost leaf of its left subtree).
+func (n *Node[P, S]) GapLeaf() *Node[P, S] { return n.gapLeaf }
+
+// GapNode returns, for a leaf, the internal node owning the gap to the
+// leaf's right (nil for the last leaf). The gap node of a leaf is exactly
+// the lowest common ancestor of the leaf and its successor.
+func (n *Node[P, S]) GapNode() *Node[P, S] { return n.gapNode }
+
+// Shortcuts returns the node's shortcut list (nil when the node is below
+// the shortcut threshold). The slice must not be modified.
+func (n *Node[P, S]) Shortcuts() []*Node[P, S] { return n.shortcuts }
+
+// Index returns the leaf's position in the leaf order, in O(depth) time by
+// summing left-subtree counts along the root path.
+func (n *Node[P, S]) Index() int {
+	idx := 0
+	for v := n; v.parent != nil; v = v.parent {
+		if v == v.parent.right {
+			idx += v.parent.left.leaves
+		}
+	}
+	return idx
+}
+
+// Root returns the root of the tree containing n.
+func (n *Node[P, S]) Root() *Node[P, S] {
+	v := n
+	for v.parent != nil {
+		v = v.parent
+	}
+	return v
+}
+
+// isAncestorOf reports whether n is a proper or improper ancestor of m.
+func (n *Node[P, S]) isAncestorOf(m *Node[P, S]) bool {
+	for v := m; v != nil; v = v.parent {
+		if v == n {
+			return true
+		}
+		if v.depth <= n.depth {
+			return false
+		}
+	}
+	return false
+}
+
+// shortcutDepths returns the target depths of the shortcut list for a node
+// at depth d: the paper's ⌊d·(1-(2/3)^i)⌋ sequence, realized as the integer
+// recurrence remaining←⌊remaining·2/3⌋ starting from d (entry depth is
+// d-remaining). Entry 0 is always depth 0 (the root); the list stops when
+// the remaining distance reaches zero, so the deepest entry is a proper
+// ancestor. The recurrence keeps the geometric 2/3 decrease the range
+// splitting analysis of Theorem 2.1 needs while avoiding large-power
+// arithmetic.
+func shortcutDepths(d int) []int {
+	if d <= 0 {
+		return nil
+	}
+	depths := make([]int, 0, 8)
+	for remaining := d; remaining > 0; remaining = remaining * 2 / 3 {
+		depths = append(depths, d-remaining)
+	}
+	return depths
+}

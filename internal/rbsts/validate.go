@@ -1,0 +1,140 @@
+package rbsts
+
+import "fmt"
+
+// Validate checks every structural invariant of the tree and returns the
+// first violation found, or nil. It is O(n · shortcut length) and intended
+// for tests and failure injection, not production paths.
+func (t *Tree[P, S]) Validate() error {
+	if t.root == nil {
+		if t.count != 0 || t.head != nil || t.tail != nil {
+			return fmt.Errorf("rbsts: empty root but count=%d head=%p tail=%p", t.count, t.head, t.tail)
+		}
+		return nil
+	}
+	if t.root.parent != nil {
+		return fmt.Errorf("rbsts: root has a parent")
+	}
+	var leaves []*Node[P, S]
+	if err := t.validateNode(t.root, 0, &leaves); err != nil {
+		return err
+	}
+	if len(leaves) != t.count {
+		return fmt.Errorf("rbsts: count=%d but found %d leaves", t.count, len(leaves))
+	}
+	// Leaf list agrees with in-order traversal.
+	if t.head != leaves[0] || t.tail != leaves[len(leaves)-1] {
+		return fmt.Errorf("rbsts: head/tail do not match extreme leaves")
+	}
+	for i, l := range leaves {
+		var wantPrev, wantNext *Node[P, S]
+		if i > 0 {
+			wantPrev = leaves[i-1]
+		}
+		if i+1 < len(leaves) {
+			wantNext = leaves[i+1]
+		}
+		if l.prev != wantPrev || l.next != wantNext {
+			return fmt.Errorf("rbsts: leaf %d has bad list links", i)
+		}
+		if l.Index() != i {
+			return fmt.Errorf("rbsts: leaf %d reports Index %d", i, l.Index())
+		}
+	}
+	// Gap correspondence: leaf i's gap node must be the LCA of leaves i
+	// and i+1, and the mapping must be mutual.
+	for i := 0; i+1 < len(leaves); i++ {
+		g := leaves[i].gapNode
+		if g == nil {
+			return fmt.Errorf("rbsts: interior leaf %d has nil gapNode", i)
+		}
+		if g.gapLeaf != leaves[i] {
+			return fmt.Errorf("rbsts: gap node of leaf %d does not point back", i)
+		}
+		if !g.isAncestorOf(leaves[i]) || !g.isAncestorOf(leaves[i+1]) {
+			return fmt.Errorf("rbsts: gap node of leaf %d is not a common ancestor", i)
+		}
+		// Must be the LOWEST common ancestor: leaf i in left subtree,
+		// leaf i+1 in right subtree.
+		if !g.left.isAncestorOf(leaves[i]) || !g.right.isAncestorOf(leaves[i+1]) {
+			return fmt.Errorf("rbsts: gap node of leaf %d is not the LCA", i)
+		}
+	}
+	if t.tail.gapNode != nil {
+		return fmt.Errorf("rbsts: tail leaf has a gapNode")
+	}
+	return nil
+}
+
+func (t *Tree[P, S]) validateNode(v *Node[P, S], depth int, leaves *[]*Node[P, S]) error {
+	if v.depth != depth {
+		return fmt.Errorf("rbsts: node depth=%d want %d", v.depth, depth)
+	}
+	if v.active != 0 {
+		return fmt.Errorf("rbsts: node at depth %d has a leaked ACTIVE flag", depth)
+	}
+	if err := t.validateShortcuts(v); err != nil {
+		return err
+	}
+	if v.IsLeaf() {
+		if v.right != nil || v.leaves != 1 || v.height != 0 {
+			return fmt.Errorf("rbsts: malformed leaf at depth %d", depth)
+		}
+		*leaves = append(*leaves, v)
+		return nil
+	}
+	if v.right == nil {
+		return fmt.Errorf("rbsts: internal node with one child at depth %d", depth)
+	}
+	if v.left.parent != v || v.right.parent != v {
+		return fmt.Errorf("rbsts: child parent links broken at depth %d", depth)
+	}
+	if err := t.validateNode(v.left, depth+1, leaves); err != nil {
+		return err
+	}
+	if err := t.validateNode(v.right, depth+1, leaves); err != nil {
+		return err
+	}
+	if v.leaves != v.left.leaves+v.right.leaves {
+		return fmt.Errorf("rbsts: leaf count wrong at depth %d", depth)
+	}
+	if v.height != 1+max(v.left.height, v.right.height) {
+		return fmt.Errorf("rbsts: height wrong at depth %d", depth)
+	}
+	return nil
+}
+
+// validateShortcuts checks presence and targets of the shortcut list.
+func (t *Tree[P, S]) validateShortcuts(v *Node[P, S]) error {
+	if v.height >= t.shortcutMinHeight && v.depth > 0 {
+		depths := shortcutDepths(v.depth)
+		if len(v.shortcuts) != len(depths) {
+			return fmt.Errorf("rbsts: node depth=%d height=%d has %d shortcuts, want %d",
+				v.depth, v.height, len(v.shortcuts), len(depths))
+		}
+		for i, d := range depths {
+			s := v.shortcuts[i]
+			if s == nil || s.depth != d || !s.isAncestorOf(v) {
+				return fmt.Errorf("rbsts: node depth=%d shortcut %d invalid", v.depth, i)
+			}
+		}
+	}
+	return nil
+}
+
+// SumOracle recomputes the aggregation of the whole tree from scratch
+// (tests compare it against the maintained root sum).
+func (t *Tree[P, S]) SumOracle() S {
+	var zero S
+	if t.root == nil || t.mergeFn == nil {
+		return zero
+	}
+	var rec func(v *Node[P, S]) S
+	rec = func(v *Node[P, S]) S {
+		if v.IsLeaf() {
+			return t.leafFn(v.payload)
+		}
+		return t.mergeFn(rec(v.left), rec(v.right))
+	}
+	return rec(t.root)
+}

@@ -1,0 +1,44 @@
+package semiring
+
+// MaxMin is the bottleneck (fuzzy) semiring: Add is max with identity
+// -Infinity, Mul is min with identity +Infinity. Distributivity holds by
+// lattice distributivity of (min, max). Contraction over MaxMin computes
+// widest-path style aggregates: series composition takes the narrowest
+// link, parallel composition the widest alternative.
+type MaxMin struct{}
+
+// Add returns max(x, y).
+func (MaxMin) Add(x, y int64) int64 {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+// Mul returns min(x, y).
+func (MaxMin) Mul(x, y int64) int64 {
+	if x < y {
+		return x
+	}
+	return y
+}
+
+// Zero returns -Infinity, the identity of max.
+func (MaxMin) Zero() int64 { return -Infinity }
+
+// One returns +Infinity, the identity of min.
+func (MaxMin) One() int64 { return Infinity }
+
+// Normalize clamps x into [-Infinity, Infinity].
+func (MaxMin) Normalize(x int64) int64 {
+	if x >= Infinity {
+		return Infinity
+	}
+	if x <= -Infinity {
+		return -Infinity
+	}
+	return x % maxFinite
+}
+
+// Name implements Ring.
+func (MaxMin) Name() string { return "max-min" }

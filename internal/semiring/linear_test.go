@@ -1,0 +1,114 @@
+package semiring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearIdentityAndConst(t *testing.T) {
+	for _, r := range rings() {
+		id := Identity(r)
+		f := func(xr int64) bool {
+			x := r.Normalize(xr)
+			if id.Apply(r, x) != x {
+				return false
+			}
+			c := Const(r, x)
+			if !c.IsConst(r) {
+				return false
+			}
+			return c.Apply(r, r.Normalize(xr+1)) == x
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestComposeIsFunctionComposition(t *testing.T) {
+	for _, r := range rings() {
+		f := func(a1, b1, a2, b2, xr int64) bool {
+			g := Linear{r.Normalize(a1), r.Normalize(b1)}
+			h := Linear{r.Normalize(a2), r.Normalize(b2)}
+			x := r.Normalize(xr)
+			return g.Compose(r, h).Apply(r, x) == g.Apply(r, h.Apply(r, x))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestComposeAssociative(t *testing.T) {
+	for _, r := range rings() {
+		f := func(a1, b1, a2, b2, a3, b3 int64) bool {
+			p := Linear{r.Normalize(a1), r.Normalize(b1)}
+			q := Linear{r.Normalize(a2), r.Normalize(b2)}
+			s := Linear{r.Normalize(a3), r.Normalize(b3)}
+			lhs := p.Compose(r, q).Compose(r, s)
+			rhs := p.Compose(r, q.Compose(r, s))
+			return lhs == rhs
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestOpSymmetry(t *testing.T) {
+	for _, r := range rings() {
+		f := func(a, b, c, xr, yr int64) bool {
+			q := Op{r.Normalize(a), r.Normalize(b), r.Normalize(c)}
+			x, y := r.Normalize(xr), r.Normalize(yr)
+			return q.Eval(r, x, y) == q.Eval(r, y, x)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestPartialMatchesEval(t *testing.T) {
+	for _, r := range rings() {
+		f := func(a, b, c, kr, yr int64) bool {
+			q := Op{r.Normalize(a), r.Normalize(b), r.Normalize(c)}
+			k, y := r.Normalize(kr), r.Normalize(yr)
+			return q.Partial(r, k).Apply(r, y) == q.Eval(r, k, y)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestPaperRakeFormulas(t *testing.T) {
+	// §4.2: raking leaf value B into a node with pending form (C, D):
+	// addition yields (C, C·B + D); multiplication yields (C·B, D).
+	r := NewMod(1_000_000_007)
+	const B, C, D = 5, 7, 11
+	pending := Linear{A: C, B: D}
+
+	add := pending.Compose(r, OpAdd(r).Partial(r, B))
+	if add.A != C || add.B != (C*B+D)%1_000_000_007 {
+		t.Fatalf("addition small-rake = %+v", add)
+	}
+	mul := pending.Compose(r, OpMul(r).Partial(r, B))
+	if mul.A != C*B || mul.B != D {
+		t.Fatalf("multiplication small-rake = %+v", mul)
+	}
+}
+
+func TestOpAddOpMul(t *testing.T) {
+	for _, r := range rings() {
+		f := func(xr, yr int64) bool {
+			x, y := r.Normalize(xr), r.Normalize(yr)
+			if OpAdd(r).Eval(r, x, y) != r.Add(x, y) {
+				return false
+			}
+			return OpMul(r).Eval(r, x, y) == r.Mul(x, y)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package semiring defines the label algebra used by parallel tree
+// contraction (Reif & Tate, SPAA'94, §4.2).
+//
+// The paper's rake operations manipulate labels that are pairs (A, B)
+// representing the linear form x ↦ A·x + B over a commutative ring ("we
+// consider the case of T being over a commutative ring, which is the case
+// for the vast majority of tree contraction applications"). This package
+// provides:
+//
+//   - Ring: a commutative semiring over int64 values,
+//   - Linear: the (A, B) linear forms, their application and composition,
+//   - Op: symmetric bilinear node operations q(x,y) = a·x·y + b·(x+y) + c,
+//     which generalize the paper's {+, ×} node labels and additionally
+//     support the canonical-form application (§5(e)) where an
+//     order-insensitive combination of children is required.
+//
+// The rake identities implemented here are exactly the paper's: for a
+// small-rake of leaf value k into a node with pending form (C, D) and
+// operation q, the new pending form is Partial(q, k) composed under (C, D);
+// for a small-compress, forms compose. Both stay inside the (A, B)
+// representation because Partial of a bilinear form is linear and linear
+// forms are closed under composition.
+package semiring
+
+import "fmt"
+
+// Ring is a commutative semiring over int64 element representations. Add
+// must be commutative and associative with identity Zero; Mul must be
+// commutative and associative with identity One, distribute over Add, and
+// Zero must annihilate under Mul. (Every commutative ring qualifies; so do
+// tropical semirings, which is why contraction over min-plus works.)
+type Ring interface {
+	Add(x, y int64) int64
+	Mul(x, y int64) int64
+	Zero() int64
+	One() int64
+	// Normalize maps an arbitrary int64 into the ring's canonical element
+	// representation (e.g. reduction mod p). Generators use it to admit
+	// arbitrary test inputs.
+	Normalize(x int64) int64
+	Name() string
+}
+
+// ModRing is the ring of integers modulo a prime (or any modulus) P with
+// 1 < P < 2^31 so that products of reduced elements fit in int64.
+type ModRing struct{ P int64 }
+
+// NewMod returns the ring Z/pZ. It panics for invalid moduli.
+func NewMod(p int64) ModRing {
+	if p < 2 || p >= 1<<31 {
+		panic("semiring: modulus out of range")
+	}
+	return ModRing{P: p}
+}
+
+// Add returns (x + y) mod P.
+func (r ModRing) Add(x, y int64) int64 { return (x + y) % r.P }
+
+// Mul returns (x · y) mod P.
+func (r ModRing) Mul(x, y int64) int64 { return (x * y) % r.P }
+
+// Zero returns the additive identity.
+func (r ModRing) Zero() int64 { return 0 }
+
+// One returns the multiplicative identity.
+func (r ModRing) One() int64 { return 1 }
+
+// Normalize reduces x into [0, P).
+func (r ModRing) Normalize(x int64) int64 {
+	x %= r.P
+	if x < 0 {
+		x += r.P
+	}
+	return x
+}
+
+// Name implements Ring.
+func (r ModRing) Name() string { return fmt.Sprintf("Z/%d", r.P) }
+
+// Infinity is the additive identity of the tropical semirings. Finite
+// tropical elements are kept small by Normalize (|x| < 2^20) and tropical
+// multiplication is exact integer addition, so chains of up to ~2^38
+// multiplications stay strictly between the sentinels and the semiring
+// axioms hold exactly.
+const Infinity int64 = 1 << 60
+
+// maxFinite bounds the magnitude of normalized finite tropical elements.
+const maxFinite int64 = 1 << 20
+
+// MinPlus is the tropical semiring (min, +): Add is min with identity
+// +Infinity, Mul is numeric + with identity 0. Contraction over MinPlus
+// computes shortest-path style aggregates of the expression tree.
+type MinPlus struct{}
+
+// Add returns min(x, y).
+func (MinPlus) Add(x, y int64) int64 {
+	if x < y {
+		return x
+	}
+	return y
+}
+
+// Mul returns x + y, with +Infinity annihilating.
+func (MinPlus) Mul(x, y int64) int64 {
+	if x >= Infinity || y >= Infinity {
+		return Infinity
+	}
+	return x + y
+}
+
+// Zero returns +Infinity, the identity of min.
+func (MinPlus) Zero() int64 { return Infinity }
+
+// One returns 0, the identity of +.
+func (MinPlus) One() int64 { return 0 }
+
+// Normalize maps x to +Infinity if it is at least Infinity, otherwise to a
+// small finite representative.
+func (MinPlus) Normalize(x int64) int64 {
+	if x >= Infinity {
+		return Infinity
+	}
+	return x % maxFinite
+}
+
+// Name implements Ring.
+func (MinPlus) Name() string { return "min-plus" }
+
+// MaxPlus is the tropical semiring (max, +).
+type MaxPlus struct{}
+
+// Add returns max(x, y).
+func (MaxPlus) Add(x, y int64) int64 {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+// Mul returns x + y, with -Infinity annihilating.
+func (MaxPlus) Mul(x, y int64) int64 {
+	if x <= -Infinity || y <= -Infinity {
+		return -Infinity
+	}
+	return x + y
+}
+
+// Zero returns -Infinity, the identity of max.
+func (MaxPlus) Zero() int64 { return -Infinity }
+
+// One returns 0, the identity of +.
+func (MaxPlus) One() int64 { return 0 }
+
+// Normalize maps x to -Infinity if it is at most -Infinity, otherwise to a
+// small finite representative.
+func (MaxPlus) Normalize(x int64) int64 {
+	if x <= -Infinity {
+		return -Infinity
+	}
+	return x % maxFinite
+}
+
+// Name implements Ring.
+func (MaxPlus) Name() string { return "max-plus" }
+
+// Bool is the boolean semiring ({0,1}, OR, AND). Contraction over Bool
+// evaluates monotone boolean expression trees.
+type Bool struct{}
+
+// Add returns x OR y.
+func (Bool) Add(x, y int64) int64 {
+	if x != 0 || y != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Mul returns x AND y.
+func (Bool) Mul(x, y int64) int64 {
+	if x != 0 && y != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Zero returns 0 (false).
+func (Bool) Zero() int64 { return 0 }
+
+// One returns 1 (true).
+func (Bool) One() int64 { return 1 }
+
+// Normalize maps nonzero to 1.
+func (Bool) Normalize(x int64) int64 {
+	if x != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Ring.
+func (Bool) Name() string { return "bool" }

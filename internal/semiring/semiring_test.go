@@ -1,0 +1,113 @@
+package semiring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// rings returns every Ring instance for axiom tests.
+func rings() []Ring {
+	return []Ring{NewMod(1_000_000_007), NewMod(97), MinPlus{}, MaxPlus{}, Bool{}, MaxMin{}}
+}
+
+func TestRingAxioms(t *testing.T) {
+	for _, r := range rings() {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			f := func(xr, yr, zr int64) bool {
+				x, y, z := r.Normalize(xr), r.Normalize(yr), r.Normalize(zr)
+				// Commutativity.
+				if r.Add(x, y) != r.Add(y, x) || r.Mul(x, y) != r.Mul(y, x) {
+					return false
+				}
+				// Associativity.
+				if r.Add(r.Add(x, y), z) != r.Add(x, r.Add(y, z)) {
+					return false
+				}
+				if r.Mul(r.Mul(x, y), z) != r.Mul(x, r.Mul(y, z)) {
+					return false
+				}
+				// Identities.
+				if r.Add(x, r.Zero()) != x || r.Mul(x, r.One()) != x {
+					return false
+				}
+				// Annihilation.
+				if r.Mul(x, r.Zero()) != r.Zero() {
+					return false
+				}
+				// Distributivity.
+				return r.Mul(x, r.Add(y, z)) == r.Add(r.Mul(x, y), r.Mul(x, z))
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestModRingReduction(t *testing.T) {
+	r := NewMod(97)
+	if got := r.Normalize(-1); got != 96 {
+		t.Fatalf("Normalize(-1) = %d", got)
+	}
+	if got := r.Add(96, 5); got != 4 {
+		t.Fatalf("Add wrap = %d", got)
+	}
+	if got := r.Mul(96, 96); got != 1 {
+		t.Fatalf("(-1)*(-1) mod 97 = %d", got)
+	}
+}
+
+func TestNewModPanics(t *testing.T) {
+	for _, p := range []int64{0, 1, -5, 1 << 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMod(%d) did not panic", p)
+				}
+			}()
+			NewMod(p)
+		}()
+	}
+}
+
+func TestTropicalSentinels(t *testing.T) {
+	mp := MinPlus{}
+	if got := mp.Mul(Infinity, Infinity); got != Infinity {
+		t.Fatalf("inf+inf = %d", got)
+	}
+	if got := mp.Mul(Infinity, -100); got != Infinity {
+		t.Fatalf("inf annihilation = %d", got)
+	}
+	if got := mp.Add(Infinity, 5); got != 5 {
+		t.Fatalf("min(inf,5) = %d", got)
+	}
+	xp := MaxPlus{}
+	if got := xp.Mul(-Infinity, -Infinity); got != -Infinity {
+		t.Fatalf("-inf + -inf = %d", got)
+	}
+	if got := xp.Mul(-Infinity, 100); got != -Infinity {
+		t.Fatalf("-inf annihilation = %d", got)
+	}
+	if got := xp.Add(-Infinity, 5); got != 5 {
+		t.Fatalf("max(-inf,5) = %d", got)
+	}
+}
+
+func TestBoolTruthTable(t *testing.T) {
+	b := Bool{}
+	cases := []struct{ x, y, or, and int64 }{
+		{0, 0, 0, 0}, {0, 1, 1, 0}, {1, 0, 1, 0}, {1, 1, 1, 1},
+	}
+	for _, c := range cases {
+		if b.Add(c.x, c.y) != c.or {
+			t.Errorf("OR(%d,%d)", c.x, c.y)
+		}
+		if b.Mul(c.x, c.y) != c.and {
+			t.Errorf("AND(%d,%d)", c.x, c.y)
+		}
+	}
+	if b.Normalize(42) != 1 || b.Normalize(0) != 0 {
+		t.Error("Bool.Normalize")
+	}
+}

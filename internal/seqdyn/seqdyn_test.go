@@ -1,0 +1,84 @@
+package seqdyn
+
+import (
+	"testing"
+
+	"dyntc/internal/prng"
+	"dyntc/internal/semiring"
+	"dyntc/internal/tree"
+)
+
+var testRing = semiring.NewMod(1_000_000_007)
+
+func TestPathEvalMatchesOracle(t *testing.T) {
+	tr := tree.Generate(testRing, prng.New(1), 300, tree.ShapeRandom)
+	p := NewPathEval(tr)
+	if p.Root() != tr.Eval() {
+		t.Fatalf("initial root %d want %d", p.Root(), tr.Eval())
+	}
+	src := prng.New(2)
+	leaves := tr.Leaves()
+	for i := 0; i < 100; i++ {
+		p.SetValue(leaves[src.Intn(len(leaves))], src.Int63())
+		if p.Root() != tr.Eval() {
+			t.Fatalf("update %d: root %d want %d", i, p.Root(), tr.Eval())
+		}
+	}
+	for _, n := range tr.Nodes {
+		if n != nil && p.Value(n) != tr.EvalAt(n) {
+			t.Fatalf("node %d: %d want %d", n.ID, p.Value(n), tr.EvalAt(n))
+		}
+	}
+}
+
+func TestPathEvalCombDegradation(t *testing.T) {
+	// On a left comb, updating the deepest leaf costs Θ(n) recomputations
+	// — the degradation the paper's structure avoids.
+	const n = 2000
+	tr := tree.Generate(testRing, prng.New(3), n, tree.ShapeLeftComb)
+	p := NewPathEval(tr)
+	deepest := tr.Leaves()[0]
+	steps := p.SetValue(deepest, 7)
+	if steps < n-2 {
+		t.Fatalf("comb update took %d steps, expected ~%d", steps, n-1)
+	}
+}
+
+func TestPathEvalAddChildren(t *testing.T) {
+	tr := tree.Generate(testRing, prng.New(5), 50, tree.ShapeRandom)
+	p := NewPathEval(tr)
+	src := prng.New(7)
+	for i := 0; i < 40; i++ {
+		leaves := tr.Leaves()
+		p.AddChildren(leaves[src.Intn(len(leaves))], semiring.OpMul(testRing), src.Int63(), src.Int63())
+		if p.Root() != tr.Eval() {
+			t.Fatalf("step %d: root %d want %d", i, p.Root(), tr.Eval())
+		}
+	}
+}
+
+func TestRebuildEval(t *testing.T) {
+	tr := tree.Generate(testRing, prng.New(9), 100, tree.ShapeRandom)
+	p := NewRebuildEval(tr)
+	src := prng.New(11)
+	leaves := tr.Leaves()
+	for i := 0; i < 20; i++ {
+		p.SetValue(leaves[src.Intn(len(leaves))], src.Int63())
+		if p.Root() != tr.Eval() {
+			t.Fatal("rebuild eval mismatch")
+		}
+	}
+}
+
+func TestNaiveActivationWalk(t *testing.T) {
+	tr := tree.Generate(testRing, prng.New(13), 500, tree.ShapeLeftComb)
+	leaves := tr.Leaves()
+	// Deepest leaf alone: walks the whole spine.
+	if got := NaiveActivationWalk(leaves[:1]); got < 499 {
+		t.Fatalf("walk %d steps", got)
+	}
+	// All leaves: every node visited exactly once.
+	if got := NaiveActivationWalk(leaves); got != tr.Len() {
+		t.Fatalf("walk %d steps, want %d", got, tr.Len())
+	}
+}

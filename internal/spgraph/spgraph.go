@@ -1,0 +1,156 @@
+// Package spgraph maintains dynamic two-terminal series-parallel networks —
+// the first application family the paper announces for its technique (§6:
+// "In a subsequent paper, we apply our dynamic parallel tree contraction
+// technique to various incremental problems on graphs with constant
+// separator size, for example: parallel series graphs ...").
+//
+// A two-terminal series-parallel graph is described by its SP decomposition
+// tree: leaves are edges with weights, internal nodes compose their
+// children's networks in series (terminals chained) or parallel (terminals
+// merged). Two-terminal path metrics are then expression evaluations over a
+// semiring:
+//
+//	shortest s-t path: series = weight sum  (min-plus ⊗), parallel = min (⊕)
+//	widest   s-t path: series = min of caps (max-min ⊗), parallel = max (⊕)
+//	s-t connectivity:  series = AND,                     parallel = OR
+//
+// so the dynamic parallel tree contraction engine (package core) maintains
+// them under batch edge-weight updates, edge subdivisions (series growth)
+// and edge duplications (parallel growth), with the bounds of Theorem 4.1.
+package spgraph
+
+import (
+	"fmt"
+
+	"dyntc/internal/core"
+	"dyntc/internal/semiring"
+	"dyntc/internal/tree"
+)
+
+// Kind selects the maintained metric.
+type Kind int
+
+// Metrics over SP networks.
+const (
+	// ShortestPath maintains the two-terminal shortest path length
+	// (min-plus semiring).
+	ShortestPath Kind = iota
+	// WidestPath maintains the two-terminal bottleneck capacity
+	// (max-min semiring).
+	WidestPath
+	// Connectivity maintains two-terminal connectivity over {0,1} edge
+	// states (boolean semiring).
+	Connectivity
+)
+
+// Network is a dynamic two-terminal series-parallel network.
+type Network struct {
+	kind Kind
+	ring semiring.Ring
+	t    *tree.Tree
+	con  *core.Contraction
+
+	seriesOp   semiring.Op
+	parallelOp semiring.Op
+}
+
+// Edge is a handle to one network edge (a leaf of the SP tree).
+type Edge = tree.Node
+
+// New creates a network consisting of a single edge between the two
+// terminals with the given weight.
+func New(kind Kind, seed uint64, weight int64) *Network {
+	n := &Network{kind: kind}
+	switch kind {
+	case ShortestPath:
+		n.ring = semiring.MinPlus{}
+	case WidestPath:
+		n.ring = semiring.MaxMin{}
+	case Connectivity:
+		n.ring = semiring.Bool{}
+	default:
+		panic(fmt.Sprintf("spgraph: unknown kind %d", kind))
+	}
+	// Parallel composition is the semiring Add; series composition the
+	// semiring Mul (see the package comment's table).
+	n.parallelOp = semiring.OpAdd(n.ring)
+	n.seriesOp = semiring.OpMul(n.ring)
+	n.t = tree.New(n.ring, weight)
+	n.con = core.New(n.t, seed, nil)
+	return n
+}
+
+// Metric returns the maintained two-terminal metric of the whole network
+// (exactly maintained; O(1)).
+func (n *Network) Metric() int64 { return n.con.RootValue() }
+
+// SubMetric returns the metric of the sub-network described by the given
+// SP-tree node.
+func (n *Network) SubMetric(at *tree.Node) int64 { return n.con.Value(at) }
+
+// Edges returns all edge handles.
+func (n *Network) Edges() []*Edge { return n.t.Leaves() }
+
+// EdgeCount returns the number of edges.
+func (n *Network) EdgeCount() int { return n.t.LeafCount() }
+
+// Tree exposes the SP decomposition tree (read-only).
+func (n *Network) Tree() *tree.Tree { return n.t }
+
+// SetWeight updates one edge weight and heals (O(log n) expected).
+func (n *Network) SetWeight(e *Edge, w int64) {
+	n.con.SetValue(e, w)
+}
+
+// SetWeights applies a batch of edge weight updates in one parallel heal.
+func (n *Network) SetWeights(es []*Edge, ws []int64) {
+	n.con.SetValues(es, ws)
+}
+
+// Subdivide replaces edge e by two edges in series with the given weights,
+// returning the new edges. (Graph view: a new vertex splits the edge.)
+func (n *Network) Subdivide(e *Edge, w1, w2 int64) (*Edge, *Edge) {
+	pairs := n.con.AddLeaves([]core.AddOp{{Leaf: e, Op: n.seriesOp, LeftVal: w1, RightVal: w2}})
+	return pairs[0][0], pairs[0][1]
+}
+
+// Duplicate replaces edge e by two parallel edges with the given weights,
+// returning the new edges. (Graph view: a parallel link is added.)
+func (n *Network) Duplicate(e *Edge, w1, w2 int64) (*Edge, *Edge) {
+	pairs := n.con.AddLeaves([]core.AddOp{{Leaf: e, Op: n.parallelOp, LeftVal: w1, RightVal: w2}})
+	return pairs[0][0], pairs[0][1]
+}
+
+// GrowBatch applies a batch of subdivisions (series=true) and duplications
+// (series=false) as one parallel batch.
+type GrowSpec struct {
+	Edge   *Edge
+	Series bool
+	W1, W2 int64
+}
+
+// GrowBatch applies the specs in one batch and returns the new edge pairs.
+func (n *Network) GrowBatch(specs []GrowSpec) [][2]*Edge {
+	ops := make([]core.AddOp, len(specs))
+	for i, s := range specs {
+		op := n.parallelOp
+		if s.Series {
+			op = n.seriesOp
+		}
+		ops[i] = core.AddOp{Leaf: s.Edge, Op: op, LeftVal: s.W1, RightVal: s.W2}
+	}
+	return n.con.AddLeaves(ops)
+}
+
+// Contract collapses the composition node whose children are both edges
+// back into a single edge of the given weight (the inverse of Subdivide /
+// Duplicate).
+func (n *Network) Contract(node *tree.Node, weight int64) {
+	n.con.RemoveLeaves([]core.RemoveOp{{Node: node, NewValue: weight}})
+}
+
+// Stats returns the healing cost of the latest operation.
+func (n *Network) Stats() core.HealStats { return n.con.LastHeal() }
+
+// MetricOracle recomputes the metric from scratch (tests).
+func (n *Network) MetricOracle() int64 { return n.t.Eval() }

@@ -1,0 +1,181 @@
+package spgraph
+
+import (
+	"testing"
+
+	"dyntc/internal/prng"
+)
+
+func TestShortestPathBasics(t *testing.T) {
+	// Single edge of length 10; subdivide into 4+7; add a parallel bypass
+	// of 6 across the second segment.
+	n := New(ShortestPath, 1, 10)
+	if n.Metric() != 10 {
+		t.Fatalf("metric %d", n.Metric())
+	}
+	a, b := n.Subdivide(n.Edges()[0], 4, 7)
+	if n.Metric() != 11 {
+		t.Fatalf("4+7 = %d", n.Metric())
+	}
+	_, _ = n.Duplicate(b, 7, 6)
+	if n.Metric() != 10 {
+		t.Fatalf("4+min(7,6) = %d", n.Metric())
+	}
+	n.SetWeight(a, 1)
+	if n.Metric() != 7 {
+		t.Fatalf("1+6 = %d", n.Metric())
+	}
+}
+
+func TestWidestPathBasics(t *testing.T) {
+	// Capacities: series takes the min, parallel the max.
+	n := New(WidestPath, 2, 100)
+	a, _ := n.Subdivide(n.Edges()[0], 30, 80)
+	if n.Metric() != 30 {
+		t.Fatalf("min(30,80) = %d", n.Metric())
+	}
+	n.Duplicate(a, 30, 50)
+	if n.Metric() != 50 {
+		t.Fatalf("min(max(30,50),80) = %d", n.Metric())
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	n := New(Connectivity, 3, 1)
+	a, b := n.Subdivide(n.Edges()[0], 1, 1)
+	if n.Metric() != 1 {
+		t.Fatal("series of up edges should connect")
+	}
+	n.SetWeight(a, 0)
+	if n.Metric() != 0 {
+		t.Fatal("cut series edge should disconnect")
+	}
+	// A parallel backup across the broken edge restores connectivity.
+	n.Duplicate(a, 0, 1)
+	if n.Metric() != 1 {
+		t.Fatal("parallel backup should reconnect")
+	}
+	_ = b
+}
+
+func TestRandomSoakAgainstOracle(t *testing.T) {
+	for _, kind := range []Kind{ShortestPath, WidestPath, Connectivity} {
+		src := prng.New(uint64(kind) + 10)
+		weight := func() int64 {
+			if kind == Connectivity {
+				return int64(src.Intn(2))
+			}
+			return int64(src.Intn(1000))
+		}
+		n := New(kind, uint64(kind)+100, weight())
+		for step := 0; step < 120; step++ {
+			edges := n.Edges()
+			e := edges[src.Intn(len(edges))]
+			switch src.Intn(4) {
+			case 0:
+				n.Subdivide(e, weight(), weight())
+			case 1:
+				n.Duplicate(e, weight(), weight())
+			case 2:
+				n.SetWeight(e, weight())
+			default:
+				// Contract a random composition of two edges, if any.
+				var cand *Edge
+				for _, nd := range n.Tree().Nodes {
+					if nd != nil && !nd.IsLeaf() && nd.Left.IsLeaf() && nd.Right.IsLeaf() {
+						cand = nd
+						break
+					}
+				}
+				if cand != nil && n.EdgeCount() > 2 {
+					n.Contract(cand, weight())
+				}
+			}
+			if got, want := n.Metric(), n.MetricOracle(); got != want {
+				t.Fatalf("kind %d step %d: metric %d want %d", kind, step, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchGrowAndUpdate(t *testing.T) {
+	n := New(ShortestPath, 7, 50)
+	src := prng.New(8)
+	// Grow a batch.
+	e := n.Edges()[0]
+	pairs := n.GrowBatch([]GrowSpec{{Edge: e, Series: true, W1: 10, W2: 20}})
+	if n.Metric() != 30 {
+		t.Fatalf("metric %d", n.Metric())
+	}
+	// Batch on distinct edges.
+	n.GrowBatch([]GrowSpec{
+		{Edge: pairs[0][0], Series: false, W1: 10, W2: 8},
+		{Edge: pairs[0][1], Series: true, W1: 5, W2: 6},
+	})
+	if got, want := n.Metric(), n.MetricOracle(); got != want {
+		t.Fatalf("metric %d want %d", got, want)
+	}
+	// Batch weight updates.
+	edges := n.Edges()
+	ws := make([]int64, len(edges))
+	for i := range ws {
+		ws[i] = int64(src.Intn(100))
+	}
+	n.SetWeights(edges, ws)
+	if got, want := n.Metric(), n.MetricOracle(); got != want {
+		t.Fatalf("after batch update: metric %d want %d", got, want)
+	}
+	if n.Stats().WoundRecords == 0 {
+		t.Fatal("no healing recorded")
+	}
+}
+
+func TestSubMetric(t *testing.T) {
+	n := New(ShortestPath, 9, 10)
+	a, _ := n.Subdivide(n.Edges()[0], 3, 4)
+	sub, _ := n.Duplicate(a, 3, 9)
+	// The left composition node (parallel 3 | 9) has metric 3.
+	if got := n.SubMetric(sub.Parent); got != 3 {
+		t.Fatalf("submetric %d", got)
+	}
+	if got := n.SubMetric(n.Tree().Root); got != n.Metric() {
+		t.Fatal("root submetric mismatch")
+	}
+}
+
+func TestLargeNetworkScaling(t *testing.T) {
+	// Grow to ~2000 edges, then check single-update wound sizes stay small.
+	n := New(ShortestPath, 11, 100)
+	src := prng.New(12)
+	for n.EdgeCount() < 2000 {
+		edges := n.Edges()
+		e := edges[src.Intn(len(edges))]
+		if src.Intn(2) == 0 {
+			n.Subdivide(e, int64(src.Intn(50)), int64(src.Intn(50)))
+		} else {
+			n.Duplicate(e, int64(src.Intn(50)), int64(src.Intn(50)))
+		}
+	}
+	totalWound := 0
+	const updates = 100
+	for i := 0; i < updates; i++ {
+		edges := n.Edges()
+		n.SetWeight(edges[src.Intn(len(edges))], int64(src.Intn(50)))
+		totalWound += n.Stats().WoundRecords
+	}
+	if got, want := n.Metric(), n.MetricOracle(); got != want {
+		t.Fatalf("metric %d want %d", got, want)
+	}
+	if mean := float64(totalWound) / updates; mean > 60 {
+		t.Fatalf("mean wound %.1f too large for n=2000", mean)
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Kind(99), 1, 0)
+}
