@@ -8,23 +8,70 @@
 //	dyntc-bench -experiment=E3  # one experiment
 //	dyntc-bench -quick          # reduced sizes (seconds, for smoke runs)
 //	dyntc-bench -seed=7         # change the randomness
+//
+// Load-driver mode measures the concurrent request-coalescing engine at
+// varying client counts and batch windows and writes the machine-readable
+// BENCH_engine.json tracked across PRs:
+//
+//	dyntc-bench -engine                          # default sweep
+//	dyntc-bench -engine -clients=1,8,64 -windows=0,1ms -ops=5000
+//	dyntc-bench -engine -quick -out=BENCH_engine.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"dyntc/internal/bench"
 )
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
-		quick = flag.Bool("quick", false, "reduced problem sizes")
-		seed  = flag.Uint64("seed", 42, "randomness seed")
+		exp     = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced problem sizes")
+		seed    = flag.Uint64("seed", 42, "randomness seed")
+		engine  = flag.Bool("engine", false, "run the engine load driver instead of the experiments")
+		clients = flag.String("clients", "", "engine mode: comma-separated client counts (default 1,2,4,8,16,32)")
+		windows = flag.String("windows", "", "engine mode: comma-separated batch windows, e.g. 0,100us,1ms")
+		ops     = flag.Int("ops", 0, "engine mode: operations per client (default 2000; 300 with -quick)")
+		out     = flag.String("out", "BENCH_engine.json", "engine mode: output JSON path ('' to skip)")
 	)
 	flag.Parse()
+
+	if *engine {
+		ecfg := bench.DefaultEngineConfig(*quick, *seed)
+		if *clients != "" {
+			ecfg.Clients = mustInts(*clients)
+		}
+		if *windows != "" {
+			ecfg.Windows = mustDurations(*windows)
+		}
+		if *ops > 0 {
+			ecfg.OpsPerClient = *ops
+		}
+		results := bench.EngineLoad(ecfg)
+		tb := bench.EngineTable(results)
+		tb.Fprint(os.Stdout)
+		for _, r := range results {
+			if !r.Match {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: FAIL clients=%d window=%.0fus: live root %d != replay %d\n",
+					r.Clients, r.WindowUS, r.Root, r.ReplayRoot)
+				os.Exit(1)
+			}
+		}
+		if *out != "" {
+			if err := bench.WriteEngineJSON(*out, results); err != nil {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: write %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d results)\n", *out, len(results))
+		}
+		return
+	}
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
 	if *exp == "all" {
@@ -39,4 +86,38 @@ func main() {
 		os.Exit(2)
 	}
 	tb.Fprint(os.Stdout)
+}
+
+// mustInts parses a comma-separated int list.
+func mustInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "dyntc-bench: bad client count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// mustDurations parses a comma-separated duration list; a bare number is
+// taken as nanoseconds ("0" disables the window).
+func mustDurations(s string) []time.Duration {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if n, err := strconv.Atoi(part); err == nil && n >= 0 {
+			out = append(out, time.Duration(n))
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil || d < 0 {
+			fmt.Fprintf(os.Stderr, "dyntc-bench: bad window %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, d)
+	}
+	return out
 }

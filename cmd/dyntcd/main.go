@@ -1,0 +1,73 @@
+// Command dyntcd serves batch-dynamic expression trees over HTTP/JSON.
+//
+// Every tree is backed by dynamic parallel tree contraction (Reif & Tate,
+// SPAA'94) behind a concurrent request-coalescing engine: concurrent
+// requests against one tree amortize into the paper's §1.4 batches, and
+// independent trees are sharded across engines so they proceed fully in
+// parallel.
+//
+// Usage:
+//
+//	dyntcd -addr :8080
+//	dyntcd -addr :8080 -window 200us -maxbatch 2048
+//
+// Quick session:
+//
+//	curl -X POST localhost:8080/v1/trees -d '{"root":1}'
+//	curl -X POST localhost:8080/v1/trees/1/grow -d '{"leaf":0,"op":"add","left":3,"right":4}'
+//	curl localhost:8080/v1/trees/1/value
+//	curl localhost:8080/v1/trees/1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyntc"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		window   = flag.Duration("window", 0, "batching window (0 = adaptive idle-flush)")
+		maxBatch = flag.Int("maxbatch", 0, "max requests per flush (0 = default 1024)")
+		queue    = flag.Int("queue", 0, "per-tree submit queue capacity (0 = default 4096)")
+	)
+	flag.Parse()
+
+	s := newServer(dyntc.BatchOptions{MaxBatch: *maxBatch, Window: *window, Queue: *queue})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("dyntcd listening on %s (window=%v maxbatch=%d)", *addr, *window, *maxBatch)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown *starts*; wait for it to
+	// finish draining in-flight handlers before closing the engines.
+	stop()
+	<-shutdownDone
+	s.forest.Close()
+	log.Print("dyntcd: drained and stopped")
+}

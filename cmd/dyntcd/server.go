@@ -1,0 +1,491 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dyntc"
+	"dyntc/internal/engine"
+)
+
+// server exposes a dyntc.Forest over HTTP/JSON. Every tree is served by
+// its own coalescing engine, so concurrent requests against one tree
+// amortize into batches while requests against different trees proceed
+// fully in parallel.
+//
+// API (all bodies JSON):
+//
+//	GET    /healthz
+//	POST   /v1/trees                    {ring, mod?, root, seed?, tour?} -> {tree, root_node}
+//	GET    /v1/trees                    -> {trees: [{tree, nodes, leaves, root}]}
+//	DELETE /v1/trees/{id}
+//	POST   /v1/trees/{id}/grow         {leaf, op, left, right} -> {left, right}
+//	POST   /v1/trees/{id}/collapse     {node, value}
+//	POST   /v1/trees/{id}/set-leaf     {leaf, value}
+//	POST   /v1/trees/{id}/set-op       {node, op}
+//	POST   /v1/trees/{id}/batch        {ops: [...]} -> {results: [...]}
+//	GET    /v1/trees/{id}/value[?node=N] -> {value}
+//	GET    /v1/trees/{id}/stats        -> engine + tree stats
+//	GET    /v1/stats                   -> forest-wide aggregate
+//
+// Nodes are addressed by their dense, lifetime-stable IDs (tree.Node.ID);
+// a new tree's root is node 0.
+type server struct {
+	forest *dyntc.Forest
+	start  time.Time
+	// rings remembers each tree's ring so op names ("add"/"mul") can be
+	// parsed per request.
+	rings sync.Map // dyntc.TreeID -> dyntc.Ring
+}
+
+func newServer(opts dyntc.BatchOptions) *server {
+	return &server{forest: dyntc.NewForest(opts), start: time.Now()}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime_s": time.Since(s.start).Seconds()})
+	})
+	mux.HandleFunc("POST /v1/trees", s.handleCreate)
+	mux.HandleFunc("GET /v1/trees", s.handleList)
+	mux.HandleFunc("DELETE /v1/trees/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/trees/{id}/grow", s.treeHandler(s.handleGrow))
+	mux.HandleFunc("POST /v1/trees/{id}/collapse", s.treeHandler(s.handleCollapse))
+	mux.HandleFunc("POST /v1/trees/{id}/set-leaf", s.treeHandler(s.handleSetLeaf))
+	mux.HandleFunc("POST /v1/trees/{id}/set-op", s.treeHandler(s.handleSetOp))
+	mux.HandleFunc("POST /v1/trees/{id}/batch", s.treeHandler(s.handleBatch))
+	mux.HandleFunc("GET /v1/trees/{id}/value", s.treeHandler(s.handleValue))
+	mux.HandleFunc("GET /v1/trees/{id}/stats", s.treeHandler(s.handleTreeStats))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// --- plumbing ---
+
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e apiError) Error() string { return e.msg }
+
+func errStatus(err error) int {
+	var ae apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	switch {
+	case errors.Is(err, engine.ErrDeadNode):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrNotLeaf),
+		errors.Is(err, engine.ErrNotInternal),
+		errors.Is(err, engine.ErrNotCollapsible):
+		return http.StatusConflict
+	case errors.Is(err, engine.ErrClosed), errors.Is(err, engine.ErrPoisoned):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, errStatus(err), map[string]string{"error": err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return apiError{http.StatusBadRequest, "bad request body: " + err.Error()}
+	}
+	return nil
+}
+
+// treeHandler resolves the {id} path segment to an engine.
+func (s *server) treeHandler(h func(http.ResponseWriter, *http.Request, *dyntc.Engine)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			writeErr(w, apiError{http.StatusBadRequest, "bad tree id"})
+			return
+		}
+		en, ok := s.forest.Get(id)
+		if !ok {
+			writeErr(w, apiError{http.StatusNotFound, fmt.Sprintf("no tree %d", id)})
+			return
+		}
+		h(w, r, en)
+	}
+}
+
+func parseRing(name string, mod int64) (dyntc.Ring, error) {
+	switch name {
+	case "", "mod":
+		if mod == 0 {
+			mod = 1_000_000_007
+		}
+		if mod < 2 || mod >= 1<<31 {
+			return nil, apiError{http.StatusBadRequest, "mod must be in [2, 2^31)"}
+		}
+		return dyntc.ModRing(mod), nil
+	case "minplus":
+		return dyntc.MinPlus(), nil
+	case "maxplus":
+		return dyntc.MaxPlus(), nil
+	case "bool":
+		return dyntc.BoolRing(), nil
+	case "maxmin":
+		return dyntc.MaxMin(), nil
+	}
+	return nil, apiError{http.StatusBadRequest, fmt.Sprintf("unknown ring %q (want mod|minplus|maxplus|bool|maxmin)", name)}
+}
+
+func parseOp(name string, ring dyntc.Ring) (dyntc.Op, error) {
+	switch name {
+	case "add":
+		return dyntc.OpAdd(ring), nil
+	case "mul":
+		return dyntc.OpMul(ring), nil
+	}
+	return dyntc.Op{}, apiError{http.StatusBadRequest, fmt.Sprintf("unknown op %q (want add|mul)", name)}
+}
+
+// --- tree lifecycle ---
+
+type createReq struct {
+	Ring string `json:"ring"`
+	Mod  int64  `json:"mod"`
+	Root int64  `json:"root"`
+	Seed uint64 `json:"seed"`
+	Tour bool   `json:"tour"`
+}
+
+func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ring, err := parseRing(req.Ring, req.Mod)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	opts := []dyntc.Option{}
+	if req.Seed != 0 {
+		opts = append(opts, dyntc.WithSeed(req.Seed))
+	}
+	if req.Tour {
+		opts = append(opts, dyntc.WithTour())
+	}
+	id, _ := s.forest.Create(ring, req.Root, opts...)
+	s.rings.Store(id, ring)
+	writeJSON(w, http.StatusCreated, map[string]any{"tree": id, "root_node": 0})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	type treeInfo struct {
+		Tree   uint64 `json:"tree"`
+		Nodes  int    `json:"nodes"`
+		Leaves int    `json:"leaves"`
+		Root   int64  `json:"root"`
+	}
+	infos := []treeInfo{}
+	s.forest.Each(func(id dyntc.TreeID, en *dyntc.Engine) {
+		var ti treeInfo
+		ti.Tree = id
+		if err := en.Query(func(e *dyntc.Expr) {
+			ti.Nodes = e.Tree().Len()
+			ti.Leaves = e.Tree().LeafCount()
+			ti.Root = e.Root()
+		}); err == nil {
+			infos = append(infos, ti)
+		}
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"trees": infos})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, apiError{http.StatusBadRequest, "bad tree id"})
+		return
+	}
+	if !s.forest.Drop(id) {
+		writeErr(w, apiError{http.StatusNotFound, fmt.Sprintf("no tree %d", id)})
+		return
+	}
+	s.rings.Delete(id)
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": id})
+}
+
+// --- operations ---
+
+func (s *server) ringOf(r *http.Request) (dyntc.Ring, error) {
+	id, _ := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if v, ok := s.rings.Load(id); ok {
+		return v.(dyntc.Ring), nil
+	}
+	return nil, apiError{http.StatusNotFound, "tree ring unknown"}
+}
+
+func (s *server) handleGrow(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
+	var req struct {
+		Leaf  int    `json:"leaf"`
+		Op    string `json:"op"`
+		Left  int64  `json:"left"`
+		Right int64  `json:"right"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ring, err := s.ringOf(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	op, err := parseOp(req.Op, ring)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	lID, rID, err := en.GrowID(req.Leaf, op, req.Left, req.Right)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"left": lID, "right": rID})
+}
+
+func (s *server) handleCollapse(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
+	var req struct {
+		Node  int   `json:"node"`
+		Value int64 `json:"value"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := en.CollapseID(req.Node, req.Value); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": req.Node})
+}
+
+func (s *server) handleSetLeaf(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
+	var req struct {
+		Leaf  int   `json:"leaf"`
+		Value int64 `json:"value"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := en.SetLeafID(req.Leaf, req.Value); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"leaf": req.Leaf})
+}
+
+func (s *server) handleSetOp(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
+	var req struct {
+		Node int    `json:"node"`
+		Op   string `json:"op"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ring, err := s.ringOf(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	op, err := parseOp(req.Op, ring)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := en.SetOpID(req.Node, op); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": req.Node})
+}
+
+func (s *server) handleValue(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
+	q := r.URL.Query().Get("node")
+	if q == "" {
+		v, err := en.Root()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"value": v})
+		return
+	}
+	nodeID, err := strconv.Atoi(q)
+	if err != nil {
+		writeErr(w, apiError{http.StatusBadRequest, "bad node id"})
+		return
+	}
+	v, err := en.ValueID(nodeID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": nodeID, "value": v})
+}
+
+// handleBatch submits a mixed operation list concurrently — one HTTP call
+// becomes one (or few) coalesced engine flushes — and reports per-op
+// results in order.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
+	var req struct {
+		Ops []struct {
+			Kind  string `json:"kind"` // grow|collapse|set-leaf|set-op|value|root
+			Node  int    `json:"node"`
+			Op    string `json:"op"`
+			Value int64  `json:"value"`
+			Left  int64  `json:"left"`
+			Right int64  `json:"right"`
+		} `json:"ops"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Ops) > 4096 {
+		writeErr(w, apiError{http.StatusBadRequest, "batch too large (max 4096)"})
+		return
+	}
+	ring, err := s.ringOf(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type result struct {
+		Error string `json:"error,omitempty"`
+		Left  *int   `json:"left,omitempty"`
+		Right *int   `json:"right,omitempty"`
+		Value *int64 `json:"value,omitempty"`
+	}
+	// Validate every op before submitting any, so a malformed batch is
+	// rejected whole rather than partially executed.
+	submits := make([]func() *dyntc.Future, len(req.Ops))
+	kinds := make([]string, len(req.Ops))
+	for i, op := range req.Ops {
+		op := op
+		kinds[i] = op.Kind
+		switch op.Kind {
+		case "grow":
+			parsed, err := parseOp(op.Op, ring)
+			if err != nil {
+				writeErr(w, apiError{http.StatusBadRequest, fmt.Sprintf("op %d: %v", i, err)})
+				return
+			}
+			submits[i] = func() *dyntc.Future { return en.GrowIDAsync(op.Node, parsed, op.Left, op.Right) }
+		case "collapse":
+			submits[i] = func() *dyntc.Future { return en.CollapseIDAsync(op.Node, op.Value) }
+		case "set-leaf":
+			submits[i] = func() *dyntc.Future { return en.SetLeafIDAsync(op.Node, op.Value) }
+		case "set-op":
+			parsed, err := parseOp(op.Op, ring)
+			if err != nil {
+				writeErr(w, apiError{http.StatusBadRequest, fmt.Sprintf("op %d: %v", i, err)})
+				return
+			}
+			submits[i] = func() *dyntc.Future { return en.SetOpIDAsync(op.Node, parsed) }
+		case "value":
+			submits[i] = func() *dyntc.Future { return en.ValueIDAsync(op.Node) }
+		case "root":
+			submits[i] = func() *dyntc.Future { return en.RootAsync() }
+		default:
+			writeErr(w, apiError{http.StatusBadRequest, fmt.Sprintf("op %d: unknown kind %q", i, op.Kind)})
+			return
+		}
+	}
+	futs := make([]*dyntc.Future, len(submits))
+	for i, submit := range submits {
+		futs[i] = submit()
+	}
+	results := make([]result, len(futs))
+	for i, f := range futs {
+		switch kinds[i] {
+		case "grow":
+			l, rr, err := f.Pair()
+			if err != nil {
+				results[i].Error = err.Error()
+			} else {
+				lid, rid := l.ID, rr.ID
+				results[i].Left, results[i].Right = &lid, &rid
+			}
+		case "value", "root":
+			v, err := f.Value()
+			if err != nil {
+				results[i].Error = err.Error()
+			} else {
+				results[i].Value = &v
+			}
+		default:
+			if err := f.Wait(); err != nil {
+				results[i].Error = err.Error()
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// --- stats ---
+
+func (s *server) handleTreeStats(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
+	var nodes, leaves int
+	var heal dyntc.HealStats
+	var pm dyntc.Metrics
+	err := en.Query(func(e *dyntc.Expr) {
+		nodes = e.Tree().Len()
+		leaves = e.Tree().LeafCount()
+		heal = e.Stats()
+		pm = e.PRAM()
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine": en.Stats(),
+		"tree":   map[string]any{"nodes": nodes, "leaves": leaves},
+		"last_heal": map[string]any{
+			"wound_records":  heal.WoundRecords,
+			"wound_rounds":   heal.WoundRounds,
+			"resimulated":    heal.Resimulated,
+			"rebuild_leaves": heal.RebuildLeaves,
+		},
+		"pram": map[string]any{"steps": pm.Steps, "work": pm.Work, "max_procs": pm.MaxProcs},
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.forest.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trees":      s.forest.Len(),
+		"uptime_s":   time.Since(s.start).Seconds(),
+		"engine":     st,
+		"mean_batch": st.MeanFlush(),
+		"mean_wave":  st.MeanWave(),
+	})
+}

@@ -24,6 +24,15 @@
 // least common ancestors (enable with WithTour). Package-level re-exports
 // give access to the dynamic list-prefix structure of §3 (NewList) and the
 // canonical-form hasher of §5(e) (NewHasher).
+//
+// # Concurrency
+//
+// An Expr is single-writer. For concurrent use, Expr.Serve wraps it in an
+// Engine: a request-coalescing front end that accepts traffic from any
+// number of goroutines and amortizes it into the paper's §1.4 batch
+// requests (see internal/engine). NewForest shards many independent
+// expression trees across engines, and cmd/dyntcd serves a forest over
+// HTTP/JSON.
 package dyntc
 
 import (

@@ -1,0 +1,3 @@
+module dyntc
+
+go 1.24

@@ -1,0 +1,324 @@
+package bench
+
+// The engine load driver: measures the concurrent request-coalescing
+// engine (internal/engine, surfaced as dyntc.Engine) at varying client
+// counts and batch windows, and emits machine-readable BENCH_engine.json
+// so the perf trajectory is tracked across PRs.
+//
+// Each client owns a disjoint region of one shared expression tree and
+// runs a deterministic seeded program: structural operations (grow /
+// collapse) are submitted blocking — their results shape the program —
+// while label updates and value queries are pipelined asynchronously, so
+// the executor sees sustained concurrent pressure and coalescing shows up
+// even with no batching window. Every run is validated against a
+// sequential replay of the same programs on a plain Expr: the final root
+// values must match exactly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dyntc"
+	"dyntc/internal/prng"
+)
+
+// EngineConfig configures the engine load bench.
+type EngineConfig struct {
+	Clients      []int           // client-count sweep
+	Windows      []time.Duration // batching-window sweep
+	OpsPerClient int             // operations per client per run
+	MaxBatch     int             // flush size cap (0 = engine default)
+	Seed         uint64
+}
+
+// DefaultEngineConfig is the sweep cmd/dyntc-bench runs.
+func DefaultEngineConfig(quick bool, seed uint64) EngineConfig {
+	cfg := EngineConfig{
+		Clients:      []int{1, 2, 4, 8, 16, 32},
+		Windows:      []time.Duration{0, 100 * time.Microsecond, time.Millisecond},
+		OpsPerClient: 2000,
+		Seed:         seed,
+	}
+	if quick {
+		cfg.Clients = []int{1, 8}
+		cfg.Windows = []time.Duration{0, 100 * time.Microsecond}
+		cfg.OpsPerClient = 300
+	}
+	return cfg
+}
+
+// EngineResult is one (clients, window) measurement.
+type EngineResult struct {
+	Clients   int     `json:"clients"`
+	WindowUS  float64 `json:"window_us"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	MeanBatch float64 `json:"mean_batch"` // requests per executed flush
+	MeanWave  float64 `json:"mean_wave"`  // requests per conflict-free wave
+	MaxFlush  int64   `json:"max_flush"`
+	Flushes   uint64  `json:"flushes"`
+	Waves     uint64  `json:"waves"`
+
+	PRAMSteps int64 `json:"pram_steps"` // parallel rounds charged
+	PRAMWork  int64 `json:"pram_work"`  // total processor-steps charged
+
+	Root       int64 `json:"root"`
+	ReplayRoot int64 `json:"replay_root"`
+	Match      bool  `json:"match"`
+}
+
+// loadFrame is one uncollapsed grow: parent is internal with children
+// (left, right); only the top frame's right child grows further, so the
+// top frame is always collapsible and left children stay leaves.
+type loadFrame struct{ parent, left, right *dyntc.Node }
+
+// loadApplier abstracts live-concurrent vs sequential-replay execution.
+type loadApplier interface {
+	grow(leaf *dyntc.Node, op dyntc.Op, lv, rv int64) (*dyntc.Node, *dyntc.Node, error)
+	collapse(n *dyntc.Node, v int64) error
+	setAsync(leaf *dyntc.Node, v int64) error
+	valueAsync(n *dyntc.Node) error
+	drain() error
+}
+
+type liveLoad struct {
+	en      *dyntc.Engine
+	pending []*dyntc.Future
+}
+
+func (a *liveLoad) grow(leaf *dyntc.Node, op dyntc.Op, lv, rv int64) (*dyntc.Node, *dyntc.Node, error) {
+	return a.en.Grow(leaf, op, lv, rv)
+}
+func (a *liveLoad) collapse(n *dyntc.Node, v int64) error { return a.en.Collapse(n, v) }
+func (a *liveLoad) setAsync(leaf *dyntc.Node, v int64) error {
+	a.pending = append(a.pending, a.en.SetLeafAsync(leaf, v))
+	return a.maybeDrain()
+}
+func (a *liveLoad) valueAsync(n *dyntc.Node) error {
+	a.pending = append(a.pending, a.en.ValueAsync(n))
+	return a.maybeDrain()
+}
+func (a *liveLoad) maybeDrain() error {
+	if len(a.pending) >= 128 {
+		return a.drain()
+	}
+	return nil
+}
+func (a *liveLoad) drain() error {
+	for _, f := range a.pending {
+		if err := f.Wait(); err != nil {
+			return err
+		}
+	}
+	a.pending = a.pending[:0]
+	return nil
+}
+
+type seqLoad struct{ e *dyntc.Expr }
+
+func (a seqLoad) grow(leaf *dyntc.Node, op dyntc.Op, lv, rv int64) (*dyntc.Node, *dyntc.Node, error) {
+	l, r := a.e.Grow(leaf, op, lv, rv)
+	return l, r, nil
+}
+func (a seqLoad) collapse(n *dyntc.Node, v int64) error { a.e.Collapse(n, v); return nil }
+func (a seqLoad) setAsync(leaf *dyntc.Node, v int64) error {
+	a.e.SetLeaf(leaf, v)
+	return nil
+}
+func (a seqLoad) valueAsync(n *dyntc.Node) error { _ = a.e.Value(n); return nil }
+func (a seqLoad) drain() error                   { return nil }
+
+// loadClient is the deterministic per-client program; its rng stream (and
+// hence structure) is identical live and replayed.
+type loadClient struct {
+	rng   *prng.Source
+	ring  dyntc.Ring
+	base  *dyntc.Node
+	stack []loadFrame
+}
+
+const loadMaxDepth = 20
+
+func (c *loadClient) step(a loadApplier) error {
+	r := c.rng.Intn(100)
+	switch {
+	case r < 15 && len(c.stack) < loadMaxDepth:
+		target := c.base
+		if k := len(c.stack); k > 0 {
+			target = c.stack[k-1].right
+		}
+		op := dyntc.OpAdd(c.ring)
+		if c.rng.Intn(2) == 0 {
+			op = dyntc.OpMul(c.ring)
+		}
+		lv, rv := int64(c.rng.Intn(1000)), int64(c.rng.Intn(1000))
+		if err := a.drain(); err != nil { // order pipelined ops before structure
+			return err
+		}
+		l, rt, err := a.grow(target, op, lv, rv)
+		if err != nil {
+			return err
+		}
+		c.stack = append(c.stack, loadFrame{parent: target, left: l, right: rt})
+		return nil
+	case r < 25 && len(c.stack) > 0:
+		f := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+		if err := a.drain(); err != nil {
+			return err
+		}
+		return a.collapse(f.parent, int64(c.rng.Intn(1000)))
+	case r < 80:
+		leaf := c.base
+		if k := len(c.stack); k > 0 {
+			if i := c.rng.Intn(k + 1); i == k {
+				leaf = c.stack[k-1].right
+			} else {
+				leaf = c.stack[i].left
+			}
+		}
+		return a.setAsync(leaf, int64(c.rng.Intn(1000)))
+	default:
+		n := c.base
+		if k := len(c.stack); k > 0 {
+			f := c.stack[c.rng.Intn(k)]
+			switch c.rng.Intn(3) {
+			case 0:
+				n = f.parent
+			case 1:
+				n = f.left
+			default:
+				n = f.right
+			}
+		}
+		return a.valueAsync(n)
+	}
+}
+
+// engineFanOut grows the single-leaf tree into n disjoint client bases.
+func engineFanOut(e *dyntc.Expr, ring dyntc.Ring, n int) []*dyntc.Node {
+	leaves := []*dyntc.Node{e.Tree().Root}
+	for len(leaves) < n {
+		l, r := e.Grow(leaves[0], dyntc.OpAdd(ring), 1, 1)
+		leaves = append(leaves[1:], l, r)
+	}
+	return leaves
+}
+
+// runEngineLoad executes one (clients, window) cell.
+func runEngineLoad(cfg EngineConfig, clients int, window time.Duration) EngineResult {
+	ring := dyntc.ModRing(1_000_000_007)
+
+	live := dyntc.NewExpr(ring, 1, dyntc.WithSeed(cfg.Seed))
+	bases := engineFanOut(live, ring, clients)
+	en := live.Serve(dyntc.BatchOptions{MaxBatch: cfg.MaxBatch, Window: window})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &loadClient{rng: prng.New(cfg.Seed + uint64(i)*1000), ring: ring, base: bases[i]}
+			a := &liveLoad{en: en}
+			for j := 0; j < cfg.OpsPerClient; j++ {
+				if err := c.step(a); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			errs[i] = a.drain()
+		}(i)
+	}
+	wg.Wait()
+	en.Close()
+	elapsed := time.Since(start)
+
+	for _, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("bench: engine load client failed: %v", err))
+		}
+	}
+
+	// Sequential replay oracle.
+	replay := dyntc.NewExpr(ring, 1, dyntc.WithSeed(cfg.Seed))
+	rbases := engineFanOut(replay, ring, clients)
+	for i := 0; i < clients; i++ {
+		c := &loadClient{rng: prng.New(cfg.Seed + uint64(i)*1000), ring: ring, base: rbases[i]}
+		a := seqLoad{e: replay}
+		for j := 0; j < cfg.OpsPerClient; j++ {
+			if err := c.step(a); err != nil {
+				panic(fmt.Sprintf("bench: replay client failed: %v", err))
+			}
+		}
+	}
+
+	st := en.Stats()
+	pm := live.PRAM()
+	ops := clients * cfg.OpsPerClient
+	return EngineResult{
+		Clients:    clients,
+		WindowUS:   float64(window) / float64(time.Microsecond),
+		Ops:        ops,
+		Seconds:    elapsed.Seconds(),
+		OpsPerSec:  float64(ops) / elapsed.Seconds(),
+		MeanBatch:  st.MeanFlush(),
+		MeanWave:   st.MeanWave(),
+		MaxFlush:   st.MaxFlush,
+		Flushes:    st.Flushes,
+		Waves:      st.Waves,
+		PRAMSteps:  pm.Steps,
+		PRAMWork:   pm.Work,
+		Root:       live.Root(),
+		ReplayRoot: replay.Root(),
+		Match:      live.Root() == replay.Root(),
+	}
+}
+
+// EngineLoad runs the full sweep.
+func EngineLoad(cfg EngineConfig) []EngineResult {
+	var out []EngineResult
+	for _, w := range cfg.Windows {
+		for _, c := range cfg.Clients {
+			out = append(out, runEngineLoad(cfg, c, w))
+		}
+	}
+	return out
+}
+
+// WriteEngineJSON writes results as the tracked BENCH_engine.json payload.
+func WriteEngineJSON(path string, results []EngineResult) error {
+	payload := struct {
+		Bench   string         `json:"bench"`
+		Results []EngineResult `json:"results"`
+	}{Bench: "engine-coalescing", Results: results}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// EngineTable renders results as a dyntc-bench table.
+func EngineTable(results []EngineResult) Table {
+	t := Table{
+		ID:      "E12",
+		Title:   "engine: concurrent request coalescing",
+		Claim:   "mean executed batch size grows with concurrency; results identical to sequential replay",
+		Columns: []string{"clients", "window_us", "ops/s", "mean_batch", "mean_wave", "max_flush", "match"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Clients, fmt.Sprintf("%.0f", r.WindowUS),
+			fmt.Sprintf("%.0f", r.OpsPerSec), r.MeanBatch, r.MeanWave,
+			fmt.Sprint(r.MaxFlush), fmt.Sprint(r.Match))
+	}
+	t.Notes = append(t.Notes,
+		"structural ops blocking, label/value ops pipelined; every run replayed sequentially and compared")
+	return t
+}

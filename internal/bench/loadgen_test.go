@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestEngineLoadQuick(t *testing.T) {
+	cfg := EngineConfig{
+		Clients:      []int{1, 8},
+		Windows:      []time.Duration{0},
+		OpsPerClient: 200,
+		Seed:         42,
+	}
+	results := EngineLoad(cfg)
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if !r.Match {
+			t.Fatalf("clients=%d: live root %d != replay root %d", r.Clients, r.Root, r.ReplayRoot)
+		}
+		if r.OpsPerSec <= 0 {
+			t.Fatalf("clients=%d: ops/sec %f", r.Clients, r.OpsPerSec)
+		}
+	}
+	// The acceptance criterion: with >= 8 concurrent clients, coalescing
+	// demonstrably happens — the mean executed batch size exceeds 1.
+	r8 := results[1]
+	if r8.Clients != 8 {
+		t.Fatalf("unexpected sweep order: %+v", r8)
+	}
+	if r8.MeanBatch <= 1 {
+		t.Fatalf("8 clients: mean batch %.3f, want > 1", r8.MeanBatch)
+	}
+	t.Logf("8 clients: %.0f ops/s, mean batch %.2f, mean wave %.2f, max flush %d",
+		r8.OpsPerSec, r8.MeanBatch, r8.MeanWave, r8.MaxFlush)
+}
+
+func TestWriteEngineJSON(t *testing.T) {
+	cfg := EngineConfig{Clients: []int{2}, Windows: []time.Duration{0}, OpsPerClient: 50, Seed: 1}
+	results := EngineLoad(cfg)
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	if err := WriteEngineJSON(path, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Bench   string         `json:"bench"`
+		Results []EngineResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatalf("BENCH_engine.json is not valid JSON: %v", err)
+	}
+	if payload.Bench != "engine-coalescing" || len(payload.Results) != 1 {
+		t.Fatalf("payload: %+v", payload)
+	}
+}

@@ -1,0 +1,234 @@
+// Package engine turns many concurrent callers into the batches that
+// dynamic parallel tree contraction is built for.
+//
+// Reif & Tate's structure (internal/core) processes a *batch* U of mixed
+// requests — add or delete leaves, modify labels, query values — in
+// O(log(|U|·log n)) expected parallel time, but it is single-writer: the
+// seed repo left batch assembly to a lone caller. This package supplies the
+// missing concurrency seam, in the style of modern batch-dynamic tree
+// systems (Acar et al. 2020; Ikram et al. 2025) whose throughput comes
+// precisely from coalescing concurrent operations into batches before they
+// hit the structure:
+//
+//   - Arbitrarily many goroutines submit Grow / Collapse / SetLeaf /
+//     SetOp / Value / Root / Barrier requests and receive per-request
+//     Futures.
+//   - A single executor goroutine drains the queue with an adaptive
+//     batching window: a flush closes when it reaches MaxBatch, when the
+//     window expires, or — with no window configured — the moment the
+//     executor goes idle, so batching adds no latency when traffic is
+//     light and grows batches automatically as the executor saturates.
+//   - Each flush is partitioned (partition.go) into waves of
+//     node-disjoint requests, and every wave executes as at most one call
+//     to each of the core batch entry points (GrowBatch, CollapseBatch,
+//     SetLeaves, SetOps, Values) — the paper's §1.4 batch-request model.
+//
+// Every request is linearizable: it takes effect atomically between submit
+// and future resolution. Requests touching a common node additionally
+// execute in submission order.
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// Host is the single-writer structure the engine serializes access to.
+// dyntc.Expr satisfies it directly.
+type Host interface {
+	Tree() *TreeT
+	GrowBatch(ops []GrowOp) [][2]*NodeT
+	CollapseBatch(ops []CollapseOp)
+	SetLeaves(leaves []*NodeT, values []int64)
+	SetOps(nodes []*NodeT, ops []OpT)
+	Values(nodes []*NodeT) []int64
+	Root() int64
+}
+
+// Options configures an Engine. The zero value gives sane defaults.
+type Options struct {
+	// MaxBatch caps the number of requests per flush (default 1024).
+	MaxBatch int
+	// Window is the maximum time the executor waits, counted from the
+	// first request of a flush, for more requests to coalesce. Zero means
+	// flush as soon as the queue is momentarily empty (adaptive
+	// idle-flush): zero added latency when idle, large batches under load.
+	Window time.Duration
+	// Queue is the submit queue capacity; submits block (backpressure)
+	// once it fills (default 4096).
+	Queue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.Queue <= 0 {
+		o.Queue = 4096
+	}
+	return o
+}
+
+// Engine is a concurrent request-coalescing front end over one Host. All
+// exported methods are safe for concurrent use.
+type Engine struct {
+	host Host
+	opts Options
+
+	ch chan *Future
+
+	mu       sync.RWMutex // guards closed against concurrent submits
+	closed   bool
+	poisoned bool
+
+	stats statsRec
+
+	done chan struct{}
+}
+
+// New starts an engine (and its executor goroutine) over host.
+func New(host Host, opts Options) *Engine {
+	e := &Engine{
+		host: host,
+		opts: opts.withDefaults(),
+		done: make(chan struct{}),
+	}
+	e.ch = make(chan *Future, e.opts.Queue)
+	go e.run()
+	return e
+}
+
+// Close stops accepting requests, waits for the executor to drain every
+// pending request, and returns. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.ch)
+	}
+	e.mu.Unlock()
+	<-e.done
+}
+
+// submit enqueues f, failing it immediately when the engine is closed.
+func (e *Engine) submit(f *Future) *Future {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		f.resolve(0, [2]*NodeT{}, ErrClosed)
+		return f
+	}
+	// The send happens under the read lock so Close cannot close e.ch
+	// between the check and the send; the executor keeps draining, so
+	// blocked senders always complete.
+	e.ch <- f
+	e.mu.RUnlock()
+	return f
+}
+
+// Grow submits a leaf expansion: ref becomes an op node with two fresh
+// leaves holding (leftVal, rightVal). Future.Pair returns the new leaves.
+func (e *Engine) Grow(ref NodeRef, op OpT, leftVal, rightVal int64) *Future {
+	f := newFuture(kGrow)
+	f.ref, f.op, f.a, f.b = ref, op, leftVal, rightVal
+	return e.submit(f)
+}
+
+// Collapse submits a leaf-pair deletion: ref's two leaf children are
+// removed and ref becomes a leaf holding newValue.
+func (e *Engine) Collapse(ref NodeRef, newValue int64) *Future {
+	f := newFuture(kCollapse)
+	f.ref, f.a = ref, newValue
+	return e.submit(f)
+}
+
+// SetLeaf submits a leaf value update.
+func (e *Engine) SetLeaf(ref NodeRef, value int64) *Future {
+	f := newFuture(kSetLeaf)
+	f.ref, f.a = ref, value
+	return e.submit(f)
+}
+
+// SetOp submits an internal-operation update.
+func (e *Engine) SetOp(ref NodeRef, op OpT) *Future {
+	f := newFuture(kSetOp)
+	f.ref, f.op = ref, op
+	return e.submit(f)
+}
+
+// Value submits a subexpression value query. Future.Value returns it.
+func (e *Engine) Value(ref NodeRef) *Future {
+	f := newFuture(kValue)
+	f.ref = ref
+	return e.submit(f)
+}
+
+// Root submits a root value query. Future.Value returns it.
+func (e *Engine) Root() *Future {
+	return e.submit(newFuture(kRoot))
+}
+
+// Barrier submits fn for exclusive, linearized execution on the executor
+// goroutine: fn sees a quiescent host and may use any of its methods. Tour
+// queries and node-ID resolution ride on this.
+func (e *Engine) Barrier(fn func(Host)) *Future {
+	f := newFuture(kBarrier)
+	f.fn = fn
+	return e.submit(f)
+}
+
+// run is the executor: the only goroutine that touches e.host.
+func (e *Engine) run() {
+	defer close(e.done)
+	for {
+		first, ok := <-e.ch
+		if !ok {
+			return
+		}
+		flush := e.collect(first)
+		e.executeFlush(flush)
+	}
+}
+
+// collect assembles one flush: the adaptive batching window. It returns
+// immediately with whatever has accrued when the queue goes idle (Window
+// 0), or waits up to Window from the first request while the flush is
+// smaller than MaxBatch.
+func (e *Engine) collect(first *Future) []*Future {
+	flush := make([]*Future, 1, 16)
+	flush[0] = first
+
+	// Fast path: drain whatever is already queued.
+	for len(flush) < e.opts.MaxBatch {
+		select {
+		case f, ok := <-e.ch:
+			if !ok {
+				return flush
+			}
+			flush = append(flush, f)
+			continue
+		default:
+		}
+		break
+	}
+
+	if e.opts.Window <= 0 || len(flush) >= e.opts.MaxBatch {
+		return flush
+	}
+
+	// Window path: keep accumulating until the deadline or MaxBatch.
+	timer := time.NewTimer(e.opts.Window)
+	defer timer.Stop()
+	for len(flush) < e.opts.MaxBatch {
+		select {
+		case f, ok := <-e.ch:
+			if !ok {
+				return flush
+			}
+			flush = append(flush, f)
+		case <-timer.C:
+			return flush
+		}
+	}
+	return flush
+}

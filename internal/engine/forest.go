@@ -1,0 +1,119 @@
+package engine
+
+import "sync"
+
+// Forest shards independent expression trees across engines: each tree gets
+// its own Engine (and executor goroutine), so traffic against unrelated
+// trees proceeds fully in parallel while every single tree keeps its
+// single-writer guarantee. The id→engine index is striped to keep the hot
+// Get path uncontended under many concurrent clients.
+type Forest struct {
+	opts Options
+
+	next   sync.Mutex // guards nextID
+	nextID uint64
+
+	shards [forestShards]forestShard
+}
+
+const forestShards = 16
+
+type forestShard struct {
+	mu      sync.RWMutex
+	engines map[uint64]*Engine
+}
+
+// NewForest creates an empty forest; opts configures every engine it adds.
+func NewForest(opts Options) *Forest {
+	f := &Forest{opts: opts, nextID: 1}
+	for i := range f.shards {
+		f.shards[i].engines = make(map[uint64]*Engine)
+	}
+	return f
+}
+
+func (f *Forest) shard(id uint64) *forestShard {
+	return &f.shards[id%forestShards]
+}
+
+// Add starts an engine over host and returns its tree id.
+func (f *Forest) Add(host Host) (uint64, *Engine) {
+	f.next.Lock()
+	id := f.nextID
+	f.nextID++
+	f.next.Unlock()
+
+	e := New(host, f.opts)
+	s := f.shard(id)
+	s.mu.Lock()
+	s.engines[id] = e
+	s.mu.Unlock()
+	return id, e
+}
+
+// Get returns the engine serving tree id.
+func (f *Forest) Get(id uint64) (*Engine, bool) {
+	s := f.shard(id)
+	s.mu.RLock()
+	e, ok := s.engines[id]
+	s.mu.RUnlock()
+	return e, ok
+}
+
+// Drop closes and removes tree id, reporting whether it existed. Pending
+// requests drain before Drop returns.
+func (f *Forest) Drop(id uint64) bool {
+	s := f.shard(id)
+	s.mu.Lock()
+	e, ok := s.engines[id]
+	delete(s.engines, id)
+	s.mu.Unlock()
+	if ok {
+		e.Close()
+	}
+	return ok
+}
+
+// Len returns the number of live trees.
+func (f *Forest) Len() int {
+	n := 0
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.RLock()
+		n += len(s.engines)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Each calls fn for every live tree. fn must not call back into the forest.
+func (f *Forest) Each(fn func(id uint64, e *Engine)) {
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.RLock()
+		for id, e := range s.engines {
+			fn(id, e)
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// TotalStats aggregates the stats of every live engine.
+func (f *Forest) TotalStats() Stats {
+	var total Stats
+	f.Each(func(_ uint64, e *Engine) { total.Add(e.Stats()) })
+	return total
+}
+
+// Close drains and closes every engine and empties the forest.
+func (f *Forest) Close() {
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		for id, e := range s.engines {
+			e.Close()
+			delete(s.engines, id)
+		}
+		s.mu.Unlock()
+	}
+}

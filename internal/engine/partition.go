@@ -1,0 +1,338 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// This file turns one flush — an arbitrary mix of concurrent requests — into
+// the conflict-free batch kinds internal/core supports.
+//
+// A flush is partitioned into *waves*. A wave is a set of requests whose
+// node footprints are pairwise disjoint, so each wave executes as at most
+// one GrowBatch + one CollapseBatch + one SetLeaves + one SetOps + one
+// Values call, in that fixed order; disjointness makes the order
+// irrelevant to the results and keeps every core precondition (checked at
+// planning time, against the exact tree state the wave will run on) valid
+// through the wave.
+//
+// Footprints: Grow and SetLeaf write {leaf}; SetOp writes {node}; Collapse
+// writes {node, node.Left, node.Right} (the children are deleted); Value
+// reads {node}; Root reads nothing destructible. A request joins the
+// current wave unless its footprint intersects the wave's footprint or the
+// footprint of an already-deferred request — the second condition keeps
+// same-node requests in submission order. Deferred requests form the next
+// wave's input, so planning always terminates: the earliest pending
+// request always joins (or fails validation).
+//
+// Barriers seal the flush: a barrier runs alone between waves.
+
+// footprint is the set of live nodes a request touches, with reads and
+// writes distinguished (reads may share a wave with reads).
+type footprint struct {
+	nodes [3]*NodeT
+	n     int
+	write bool
+}
+
+func (fp *footprint) add(n *NodeT) {
+	fp.nodes[fp.n] = n
+	fp.n++
+}
+
+// touched maps nodes to the strongest access mode seen (true = write).
+type touched map[*NodeT]bool
+
+func (t touched) add(fp footprint) {
+	for i := 0; i < fp.n; i++ {
+		if fp.write || !t[fp.nodes[i]] {
+			t[fp.nodes[i]] = fp.write
+		}
+	}
+}
+
+// conflicts reports whether fp cannot coexist with t: write/any or
+// any/write overlap.
+func (t touched) conflicts(fp footprint) bool {
+	for i := 0; i < fp.n; i++ {
+		w, ok := t[fp.nodes[i]]
+		if ok && (w || fp.write) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolve returns the live node a ref addresses, or an error. Liveness is
+// checked against Tree.Nodes, where deleted nodes are nil-ed but keep
+// their slot.
+func (e *Engine) resolve(ref NodeRef) (*NodeT, error) {
+	t := e.host.Tree()
+	if ref.ByID {
+		if ref.ID < 0 || ref.ID >= len(t.Nodes) || t.Nodes[ref.ID] == nil {
+			return nil, fmt.Errorf("%w (id %d)", ErrDeadNode, ref.ID)
+		}
+		return t.Nodes[ref.ID], nil
+	}
+	n := ref.N
+	if n == nil || n.ID < 0 || n.ID >= len(t.Nodes) || t.Nodes[n.ID] != n {
+		return nil, ErrDeadNode
+	}
+	return n, nil
+}
+
+// planOne resolves and validates f against the current tree state and
+// returns its footprint. An error means the request is invalid *now* and —
+// because it is only called for requests whose nodes no pending request
+// ahead of them touches — invalid at its execution point.
+func (e *Engine) planOne(f *Future) (footprint, error) {
+	var fp footprint
+	switch f.kind {
+	case kRoot:
+		return fp, nil
+	case kBarrier:
+		return fp, nil
+	}
+	n, err := e.resolve(f.ref)
+	if err != nil {
+		return fp, err
+	}
+	switch f.kind {
+	case kGrow, kSetLeaf:
+		if !n.IsLeaf() {
+			return fp, ErrNotLeaf
+		}
+		fp.write = true
+		fp.add(n)
+	case kCollapse:
+		if n.IsLeaf() {
+			return fp, ErrNotInternal
+		}
+		if !n.Left.IsLeaf() || !n.Right.IsLeaf() {
+			return fp, ErrNotCollapsible
+		}
+		fp.write = true
+		fp.add(n)
+		fp.add(n.Left)
+		fp.add(n.Right)
+	case kSetOp:
+		if n.IsLeaf() {
+			return fp, ErrNotInternal
+		}
+		fp.write = true
+		fp.add(n)
+	case kValue:
+		fp.add(n)
+	}
+	f.ref = NodeRef{N: n} // pin the resolved handle for execution
+	return fp, nil
+}
+
+// executeFlush partitions flush into waves and executes them. A panic
+// while a wave runs (a bug, not a validation miss) fails the whole flush
+// and poisons the engine: the contraction's internal state is unknown.
+func (e *Engine) executeFlush(flush []*Future) {
+	if e.poisoned {
+		for _, f := range flush {
+			f.resolve(0, [2]*NodeT{}, ErrPoisoned)
+		}
+		return
+	}
+	e.stats.flush(len(flush))
+
+	pending := flush
+	for len(pending) > 0 {
+		var (
+			wave     []*Future
+			deferred []*Future
+			waveFP   = touched{}
+			defFP    = touched{}
+			sealed   = false // a barrier in the wave: nothing may join
+			deferAll = false // a deferred barrier: everything after defers
+		)
+		for _, f := range pending {
+			if deferAll || sealed {
+				deferred = append(deferred, f)
+				continue
+			}
+			if f.kind == kBarrier {
+				if len(wave) == 0 {
+					wave = append(wave, f)
+					sealed = true
+				} else {
+					deferred = append(deferred, f)
+					deferAll = true
+				}
+				continue
+			}
+			if order := e.footprintAll(f); defFP.conflicts(order) {
+				// A request ahead of f touches f's nodes: preserve
+				// submission order without validating yet (the earlier
+				// request may change f's validity).
+				deferred = append(deferred, f)
+				defFP.add(order)
+				continue
+			}
+			fp, err := e.planOne(f)
+			if err != nil {
+				e.stats.fail()
+				f.resolve(0, [2]*NodeT{}, err)
+				continue
+			}
+			if waveFP.conflicts(fp) {
+				deferred = append(deferred, f)
+				defFP.add(fp)
+				continue
+			}
+			wave = append(wave, f)
+			waveFP.add(fp)
+		}
+		if len(wave) > 0 {
+			e.runWave(wave)
+		}
+		if e.poisoned {
+			// A wave panic mid-flush: the structure is in an unknown
+			// state, so the remaining waves must not touch it.
+			for _, f := range deferred {
+				f.resolve(0, [2]*NodeT{}, ErrPoisoned)
+			}
+			return
+		}
+		pending = deferred
+	}
+}
+
+// footprintAll returns a conservative footprint for ordering against
+// deferred requests: the nodes f names, all treated as writes, without
+// validation. ByID refs resolve against the current tree (we are on the
+// executor goroutine); an unresolvable ref has an empty footprint — it can
+// never conflict, and fails validation when reached.
+func (e *Engine) footprintAll(f *Future) footprint {
+	fp := footprint{write: f.kind != kValue}
+	if f.kind == kRoot || f.kind == kBarrier {
+		return fp
+	}
+	n, err := e.resolve(f.ref)
+	if err != nil {
+		return footprint{}
+	}
+	fp.add(n)
+	if f.kind == kCollapse && !n.IsLeaf() {
+		fp.add(n.Left)
+		fp.add(n.Right)
+	}
+	return fp
+}
+
+// runWave executes one conflict-free wave as the core batch calls of §1.4.
+func (e *Engine) runWave(wave []*Future) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.poisoned = true
+			err := fmt.Errorf("%w: %v", ErrPoisoned, r)
+			for _, f := range wave {
+				select {
+				case <-f.done:
+				default:
+					f.resolve(0, [2]*NodeT{}, err)
+				}
+			}
+		}
+	}()
+	e.stats.wave()
+
+	if wave[0].kind == kBarrier {
+		f := wave[0]
+		f.fn(e.host)
+		e.stats.done(kBarrier)
+		f.resolve(0, [2]*NodeT{}, nil)
+		return
+	}
+
+	var (
+		grows, collapses, setLeaves, setOps, values []*Future
+	)
+	for _, f := range wave {
+		switch f.kind {
+		case kGrow:
+			grows = append(grows, f)
+		case kCollapse:
+			collapses = append(collapses, f)
+		case kSetLeaf:
+			setLeaves = append(setLeaves, f)
+		case kSetOp:
+			setOps = append(setOps, f)
+		case kValue, kRoot:
+			values = append(values, f)
+		}
+	}
+
+	if len(grows) > 0 {
+		ops := make([]GrowOp, len(grows))
+		for i, f := range grows {
+			ops[i] = GrowOp{Leaf: f.ref.N, Op: f.op, LeftVal: f.a, RightVal: f.b}
+		}
+		pairs := e.host.GrowBatch(ops)
+		for i, f := range grows {
+			e.stats.done(kGrow)
+			f.resolve(0, pairs[i], nil)
+		}
+	}
+	if len(collapses) > 0 {
+		ops := make([]CollapseOp, len(collapses))
+		for i, f := range collapses {
+			ops[i] = CollapseOp{Node: f.ref.N, NewValue: f.a}
+		}
+		e.host.CollapseBatch(ops)
+		for _, f := range collapses {
+			e.stats.done(kCollapse)
+			f.resolve(0, [2]*NodeT{}, nil)
+		}
+	}
+	if len(setLeaves) > 0 {
+		ls := make([]*NodeT, len(setLeaves))
+		vs := make([]int64, len(setLeaves))
+		for i, f := range setLeaves {
+			ls[i], vs[i] = f.ref.N, f.a
+		}
+		e.host.SetLeaves(ls, vs)
+		for _, f := range setLeaves {
+			e.stats.done(kSetLeaf)
+			f.resolve(0, [2]*NodeT{}, nil)
+		}
+	}
+	if len(setOps) > 0 {
+		ns := make([]*NodeT, len(setOps))
+		ops := make([]OpT, len(setOps))
+		for i, f := range setOps {
+			ns[i], ops[i] = f.ref.N, f.op
+		}
+		e.host.SetOps(ns, ops)
+		for _, f := range setOps {
+			e.stats.done(kSetOp)
+			f.resolve(0, [2]*NodeT{}, nil)
+		}
+	}
+	if len(values) > 0 {
+		var ns []*NodeT
+		for _, f := range values {
+			if f.kind == kValue {
+				ns = append(ns, f.ref.N)
+			}
+		}
+		var vals []int64
+		if len(ns) > 0 {
+			vals = e.host.Values(ns)
+		}
+		i := 0
+		for _, f := range values {
+			if f.kind == kValue {
+				e.stats.done(kValue)
+				f.resolve(vals[i], [2]*NodeT{}, nil)
+				i++
+			} else {
+				e.stats.done(kRoot)
+				f.resolve(e.host.Root(), [2]*NodeT{}, nil)
+			}
+		}
+	}
+}

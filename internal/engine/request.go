@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"dyntc/internal/semiring"
+	"dyntc/internal/tree"
+)
+
+// Errors reported through futures. Engine validation replaces the panics of
+// internal/core: a malformed request fails its own future and never reaches
+// the contraction, so one bad client cannot take the executor down.
+var (
+	// ErrClosed reports a submit after Close.
+	ErrClosed = errors.New("engine: closed")
+	// ErrDeadNode reports a request addressing a deleted (or foreign) node.
+	ErrDeadNode = errors.New("engine: node is not live in this tree")
+	// ErrNotLeaf reports Grow/SetLeaf on an internal node.
+	ErrNotLeaf = errors.New("engine: node is not a leaf")
+	// ErrNotCollapsible reports Collapse on a node without two leaf children.
+	ErrNotCollapsible = errors.New("engine: node does not have two leaf children")
+	// ErrNotInternal reports SetOp on a leaf.
+	ErrNotInternal = errors.New("engine: node is not an internal node")
+	// ErrPoisoned reports that a previous executor panic left the structure
+	// in an unknown state; the engine refuses further traffic.
+	ErrPoisoned = errors.New("engine: poisoned by a previous executor panic")
+)
+
+// NodeRef addresses a node of the host tree either by live handle or by its
+// dense tree ID. ID-based refs are resolved on the executor goroutine
+// against a quiescent tree, which is what remote callers (cmd/dyntcd) need:
+// they never hold *tree.Node pointers.
+type NodeRef struct {
+	N    *tree.Node
+	ID   int
+	ByID bool
+}
+
+// Ref addresses a node by live handle.
+func Ref(n *tree.Node) NodeRef { return NodeRef{N: n} }
+
+// RefID addresses a node by tree ID.
+func RefID(id int) NodeRef { return NodeRef{ID: id, ByID: true} }
+
+// kind enumerates the request kinds the engine coalesces.
+type kind uint8
+
+const (
+	kGrow kind = iota
+	kCollapse
+	kSetLeaf
+	kSetOp
+	kValue
+	kRoot
+	kBarrier
+)
+
+func (k kind) String() string {
+	switch k {
+	case kGrow:
+		return "grow"
+	case kCollapse:
+		return "collapse"
+	case kSetLeaf:
+		return "set-leaf"
+	case kSetOp:
+		return "set-op"
+	case kValue:
+		return "value"
+	case kRoot:
+		return "root"
+	case kBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Future is one submitted request. The submitting goroutine keeps the only
+// reference until the executor resolves it; Wait blocks until then. A
+// Future is resolved exactly once and may be waited on by any number of
+// goroutines afterwards.
+type Future struct {
+	kind kind
+	ref  NodeRef
+	op   semiring.Op
+	a, b int64      // grow: left/right values; set-leaf/collapse: new value in a
+	fn   func(Host) // barrier payload
+
+	// resolution — written by the executor before close(done), read by
+	// waiters after <-done; the channel provides the happens-before edge.
+	val  int64
+	pair [2]*tree.Node
+	err  error
+	done chan struct{}
+}
+
+func newFuture(k kind) *Future {
+	return &Future{kind: k, done: make(chan struct{})}
+}
+
+// resolve fills the result and releases waiters. Must be called exactly
+// once, by the executor.
+func (f *Future) resolve(val int64, pair [2]*tree.Node, err error) {
+	f.val, f.pair, f.err = val, pair, err
+	close(f.done)
+}
+
+// Done returns a channel closed when the request has executed (or failed).
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the request has executed and returns its error.
+func (f *Future) Wait() error {
+	<-f.done
+	return f.err
+}
+
+// Value returns the request's scalar result (value / root queries) after
+// Wait.
+func (f *Future) Value() (int64, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Pair returns the two leaves created by a grow request after Wait.
+func (f *Future) Pair() (l, r *tree.Node, err error) {
+	<-f.done
+	return f.pair[0], f.pair[1], f.err
+}

@@ -1,0 +1,123 @@
+package engine
+
+import "sync/atomic"
+
+// statsRec is the executor-side accumulator. Counters are atomics so
+// Stats() snapshots from any goroutine without touching the executor.
+type statsRec struct {
+	requests  atomic.Uint64
+	flushes   atomic.Uint64
+	waves     atomic.Uint64
+	errors    atomic.Uint64
+	maxFlush  atomic.Int64
+	grows     atomic.Uint64
+	collapses atomic.Uint64
+	setLeaves atomic.Uint64
+	setOps    atomic.Uint64
+	values    atomic.Uint64
+	roots     atomic.Uint64
+	barriers  atomic.Uint64
+}
+
+func (s *statsRec) flush(n int) {
+	s.requests.Add(uint64(n))
+	s.flushes.Add(1)
+	for {
+		cur := s.maxFlush.Load()
+		if int64(n) <= cur || s.maxFlush.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+func (s *statsRec) wave() { s.waves.Add(1) }
+func (s *statsRec) fail() { s.errors.Add(1) }
+
+func (s *statsRec) done(k kind) {
+	switch k {
+	case kGrow:
+		s.grows.Add(1)
+	case kCollapse:
+		s.collapses.Add(1)
+	case kSetLeaf:
+		s.setLeaves.Add(1)
+	case kSetOp:
+		s.setOps.Add(1)
+	case kValue:
+		s.values.Add(1)
+	case kRoot:
+		s.roots.Add(1)
+	case kBarrier:
+		s.barriers.Add(1)
+	}
+}
+
+// Stats is a snapshot of an engine's coalescing behaviour.
+type Stats struct {
+	Requests uint64 `json:"requests"`  // requests that reached the executor
+	Flushes  uint64 `json:"flushes"`   // adaptive batches executed
+	Waves    uint64 `json:"waves"`     // conflict-free waves executed
+	Errors   uint64 `json:"errors"`    // requests failed by validation
+	MaxFlush int64  `json:"max_flush"` // largest flush seen
+
+	Grows     uint64 `json:"grows"`
+	Collapses uint64 `json:"collapses"`
+	SetLeaves uint64 `json:"set_leaves"`
+	SetOps    uint64 `json:"set_ops"`
+	Values    uint64 `json:"values"`
+	Roots     uint64 `json:"roots"`
+	Barriers  uint64 `json:"barriers"`
+}
+
+// MeanFlush is the mean executed batch size: requests per flush. Under
+// concurrent load this exceeds 1 — the whole point of coalescing.
+func (s Stats) MeanFlush() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Requests) / float64(s.Flushes)
+}
+
+// MeanWave is the mean conflict-free wave input: requests per wave.
+func (s Stats) MeanWave() float64 {
+	if s.Waves == 0 {
+		return 0
+	}
+	return float64(s.Requests) / float64(s.Waves)
+}
+
+// Add accumulates other into s (for forest-wide aggregation).
+func (s *Stats) Add(other Stats) {
+	s.Requests += other.Requests
+	s.Flushes += other.Flushes
+	s.Waves += other.Waves
+	s.Errors += other.Errors
+	if other.MaxFlush > s.MaxFlush {
+		s.MaxFlush = other.MaxFlush
+	}
+	s.Grows += other.Grows
+	s.Collapses += other.Collapses
+	s.SetLeaves += other.SetLeaves
+	s.SetOps += other.SetOps
+	s.Values += other.Values
+	s.Roots += other.Roots
+	s.Barriers += other.Barriers
+}
+
+// Stats returns a point-in-time snapshot.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:  e.stats.requests.Load(),
+		Flushes:   e.stats.flushes.Load(),
+		Waves:     e.stats.waves.Load(),
+		Errors:    e.stats.errors.Load(),
+		MaxFlush:  e.stats.maxFlush.Load(),
+		Grows:     e.stats.grows.Load(),
+		Collapses: e.stats.collapses.Load(),
+		SetLeaves: e.stats.setLeaves.Load(),
+		SetOps:    e.stats.setOps.Load(),
+		Values:    e.stats.values.Load(),
+		Roots:     e.stats.roots.Load(),
+		Barriers:  e.stats.barriers.Load(),
+	}
+}

@@ -1,0 +1,302 @@
+package dyntc
+
+import (
+	"sync"
+	"time"
+
+	"dyntc/internal/engine"
+)
+
+// This file is the concurrent face of the package: Expr.Serve wraps an
+// Expr in a request-coalescing engine (internal/engine) that makes it safe
+// for arbitrarily many goroutines, amortizing concurrent traffic into the
+// batch requests of the paper's §1.4; NewForest shards independent
+// expression trees across engines so unrelated trees proceed fully in
+// parallel.
+
+// Engine is a concurrent, linearizable front end over one Expr. All
+// methods are safe for concurrent use from any number of goroutines;
+// requests submitted while the executor is busy coalesce into batches, so
+// throughput grows with concurrency (Theorem 4.2's O(log(|U|·log n))
+// batch bound, amortized over |U| concurrent callers).
+//
+// While an Engine is open, the wrapped Expr must not be used directly —
+// route everything through the Engine (Query gives linearized access for
+// anything without a dedicated method).
+type Engine struct {
+	expr  *Expr
+	inner *engine.Engine
+}
+
+// Future is a pending engine request. Wait/Value/Pair block until the
+// request has executed.
+type Future = engine.Future
+
+// EngineStats is a snapshot of an engine's coalescing behaviour.
+type EngineStats = engine.Stats
+
+// BatchOptions tunes the adaptive batching window. The zero value gives
+// defaults: flush whenever the executor goes idle (no added latency),
+// batches capped at 1024, queue capacity 4096.
+type BatchOptions struct {
+	// MaxBatch caps requests per flush.
+	MaxBatch int
+	// Window, when positive, lets a flush accumulate for up to this long
+	// (counted from its first request) before executing, trading latency
+	// for larger batches.
+	Window time.Duration
+	// Queue is the submit queue capacity; submits block once it fills.
+	Queue int
+}
+
+// Serve starts an engine over e and returns it. Close the engine to drain
+// pending requests and reclaim the Expr for direct use.
+func (e *Expr) Serve(opts BatchOptions) *Engine {
+	return &Engine{
+		expr: e,
+		inner: engine.New(e, engine.Options{
+			MaxBatch: opts.MaxBatch,
+			Window:   opts.Window,
+			Queue:    opts.Queue,
+		}),
+	}
+}
+
+// Close stops accepting requests and waits for pending ones to drain.
+func (en *Engine) Close() { en.inner.Close() }
+
+// Stats returns a point-in-time snapshot of coalescing behaviour.
+func (en *Engine) Stats() EngineStats { return en.inner.Stats() }
+
+// --- asynchronous API: submit now, redeem the Future later ---
+
+// GrowAsync submits a leaf expansion; Future.Pair returns the new leaves.
+func (en *Engine) GrowAsync(leaf *Node, op Op, leftVal, rightVal int64) *Future {
+	return en.inner.Grow(engine.Ref(leaf), op, leftVal, rightVal)
+}
+
+// CollapseAsync submits a leaf-pair deletion.
+func (en *Engine) CollapseAsync(n *Node, newValue int64) *Future {
+	return en.inner.Collapse(engine.Ref(n), newValue)
+}
+
+// SetLeafAsync submits a leaf value update.
+func (en *Engine) SetLeafAsync(leaf *Node, v int64) *Future {
+	return en.inner.SetLeaf(engine.Ref(leaf), v)
+}
+
+// SetOpAsync submits an internal-operation update.
+func (en *Engine) SetOpAsync(n *Node, op Op) *Future {
+	return en.inner.SetOp(engine.Ref(n), op)
+}
+
+// ValueAsync submits a subexpression value query.
+func (en *Engine) ValueAsync(n *Node) *Future {
+	return en.inner.Value(engine.Ref(n))
+}
+
+// RootAsync submits a root value query.
+func (en *Engine) RootAsync() *Future { return en.inner.Root() }
+
+// --- synchronous API: one blocking call per request ---
+
+// Grow expands leaf into an op node with two fresh leaves and returns them.
+func (en *Engine) Grow(leaf *Node, op Op, leftVal, rightVal int64) (l, r *Node, err error) {
+	return en.GrowAsync(leaf, op, leftVal, rightVal).Pair()
+}
+
+// Collapse deletes n's two leaf children, making n a leaf with newValue.
+func (en *Engine) Collapse(n *Node, newValue int64) error {
+	return en.CollapseAsync(n, newValue).Wait()
+}
+
+// SetLeaf updates one leaf value.
+func (en *Engine) SetLeaf(leaf *Node, v int64) error {
+	return en.SetLeafAsync(leaf, v).Wait()
+}
+
+// SetOp updates the operation at an internal node.
+func (en *Engine) SetOp(n *Node, op Op) error {
+	return en.SetOpAsync(n, op).Wait()
+}
+
+// Value returns the value of the subexpression rooted at n.
+func (en *Engine) Value(n *Node) (int64, error) {
+	return en.ValueAsync(n).Value()
+}
+
+// Root returns the value of the whole expression.
+func (en *Engine) Root() (int64, error) {
+	return en.RootAsync().Value()
+}
+
+// Query runs fn with exclusive, linearized access to the Expr: fn sees a
+// quiescent tree and may call any Expr method. Use it for the §5 tour
+// queries and anything else without a dedicated Engine method.
+func (en *Engine) Query(fn func(*Expr)) error {
+	return en.inner.Barrier(func(engine.Host) { fn(en.expr) }).Wait()
+}
+
+// Preorder returns n's 1-based preorder number (requires WithTour on the
+// underlying Expr), linearized against concurrent updates.
+func (en *Engine) Preorder(n *Node) (int, error) {
+	var v int
+	err := en.Query(func(e *Expr) { v = e.Preorder(n) })
+	return v, err
+}
+
+// SubtreeSize returns the node count of n's subtree (requires WithTour).
+func (en *Engine) SubtreeSize(n *Node) (int, error) {
+	var v int
+	err := en.Query(func(e *Expr) { v = e.SubtreeSize(n) })
+	return v, err
+}
+
+// LCA returns the least common ancestor of u and v (requires WithTour).
+func (en *Engine) LCA(u, v *Node) (*Node, error) {
+	var n *Node
+	err := en.Query(func(e *Expr) { n = e.LCA(u, v) })
+	return n, err
+}
+
+// --- ID-addressed API, for callers that cannot hold node handles ---
+// (cmd/dyntcd resolves wire-format node IDs through these; IDs are the
+// dense, lifetime-stable tree.Node.ID values.)
+
+// GrowID is Grow addressed by node ID, returning the new leaves' IDs.
+func (en *Engine) GrowID(leafID int, op Op, leftVal, rightVal int64) (lID, rID int, err error) {
+	l, r, err := en.inner.Grow(engine.RefID(leafID), op, leftVal, rightVal).Pair()
+	if err != nil {
+		return 0, 0, err
+	}
+	return l.ID, r.ID, nil
+}
+
+// CollapseID is Collapse addressed by node ID.
+func (en *Engine) CollapseID(nodeID int, newValue int64) error {
+	return en.inner.Collapse(engine.RefID(nodeID), newValue).Wait()
+}
+
+// SetLeafID is SetLeaf addressed by node ID.
+func (en *Engine) SetLeafID(leafID int, v int64) error {
+	return en.inner.SetLeaf(engine.RefID(leafID), v).Wait()
+}
+
+// SetOpID is SetOp addressed by node ID.
+func (en *Engine) SetOpID(nodeID int, op Op) error {
+	return en.inner.SetOp(engine.RefID(nodeID), op).Wait()
+}
+
+// ValueID is Value addressed by node ID.
+func (en *Engine) ValueID(nodeID int) (int64, error) {
+	return en.inner.Value(engine.RefID(nodeID)).Value()
+}
+
+// GrowIDAsync is GrowAsync addressed by node ID.
+func (en *Engine) GrowIDAsync(leafID int, op Op, leftVal, rightVal int64) *Future {
+	return en.inner.Grow(engine.RefID(leafID), op, leftVal, rightVal)
+}
+
+// CollapseIDAsync is CollapseAsync addressed by node ID.
+func (en *Engine) CollapseIDAsync(nodeID int, newValue int64) *Future {
+	return en.inner.Collapse(engine.RefID(nodeID), newValue)
+}
+
+// SetLeafIDAsync is SetLeafAsync addressed by node ID.
+func (en *Engine) SetLeafIDAsync(leafID int, v int64) *Future {
+	return en.inner.SetLeaf(engine.RefID(leafID), v)
+}
+
+// SetOpIDAsync is SetOpAsync addressed by node ID.
+func (en *Engine) SetOpIDAsync(nodeID int, op Op) *Future {
+	return en.inner.SetOp(engine.RefID(nodeID), op)
+}
+
+// ValueIDAsync is ValueAsync addressed by node ID.
+func (en *Engine) ValueIDAsync(nodeID int) *Future {
+	return en.inner.Value(engine.RefID(nodeID))
+}
+
+// compile-time check: Expr is an engine host.
+var _ engine.Host = (*Expr)(nil)
+
+// TreeID identifies a tree within a Forest.
+type TreeID = uint64
+
+// Forest serves many independent expression trees, one engine (and one
+// executor goroutine) per tree, so unrelated trees proceed fully in
+// parallel. All methods are safe for concurrent use.
+type Forest struct {
+	inner *engine.Forest
+
+	mu    sync.Mutex
+	exprs map[TreeID]*Engine
+}
+
+// NewForest creates an empty forest; opts configures every tree's engine.
+func NewForest(opts BatchOptions) *Forest {
+	return &Forest{
+		inner: engine.NewForest(engine.Options{
+			MaxBatch: opts.MaxBatch,
+			Window:   opts.Window,
+			Queue:    opts.Queue,
+		}),
+		exprs: make(map[TreeID]*Engine),
+	}
+}
+
+// Create adds a new single-leaf expression tree over ring r and returns
+// its id and serving engine.
+func (f *Forest) Create(r Ring, rootValue int64, opts ...Option) (TreeID, *Engine) {
+	expr := NewExpr(r, rootValue, opts...)
+	id, inner := f.inner.Add(expr)
+	en := &Engine{expr: expr, inner: inner}
+	f.mu.Lock()
+	f.exprs[id] = en
+	f.mu.Unlock()
+	return id, en
+}
+
+// Get returns the engine serving tree id.
+func (f *Forest) Get(id TreeID) (*Engine, bool) {
+	f.mu.Lock()
+	en, ok := f.exprs[id]
+	f.mu.Unlock()
+	return en, ok
+}
+
+// Drop closes and removes tree id, reporting whether it existed.
+func (f *Forest) Drop(id TreeID) bool {
+	f.mu.Lock()
+	delete(f.exprs, id)
+	f.mu.Unlock()
+	return f.inner.Drop(id)
+}
+
+// Len returns the number of live trees.
+func (f *Forest) Len() int { return f.inner.Len() }
+
+// Each calls fn for every live tree. fn must not call back into the
+// forest's lifecycle methods.
+func (f *Forest) Each(fn func(id TreeID, en *Engine)) {
+	f.mu.Lock()
+	ens := make(map[TreeID]*Engine, len(f.exprs))
+	for id, en := range f.exprs {
+		ens[id] = en
+	}
+	f.mu.Unlock()
+	for id, en := range ens {
+		fn(id, en)
+	}
+}
+
+// Stats aggregates the engine stats of every live tree.
+func (f *Forest) Stats() EngineStats { return f.inner.TotalStats() }
+
+// Close drains and closes every tree's engine.
+func (f *Forest) Close() {
+	f.inner.Close()
+	f.mu.Lock()
+	f.exprs = make(map[TreeID]*Engine)
+	f.mu.Unlock()
+}
