@@ -15,7 +15,14 @@
 //
 //	dyntc-bench -engine                          # default sweep
 //	dyntc-bench -engine -clients=1,8,64 -windows=0,1ms -ops=5000
+//	dyntc-bench -engine -workers=1,2,4 -grain=128
 //	dyntc-bench -engine -quick -out=BENCH_engine.json
+//
+// The -workers sweep serves each run's waves on a PRAM worker pool of
+// that size (1 = sequential machine); every result records the worker
+// count and its wall-clock speedup against the workers=1 run of the same
+// (clients, window) cell. -grain lowers the machine's sequential
+// threshold so smaller batches execute pool-parallel.
 package main
 
 import (
@@ -37,6 +44,8 @@ func main() {
 		engine  = flag.Bool("engine", false, "run the engine load driver instead of the experiments")
 		clients = flag.String("clients", "", "engine mode: comma-separated client counts (default 1,2,4,8,16,32)")
 		windows = flag.String("windows", "", "engine mode: comma-separated batch windows, e.g. 0,100us,1ms")
+		workers = flag.String("workers", "", "engine mode: comma-separated PRAM worker-pool sizes (default 1,4)")
+		grain   = flag.Int("grain", 0, "engine mode: machine sequential threshold (0 = default 1024)")
 		ops     = flag.Int("ops", 0, "engine mode: operations per client (default 2000; 300 with -quick)")
 		out     = flag.String("out", "BENCH_engine.json", "engine mode: output JSON path ('' to skip)")
 	)
@@ -50,6 +59,12 @@ func main() {
 		if *windows != "" {
 			ecfg.Windows = mustDurations(*windows)
 		}
+		if *workers != "" {
+			ecfg.Workers = mustInts(*workers)
+		}
+		if *grain > 0 {
+			ecfg.Grain = *grain
+		}
 		if *ops > 0 {
 			ecfg.OpsPerClient = *ops
 		}
@@ -58,8 +73,8 @@ func main() {
 		tb.Fprint(os.Stdout)
 		for _, r := range results {
 			if !r.Match {
-				fmt.Fprintf(os.Stderr, "dyntc-bench: FAIL clients=%d window=%.0fus: live root %d != replay %d\n",
-					r.Clients, r.WindowUS, r.Root, r.ReplayRoot)
+				fmt.Fprintf(os.Stderr, "dyntc-bench: FAIL clients=%d window=%.0fus workers=%d: live root %d != replay %d\n",
+					r.Clients, r.WindowUS, r.Workers, r.Root, r.ReplayRoot)
 				os.Exit(1)
 			}
 		}

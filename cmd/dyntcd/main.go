@@ -10,6 +10,13 @@
 //
 //	dyntcd -addr :8080
 //	dyntcd -addr :8080 -window 200us -maxbatch 2048
+//	dyntcd -addr :8080 -workers 8          # PRAM worker pool per tree
+//
+// -workers (default GOMAXPROCS) sets the goroutine parallelism of each
+// tree's PRAM machine: a wave's node-disjoint grow/collapse/set batches
+// execute on a persistent worker pool. 1 forces sequential wave
+// execution; metered PRAM costs are identical either way. The setting is
+// surfaced in GET /v1/stats.
 //
 // Quick session:
 //
@@ -27,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -39,10 +47,11 @@ func main() {
 		window   = flag.Duration("window", 0, "batching window (0 = adaptive idle-flush)")
 		maxBatch = flag.Int("maxbatch", 0, "max requests per flush (0 = default 1024)")
 		queue    = flag.Int("queue", 0, "per-tree submit queue capacity (0 = default 4096)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "PRAM worker-pool size per tree (1 = sequential wave execution)")
 	)
 	flag.Parse()
 
-	s := newServer(dyntc.BatchOptions{MaxBatch: *maxBatch, Window: *window, Queue: *queue})
+	s := newServer(dyntc.BatchOptions{MaxBatch: *maxBatch, Window: *window, Queue: *queue, Workers: *workers})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
@@ -60,7 +69,7 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("dyntcd listening on %s (window=%v maxbatch=%d)", *addr, *window, *maxBatch)
+	log.Printf("dyntcd listening on %s (window=%v maxbatch=%d workers=%d)", *addr, *window, *maxBatch, *workers)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

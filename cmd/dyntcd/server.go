@@ -36,15 +36,16 @@ import (
 // Nodes are addressed by their dense, lifetime-stable IDs (tree.Node.ID);
 // a new tree's root is node 0.
 type server struct {
-	forest *dyntc.Forest
-	start  time.Time
+	forest  *dyntc.Forest
+	start   time.Time
+	workers int // PRAM worker-pool size applied to every tree
 	// rings remembers each tree's ring so op names ("add"/"mul") can be
 	// parsed per request.
 	rings sync.Map // dyntc.TreeID -> dyntc.Ring
 }
 
 func newServer(opts dyntc.BatchOptions) *server {
-	return &server{forest: dyntc.NewForest(opts), start: time.Now()}
+	return &server{forest: dyntc.NewForest(opts), start: time.Now(), workers: opts.Workers}
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -484,6 +485,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"trees":      s.forest.Len(),
 		"uptime_s":   time.Since(s.start).Seconds(),
+		"workers":    s.workers,
 		"engine":     st,
 		"mean_batch": st.MeanFlush(),
 		"mean_wave":  st.MeanWave(),

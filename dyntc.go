@@ -101,6 +101,7 @@ type Option func(*options)
 type options struct {
 	seed     uint64
 	workers  int
+	grain    int
 	withTour bool
 }
 
@@ -109,7 +110,17 @@ func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 
 // WithWorkers sets the goroutine parallelism of the PRAM machine executing
 // batch phases (default: sequential execution; metering is identical).
+// Workers run on a persistent pool — spawned once, parked between steps —
+// so parallel steps cost no goroutine creation. Negative selects
+// GOMAXPROCS.
 func WithWorkers(w int) Option { return func(o *options) { o.workers = w } }
+
+// WithGrain sets the machine's sequential threshold: parallel steps with
+// fewer than g processors run inline instead of on the worker pool. Lower
+// values parallelize smaller batches (more dispatch overhead); the default
+// suits steps of a thousand processors or more. Only meaningful together
+// with WithWorkers.
+func WithGrain(g int) Option { return func(o *options) { o.grain = g } }
 
 // WithTour additionally maintains the Eulerian tour and the derived tree
 // properties (Preorder, Ancestors, SubtreeSize, LCA, EulerTour).
@@ -123,10 +134,13 @@ func NewExpr(r Ring, rootValue int64, opts ...Option) *Expr {
 		f(&o)
 	}
 	var m *pram.Machine
-	if o.workers > 0 {
+	if o.workers != 0 {
 		m = pram.New(o.workers)
 	} else {
 		m = pram.Sequential()
+	}
+	if o.grain > 0 {
+		m.SetGrain(o.grain)
 	}
 	t := tree.New(r, rootValue)
 	e := &Expr{
@@ -211,6 +225,9 @@ func (e *Expr) Stats() HealStats { return e.con.LastHeal() }
 
 // PRAM returns the accumulated machine metrics.
 func (e *Expr) PRAM() Metrics { return e.mach.Metrics() }
+
+// Workers returns the goroutine parallelism of the Expr's PRAM machine.
+func (e *Expr) Workers() int { return e.mach.Workers() }
 
 // tourOrPanic guards the §5 application queries.
 func (e *Expr) tourOrPanic() *euler.Tour {

@@ -29,8 +29,10 @@ import (
 type EngineConfig struct {
 	Clients      []int           // client-count sweep
 	Windows      []time.Duration // batching-window sweep
+	Workers      []int           // PRAM worker-pool sweep (1 = sequential machine)
 	OpsPerClient int             // operations per client per run
 	MaxBatch     int             // flush size cap (0 = engine default)
+	Grain        int             // machine sequential threshold (0 = default)
 	Seed         uint64
 }
 
@@ -39,24 +41,30 @@ func DefaultEngineConfig(quick bool, seed uint64) EngineConfig {
 	cfg := EngineConfig{
 		Clients:      []int{1, 2, 4, 8, 16, 32},
 		Windows:      []time.Duration{0, 100 * time.Microsecond, time.Millisecond},
+		Workers:      []int{1, 4},
 		OpsPerClient: 2000,
 		Seed:         seed,
 	}
 	if quick {
 		cfg.Clients = []int{1, 8}
 		cfg.Windows = []time.Duration{0, 100 * time.Microsecond}
+		cfg.Workers = []int{1, 4}
 		cfg.OpsPerClient = 300
 	}
 	return cfg
 }
 
-// EngineResult is one (clients, window) measurement.
+// EngineResult is one (clients, window, workers) measurement.
 type EngineResult struct {
 	Clients   int     `json:"clients"`
 	WindowUS  float64 `json:"window_us"`
+	Workers   int     `json:"workers"`
 	Ops       int     `json:"ops"`
 	Seconds   float64 `json:"seconds"`
 	OpsPerSec float64 `json:"ops_per_sec"`
+	// SpeedupVsSeq is OpsPerSec relative to the workers=1 run of the same
+	// (clients, window) cell; 0 when the sweep has no workers=1 baseline.
+	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
 
 	MeanBatch float64 `json:"mean_batch"` // requests per executed flush
 	MeanWave  float64 `json:"mean_wave"`  // requests per conflict-free wave
@@ -210,13 +218,20 @@ func engineFanOut(e *dyntc.Expr, ring dyntc.Ring, n int) []*dyntc.Node {
 	return leaves
 }
 
-// runEngineLoad executes one (clients, window) cell.
-func runEngineLoad(cfg EngineConfig, clients int, window time.Duration) EngineResult {
+// runEngineLoad executes one (clients, window, workers) cell. The live run
+// serves waves on a machine with the given worker-pool size; the replay
+// oracle is always sequential, so a match also certifies that pool
+// execution leaves results untouched.
+func runEngineLoad(cfg EngineConfig, clients int, window time.Duration, workers int) EngineResult {
 	ring := dyntc.ModRing(1_000_000_007)
 
-	live := dyntc.NewExpr(ring, 1, dyntc.WithSeed(cfg.Seed))
+	exprOpts := []dyntc.Option{dyntc.WithSeed(cfg.Seed)}
+	if cfg.Grain > 0 {
+		exprOpts = append(exprOpts, dyntc.WithGrain(cfg.Grain))
+	}
+	live := dyntc.NewExpr(ring, 1, exprOpts...)
 	bases := engineFanOut(live, ring, clients)
-	en := live.Serve(dyntc.BatchOptions{MaxBatch: cfg.MaxBatch, Window: window})
+	en := live.Serve(dyntc.BatchOptions{MaxBatch: cfg.MaxBatch, Window: window, Workers: workers})
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -265,6 +280,7 @@ func runEngineLoad(cfg EngineConfig, clients int, window time.Duration) EngineRe
 	return EngineResult{
 		Clients:    clients,
 		WindowUS:   float64(window) / float64(time.Microsecond),
+		Workers:    st.Workers,
 		Ops:        ops,
 		Seconds:    elapsed.Seconds(),
 		OpsPerSec:  float64(ops) / elapsed.Seconds(),
@@ -281,12 +297,34 @@ func runEngineLoad(cfg EngineConfig, clients int, window time.Duration) EngineRe
 	}
 }
 
-// EngineLoad runs the full sweep.
+// EngineLoad runs the full sweep and fills each row's speedup against the
+// workers=1 run of its (clients, window) cell.
 func EngineLoad(cfg EngineConfig) []EngineResult {
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1}
+	}
 	var out []EngineResult
-	for _, w := range cfg.Windows {
-		for _, c := range cfg.Clients {
-			out = append(out, runEngineLoad(cfg, c, w))
+	for _, wk := range workers {
+		for _, w := range cfg.Windows {
+			for _, c := range cfg.Clients {
+				out = append(out, runEngineLoad(cfg, c, w, wk))
+			}
+		}
+	}
+	type cell struct {
+		clients  int
+		windowUS float64
+	}
+	baseline := make(map[cell]float64)
+	for _, r := range out {
+		if r.Workers == 1 {
+			baseline[cell{r.Clients, r.WindowUS}] = r.OpsPerSec
+		}
+	}
+	for i := range out {
+		if base := baseline[cell{out[i].Clients, out[i].WindowUS}]; base > 0 {
+			out[i].SpeedupVsSeq = out[i].OpsPerSec / base
 		}
 	}
 	return out
@@ -311,14 +349,16 @@ func EngineTable(results []EngineResult) Table {
 		ID:      "E12",
 		Title:   "engine: concurrent request coalescing",
 		Claim:   "mean executed batch size grows with concurrency; results identical to sequential replay",
-		Columns: []string{"clients", "window_us", "ops/s", "mean_batch", "mean_wave", "max_flush", "match"},
+		Columns: []string{"clients", "window_us", "workers", "ops/s", "speedup", "mean_batch", "mean_wave", "max_flush", "match"},
 	}
 	for _, r := range results {
-		t.AddRow(r.Clients, fmt.Sprintf("%.0f", r.WindowUS),
-			fmt.Sprintf("%.0f", r.OpsPerSec), r.MeanBatch, r.MeanWave,
+		t.AddRow(r.Clients, fmt.Sprintf("%.0f", r.WindowUS), fmt.Sprint(r.Workers),
+			fmt.Sprintf("%.0f", r.OpsPerSec), fmt.Sprintf("%.2f", r.SpeedupVsSeq),
+			r.MeanBatch, r.MeanWave,
 			fmt.Sprint(r.MaxFlush), fmt.Sprint(r.Match))
 	}
 	t.Notes = append(t.Notes,
-		"structural ops blocking, label/value ops pipelined; every run replayed sequentially and compared")
+		"structural ops blocking, label/value ops pipelined; every run replayed sequentially and compared",
+		"workers = PRAM worker-pool size for wave execution; speedup is vs the workers=1 run of the same cell")
 	return t
 }

@@ -57,6 +57,13 @@ type Options struct {
 	// Queue is the submit queue capacity; submits block (backpressure)
 	// once it fills (default 4096).
 	Queue int
+	// Workers is the goroutine parallelism of the host's PRAM machine, on
+	// which a wave's node-disjoint batches execute. The engine itself
+	// stays single-executor; the layer that owns the host applies the
+	// setting to its machine (dyntc.Expr.Serve / dyntc.NewForest do).
+	// Recorded here so Stats can surface it. 0 means leave the host's
+	// machine as configured.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +89,10 @@ type Engine struct {
 	poisoned bool
 
 	stats statsRec
+
+	// sc is the executor's reusable flush/partition state (executor
+	// goroutine only).
+	sc scratch
 
 	done chan struct{}
 }
@@ -193,10 +204,11 @@ func (e *Engine) run() {
 // collect assembles one flush: the adaptive batching window. It returns
 // immediately with whatever has accrued when the queue goes idle (Window
 // 0), or waits up to Window from the first request while the flush is
-// smaller than MaxBatch.
+// smaller than MaxBatch. The returned slice is the executor's reusable
+// flush buffer, valid until the next collect.
 func (e *Engine) collect(first *Future) []*Future {
-	flush := make([]*Future, 1, 16)
-	flush[0] = first
+	flush := append(e.sc.flush[:0], first)
+	defer func() { e.sc.flush = flush }()
 
 	// Fast path: drain whatever is already queued.
 	for len(flush) < e.opts.MaxBatch {

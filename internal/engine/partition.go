@@ -25,6 +25,10 @@ import (
 // request always joins (or fails validation).
 //
 // Barriers seal the flush: a barrier runs alone between waves.
+//
+// All partitioning state lives in the engine's executor-only scratch and
+// is reused across flushes: the steady-state flush loop performs no
+// per-flush slice, map or Future allocation.
 
 // footprint is the set of live nodes a request touches, with reads and
 // writes distinguished (reads may share a wave with reads).
@@ -39,27 +43,119 @@ func (fp *footprint) add(n *NodeT) {
 	fp.n++
 }
 
-// touched maps nodes to the strongest access mode seen (true = write).
-type touched map[*NodeT]bool
+// fpEntry is one (node, strongest access mode) pair of a footprintSet.
+type fpEntry struct {
+	n     *NodeT
+	write bool
+}
 
-func (t touched) add(fp footprint) {
+// fpSpillAt is the small-set size beyond which a footprintSet moves to a
+// map. Typical waves touch a handful of nodes (a flush of mean size 2–30
+// with ≤3 nodes per request), so the linear slice is the hot path; the map
+// only exists for pathological flushes.
+const fpSpillAt = 32
+
+// footprintSet records nodes with the strongest access mode seen
+// (write beats read). Small sets are a linear slice — no allocation, no
+// hashing; large sets spill to a map that is retained and reused.
+type footprintSet struct {
+	entries []fpEntry
+	m       map[*NodeT]bool
+	spilled bool
+}
+
+// reset empties the set, keeping capacity for reuse.
+func (s *footprintSet) reset() {
+	s.entries = s.entries[:0]
+	if s.spilled {
+		clear(s.m)
+		s.spilled = false
+	}
+}
+
+func (s *footprintSet) spill() {
+	if s.m == nil {
+		s.m = make(map[*NodeT]bool, 4*fpSpillAt)
+	}
+	for _, e := range s.entries {
+		s.m[e.n] = e.write
+	}
+	s.entries = s.entries[:0]
+	s.spilled = true
+}
+
+// add records fp's nodes with its access mode (write wins over read).
+func (s *footprintSet) add(fp footprint) {
 	for i := 0; i < fp.n; i++ {
-		if fp.write || !t[fp.nodes[i]] {
-			t[fp.nodes[i]] = fp.write
+		n := fp.nodes[i]
+		if s.spilled {
+			if w, ok := s.m[n]; !ok || (fp.write && !w) {
+				s.m[n] = fp.write
+			}
+			continue
+		}
+		found := false
+		for j := range s.entries {
+			if s.entries[j].n == n {
+				if fp.write {
+					s.entries[j].write = true
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.entries = append(s.entries, fpEntry{n, fp.write})
+			if len(s.entries) > fpSpillAt {
+				s.spill()
+			}
 		}
 	}
 }
 
-// conflicts reports whether fp cannot coexist with t: write/any or
+// conflicts reports whether fp cannot coexist with the set: write/any or
 // any/write overlap.
-func (t touched) conflicts(fp footprint) bool {
+func (s *footprintSet) conflicts(fp footprint) bool {
 	for i := 0; i < fp.n; i++ {
-		w, ok := t[fp.nodes[i]]
-		if ok && (w || fp.write) {
-			return true
+		n := fp.nodes[i]
+		if s.spilled {
+			if w, ok := s.m[n]; ok && (w || fp.write) {
+				return true
+			}
+			continue
+		}
+		for j := range s.entries {
+			if s.entries[j].n == n {
+				if s.entries[j].write || fp.write {
+					return true
+				}
+				break // entries are unique per node: no further match
+			}
 		}
 	}
 	return false
+}
+
+// scratch is the executor's reusable flush state. Only the executor
+// goroutine touches it, so no locking; slices keep their capacity across
+// flushes. Slices may retain stale *Future pointers past their length —
+// harmless, those futures are pooled anyway.
+type scratch struct {
+	flush    []*Future // collect's buffer
+	overflow []*Future // deferred requests, ping-ponged with flush
+
+	wave   []*Future
+	waveFP footprintSet
+	defFP  footprintSet
+
+	grows, collapses, setLeaves, setOps, values []*Future
+	order                                       []*Future // wave in exact resolution order
+
+	growOps []GrowOp
+	colOps  []CollapseOp
+	nodes   []*NodeT
+	vals    []int64
+	opArgs  []OpT
 }
 
 // resolve returns the live node a ref addresses, or an error. Liveness is
@@ -139,13 +235,24 @@ func (e *Engine) executeFlush(flush []*Future) {
 	}
 	e.stats.flush(len(flush))
 
+	// Deferred requests ping-pong between two reusable buffers: each round
+	// reads `pending` from one and writes `deferred` into the other. bufA
+	// is the incoming flush's backing (collect's buffer).
+	sc := &e.sc
+	bufA, bufB := flush, sc.overflow
 	pending := flush
+	intoB := true
 	for len(pending) > 0 {
+		var deferred []*Future
+		if intoB {
+			deferred = bufB[:0]
+		} else {
+			deferred = bufA[:0]
+		}
+		sc.wave = sc.wave[:0]
+		sc.waveFP.reset()
+		sc.defFP.reset()
 		var (
-			wave     []*Future
-			deferred []*Future
-			waveFP   = touched{}
-			defFP    = touched{}
 			sealed   = false // a barrier in the wave: nothing may join
 			deferAll = false // a deferred barrier: everything after defers
 		)
@@ -155,8 +262,8 @@ func (e *Engine) executeFlush(flush []*Future) {
 				continue
 			}
 			if f.kind == kBarrier {
-				if len(wave) == 0 {
-					wave = append(wave, f)
+				if len(sc.wave) == 0 {
+					sc.wave = append(sc.wave, f)
 					sealed = true
 				} else {
 					deferred = append(deferred, f)
@@ -164,12 +271,12 @@ func (e *Engine) executeFlush(flush []*Future) {
 				}
 				continue
 			}
-			if order := e.footprintAll(f); defFP.conflicts(order) {
+			if order := e.footprintAll(f); sc.defFP.conflicts(order) {
 				// A request ahead of f touches f's nodes: preserve
 				// submission order without validating yet (the earlier
 				// request may change f's validity).
 				deferred = append(deferred, f)
-				defFP.add(order)
+				sc.defFP.add(order)
 				continue
 			}
 			fp, err := e.planOne(f)
@@ -178,16 +285,16 @@ func (e *Engine) executeFlush(flush []*Future) {
 				f.resolve(0, [2]*NodeT{}, err)
 				continue
 			}
-			if waveFP.conflicts(fp) {
+			if sc.waveFP.conflicts(fp) {
 				deferred = append(deferred, f)
-				defFP.add(fp)
+				sc.defFP.add(fp)
 				continue
 			}
-			wave = append(wave, f)
-			waveFP.add(fp)
+			sc.wave = append(sc.wave, f)
+			sc.waveFP.add(fp)
 		}
-		if len(wave) > 0 {
-			e.runWave(wave)
+		if len(sc.wave) > 0 {
+			e.runWave(sc.wave)
 		}
 		if e.poisoned {
 			// A wave panic mid-flush: the structure is in an unknown
@@ -197,8 +304,15 @@ func (e *Engine) executeFlush(flush []*Future) {
 			}
 			return
 		}
+		if intoB {
+			bufB = deferred
+		} else {
+			bufA = deferred
+		}
+		intoB = !intoB
 		pending = deferred
 	}
+	sc.flush, sc.overflow = bufA, bufB
 }
 
 // footprintAll returns a conservative footprint for ordering against
@@ -224,17 +338,19 @@ func (e *Engine) footprintAll(f *Future) footprint {
 }
 
 // runWave executes one conflict-free wave as the core batch calls of §1.4.
+// Futures resolve in a fixed order (grows, collapses, set-leaves, set-ops,
+// values); the panic path uses that order to fail exactly the futures not
+// yet resolved — a resolved Future may already have been recycled by its
+// caller and must never be touched again.
 func (e *Engine) runWave(wave []*Future) {
+	sc := &e.sc
+	resolved := 0 // prefix of sc.order already resolved
 	defer func() {
 		if r := recover(); r != nil {
 			e.poisoned = true
 			err := fmt.Errorf("%w: %v", ErrPoisoned, r)
-			for _, f := range wave {
-				select {
-				case <-f.done:
-				default:
-					f.resolve(0, [2]*NodeT{}, err)
-				}
+			for _, f := range sc.order[resolved:] {
+				f.resolve(0, [2]*NodeT{}, err)
 			}
 		}
 	}()
@@ -242,96 +358,115 @@ func (e *Engine) runWave(wave []*Future) {
 
 	if wave[0].kind == kBarrier {
 		f := wave[0]
+		sc.order = append(sc.order[:0], f)
 		f.fn(e.host)
 		e.stats.done(kBarrier)
+		resolved++
 		f.resolve(0, [2]*NodeT{}, nil)
 		return
 	}
 
-	var (
-		grows, collapses, setLeaves, setOps, values []*Future
-	)
+	sc.grows = sc.grows[:0]
+	sc.collapses = sc.collapses[:0]
+	sc.setLeaves = sc.setLeaves[:0]
+	sc.setOps = sc.setOps[:0]
+	sc.values = sc.values[:0]
 	for _, f := range wave {
 		switch f.kind {
 		case kGrow:
-			grows = append(grows, f)
+			sc.grows = append(sc.grows, f)
 		case kCollapse:
-			collapses = append(collapses, f)
+			sc.collapses = append(sc.collapses, f)
 		case kSetLeaf:
-			setLeaves = append(setLeaves, f)
+			sc.setLeaves = append(sc.setLeaves, f)
 		case kSetOp:
-			setOps = append(setOps, f)
+			sc.setOps = append(sc.setOps, f)
 		case kValue, kRoot:
-			values = append(values, f)
+			sc.values = append(sc.values, f)
 		}
 	}
+	sc.order = sc.order[:0]
+	sc.order = append(sc.order, sc.grows...)
+	sc.order = append(sc.order, sc.collapses...)
+	sc.order = append(sc.order, sc.setLeaves...)
+	sc.order = append(sc.order, sc.setOps...)
+	sc.order = append(sc.order, sc.values...)
 
-	if len(grows) > 0 {
-		ops := make([]GrowOp, len(grows))
-		for i, f := range grows {
-			ops[i] = GrowOp{Leaf: f.ref.N, Op: f.op, LeftVal: f.a, RightVal: f.b}
+	if len(sc.grows) > 0 {
+		sc.growOps = sc.growOps[:0]
+		for _, f := range sc.grows {
+			sc.growOps = append(sc.growOps, GrowOp{Leaf: f.ref.N, Op: f.op, LeftVal: f.a, RightVal: f.b})
 		}
-		pairs := e.host.GrowBatch(ops)
-		for i, f := range grows {
+		pairs := e.host.GrowBatch(sc.growOps)
+		for i, f := range sc.grows {
 			e.stats.done(kGrow)
+			resolved++
 			f.resolve(0, pairs[i], nil)
 		}
 	}
-	if len(collapses) > 0 {
-		ops := make([]CollapseOp, len(collapses))
-		for i, f := range collapses {
-			ops[i] = CollapseOp{Node: f.ref.N, NewValue: f.a}
+	if len(sc.collapses) > 0 {
+		sc.colOps = sc.colOps[:0]
+		for _, f := range sc.collapses {
+			sc.colOps = append(sc.colOps, CollapseOp{Node: f.ref.N, NewValue: f.a})
 		}
-		e.host.CollapseBatch(ops)
-		for _, f := range collapses {
+		e.host.CollapseBatch(sc.colOps)
+		for _, f := range sc.collapses {
 			e.stats.done(kCollapse)
+			resolved++
 			f.resolve(0, [2]*NodeT{}, nil)
 		}
 	}
-	if len(setLeaves) > 0 {
-		ls := make([]*NodeT, len(setLeaves))
-		vs := make([]int64, len(setLeaves))
-		for i, f := range setLeaves {
-			ls[i], vs[i] = f.ref.N, f.a
+	if len(sc.setLeaves) > 0 {
+		sc.nodes = sc.nodes[:0]
+		sc.vals = sc.vals[:0]
+		for _, f := range sc.setLeaves {
+			sc.nodes = append(sc.nodes, f.ref.N)
+			sc.vals = append(sc.vals, f.a)
 		}
-		e.host.SetLeaves(ls, vs)
-		for _, f := range setLeaves {
+		e.host.SetLeaves(sc.nodes, sc.vals)
+		for _, f := range sc.setLeaves {
 			e.stats.done(kSetLeaf)
+			resolved++
 			f.resolve(0, [2]*NodeT{}, nil)
 		}
 	}
-	if len(setOps) > 0 {
-		ns := make([]*NodeT, len(setOps))
-		ops := make([]OpT, len(setOps))
-		for i, f := range setOps {
-			ns[i], ops[i] = f.ref.N, f.op
+	if len(sc.setOps) > 0 {
+		sc.nodes = sc.nodes[:0]
+		sc.opArgs = sc.opArgs[:0]
+		for _, f := range sc.setOps {
+			sc.nodes = append(sc.nodes, f.ref.N)
+			sc.opArgs = append(sc.opArgs, f.op)
 		}
-		e.host.SetOps(ns, ops)
-		for _, f := range setOps {
+		e.host.SetOps(sc.nodes, sc.opArgs)
+		for _, f := range sc.setOps {
 			e.stats.done(kSetOp)
+			resolved++
 			f.resolve(0, [2]*NodeT{}, nil)
 		}
 	}
-	if len(values) > 0 {
-		var ns []*NodeT
-		for _, f := range values {
+	if len(sc.values) > 0 {
+		sc.nodes = sc.nodes[:0]
+		for _, f := range sc.values {
 			if f.kind == kValue {
-				ns = append(ns, f.ref.N)
+				sc.nodes = append(sc.nodes, f.ref.N)
 			}
 		}
 		var vals []int64
-		if len(ns) > 0 {
-			vals = e.host.Values(ns)
+		if len(sc.nodes) > 0 {
+			vals = e.host.Values(sc.nodes)
 		}
 		i := 0
-		for _, f := range values {
+		for _, f := range sc.values {
 			if f.kind == kValue {
 				e.stats.done(kValue)
+				resolved++
 				f.resolve(vals[i], [2]*NodeT{}, nil)
 				i++
 			} else {
 				e.stats.done(kRoot)
-				f.resolve(e.host.Root(), [2]*NodeT{}, nil)
+				root := e.host.Root()
+				resolved++
+				f.resolve(root, [2]*NodeT{}, nil)
 			}
 		}
 	}

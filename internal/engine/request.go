@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"dyntc/internal/semiring"
 	"dyntc/internal/tree"
@@ -80,6 +81,12 @@ func (k kind) String() string {
 // reference until the executor resolves it; Wait blocks until then. A
 // Future is resolved exactly once and may be waited on by any number of
 // goroutines afterwards.
+//
+// Futures come from a pool: the hot submit→execute→wait cycle reuses the
+// struct, its mutex and its condition variable, so steady-state request
+// traffic does not allocate per request. A caller that has fully consumed
+// a resolved Future may hand it back with Recycle; the synchronous
+// convenience wrappers (dyntc.Engine.Grow etc.) do so automatically.
 type Future struct {
 	kind kind
 	ref  NodeRef
@@ -87,43 +94,116 @@ type Future struct {
 	a, b int64      // grow: left/right values; set-leaf/collapse: new value in a
 	fn   func(Host) // barrier payload
 
-	// resolution — written by the executor before close(done), read by
-	// waiters after <-done; the channel provides the happens-before edge.
-	val  int64
-	pair [2]*tree.Node
-	err  error
-	done chan struct{}
+	// resolution — written by the executor under mu; waiters block on
+	// cond until resolved flips. doneCh is only materialized when Done()
+	// is called (select-style waiters), so the common blocking path is
+	// allocation-free.
+	mu       sync.Mutex
+	cond     sync.Cond
+	resolved bool
+	doneCh   chan struct{}
+	val      int64
+	pair     [2]*tree.Node
+	err      error
 }
 
+var futurePool = sync.Pool{New: func() any {
+	f := &Future{}
+	f.cond.L = &f.mu
+	return f
+}}
+
+// newFuture returns a pooled, fully reset Future for one request.
 func newFuture(k kind) *Future {
-	return &Future{kind: k, done: make(chan struct{})}
+	f := futurePool.Get().(*Future)
+	f.kind = k
+	return f
 }
 
 // resolve fills the result and releases waiters. Must be called exactly
-// once, by the executor.
+// once per Future lifetime, by the executor (or by a failed submit while
+// the caller still holds the only reference).
 func (f *Future) resolve(val int64, pair [2]*tree.Node, err error) {
+	f.mu.Lock()
 	f.val, f.pair, f.err = val, pair, err
-	close(f.done)
+	f.resolved = true
+	if f.doneCh != nil {
+		close(f.doneCh)
+	}
+	f.mu.Unlock()
+	f.cond.Broadcast()
 }
 
 // Done returns a channel closed when the request has executed (or failed).
-func (f *Future) Done() <-chan struct{} { return f.done }
+// The channel is created on first call; prefer Wait/Value/Pair, which do
+// not allocate.
+func (f *Future) Done() <-chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.doneCh == nil {
+		f.doneCh = make(chan struct{})
+		if f.resolved {
+			close(f.doneCh)
+		}
+	}
+	return f.doneCh
+}
 
 // Wait blocks until the request has executed and returns its error.
 func (f *Future) Wait() error {
-	<-f.done
-	return f.err
+	f.mu.Lock()
+	for !f.resolved {
+		f.cond.Wait()
+	}
+	err := f.err
+	f.mu.Unlock()
+	return err
 }
 
 // Value returns the request's scalar result (value / root queries) after
 // Wait.
 func (f *Future) Value() (int64, error) {
-	<-f.done
-	return f.val, f.err
+	f.mu.Lock()
+	for !f.resolved {
+		f.cond.Wait()
+	}
+	val, err := f.val, f.err
+	f.mu.Unlock()
+	return val, err
 }
 
 // Pair returns the two leaves created by a grow request after Wait.
 func (f *Future) Pair() (l, r *tree.Node, err error) {
-	<-f.done
-	return f.pair[0], f.pair[1], f.err
+	f.mu.Lock()
+	for !f.resolved {
+		f.cond.Wait()
+	}
+	l, r, err = f.pair[0], f.pair[1], f.err
+	f.mu.Unlock()
+	return l, r, err
+}
+
+// Recycle returns a resolved Future to the allocation pool. Call it only
+// when the request has resolved and no other goroutine holds a reference;
+// afterwards the Future must not be touched. Recycling is optional — an
+// abandoned Future is simply garbage collected — and a no-op on a Future
+// that has not resolved yet.
+func (f *Future) Recycle() {
+	f.mu.Lock()
+	if !f.resolved {
+		f.mu.Unlock()
+		return
+	}
+	f.kind = 0
+	f.ref = NodeRef{}
+	f.op = semiring.Op{}
+	f.a, f.b = 0, 0
+	f.fn = nil
+	f.resolved = false
+	f.doneCh = nil
+	f.val = 0
+	f.pair = [2]*tree.Node{}
+	f.err = nil
+	f.mu.Unlock()
+	futurePool.Put(f)
 }

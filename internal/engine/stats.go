@@ -59,6 +59,7 @@ type Stats struct {
 	Waves    uint64 `json:"waves"`     // conflict-free waves executed
 	Errors   uint64 `json:"errors"`    // requests failed by validation
 	MaxFlush int64  `json:"max_flush"` // largest flush seen
+	Workers  int    `json:"workers"`   // configured PRAM worker parallelism (0 = host default)
 
 	Grows     uint64 `json:"grows"`
 	Collapses uint64 `json:"collapses"`
@@ -95,6 +96,9 @@ func (s *Stats) Add(other Stats) {
 	if other.MaxFlush > s.MaxFlush {
 		s.MaxFlush = other.MaxFlush
 	}
+	if other.Workers > s.Workers {
+		s.Workers = other.Workers
+	}
 	s.Grows += other.Grows
 	s.Collapses += other.Collapses
 	s.SetLeaves += other.SetLeaves
@@ -112,6 +116,7 @@ func (e *Engine) Stats() Stats {
 		Waves:     e.stats.waves.Load(),
 		Errors:    e.stats.errors.Load(),
 		MaxFlush:  e.stats.maxFlush.Load(),
+		Workers:   e.opts.Workers,
 		Grows:     e.stats.grows.Load(),
 		Collapses: e.stats.collapses.Load(),
 		SetLeaves: e.stats.setLeaves.Load(),

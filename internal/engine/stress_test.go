@@ -163,13 +163,13 @@ func fanOut(e *dyntc.Expr, ring dyntc.Ring, n int) []*dyntc.Node {
 	return leaves
 }
 
-func runStress(t *testing.T, clients, opsPerClient int, opts dyntc.BatchOptions) {
+func runStress(t *testing.T, clients, opsPerClient int, opts dyntc.BatchOptions, exprOpts ...dyntc.Option) {
 	t.Helper()
 	const seed = 7
 	ring := dyntc.ModRing(1_000_000_007)
 
 	// Live, concurrent run.
-	live := dyntc.NewExpr(ring, 1, dyntc.WithSeed(seed))
+	live := dyntc.NewExpr(ring, 1, append([]dyntc.Option{dyntc.WithSeed(seed)}, exprOpts...)...)
 	bases := fanOut(live, ring, clients)
 	en := live.Serve(opts)
 	progs := make([]*clientProgram, clients)
@@ -224,6 +224,15 @@ func runStress(t *testing.T, clients, opsPerClient int, opts dyntc.BatchOptions)
 
 func TestStressOracle(t *testing.T) {
 	runStress(t, 8, 200, dyntc.BatchOptions{})
+}
+
+// TestStressOracleWorkers4 runs the oracle with waves executing on a
+// 4-worker PRAM pool, with the grain forced low so even small batches
+// take the pool path. Under -race this exercises the persistent pool's
+// chunk claiming against the full engine stack; the sequential replay
+// proves pool execution changes no result.
+func TestStressOracleWorkers4(t *testing.T) {
+	runStress(t, 8, 200, dyntc.BatchOptions{Workers: 4}, dyntc.WithGrain(8))
 }
 
 func TestStressOracleManyClients(t *testing.T) {

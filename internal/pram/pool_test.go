@@ -1,0 +1,214 @@
+package pram
+
+// Tests for the persistent worker pool: steps must not spawn goroutines or
+// allocate, metering must be bit-for-bit identical to the sequential
+// machine, and a panicking body must leave the Machine (and its pool)
+// reusable. Run with -race: the chunk-claiming barrier is exactly the kind
+// of code the race detector exists for.
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// parallelTestMachine returns a machine whose pool engages on small steps.
+func parallelTestMachine(workers int) *Machine {
+	m := New(workers)
+	m.SetGrain(8)
+	return m
+}
+
+func TestPoolNoGoroutineSpawnPerStep(t *testing.T) {
+	m := parallelTestMachine(4)
+	defer m.Release()
+	var sink atomic.Int64
+	body := func(i int) { sink.Add(int64(i)) }
+
+	m.Step(1000, body) // warm-up: spawns the pool
+	before := runtime.NumGoroutine()
+	for k := 0; k < 200; k++ {
+		m.Step(1000, body)
+	}
+	after := runtime.NumGoroutine()
+	if after != before {
+		t.Fatalf("goroutines grew from %d to %d across 200 parallel steps", before, after)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() { m.Step(1000, body) })
+	if allocs != 0 {
+		t.Fatalf("parallel Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestPoolExecutesEveryIndexOnceSmallGrain(t *testing.T) {
+	for _, workers := range []int{2, 3, 4, 8} {
+		m := parallelTestMachine(workers)
+		for _, n := range []int{8, 9, 17, 100, 1001, 4096} {
+			counts := make([]int32, n)
+			m.Step(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, c)
+				}
+			}
+		}
+		m.Release()
+	}
+}
+
+func TestPoolMetricsIdenticalToSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		seq := Sequential()
+		par := parallelTestMachine(4)
+		x := seed
+		ns := make([]int, 50)
+		for k := range ns {
+			x = x*6364136223846793005 + 1442695040888963407
+			ns[k] = int(x>>33)%5000 + 1
+		}
+		var a, b atomic.Int64
+		for _, n := range ns {
+			seq.Step(n, func(i int) { a.Add(1) })
+		}
+		for _, n := range ns {
+			par.Step(n, func(i int) { b.Add(1) })
+		}
+		if seq.Metrics() != par.Metrics() {
+			t.Fatalf("seed %d: sequential %+v != pool %+v", seed, seq.Metrics(), par.Metrics())
+		}
+		if a.Load() != b.Load() {
+			t.Fatalf("seed %d: executed %d vs %d bodies", seed, a.Load(), b.Load())
+		}
+		par.Release()
+	}
+}
+
+func TestPoolPanicRecoveryAndReuse(t *testing.T) {
+	m := parallelTestMachine(4)
+	defer m.Release()
+	m.Step(1000, func(i int) {}) // warm the pool
+	goroutines := runtime.NumGoroutine()
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic in body did not propagate")
+			}
+			if s, ok := r.(string); !ok || s != "boom" {
+				t.Fatalf("panic value = %v, want \"boom\"", r)
+			}
+		}()
+		m.Step(1000, func(i int) {
+			if i == 500 {
+				panic("boom")
+			}
+		})
+	}()
+
+	// The step was still charged (the round dispatched) and the machine
+	// remains fully usable on the same pool.
+	if got := m.Metrics(); got.Steps != 2 || got.MaxProcs != 1000 {
+		t.Fatalf("metrics after panic = %+v", got)
+	}
+	var ran atomic.Int64
+	m.Step(2000, func(i int) { ran.Add(1) })
+	if ran.Load() != 2000 {
+		t.Fatalf("step after panic ran %d bodies, want 2000", ran.Load())
+	}
+	if now := runtime.NumGoroutine(); now != goroutines {
+		t.Fatalf("goroutines %d -> %d after panic recovery", goroutines, now)
+	}
+}
+
+func TestMachineReuseAfterReset(t *testing.T) {
+	m := parallelTestMachine(4)
+	defer m.Release()
+	var sum atomic.Int64
+	m.Step(500, func(i int) { sum.Add(int64(i)) })
+	first := m.Metrics()
+	m.Reset()
+	if m.Metrics() != (Metrics{}) {
+		t.Fatal("Reset did not clear metrics")
+	}
+	sum.Store(0)
+	m.Step(500, func(i int) { sum.Add(int64(i)) })
+	if m.Metrics() != first {
+		t.Fatalf("reused machine metered %+v, first run %+v", m.Metrics(), first)
+	}
+	if want := int64(500*499) / 2; sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestSetWorkersReconfigures(t *testing.T) {
+	m := New(2)
+	m.SetGrain(8)
+	m.Step(100, func(i int) {})
+	m.SetWorkers(4)
+	if m.Workers() != 4 {
+		t.Fatalf("Workers() = %d after SetWorkers(4)", m.Workers())
+	}
+	var n atomic.Int64
+	m.Step(100, func(i int) { n.Add(1) })
+	if n.Load() != 100 {
+		t.Fatalf("step after SetWorkers ran %d bodies", n.Load())
+	}
+	// Upgrading a Sequential machine must unlock the parallel threshold.
+	s := Sequential()
+	s.SetWorkers(4)
+	s.Step(100, func(i int) {})
+	if s.Workers() != 4 {
+		t.Fatalf("sequential upgrade: Workers() = %d", s.Workers())
+	}
+	m.Release()
+	s.Release()
+}
+
+func TestReleaseReclaimsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := parallelTestMachine(4)
+	m.Step(1000, func(i int) {})
+	m.Release()
+	// Workers exit asynchronously; give the scheduler a few yields.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		runtime.Gosched()
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines %d -> %d after Release", before, now)
+	}
+	// Released machines restart on demand.
+	var n atomic.Int64
+	m.Step(1000, func(i int) { n.Add(1) })
+	if n.Load() != 1000 {
+		t.Fatalf("step after Release ran %d bodies", n.Load())
+	}
+	m.Release()
+}
+
+// BenchmarkStep sweeps the worker count: on a multi-core host wall-clock
+// drops with workers while the metered cost stays constant; on any host it
+// demonstrates the dispatch path is allocation-free.
+func BenchmarkStep(b *testing.B) {
+	workerCounts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	const n = 1 << 15
+	data := make([]int64, n)
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			m := New(w)
+			defer m.Release()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Step(n, func(j int) { data[j]++ })
+			}
+		})
+	}
+}

@@ -11,9 +11,14 @@
 //   - Work     — total processor-steps (sum of active processors per step),
 //   - MaxProcs — the largest number of processors active in any one step.
 //
-// Steps may optionally be executed on a pool of goroutines (one chunk per
-// worker); on a single-core host the execution is sequential but the
-// metered quantities are identical, which is what the experiments report.
+// Steps may optionally execute on a pool of goroutines. The pool is
+// persistent: workers are created once (lazily, on the first step large
+// enough to go parallel) and parked between steps, so a step dispatch is a
+// handful of channel operations and atomic adds — no goroutine spawn, no
+// WaitGroup, no allocation. Work is distributed by atomic chunk claiming
+// with an adaptive grain, so uneven bodies load-balance across workers.
+// On a single-core host execution degrades to sequential but the metered
+// quantities are identical, which is what the experiments report.
 //
 // Concurrent-write (CRCW) semantics inside a step are expressed with the
 // atomic helpers in this package (arbitrary-winner test-and-set, priority
@@ -46,31 +51,97 @@ func (m *Metrics) Add(other Metrics) {
 // machine; use New to pick the number of workers. Machine is not safe for
 // concurrent use by multiple goroutines (each logical computation should
 // own one Machine).
+//
+// Metering is purely a function of the Step/Charge sequence: a Machine
+// with any worker count charges exactly the same Steps, Work and MaxProcs
+// as Sequential() for the same computation. Only wall-clock differs.
 type Machine struct {
 	workers int
 	metrics Metrics
-	// grain is the minimum number of iterations per goroutine chunk; below
-	// workers*grain a step runs sequentially to avoid dispatch overhead.
+	// grain is the sequential threshold: steps smaller than grain run
+	// inline on the calling goroutine to avoid dispatch overhead. It also
+	// sets the minimum chunk size (grain/2) for adaptive chunking.
 	grain int
+	// pool holds the persistent workers; nil until the first parallel
+	// step (machines that never cross the grain threshold never spawn).
+	pool *pool
 }
 
+// defaultGrain is the parallel threshold for New: below this many
+// processors a round is cheaper to run inline than to dispatch.
+const defaultGrain = 1024
+
 // New returns a Machine with the given goroutine parallelism. workers <= 0
-// selects GOMAXPROCS.
+// selects GOMAXPROCS. Workers are started lazily and parked between steps;
+// they are reclaimed when the Machine is garbage collected or explicitly
+// via Release.
 func New(workers int) *Machine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Machine{workers: workers, grain: 1024}
+	return &Machine{workers: workers, grain: defaultGrain}
 }
 
 // Sequential returns a single-worker machine. Metering is identical to a
 // parallel machine; only wall-clock execution differs.
 func Sequential() *Machine { return &Machine{workers: 1, grain: 1 << 30} }
 
+// Workers returns the configured goroutine parallelism.
+func (m *Machine) Workers() int {
+	if m.workers <= 0 {
+		return 1
+	}
+	return m.workers
+}
+
+// SetWorkers reconfigures the goroutine parallelism (w <= 0 selects
+// GOMAXPROCS). An existing pool is released; the next parallel step starts
+// a fresh one. Metering is unaffected. Not safe concurrently with Step.
+func (m *Machine) SetWorkers(w int) {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w == m.workers {
+		return
+	}
+	m.release()
+	m.workers = w
+	if m.grain >= 1<<30 && w > 1 {
+		// A Sequential() machine being upgraded: give it the real
+		// threshold so parallelism can actually engage.
+		m.grain = defaultGrain
+	}
+}
+
+// SetGrain sets the sequential threshold: steps with fewer than g
+// processors run inline on the calling goroutine. Lower values exercise
+// the pool on smaller rounds (more dispatch overhead, more parallelism);
+// the default of 1024 suits bodies that are a few dozen nanoseconds each.
+// Metering is unaffected. Not safe concurrently with Step.
+func (m *Machine) SetGrain(g int) {
+	if g < 1 {
+		g = 1
+	}
+	m.grain = g
+}
+
+// Release parks the Machine's worker pool permanently, reclaiming its
+// goroutines. The Machine remains usable: a later parallel step starts a
+// fresh pool. Unreleased machines are reclaimed by the garbage collector.
+func (m *Machine) Release() { m.release() }
+
+func (m *Machine) release() {
+	if m.pool != nil {
+		m.pool.shutdown()
+		m.pool = nil
+	}
+}
+
 // Metrics returns the accumulated cost so far.
 func (m *Machine) Metrics() Metrics { return m.metrics }
 
-// Reset clears the accumulated metrics.
+// Reset clears the accumulated metrics. The worker pool (if any) is kept:
+// a Machine is reusable across computations.
 func (m *Machine) Reset() { m.metrics = Metrics{} }
 
 // Charge adds a round of n processors to the meters without executing
@@ -101,37 +172,146 @@ func (m *Machine) ChargeSpan(steps, work, procs int64) {
 // Step executes body(i) for every i in [0, n) as one synchronous parallel
 // round and charges n processors. Bodies must not assume any ordering
 // between indices and must use the CRCW helpers for writes that can race.
+// A panic in any body aborts the round (remaining chunks are skipped) and
+// re-panics on the calling goroutine; the Machine and its pool stay
+// usable.
 func (m *Machine) Step(n int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
 	m.Charge(n)
-	if m.workers <= 1 || n < m.workers*2 || n < m.grain {
+	if m.workers <= 1 || n < m.grain || n < m.workers*2 {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
 		return
 	}
-	chunk := (n + m.workers - 1) / m.workers
-	var wg sync.WaitGroup
-	for w := 0; w < m.workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
+	if m.pool == nil {
+		m.pool = newPool(m.workers - 1)
+		// Reclaim the workers when the Machine is dropped without an
+		// explicit Release. The cleanup closes over the pool only, so it
+		// does not keep the Machine alive.
+		runtime.AddCleanup(m, func(p *pool) { p.shutdown() }, m.pool)
+	}
+	// Adaptive grain: aim for ~4 chunks per participant so uneven bodies
+	// load-balance, but never below grain/2 so dispatch stays amortized.
+	chunk := n / (m.workers * 4)
+	if min := m.grain / 2; chunk < min {
+		chunk = min
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	m.pool.run(n, chunk, body)
+}
+
+// pool is a persistent team of parked worker goroutines plus a reusable
+// barrier. The dispatching goroutine participates in every round, so a
+// pool of size k serves a machine of k+1 workers.
+type pool struct {
+	size int // parked worker goroutines
+
+	wake chan struct{} // one token per worker per round
+	done chan struct{} // last finisher -> dispatcher, capacity 1
+	stop chan struct{} // closed exactly once by shutdown
+
+	stopOnce sync.Once
+
+	// Round state: written by the dispatcher before the wake tokens are
+	// sent (the channel provides the happens-before edge), reset after
+	// the barrier.
+	n     int
+	chunk int
+	body  func(int)
+
+	next      atomic.Int64 // next unclaimed index
+	remaining atomic.Int32 // participants still running this round
+	aborted   atomic.Bool  // a body panicked: stop claiming chunks
+
+	panicMu  sync.Mutex
+	panicVal any
+	panicked bool
+}
+
+func newPool(size int) *pool {
+	p := &pool{
+		size: size,
+		wake: make(chan struct{}, size),
+		done: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) shutdown() { p.stopOnce.Do(func() { close(p.stop) }) }
+
+func (p *pool) worker() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.wake:
+			p.work()
+			if p.remaining.Add(-1) == 0 {
+				p.done <- struct{}{}
+			}
+		}
+	}
+}
+
+// run executes one parallel round on the pool; the caller participates.
+func (p *pool) run(n, chunk int, body func(int)) {
+	p.n, p.chunk, p.body = n, chunk, body
+	p.next.Store(0)
+	p.aborted.Store(false)
+	p.remaining.Store(int32(p.size) + 1)
+	for i := 0; i < p.size; i++ {
+		p.wake <- struct{}{}
+	}
+	p.work()
+	if p.remaining.Add(-1) > 0 {
+		<-p.done
+	}
+	p.body = nil // release the closure between rounds
+	if p.panicked {
+		v := p.panicVal
+		p.panicked, p.panicVal = false, nil
+		panic(v)
+	}
+}
+
+// work claims and executes chunks until the round's index space is
+// exhausted (or a body panics). It never lets a panic escape: the first
+// panic value is recorded for the dispatcher and the round is aborted.
+func (p *pool) work() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.aborted.Store(true)
+			p.panicMu.Lock()
+			if !p.panicked {
+				p.panicked, p.panicVal = true, r
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	chunk := int64(p.chunk)
+	for !p.aborted.Load() {
+		lo := p.next.Add(chunk) - chunk
+		if lo >= int64(p.n) {
+			return
 		}
 		hi := lo + chunk
-		if hi > n {
-			hi = n
+		if hi > int64(p.n) {
+			hi = int64(p.n)
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
+		body := p.body
+		for i := int(lo); i < int(hi); i++ {
+			body(i)
+		}
 	}
-	wg.Wait()
 }
 
 // TestAndSet implements an arbitrary-winner CRCW write to a flag: it sets

@@ -1,6 +1,7 @@
 package dyntc
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -37,7 +38,8 @@ type EngineStats = engine.Stats
 
 // BatchOptions tunes the adaptive batching window. The zero value gives
 // defaults: flush whenever the executor goes idle (no added latency),
-// batches capped at 1024, queue capacity 4096.
+// batches capped at 1024, queue capacity 4096, wave execution on the
+// Expr's machine as configured.
 type BatchOptions struct {
 	// MaxBatch caps requests per flush.
 	MaxBatch int
@@ -47,17 +49,30 @@ type BatchOptions struct {
 	Window time.Duration
 	// Queue is the submit queue capacity; submits block once it fills.
 	Queue int
+	// Workers, when positive, sets the goroutine parallelism of the PRAM
+	// machine executing each wave's node-disjoint batches (the persistent
+	// worker pool of internal/pram). A wave's grow/collapse/set batches
+	// then run pool-parallel; metering is unaffected. Use a negative
+	// value for GOMAXPROCS.
+	Workers int
 }
 
 // Serve starts an engine over e and returns it. Close the engine to drain
-// pending requests and reclaim the Expr for direct use.
+// pending requests and reclaim the Expr for direct use. A non-zero
+// opts.Workers reconfigures the Expr's PRAM machine before the executor
+// starts.
 func (e *Expr) Serve(opts BatchOptions) *Engine {
+	if opts.Workers != 0 {
+		e.mach.SetWorkers(opts.Workers)
+		opts.Workers = e.mach.Workers()
+	}
 	return &Engine{
 		expr: e,
 		inner: engine.New(e, engine.Options{
 			MaxBatch: opts.MaxBatch,
 			Window:   opts.Window,
 			Queue:    opts.Queue,
+			Workers:  opts.Workers,
 		}),
 	}
 }
@@ -99,42 +114,65 @@ func (en *Engine) ValueAsync(n *Node) *Future {
 func (en *Engine) RootAsync() *Future { return en.inner.Root() }
 
 // --- synchronous API: one blocking call per request ---
+// Each wrapper fully consumes its Future and recycles it, so the blocking
+// call path allocates nothing per request in steady state.
 
 // Grow expands leaf into an op node with two fresh leaves and returns them.
 func (en *Engine) Grow(leaf *Node, op Op, leftVal, rightVal int64) (l, r *Node, err error) {
-	return en.GrowAsync(leaf, op, leftVal, rightVal).Pair()
+	f := en.GrowAsync(leaf, op, leftVal, rightVal)
+	l, r, err = f.Pair()
+	f.Recycle()
+	return l, r, err
 }
 
 // Collapse deletes n's two leaf children, making n a leaf with newValue.
 func (en *Engine) Collapse(n *Node, newValue int64) error {
-	return en.CollapseAsync(n, newValue).Wait()
+	f := en.CollapseAsync(n, newValue)
+	err := f.Wait()
+	f.Recycle()
+	return err
 }
 
 // SetLeaf updates one leaf value.
 func (en *Engine) SetLeaf(leaf *Node, v int64) error {
-	return en.SetLeafAsync(leaf, v).Wait()
+	f := en.SetLeafAsync(leaf, v)
+	err := f.Wait()
+	f.Recycle()
+	return err
 }
 
 // SetOp updates the operation at an internal node.
 func (en *Engine) SetOp(n *Node, op Op) error {
-	return en.SetOpAsync(n, op).Wait()
+	f := en.SetOpAsync(n, op)
+	err := f.Wait()
+	f.Recycle()
+	return err
 }
 
 // Value returns the value of the subexpression rooted at n.
 func (en *Engine) Value(n *Node) (int64, error) {
-	return en.ValueAsync(n).Value()
+	f := en.ValueAsync(n)
+	v, err := f.Value()
+	f.Recycle()
+	return v, err
 }
 
 // Root returns the value of the whole expression.
 func (en *Engine) Root() (int64, error) {
-	return en.RootAsync().Value()
+	f := en.RootAsync()
+	v, err := f.Value()
+	f.Recycle()
+	return v, err
 }
 
 // Query runs fn with exclusive, linearized access to the Expr: fn sees a
 // quiescent tree and may call any Expr method. Use it for the §5 tour
 // queries and anything else without a dedicated Engine method.
 func (en *Engine) Query(fn func(*Expr)) error {
-	return en.inner.Barrier(func(engine.Host) { fn(en.expr) }).Wait()
+	f := en.inner.Barrier(func(engine.Host) { fn(en.expr) })
+	err := f.Wait()
+	f.Recycle()
+	return err
 }
 
 // Preorder returns n's 1-based preorder number (requires WithTour on the
@@ -165,7 +203,9 @@ func (en *Engine) LCA(u, v *Node) (*Node, error) {
 
 // GrowID is Grow addressed by node ID, returning the new leaves' IDs.
 func (en *Engine) GrowID(leafID int, op Op, leftVal, rightVal int64) (lID, rID int, err error) {
-	l, r, err := en.inner.Grow(engine.RefID(leafID), op, leftVal, rightVal).Pair()
+	f := en.inner.Grow(engine.RefID(leafID), op, leftVal, rightVal)
+	l, r, err := f.Pair()
+	f.Recycle()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -174,22 +214,34 @@ func (en *Engine) GrowID(leafID int, op Op, leftVal, rightVal int64) (lID, rID i
 
 // CollapseID is Collapse addressed by node ID.
 func (en *Engine) CollapseID(nodeID int, newValue int64) error {
-	return en.inner.Collapse(engine.RefID(nodeID), newValue).Wait()
+	f := en.inner.Collapse(engine.RefID(nodeID), newValue)
+	err := f.Wait()
+	f.Recycle()
+	return err
 }
 
 // SetLeafID is SetLeaf addressed by node ID.
 func (en *Engine) SetLeafID(leafID int, v int64) error {
-	return en.inner.SetLeaf(engine.RefID(leafID), v).Wait()
+	f := en.inner.SetLeaf(engine.RefID(leafID), v)
+	err := f.Wait()
+	f.Recycle()
+	return err
 }
 
 // SetOpID is SetOp addressed by node ID.
 func (en *Engine) SetOpID(nodeID int, op Op) error {
-	return en.inner.SetOp(engine.RefID(nodeID), op).Wait()
+	f := en.inner.SetOp(engine.RefID(nodeID), op)
+	err := f.Wait()
+	f.Recycle()
+	return err
 }
 
 // ValueID is Value addressed by node ID.
 func (en *Engine) ValueID(nodeID int) (int64, error) {
-	return en.inner.Value(engine.RefID(nodeID)).Value()
+	f := en.inner.Value(engine.RefID(nodeID))
+	v, err := f.Value()
+	f.Recycle()
+	return v, err
 }
 
 // GrowIDAsync is GrowAsync addressed by node ID.
@@ -227,27 +279,38 @@ type TreeID = uint64
 // executor goroutine) per tree, so unrelated trees proceed fully in
 // parallel. All methods are safe for concurrent use.
 type Forest struct {
-	inner *engine.Forest
+	inner   *engine.Forest
+	workers int // PRAM worker parallelism applied to every tree
 
 	mu    sync.Mutex
 	exprs map[TreeID]*Engine
 }
 
-// NewForest creates an empty forest; opts configures every tree's engine.
+// NewForest creates an empty forest; opts configures every tree's engine,
+// and opts.Workers the PRAM worker pool of every tree it creates.
 func NewForest(opts BatchOptions) *Forest {
+	if opts.Workers < 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	return &Forest{
 		inner: engine.NewForest(engine.Options{
 			MaxBatch: opts.MaxBatch,
 			Window:   opts.Window,
 			Queue:    opts.Queue,
+			Workers:  opts.Workers,
 		}),
-		exprs: make(map[TreeID]*Engine),
+		workers: opts.Workers,
+		exprs:   make(map[TreeID]*Engine),
 	}
 }
 
 // Create adds a new single-leaf expression tree over ring r and returns
-// its id and serving engine.
+// its id and serving engine. The forest's Workers setting applies unless
+// the given options override it.
 func (f *Forest) Create(r Ring, rootValue int64, opts ...Option) (TreeID, *Engine) {
+	if f.workers != 0 {
+		opts = append([]Option{WithWorkers(f.workers)}, opts...)
+	}
 	expr := NewExpr(r, rootValue, opts...)
 	id, inner := f.inner.Add(expr)
 	en := &Engine{expr: expr, inner: inner}
