@@ -23,6 +23,15 @@
 // count and its wall-clock speedup against the workers=1 run of the same
 // (clients, window) cell. -grain lowers the machine's sequential
 // threshold so smaller batches execute pool-parallel.
+//
+// Replay mode measures the durability pipeline (internal/replog):
+// snapshot size and codec cost, wave-log throughput under live traffic,
+// cold replay speed into a follower, and live follower lag — and writes
+// BENCH_replay.json:
+//
+//	dyntc-bench -replay
+//	dyntc-bench -replay -quick -replay-out=BENCH_replay.json
+//	dyntc-bench -replay -clients=8 -ops=5000
 package main
 
 import (
@@ -48,8 +57,39 @@ func main() {
 		grain   = flag.Int("grain", 0, "engine mode: machine sequential threshold (0 = default 1024)")
 		ops     = flag.Int("ops", 0, "engine mode: operations per client (default 2000; 300 with -quick)")
 		out     = flag.String("out", "BENCH_engine.json", "engine mode: output JSON path ('' to skip)")
+		replay  = flag.Bool("replay", false, "run the replication/durability driver (snapshot + wave log + follower)")
+		repOut  = flag.String("replay-out", "BENCH_replay.json", "replay mode: output JSON path ('' to skip)")
 	)
 	flag.Parse()
+
+	if *replay {
+		rcfg := bench.DefaultReplayConfig(*quick, *seed)
+		if *clients != "" {
+			cs := mustInts(*clients)
+			rcfg.Clients = cs[len(cs)-1]
+		}
+		if *ops > 0 {
+			rcfg.Ops = []int{*ops}
+		}
+		results := bench.ReplayLoad(rcfg)
+		tb := bench.ReplayTable(results)
+		tb.Fprint(os.Stdout)
+		for _, r := range results {
+			if !r.Converged {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: FAIL clients=%d ops=%d: follower did not converge to leader snapshot\n",
+					r.Clients, r.Ops)
+				os.Exit(1)
+			}
+		}
+		if *repOut != "" {
+			if err := bench.WriteReplayJSON(*repOut, results); err != nil {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: write %s: %v\n", *repOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d results)\n", *repOut, len(results))
+		}
+		return
+	}
 
 	if *engine {
 		ecfg := bench.DefaultEngineConfig(*quick, *seed)

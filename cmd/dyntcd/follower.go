@@ -1,0 +1,357 @@
+package main
+
+// Follower mode (-follow <leader-url>): this process serves read-only
+// replicas of every tree a leader dyntcd serves. Each replica bootstraps
+// from GET /v1/trees/{id}/snapshot and then tails GET
+// /v1/trees/{id}/log?since=SEQ, applying shipped waves in order through
+// the verified replay of internal/replog (recorded grow IDs and post-wave
+// roots are checked on every wave). A replica that falls behind the
+// leader's log ring (410 Gone) re-bootstraps from a fresh snapshot.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dyntc"
+)
+
+// followerServer polls one leader and serves its trees read-only.
+type followerServer struct {
+	leader string // leader base URL, no trailing slash
+	poll   time.Duration
+	client *http.Client
+	start  time.Time
+
+	mu   sync.Mutex
+	reps map[dyntc.TreeID]*replica
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// replica is one followed tree.
+type replica struct {
+	mu        sync.Mutex
+	fo        *dyntc.Follower
+	leaderSeq uint64 // last_seq reported by the leader's log endpoint
+	lastErr   string
+	applied   uint64 // waves applied by this process (catch-up throughput)
+}
+
+func newFollower(leader string, poll time.Duration) *followerServer {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	return &followerServer{
+		leader: leader,
+		poll:   poll,
+		client: &http.Client{Timeout: 30 * time.Second},
+		start:  time.Now(),
+		reps:   make(map[dyntc.TreeID]*replica),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// run is the catch-up loop: discover trees, bootstrap new ones, tail logs.
+func (f *followerServer) run() {
+	defer close(f.done)
+	for {
+		f.syncOnce()
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(f.poll):
+		}
+	}
+}
+
+// Close stops the catch-up loop and waits for it to exit.
+func (f *followerServer) Close() {
+	close(f.stop)
+	<-f.done
+}
+
+func (f *followerServer) getJSON(path string, v any) error {
+	resp, err := f.client.Get(f.leader + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// syncOnce runs one discovery + catch-up round.
+func (f *followerServer) syncOnce() {
+	var list struct {
+		Trees []struct {
+			Tree dyntc.TreeID `json:"tree"`
+		} `json:"trees"`
+	}
+	if err := f.getJSON("/v1/trees", &list); err != nil {
+		log.Printf("dyntcd follower: list trees: %v", err)
+		return
+	}
+	live := make(map[dyntc.TreeID]bool, len(list.Trees))
+	for _, ti := range list.Trees {
+		live[ti.Tree] = true
+		f.syncTree(ti.Tree)
+	}
+	// Drop replicas of trees the leader no longer serves.
+	f.mu.Lock()
+	for id := range f.reps {
+		if !live[id] {
+			delete(f.reps, id)
+		}
+	}
+	f.mu.Unlock()
+}
+
+func (f *followerServer) getReplica(id dyntc.TreeID) *replica {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reps[id]
+}
+
+// bootstrap fetches a fresh snapshot and (re)builds the replica.
+func (f *followerServer) bootstrap(id dyntc.TreeID) (*replica, error) {
+	resp, err := f.client.Get(fmt.Sprintf("%s/v1/trees/%d/snapshot", f.leader, id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("snapshot: %s", resp.Status)
+	}
+	data, err := readSnapshotBody(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	fo, err := dyntc.NewFollower(data)
+	if err != nil {
+		return nil, err
+	}
+	rep := &replica{fo: fo, leaderSeq: fo.Seq()}
+	f.mu.Lock()
+	f.reps[id] = rep
+	f.mu.Unlock()
+	log.Printf("dyntcd follower: tree %d bootstrapped at seq %d", id, fo.Seq())
+	return rep, nil
+}
+
+// syncTree bootstraps tree id if new, then applies the leader's log tail.
+func (f *followerServer) syncTree(id dyntc.TreeID) {
+	rep := f.getReplica(id)
+	if rep == nil {
+		var err error
+		if rep, err = f.bootstrap(id); err != nil {
+			log.Printf("dyntcd follower: tree %d bootstrap: %v", id, err)
+			return
+		}
+	}
+
+	var tail struct {
+		Waves   []dyntc.Wave `json:"waves"`
+		LastSeq uint64       `json:"last_seq"`
+	}
+	path := fmt.Sprintf("/v1/trees/%d/log?since=%d", id, rep.fo.Seq())
+	resp, err := f.client.Get(f.leader + path)
+	if err != nil {
+		rep.setErr(err)
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		err = json.NewDecoder(resp.Body).Decode(&tail)
+	case http.StatusGone:
+		// Fell behind the leader's ring: re-bootstrap from a snapshot.
+		log.Printf("dyntcd follower: tree %d log truncated, re-bootstrapping", id)
+		if _, err := f.bootstrap(id); err != nil {
+			log.Printf("dyntcd follower: tree %d re-bootstrap: %v", id, err)
+			rep.setErr(err)
+		}
+		return
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err = fmt.Errorf("%s: %s: %s", path, resp.Status, body)
+	}
+	if err != nil {
+		rep.setErr(err)
+		return
+	}
+	rep.mu.Lock()
+	rep.leaderSeq = tail.LastSeq
+	rep.mu.Unlock()
+	if err := rep.fo.ApplyAll(tail.Waves); err != nil {
+		// Divergence is unrecoverable by replay: rebuild from a snapshot.
+		log.Printf("dyntcd follower: tree %d apply: %v; re-bootstrapping", id, err)
+		rep.setErr(err)
+		if _, berr := f.bootstrap(id); berr != nil {
+			log.Printf("dyntcd follower: tree %d re-bootstrap: %v", id, berr)
+		}
+		return
+	}
+	rep.mu.Lock()
+	rep.applied += uint64(len(tail.Waves))
+	rep.lastErr = ""
+	rep.mu.Unlock()
+}
+
+func (r *replica) setErr(err error) {
+	r.mu.Lock()
+	r.lastErr = err.Error()
+	r.mu.Unlock()
+}
+
+// routes serves the read-only replica API. Mutations are rejected with
+// 403: a follower is a read replica, writes belong on the leader.
+func (f *followerServer) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "role": "follower", "leader": f.leader,
+			"uptime_s": time.Since(f.start).Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /v1/healthz", f.handleHealthz)
+	mux.HandleFunc("GET /v1/trees", f.handleList)
+	mux.HandleFunc("GET /v1/trees/{id}/value", f.replicaHandler(f.handleValue))
+	mux.HandleFunc("GET /v1/trees/{id}/snapshot", f.replicaHandler(f.handleSnapshot))
+	reject := func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, apiError{http.StatusForbidden, "read-only replica: write on the leader " + f.leader})
+	}
+	for _, p := range []string{
+		"POST /v1/trees", "DELETE /v1/trees/{id}", "POST /v1/trees/{id}/grow",
+		"POST /v1/trees/{id}/collapse", "POST /v1/trees/{id}/set-leaf",
+		"POST /v1/trees/{id}/set-op", "POST /v1/trees/{id}/batch",
+		"PUT /v1/trees/{id}/snapshot",
+	} {
+		mux.HandleFunc(p, reject)
+	}
+	return mux
+}
+
+func (f *followerServer) replicaHandler(h func(http.ResponseWriter, *http.Request, *replica)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			writeErr(w, apiError{http.StatusBadRequest, "bad tree id"})
+			return
+		}
+		rep := f.getReplica(id)
+		if rep == nil {
+			writeErr(w, apiError{http.StatusNotFound, fmt.Sprintf("no replica of tree %d", id)})
+			return
+		}
+		h(w, r, rep)
+	}
+}
+
+// handleHealthz reports per-replica applied sequence and lag behind the
+// leader's last observed log position.
+func (f *followerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type repHealth struct {
+		Tree       dyntc.TreeID `json:"tree"`
+		AppliedSeq uint64       `json:"applied_seq"`
+		LeaderSeq  uint64       `json:"leader_seq"`
+		Lag        uint64       `json:"lag"`
+		Waves      uint64       `json:"waves_applied"`
+		LastError  string       `json:"last_error,omitempty"`
+	}
+	trees := []repHealth{}
+	f.mu.Lock()
+	reps := make(map[dyntc.TreeID]*replica, len(f.reps))
+	for id, rep := range f.reps {
+		reps[id] = rep
+	}
+	f.mu.Unlock()
+	for id, rep := range reps {
+		rep.mu.Lock()
+		rh := repHealth{
+			Tree:       id,
+			AppliedSeq: rep.fo.Seq(),
+			LeaderSeq:  rep.leaderSeq,
+			Waves:      rep.applied,
+			LastError:  rep.lastErr,
+		}
+		rep.mu.Unlock()
+		if rh.LeaderSeq > rh.AppliedSeq {
+			rh.Lag = rh.LeaderSeq - rh.AppliedSeq
+		}
+		trees = append(trees, rh)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "role": "follower", "leader": f.leader,
+		"uptime_s": time.Since(f.start).Seconds(),
+		"trees":    trees,
+	})
+}
+
+func (f *followerServer) handleList(w http.ResponseWriter, r *http.Request) {
+	type treeInfo struct {
+		Tree   dyntc.TreeID `json:"tree"`
+		Nodes  int          `json:"nodes"`
+		Leaves int          `json:"leaves"`
+		Root   int64        `json:"root"`
+	}
+	infos := []treeInfo{}
+	f.mu.Lock()
+	reps := make(map[dyntc.TreeID]*replica, len(f.reps))
+	for id, rep := range f.reps {
+		reps[id] = rep
+	}
+	f.mu.Unlock()
+	for id, rep := range reps {
+		ti := treeInfo{Tree: id}
+		rep.fo.Query(func(e *dyntc.Expr) {
+			ti.Nodes = e.Tree().Len()
+			ti.Leaves = e.Tree().LeafCount()
+			ti.Root = e.Root()
+		})
+		infos = append(infos, ti)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trees": infos})
+}
+
+func (f *followerServer) handleValue(w http.ResponseWriter, r *http.Request, rep *replica) {
+	q := r.URL.Query().Get("node")
+	if q == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"value": rep.fo.Root()})
+		return
+	}
+	nodeID, err := strconv.Atoi(q)
+	if err != nil {
+		writeErr(w, apiError{http.StatusBadRequest, "bad node id"})
+		return
+	}
+	v, err := rep.fo.ValueID(nodeID)
+	if err != nil {
+		writeErr(w, apiError{http.StatusNotFound, err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": nodeID, "value": v})
+}
+
+// handleSnapshot re-serializes the replica: followers can seed further
+// followers (fan-out) without touching the leader.
+func (f *followerServer) handleSnapshot(w http.ResponseWriter, r *http.Request, rep *replica) {
+	data, err := rep.fo.Snapshot()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}

@@ -11,6 +11,8 @@
 //	dyntcd -addr :8080
 //	dyntcd -addr :8080 -window 200us -maxbatch 2048
 //	dyntcd -addr :8080 -workers 8          # PRAM worker pool per tree
+//	dyntcd -addr :8080 -wal-dir /var/lib/dyntcd   # durable wave log
+//	dyntcd -addr :8081 -follow http://leader:8080 # read replica
 //
 // -workers (default GOMAXPROCS) sets the goroutine parallelism of each
 // tree's PRAM machine: a wave's node-disjoint grow/collapse/set batches
@@ -18,12 +20,25 @@
 // execution; metered PRAM costs are identical either way. The setting is
 // surfaced in GET /v1/stats.
 //
+// Durability & replication (internal/replog): every tree's engine taps
+// its executed mutating waves into a change log — an in-memory ring of
+// -log-cap waves serving GET /v1/trees/{id}/log?since=SEQ, plus, with
+// -wal-dir set, an append-only <dir>/tree-<id>.wal file. Snapshots
+// (GET/PUT /v1/trees/{id}/snapshot) capture a tree's exact state through
+// an engine barrier. In -follow mode the process serves read-only
+// replicas of every leader tree: snapshot bootstrap, then verified
+// in-order wave replay, re-bootstrapping automatically when it falls
+// behind the leader's ring. GET /v1/healthz reports per-tree applied
+// sequence numbers (and, on a follower, lag).
+//
 // Quick session:
 //
 //	curl -X POST localhost:8080/v1/trees -d '{"root":1}'
 //	curl -X POST localhost:8080/v1/trees/1/grow -d '{"leaf":0,"op":"add","left":3,"right":4}'
 //	curl localhost:8080/v1/trees/1/value
-//	curl localhost:8080/v1/trees/1/stats
+//	curl localhost:8080/v1/trees/1/snapshot
+//	curl 'localhost:8080/v1/trees/1/log?since=0'
+//	curl localhost:8080/v1/healthz
 package main
 
 import (
@@ -48,10 +63,24 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 0, "max requests per flush (0 = default 1024)")
 		queue    = flag.Int("queue", 0, "per-tree submit queue capacity (0 = default 4096)")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "PRAM worker-pool size per tree (1 = sequential wave execution)")
+		walDir   = flag.String("wal-dir", "", "directory for append-only per-tree wave logs ('' = in-memory ring only)")
+		logCap   = flag.Int("log-cap", 0, "waves retained in each tree's in-memory log ring (0 = default 4096)")
+		follow   = flag.String("follow", "", "leader base URL: run as a read-only replica of that dyntcd")
+		poll     = flag.Duration("poll", 50*time.Millisecond, "follower mode: leader poll interval")
 	)
 	flag.Parse()
 
-	s := newServer(dyntc.BatchOptions{MaxBatch: *maxBatch, Window: *window, Queue: *queue, Workers: *workers})
+	if *follow != "" {
+		runFollower(*addr, *follow, *poll)
+		return
+	}
+
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			log.Fatalf("dyntcd: wal dir: %v", err)
+		}
+	}
+	s := newServerWAL(dyntc.BatchOptions{MaxBatch: *maxBatch, Window: *window, Queue: *queue, Workers: *workers}, *walDir, *logCap)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
@@ -69,14 +98,48 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("dyntcd listening on %s (window=%v maxbatch=%d workers=%d)", *addr, *window, *maxBatch, *workers)
+	log.Printf("dyntcd listening on %s (window=%v maxbatch=%d workers=%d wal=%q)", *addr, *window, *maxBatch, *workers, *walDir)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	// ListenAndServe returns as soon as Shutdown *starts*; wait for it to
-	// finish draining in-flight handlers before closing the engines.
+	// finish draining in-flight handlers, then drain every engine's queue
+	// and flush the wave logs — the graceful path loses no acknowledged
+	// write and no logged wave.
 	stop()
 	<-shutdownDone
 	s.forest.Close()
+	s.closeLogs()
 	log.Print("dyntcd: drained and stopped")
+}
+
+// runFollower serves read-only replicas of a leader's trees.
+func runFollower(addr, leader string, poll time.Duration) {
+	f := newFollower(leader, poll)
+	go f.run()
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           f.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("dyntcd following %s on %s (poll=%v)", leader, addr, poll)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	stop()
+	<-shutdownDone
+	f.Close()
+	log.Print("dyntcd follower: stopped")
 }

@@ -1,0 +1,310 @@
+package main
+
+// Tests for the durability & replication surface: snapshot GET/PUT, the
+// wave-log endpoint, /v1/healthz, and the leader→follower catch-up smoke
+// (an in-process leader and follower converging under live traffic).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dyntc"
+)
+
+// growSome issues n grows against tree id, always expanding the latest
+// left leaf, and returns the last response.
+func growSome(t *testing.T, base string, n int, leaf int) int {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		var grown struct {
+			Left  int `json:"left"`
+			Right int `json:"right"`
+		}
+		call(t, "POST", base+"/grow", map[string]any{"leaf": leaf, "op": "add", "left": i, "right": i + 1}, 200, &grown)
+		leaf = grown.Left
+	}
+	return leaf
+}
+
+func getBytes(t *testing.T, url string, wantStatus int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d (want %d): %s", url, resp.StatusCode, wantStatus, data)
+	}
+	return data
+}
+
+func TestSnapshotLogEndpoints(t *testing.T) {
+	ts, _ := startTestServer(t)
+
+	var created struct {
+		Tree uint64 `json:"tree"`
+	}
+	call(t, "POST", ts.URL+"/v1/trees", map[string]any{"root": 1, "seed": 9}, 201, &created)
+	base := fmt.Sprintf("%s/v1/trees/%d", ts.URL, created.Tree)
+	lastLeaf := growSome(t, base, 8, 0)
+
+	// Wave log: 8 grows = 8 mutating waves (sequential client).
+	var tail struct {
+		Waves   []dyntc.Wave `json:"waves"`
+		LastSeq uint64       `json:"last_seq"`
+	}
+	call(t, "GET", base+"/log?since=0", nil, 200, &tail)
+	if tail.LastSeq != 8 || len(tail.Waves) != 8 {
+		t.Fatalf("log: last_seq=%d waves=%d, want 8/8", tail.LastSeq, len(tail.Waves))
+	}
+	for i, w := range tail.Waves {
+		if w.Seq != uint64(i+1) || !w.Verify() {
+			t.Fatalf("wave %d: seq=%d verify=%v", i, w.Seq, w.Verify())
+		}
+	}
+	call(t, "GET", base+"/log?since=6", nil, 200, &tail)
+	if len(tail.Waves) != 2 {
+		t.Fatalf("log since=6: %d waves, want 2", len(tail.Waves))
+	}
+
+	// Snapshot → restore under a fresh id → equal state.
+	snap := getBytes(t, base+"/snapshot", 200)
+	var restored struct {
+		Tree uint64 `json:"tree"`
+		Seq  uint64 `json:"seq"`
+	}
+	call(t, "PUT", ts.URL+"/v1/trees/77/snapshot", json.RawMessage(snap), 201, &restored)
+	if restored.Seq != 8 {
+		t.Fatalf("restored seq = %d, want 8", restored.Seq)
+	}
+	var v1, v2 struct {
+		Value int64 `json:"value"`
+	}
+	call(t, "GET", base+"/value", nil, 200, &v1)
+	call(t, "GET", ts.URL+"/v1/trees/77/value", nil, 200, &v2)
+	if v1.Value != v2.Value {
+		t.Fatalf("restored root %d != original %d", v2.Value, v1.Value)
+	}
+	// The restored tree serves writes and logs them from its own seq (its
+	// node IDs are the leader's, so the leader's last leaf id works).
+	growSome(t, ts.URL+"/v1/trees/77", 1, lastLeaf)
+	var tail77 struct {
+		LastSeq uint64 `json:"last_seq"`
+	}
+	call(t, "GET", ts.URL+"/v1/trees/77/log?since=8", nil, 200, &tail77)
+	if tail77.LastSeq != 9 {
+		t.Fatalf("restored tree log at %d, want 9", tail77.LastSeq)
+	}
+	// Restoring over a live id conflicts.
+	call(t, "PUT", ts.URL+"/v1/trees/77/snapshot", json.RawMessage(snap), 409, nil)
+	// A corrupt snapshot is rejected.
+	call(t, "PUT", ts.URL+"/v1/trees/88/snapshot", json.RawMessage(`{"version":1}`), 400, nil)
+
+	// Healthz reports both trees' applied sequences.
+	var health struct {
+		OK    bool   `json:"ok"`
+		Role  string `json:"role"`
+		Trees []struct {
+			Tree       uint64 `json:"tree"`
+			AppliedSeq uint64 `json:"applied_seq"`
+			LogSeq     uint64 `json:"log_seq"`
+			QueueCap   int    `json:"queue_cap"`
+		} `json:"trees"`
+	}
+	call(t, "GET", ts.URL+"/v1/healthz", nil, 200, &health)
+	if !health.OK || health.Role != "leader" || len(health.Trees) != 2 {
+		t.Fatalf("healthz: %+v", health)
+	}
+	for _, th := range health.Trees {
+		want := uint64(8)
+		if th.Tree == 77 {
+			want = 9
+		}
+		if th.AppliedSeq != want || th.LogSeq != want {
+			t.Fatalf("tree %d: applied=%d log=%d, want %d", th.Tree, th.AppliedSeq, th.LogSeq, want)
+		}
+		if th.QueueCap <= 0 {
+			t.Fatalf("tree %d: queue_cap %d", th.Tree, th.QueueCap)
+		}
+	}
+}
+
+func TestLogTruncationGone(t *testing.T) {
+	s := newServerWAL(dyntc.BatchOptions{}, "", 4) // tiny ring
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() { ts.Close(); s.forest.Close() })
+
+	var created struct {
+		Tree uint64 `json:"tree"`
+	}
+	call(t, "POST", ts.URL+"/v1/trees", map[string]any{"root": 1}, 201, &created)
+	base := fmt.Sprintf("%s/v1/trees/%d", ts.URL, created.Tree)
+	growSome(t, base, 10, 0)
+
+	var gone struct {
+		Error   string `json:"error"`
+		BaseSeq uint64 `json:"base_seq"`
+	}
+	call(t, "GET", base+"/log?since=0", nil, 410, &gone)
+	if gone.BaseSeq != 7 {
+		t.Fatalf("base_seq = %d, want 7 (10 waves, ring 4)", gone.BaseSeq)
+	}
+}
+
+// TestFollowerCatchupSmoke is the CI convergence smoke: an in-process
+// leader and follower, live traffic on two trees while the follower
+// tails the log, then convergence asserted on roots, sequences, and the
+// full snapshot bytes of every tree.
+func TestFollowerCatchupSmoke(t *testing.T) {
+	leaderSrv, _ := startTestServer(t)
+
+	// Two trees with some pre-follower history.
+	var tr1, tr2 struct {
+		Tree uint64 `json:"tree"`
+	}
+	call(t, "POST", leaderSrv.URL+"/v1/trees", map[string]any{"root": 1, "seed": 3}, 201, &tr1)
+	call(t, "POST", leaderSrv.URL+"/v1/trees", map[string]any{"root": 5, "seed": 4, "ring": "minplus"}, 201, &tr2)
+	base1 := fmt.Sprintf("%s/v1/trees/%d", leaderSrv.URL, tr1.Tree)
+	base2 := fmt.Sprintf("%s/v1/trees/%d", leaderSrv.URL, tr2.Tree)
+	startLeaf := map[string]int{base1: growSome(t, base1, 5, 0), base2: 0}
+
+	// Follower starts mid-history and polls fast.
+	fo := newFollower(leaderSrv.URL, 2*time.Millisecond)
+	go fo.run()
+	t.Cleanup(fo.Close)
+	foSrv := httptest.NewServer(fo.routes())
+	t.Cleanup(foSrv.Close)
+
+	// Live traffic while the follower tails.
+	var wg sync.WaitGroup
+	for i, base := range []string{base1, base2} {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			leaf := growSome(t, base, 20, startLeaf[base])
+			for j := 0; j < 10; j++ {
+				call(t, "POST", base+"/set-leaf", map[string]any{"leaf": leaf, "value": j * (i + 2)}, 200, nil)
+			}
+		}(i, base)
+	}
+	wg.Wait()
+
+	// Wait for convergence: the leader's traffic is done, so its applied
+	// sequences are final; the follower must reach them exactly.
+	type healthResp struct {
+		Trees []struct {
+			Tree       uint64 `json:"tree"`
+			AppliedSeq uint64 `json:"applied_seq"`
+			Lag        uint64 `json:"lag"`
+			LastError  string `json:"last_error"`
+		} `json:"trees"`
+	}
+	var leaderHealth healthResp
+	call(t, "GET", leaderSrv.URL+"/v1/healthz", nil, 200, &leaderHealth)
+	want := map[uint64]uint64{}
+	for _, th := range leaderHealth.Trees {
+		want[th.Tree] = th.AppliedSeq
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var health healthResp
+		call(t, "GET", foSrv.URL+"/v1/healthz", nil, 200, &health)
+		caught := len(health.Trees) == 2
+		for _, th := range health.Trees {
+			if th.AppliedSeq != want[th.Tree] {
+				caught = false
+			}
+		}
+		if caught {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower did not converge: want %v, have %+v", want, health)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Roots and snapshot bytes must match tree by tree.
+	for _, id := range []uint64{tr1.Tree, tr2.Tree} {
+		var lv, fv struct {
+			Value int64 `json:"value"`
+		}
+		call(t, "GET", fmt.Sprintf("%s/v1/trees/%d/value", leaderSrv.URL, id), nil, 200, &lv)
+		call(t, "GET", fmt.Sprintf("%s/v1/trees/%d/value", foSrv.URL, id), nil, 200, &fv)
+		if lv.Value != fv.Value {
+			t.Fatalf("tree %d: leader root %d, follower %d", id, lv.Value, fv.Value)
+		}
+		lsnap := getBytes(t, fmt.Sprintf("%s/v1/trees/%d/snapshot", leaderSrv.URL, id), 200)
+		fsnap := getBytes(t, fmt.Sprintf("%s/v1/trees/%d/snapshot", foSrv.URL, id), 200)
+		if !bytes.Equal(lsnap, fsnap) {
+			t.Fatalf("tree %d: follower snapshot differs from leader's", id)
+		}
+	}
+
+	// Writes on the follower are rejected.
+	call(t, "POST", fmt.Sprintf("%s/v1/trees/%d/grow", foSrv.URL, tr1.Tree),
+		map[string]any{"leaf": 0, "op": "add", "left": 1, "right": 2}, 403, nil)
+}
+
+// TestWALPersistsAcrossRestart pins the durable path: a server with a WAL
+// directory logs every wave to disk; a fresh process (server) replays the
+// WAL into a restored snapshot and reaches the same state.
+func TestWALPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := newServerWAL(dyntc.BatchOptions{}, dir, 0)
+	ts := httptest.NewServer(s.routes())
+
+	var created struct {
+		Tree uint64 `json:"tree"`
+	}
+	call(t, "POST", ts.URL+"/v1/trees", map[string]any{"root": 1, "seed": 6}, 201, &created)
+	base := fmt.Sprintf("%s/v1/trees/%d", ts.URL, created.Tree)
+	leaf := growSome(t, base, 6, 0)
+	snap0 := getBytes(t, base+"/snapshot", 200) // snapshot at seq 6
+	growSome(t, base, 3, leaf)                  // three more waves hit only the WAL tail
+	var finalRoot struct {
+		Value int64 `json:"value"`
+	}
+	call(t, "GET", base+"/value", nil, 200, &finalRoot)
+	finalSnap := getBytes(t, base+"/snapshot", 200)
+	ts.Close()
+	s.forest.Close()
+	s.closeLogs() // graceful shutdown flushes the WAL
+
+	waves, err := dyntc.ReadWaveLog(fmt.Sprintf("%s/tree-%d.wal", dir, created.Tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waves) != 9 {
+		t.Fatalf("WAL has %d waves, want 9", len(waves))
+	}
+	fo, err := dyntc.NewFollower(snap0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fo.ApplyAll(waves); err != nil { // waves 1..6 skip idempotently
+		t.Fatal(err)
+	}
+	if fo.Root() != finalRoot.Value {
+		t.Fatalf("replayed root %d, want %d", fo.Root(), finalRoot.Value)
+	}
+	snap, err := fo.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, finalSnap) {
+		t.Fatal("replayed state differs from pre-shutdown snapshot")
+	}
+}

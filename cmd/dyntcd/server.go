@@ -4,13 +4,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
 
 	"dyntc"
 	"dyntc/internal/engine"
+	"dyntc/internal/replog"
 )
 
 // server exposes a dyntc.Forest over HTTP/JSON. Every tree is served by
@@ -33,6 +37,14 @@ import (
 //	GET    /v1/trees/{id}/stats        -> engine + tree stats
 //	GET    /v1/stats                   -> forest-wide aggregate
 //
+// Durability & replication (see internal/replog):
+//
+//	GET    /v1/healthz                  -> per-engine liveness + applied seq
+//	GET    /v1/trees/{id}/snapshot      -> versioned snapshot (tree + seed + seq)
+//	PUT    /v1/trees/{id}/snapshot      restore a tree under this id
+//	GET    /v1/trees/{id}/log?since=SEQ -> waves after SEQ (410 = truncated,
+//	                                       re-bootstrap from a snapshot)
+//
 // Nodes are addressed by their dense, lifetime-stable IDs (tree.Node.ID);
 // a new tree's root is node 0.
 type server struct {
@@ -42,10 +54,58 @@ type server struct {
 	// rings remembers each tree's ring so op names ("add"/"mul") can be
 	// parsed per request.
 	rings sync.Map // dyntc.TreeID -> dyntc.Ring
+
+	// Every tree's engine feeds a wave change-log: the in-memory ring
+	// serves follower catch-up, and with a WAL directory configured each
+	// tree also appends to <walDir>/tree-<id>.wal.
+	walDir string
+	logCap int
+	logs   sync.Map // dyntc.TreeID -> *dyntc.WaveLog
 }
 
 func newServer(opts dyntc.BatchOptions) *server {
-	return &server{forest: dyntc.NewForest(opts), start: time.Now(), workers: opts.Workers}
+	return newServerWAL(opts, "", 0)
+}
+
+func newServerWAL(opts dyntc.BatchOptions, walDir string, logCap int) *server {
+	return &server{
+		forest:  dyntc.NewForest(opts),
+		start:   time.Now(),
+		workers: opts.Workers,
+		walDir:  walDir,
+		logCap:  logCap,
+	}
+}
+
+// attachLog creates the tree's wave log and taps the engine into it.
+// Attach happens before the engine sees traffic, so the log is gapless
+// from the tree's (or restore's) first wave.
+func (s *server) attachLog(id dyntc.TreeID, en *dyntc.Engine) error {
+	path := ""
+	if s.walDir != "" {
+		path = filepath.Join(s.walDir, fmt.Sprintf("tree-%d.wal", id))
+	}
+	wl, err := dyntc.NewWaveLog(s.logCap, path)
+	if err != nil {
+		return err
+	}
+	s.logs.Store(id, wl)
+	en.SetWaveTap(func(w dyntc.Wave) {
+		if err := wl.Append(w); err != nil {
+			log.Printf("dyntcd: tree %d: wave log append: %v", id, err)
+		}
+	})
+	return nil
+}
+
+// closeLogs flushes and closes every tree's WAL (shutdown path).
+func (s *server) closeLogs() {
+	s.logs.Range(func(k, v any) bool {
+		if err := v.(*dyntc.WaveLog).Close(); err != nil {
+			log.Printf("dyntcd: tree %v: wal close: %v", k, err)
+		}
+		return true
+	})
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -64,6 +124,10 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/trees/{id}/value", s.treeHandler(s.handleValue))
 	mux.HandleFunc("GET /v1/trees/{id}/stats", s.treeHandler(s.handleTreeStats))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/trees/{id}/snapshot", s.treeHandler(s.handleGetSnapshot))
+	mux.HandleFunc("PUT /v1/trees/{id}/snapshot", s.handlePutSnapshot)
+	mux.HandleFunc("GET /v1/trees/{id}/log", s.treeHandler(s.handleLog))
 	return mux
 }
 
@@ -190,8 +254,14 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Tour {
 		opts = append(opts, dyntc.WithTour())
 	}
-	id, _ := s.forest.Create(ring, req.Root, opts...)
+	id, en := s.forest.Create(ring, req.Root, opts...)
 	s.rings.Store(id, ring)
+	if err := s.attachLog(id, en); err != nil {
+		s.forest.Drop(id)
+		s.rings.Delete(id)
+		writeErr(w, err)
+		return
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{"tree": id, "root_node": 0})
 }
 
@@ -228,6 +298,9 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.rings.Delete(id)
+	if wl, ok := s.logs.LoadAndDelete(id); ok {
+		_ = wl.(*dyntc.WaveLog).Close()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": id})
 }
 
@@ -477,6 +550,157 @@ func (s *server) handleTreeStats(w http.ResponseWriter, r *http.Request, en *dyn
 			"rebuild_leaves": heal.RebuildLeaves,
 		},
 		"pram": map[string]any{"steps": pm.Steps, "work": pm.Work, "max_procs": pm.MaxProcs},
+	})
+}
+
+// --- durability & replication ---
+
+// maxSnapshotBody bounds snapshot transfers (PUT bodies, follower
+// bootstrap downloads).
+const maxSnapshotBody = 256 << 20
+
+// readSnapshotBody reads an entire snapshot, failing loudly on oversize
+// instead of silently truncating (a truncated snapshot never decodes, and
+// a silent cut would turn one oversized tree into a retry loop).
+func readSnapshotBody(r io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxSnapshotBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxSnapshotBody {
+		return nil, fmt.Errorf("snapshot exceeds %d bytes", maxSnapshotBody)
+	}
+	return data, nil
+}
+
+func (s *server) handleGetSnapshot(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
+	data, err := en.Snapshot()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handlePutSnapshot restores a tree from a snapshot body under the path's
+// tree id — the migration / replication entry point. The id must be free.
+func (s *server) handlePutSnapshot(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, apiError{http.StatusBadRequest, "bad tree id"})
+		return
+	}
+	body, err := readSnapshotBody(r.Body)
+	if err != nil {
+		writeErr(w, apiError{http.StatusBadRequest, "read snapshot body: " + err.Error()})
+		return
+	}
+	en, seq, err := s.forest.Restore(id, body)
+	if err != nil {
+		// Restore checks occupancy atomically (engine.Forest.AddAt), so a
+		// lost duplicate-PUT race still maps to conflict, not bad-request.
+		if errors.Is(err, engine.ErrTreeExists) {
+			writeErr(w, apiError{http.StatusConflict, fmt.Sprintf("tree %d already exists", id)})
+			return
+		}
+		writeErr(w, apiError{http.StatusBadRequest, "restore: " + err.Error()})
+		return
+	}
+	var ring dyntc.Ring
+	if err := en.Query(func(e *dyntc.Expr) { ring = e.Tree().Ring }); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.rings.Store(id, ring)
+	if err := s.attachLog(id, en); err != nil {
+		s.forest.Drop(id)
+		s.rings.Delete(id)
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"tree": id, "seq": seq})
+}
+
+// handleLog ships the tree's wave change-log after ?since=SEQ. A follower
+// that is too far behind the in-memory ring gets 410 Gone and must
+// re-bootstrap from a snapshot.
+func (s *server) handleLog(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
+	id, _ := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		var err error
+		if since, err = strconv.ParseUint(q, 10, 64); err != nil {
+			writeErr(w, apiError{http.StatusBadRequest, "bad since"})
+			return
+		}
+	}
+	v, ok := s.logs.Load(dyntc.TreeID(id))
+	if !ok {
+		writeErr(w, apiError{http.StatusNotFound, fmt.Sprintf("no log for tree %d", id)})
+		return
+	}
+	wl := v.(*dyntc.WaveLog)
+	waves, err := wl.Since(since)
+	if err != nil {
+		if errors.Is(err, replog.ErrTruncated) {
+			writeJSON(w, http.StatusGone, map[string]any{
+				"error":    err.Error(),
+				"base_seq": wl.BaseSeq(),
+			})
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	if waves == nil {
+		waves = []dyntc.Wave{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"waves":       waves,
+		"last_seq":    wl.LastSeq(),
+		"applied_seq": en.AppliedSeq(),
+	})
+}
+
+// handleHealthz reports per-engine liveness: applied change-log sequence,
+// queue depth against capacity, and drop counts — the signals a load
+// balancer or replication monitor needs.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type treeHealth struct {
+		Tree       dyntc.TreeID `json:"tree"`
+		AppliedSeq uint64       `json:"applied_seq"`
+		LogSeq     uint64       `json:"log_seq"`
+		QueueDepth int          `json:"queue_depth"`
+		QueueCap   int          `json:"queue_cap"`
+		Dropped    uint64       `json:"dropped"`
+		WALError   string       `json:"wal_error,omitempty"`
+	}
+	trees := []treeHealth{}
+	s.forest.Each(func(id dyntc.TreeID, en *dyntc.Engine) {
+		st := en.Stats()
+		th := treeHealth{
+			Tree:       id,
+			AppliedSeq: en.AppliedSeq(),
+			QueueDepth: st.QueueDepth,
+			QueueCap:   st.QueueCap,
+			Dropped:    st.Dropped,
+		}
+		if v, ok := s.logs.Load(id); ok {
+			wl := v.(*dyntc.WaveLog)
+			th.LogSeq = wl.LastSeq()
+			if err := wl.Err(); err != nil {
+				th.WALError = err.Error()
+			}
+		}
+		trees = append(trees, th)
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"role":     "leader",
+		"uptime_s": time.Since(s.start).Seconds(),
+		"trees":    trees,
 	})
 }
 

@@ -1,0 +1,262 @@
+package bench
+
+// The replication load driver (dyntc-bench -replay): measures the
+// durability pipeline of internal/replog end to end — snapshot size and
+// codec cost, wave-log append throughput under live engine traffic,
+// replay throughput into a follower, and follower lag while tailing a
+// leader mid-traffic. Emits the machine-readable BENCH_replay.json
+// tracked across PRs.
+//
+// Each run drives one logged engine with the same deterministic
+// region-sharded client programs as the engine bench, while a follower —
+// bootstrapped from the pre-traffic snapshot — concurrently tails the
+// in-memory wave log. Convergence is asserted, not assumed: at the end
+// the follower's snapshot must be byte-identical to the leader's.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dyntc"
+	"dyntc/internal/prng"
+)
+
+// ReplayConfig configures the replication bench.
+type ReplayConfig struct {
+	Ops     []int // operations per client, swept
+	Clients int
+	Seed    uint64
+}
+
+// DefaultReplayConfig is the sweep cmd/dyntc-bench runs.
+func DefaultReplayConfig(quick bool, seed uint64) ReplayConfig {
+	cfg := ReplayConfig{Ops: []int{500, 2000, 8000}, Clients: 8, Seed: seed}
+	if quick {
+		cfg.Ops = []int{300}
+		cfg.Clients = 4
+	}
+	return cfg
+}
+
+// ReplayResult is one measurement of the snapshot + log + catch-up path.
+type ReplayResult struct {
+	Clients int `json:"clients"`
+	Ops     int `json:"ops"` // total operations issued
+
+	Waves  int `json:"waves"`   // mutating waves logged
+	LogOps int `json:"log_ops"` // mutating ops in the log
+
+	LeaderOpsPerSec float64 `json:"leader_ops_per_sec"` // with logging + follower attached
+
+	SnapshotBytes    int     `json:"snapshot_bytes"`     // final state snapshot size
+	SnapshotEncodeMS float64 `json:"snapshot_encode_ms"` // Engine.Snapshot (barrier + codec)
+	RestoreMS        float64 `json:"restore_ms"`         // decode + rebuild Expr
+
+	ReplayWavesPerSec float64 `json:"replay_waves_per_sec"` // cold full-log replay
+	ReplayOpsPerSec   float64 `json:"replay_ops_per_sec"`
+
+	MeanLagWaves float64 `json:"mean_lag_waves"` // live-tailing follower lag samples
+	MaxLagWaves  uint64  `json:"max_lag_waves"`
+	CatchupMS    float64 `json:"catchup_ms"` // leader-done -> follower converged
+
+	Converged bool `json:"converged"` // follower snapshot byte-identical to leader's
+}
+
+// runReplay is one (clients, ops) measurement.
+func runReplay(cfg ReplayConfig, opsPerClient int) ReplayResult {
+	ring := dyntc.ModRing(1_000_000_007)
+	res := ReplayResult{Clients: cfg.Clients, Ops: cfg.Clients * opsPerClient}
+
+	wlog, err := dyntc.NewWaveLog(1<<20, "")
+	if err != nil {
+		panic(err)
+	}
+	leader := dyntc.NewExpr(ring, 1, dyntc.WithSeed(cfg.Seed))
+	bases := engineFanOut(leader, ring, cfg.Clients)
+	en := leader.Serve(dyntc.BatchOptions{WaveTap: func(w dyntc.Wave) {
+		if err := wlog.Append(w); err != nil {
+			panic(err)
+		}
+	}})
+
+	snap0, err := en.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+
+	// Live-tailing follower: polls the log while the leader serves.
+	tailFo, err := dyntc.NewFollower(snap0)
+	if err != nil {
+		panic(err)
+	}
+	stopTail := make(chan struct{})
+	tailDone := make(chan struct{})
+	var lagSamples, lagTotal, lagMax uint64
+	go func() {
+		defer close(tailDone)
+		for {
+			last := wlog.LastSeq()
+			at := tailFo.Seq()
+			if last > at {
+				lag := last - at
+				lagTotal += lag
+				if lag > lagMax {
+					lagMax = lag
+				}
+				lagSamples++
+				if waves, err := wlog.Since(at); err == nil {
+					if err := tailFo.ApplyAll(waves); err != nil {
+						panic(err)
+					}
+				}
+			}
+			select {
+			case <-stopTail:
+				if tailFo.Seq() == wlog.LastSeq() {
+					return
+				}
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}()
+
+	// Leader traffic: the engine bench's deterministic clients.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &loadClient{rng: prng.New(cfg.Seed + uint64(i)*1000), ring: ring, base: bases[i]}
+			a := &liveLoad{en: en}
+			for j := 0; j < opsPerClient; j++ {
+				if err := c.step(a); err != nil {
+					panic(err)
+				}
+			}
+			if err := a.drain(); err != nil {
+				panic(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	leaderSecs := time.Since(start).Seconds()
+	res.LeaderOpsPerSec = float64(res.Ops) / leaderSecs
+
+	// Follower catch-up time after the leader goes quiet.
+	catchupStart := time.Now()
+	close(stopTail)
+	<-tailDone
+	res.CatchupMS = float64(time.Since(catchupStart).Nanoseconds()) / 1e6
+	if lagSamples > 0 {
+		res.MeanLagWaves = float64(lagTotal) / float64(lagSamples)
+	}
+	res.MaxLagWaves = lagMax
+
+	// Snapshot codec cost on the final (largest) state.
+	encStart := time.Now()
+	finalSnap, err := en.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	res.SnapshotEncodeMS = float64(time.Since(encStart).Nanoseconds()) / 1e6
+	res.SnapshotBytes = len(finalSnap)
+	en.Close()
+
+	decStart := time.Now()
+	if _, _, err := dyntc.RestoreExpr(finalSnap); err != nil {
+		panic(err)
+	}
+	res.RestoreMS = float64(time.Since(decStart).Nanoseconds()) / 1e6
+
+	waves, err := wlog.Since(0)
+	if err != nil {
+		panic(err)
+	}
+	res.Waves = len(waves)
+	for _, w := range waves {
+		res.LogOps += len(w.Ops)
+	}
+
+	// Cold replay throughput: fresh follower, full log.
+	coldFo, err := dyntc.NewFollower(snap0)
+	if err != nil {
+		panic(err)
+	}
+	replayStart := time.Now()
+	if err := coldFo.ApplyAll(waves); err != nil {
+		panic(err)
+	}
+	replaySecs := time.Since(replayStart).Seconds()
+	if replaySecs > 0 {
+		res.ReplayWavesPerSec = float64(res.Waves) / replaySecs
+		res.ReplayOpsPerSec = float64(res.LogOps) / replaySecs
+	}
+
+	// Convergence: both followers must land on the leader's exact bytes.
+	tailSnap, err := tailFo.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	coldSnap, err := coldFo.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	res.Converged = bytes.Equal(tailSnap, finalSnap) && bytes.Equal(coldSnap, finalSnap)
+	return res
+}
+
+// ReplayLoad runs the replication bench sweep.
+func ReplayLoad(cfg ReplayConfig) []ReplayResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	var out []ReplayResult
+	for _, ops := range cfg.Ops {
+		out = append(out, runReplay(cfg, ops))
+	}
+	return out
+}
+
+// WriteReplayJSON writes results as the tracked BENCH_replay.json payload.
+func WriteReplayJSON(path string, results []ReplayResult) error {
+	payload := struct {
+		Bench   string         `json:"bench"`
+		Results []ReplayResult `json:"results"`
+	}{Bench: "replication-replay", Results: results}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReplayTable renders results as a dyntc-bench table.
+func ReplayTable(results []ReplayResult) Table {
+	t := Table{
+		ID:      "E13",
+		Title:   "replication: snapshot + wave log + follower catch-up",
+		Claim:   "followers replaying the wave log converge to the leader's exact snapshot bytes",
+		Columns: []string{"clients", "ops", "waves", "leader_ops/s", "snap_KB", "snap_ms", "restore_ms", "replay_waves/s", "mean_lag", "max_lag", "catchup_ms", "converged"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Clients, r.Ops, r.Waves,
+			fmt.Sprintf("%.0f", r.LeaderOpsPerSec),
+			fmt.Sprintf("%.1f", float64(r.SnapshotBytes)/1024),
+			fmt.Sprintf("%.2f", r.SnapshotEncodeMS),
+			fmt.Sprintf("%.2f", r.RestoreMS),
+			fmt.Sprintf("%.0f", r.ReplayWavesPerSec),
+			fmt.Sprintf("%.1f", r.MeanLagWaves),
+			fmt.Sprint(r.MaxLagWaves),
+			fmt.Sprintf("%.2f", r.CatchupMS),
+			fmt.Sprint(r.Converged))
+	}
+	t.Notes = append(t.Notes,
+		"leader_ops/s includes wave logging and a live-tailing in-process follower",
+		"lag sampled each follower poll (200µs); catch-up is leader-quiet to follower-converged")
+	return t
+}

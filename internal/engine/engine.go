@@ -30,7 +30,10 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"dyntc/internal/replog"
 )
 
 // Host is the single-writer structure the engine serializes access to.
@@ -64,7 +67,17 @@ type Options struct {
 	// Recorded here so Stats can surface it. 0 means leave the host's
 	// machine as configured.
 	Workers int
+	// WaveTap, when set, is called on the executor goroutine after every
+	// executed wave that mutated the tree, with the wave's sealed change
+	// record (dense-ID ops, assigned grow IDs, post-wave root, checksum).
+	// This is the replication seam: internal/replog logs and ships these.
+	// The tap runs inline on the executor — it must be fast and must not
+	// call back into the engine. See also Engine.SetWaveTap.
+	WaveTap WaveTap
 }
+
+// WaveTap receives the change record of one executed mutating wave.
+type WaveTap func(replog.Wave)
 
 func (o Options) withDefaults() Options {
 	if o.MaxBatch <= 0 {
@@ -90,6 +103,14 @@ type Engine struct {
 
 	stats statsRec
 
+	// appliedSeq numbers the mutating waves this engine has executed; it
+	// is the tree state's position in the wave change-log. Restored
+	// followers seed it with their snapshot's sequence (SetAppliedSeq).
+	appliedSeq atomic.Uint64
+	// tap is the active wave tap (nil = none); swappable at runtime so a
+	// change log can attach to an already-serving engine.
+	tap atomic.Pointer[WaveTap]
+
 	// sc is the executor's reusable flush/partition state (executor
 	// goroutine only).
 	sc scratch
@@ -105,9 +126,33 @@ func New(host Host, opts Options) *Engine {
 		done: make(chan struct{}),
 	}
 	e.ch = make(chan *Future, e.opts.Queue)
+	if e.opts.WaveTap != nil {
+		e.tap.Store(&e.opts.WaveTap)
+	}
 	go e.run()
 	return e
 }
+
+// SetWaveTap installs (or, with nil, removes) the wave tap. The tap takes
+// effect from the next executed wave; waves already executed are not
+// replayed into it, so attach the tap before traffic (or right after
+// restoring a snapshot) for a gapless log.
+func (e *Engine) SetWaveTap(tap WaveTap) {
+	if tap == nil {
+		e.tap.Store(nil)
+		return
+	}
+	e.tap.Store(&tap)
+}
+
+// AppliedSeq returns the sequence number of the last mutating wave the
+// engine executed (the tree state's position in the wave change-log).
+func (e *Engine) AppliedSeq() uint64 { return e.appliedSeq.Load() }
+
+// SetAppliedSeq seeds the applied-wave sequence, for an engine started
+// over a host restored from a snapshot taken at that sequence. Call it
+// before the engine receives traffic.
+func (e *Engine) SetAppliedSeq(seq uint64) { e.appliedSeq.Store(seq) }
 
 // Close stops accepting requests, waits for the executor to drain every
 // pending request, and returns. Close is idempotent.
@@ -126,6 +171,7 @@ func (e *Engine) submit(f *Future) *Future {
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
+		e.stats.drop(1)
 		f.resolve(0, [2]*NodeT{}, ErrClosed)
 		return f
 	}

@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Forest shards independent expression trees across engines: each tree gets
 // its own Engine (and executor goroutine), so traffic against unrelated
@@ -36,19 +39,51 @@ func (f *Forest) shard(id uint64) *forestShard {
 	return &f.shards[id%forestShards]
 }
 
-// Add starts an engine over host and returns its tree id.
+// Add starts an engine over host and returns its tree id. A freshly
+// allocated id can collide with a concurrent AddAt that claimed it first
+// (AddAt bumps the allocator, but an Add may already hold a lower id);
+// occupancy is re-checked under the shard lock and a taken id is simply
+// skipped.
 func (f *Forest) Add(host Host) (uint64, *Engine) {
+	e := New(host, f.opts)
+	for {
+		f.next.Lock()
+		id := f.nextID
+		f.nextID++
+		f.next.Unlock()
+
+		s := f.shard(id)
+		s.mu.Lock()
+		if _, taken := s.engines[id]; !taken {
+			s.engines[id] = e
+			s.mu.Unlock()
+			return id, e
+		}
+		s.mu.Unlock()
+	}
+}
+
+// AddAt starts an engine over host under a caller-chosen tree id — the
+// restore path: a follower (or a PUT-snapshot) must register a tree under
+// the leader's id, not the next free one. It fails when the id is taken,
+// and bumps the id allocator past id so later Adds never collide.
+func (f *Forest) AddAt(id uint64, host Host) (*Engine, error) {
 	f.next.Lock()
-	id := f.nextID
-	f.nextID++
+	if id >= f.nextID {
+		f.nextID = id + 1
+	}
 	f.next.Unlock()
 
-	e := New(host, f.opts)
 	s := f.shard(id)
 	s.mu.Lock()
+	if _, ok := s.engines[id]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (tree %d)", ErrTreeExists, id)
+	}
+	e := New(host, f.opts)
 	s.engines[id] = e
 	s.mu.Unlock()
-	return id, e
+	return e, nil
 }
 
 // Get returns the engine serving tree id.

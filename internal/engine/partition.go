@@ -2,6 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"time"
+
+	"dyntc/internal/replog"
 )
 
 // This file turns one flush — an arbitrary mix of concurrent requests — into
@@ -228,11 +231,14 @@ func (e *Engine) planOne(f *Future) (footprint, error) {
 // and poisons the engine: the contraction's internal state is unknown.
 func (e *Engine) executeFlush(flush []*Future) {
 	if e.poisoned {
+		e.stats.drop(len(flush))
 		for _, f := range flush {
 			f.resolve(0, [2]*NodeT{}, ErrPoisoned)
 		}
 		return
 	}
+	flushStart := time.Now()
+	defer func() { e.stats.flushDone(time.Since(flushStart)) }()
 	e.stats.flush(len(flush))
 
 	// Deferred requests ping-pong between two reusable buffers: each round
@@ -299,6 +305,7 @@ func (e *Engine) executeFlush(flush []*Future) {
 		if e.poisoned {
 			// A wave panic mid-flush: the structure is in an unknown
 			// state, so the remaining waves must not touch it.
+			e.stats.drop(len(deferred))
 			for _, f := range deferred {
 				f.resolve(0, [2]*NodeT{}, ErrPoisoned)
 			}
@@ -392,6 +399,18 @@ func (e *Engine) runWave(wave []*Future) {
 	sc.order = append(sc.order, sc.setOps...)
 	sc.order = append(sc.order, sc.values...)
 
+	// When a wave tap is attached, build the wave's change record. Op data
+	// must be captured before the corresponding resolve: a resolved Future
+	// may already be recycled (and reused) by its caller. The record slice
+	// is freshly allocated per wave — it escapes into the tap, which may
+	// retain it (log rings do).
+	tap := e.tap.Load()
+	mutating := len(sc.grows) + len(sc.collapses) + len(sc.setLeaves) + len(sc.setOps)
+	var rec []replog.Op
+	if tap != nil && mutating > 0 {
+		rec = make([]replog.Op, 0, mutating)
+	}
+
 	if len(sc.grows) > 0 {
 		sc.growOps = sc.growOps[:0]
 		for _, f := range sc.grows {
@@ -399,6 +418,14 @@ func (e *Engine) runWave(wave []*Future) {
 		}
 		pairs := e.host.GrowBatch(sc.growOps)
 		for i, f := range sc.grows {
+			if rec != nil {
+				rec = append(rec, replog.Op{
+					Kind: replog.OpGrow, Node: f.ref.N.ID,
+					A: f.op.A, B: f.op.B, C: f.op.C,
+					Left: f.a, Right: f.b,
+					LeftID: pairs[i][0].ID, RightID: pairs[i][1].ID,
+				})
+			}
 			e.stats.done(kGrow)
 			resolved++
 			f.resolve(0, pairs[i], nil)
@@ -411,6 +438,9 @@ func (e *Engine) runWave(wave []*Future) {
 		}
 		e.host.CollapseBatch(sc.colOps)
 		for _, f := range sc.collapses {
+			if rec != nil {
+				rec = append(rec, replog.Op{Kind: replog.OpCollapse, Node: f.ref.N.ID, Value: f.a})
+			}
 			e.stats.done(kCollapse)
 			resolved++
 			f.resolve(0, [2]*NodeT{}, nil)
@@ -425,6 +455,9 @@ func (e *Engine) runWave(wave []*Future) {
 		}
 		e.host.SetLeaves(sc.nodes, sc.vals)
 		for _, f := range sc.setLeaves {
+			if rec != nil {
+				rec = append(rec, replog.Op{Kind: replog.OpSetLeaf, Node: f.ref.N.ID, Value: f.a})
+			}
 			e.stats.done(kSetLeaf)
 			resolved++
 			f.resolve(0, [2]*NodeT{}, nil)
@@ -439,11 +472,29 @@ func (e *Engine) runWave(wave []*Future) {
 		}
 		e.host.SetOps(sc.nodes, sc.opArgs)
 		for _, f := range sc.setOps {
+			if rec != nil {
+				rec = append(rec, replog.Op{Kind: replog.OpSetOp, Node: f.ref.N.ID, A: f.op.A, B: f.op.B, C: f.op.C})
+			}
 			e.stats.done(kSetOp)
 			resolved++
 			f.resolve(0, [2]*NodeT{}, nil)
 		}
 	}
+	// A mutating wave advances the applied sequence (whether or not a tap
+	// is attached — the sequence is the tree state's log position) and, if
+	// tapped, emits its sealed change record. This happens before the
+	// wave's read batch and before the executor moves on, so a later
+	// barrier (snapshots run as barriers) always observes a log position
+	// consistent with the tree it reads.
+	if mutating > 0 {
+		seq := e.appliedSeq.Add(1)
+		if rec != nil {
+			w := replog.Wave{Seq: seq, Ops: rec, Root: e.host.Root()}
+			w.Seal()
+			(*tap)(w)
+		}
+	}
+
 	if len(sc.values) > 0 {
 		sc.nodes = sc.nodes[:0]
 		for _, f := range sc.values {

@@ -26,6 +26,8 @@ var (
 	// ErrPoisoned reports that a previous executor panic left the structure
 	// in an unknown state; the engine refuses further traffic.
 	ErrPoisoned = errors.New("engine: poisoned by a previous executor panic")
+	// ErrTreeExists reports a Forest.AddAt under an id already serving.
+	ErrTreeExists = errors.New("engine: forest already serves this tree id")
 )
 
 // NodeRef addresses a node of the host tree either by live handle or by its

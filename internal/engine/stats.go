@@ -1,14 +1,26 @@
 package engine
 
-import "sync/atomic"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is the number of recent flush latencies retained for the
+// p50/p99 estimates: enough to smooth noise, cheap to sort on Stats().
+const latWindow = 256
 
 // statsRec is the executor-side accumulator. Counters are atomics so
-// Stats() snapshots from any goroutine without touching the executor.
+// Stats() snapshots from any goroutine without touching the executor; the
+// flush-latency window is a small mutex-guarded ring (one executor write
+// per flush, rare reader).
 type statsRec struct {
 	requests  atomic.Uint64
 	flushes   atomic.Uint64
 	waves     atomic.Uint64
 	errors    atomic.Uint64
+	dropped   atomic.Uint64
 	maxFlush  atomic.Int64
 	grows     atomic.Uint64
 	collapses atomic.Uint64
@@ -17,6 +29,10 @@ type statsRec struct {
 	values    atomic.Uint64
 	roots     atomic.Uint64
 	barriers  atomic.Uint64
+
+	latMu sync.Mutex
+	lat   [latWindow]int64 // recent flush durations, nanoseconds
+	latN  int              // total recorded (ring position = latN % latWindow)
 }
 
 func (s *statsRec) flush(n int) {
@@ -32,6 +48,40 @@ func (s *statsRec) flush(n int) {
 
 func (s *statsRec) wave() { s.waves.Add(1) }
 func (s *statsRec) fail() { s.errors.Add(1) }
+
+// drop counts requests discarded without execution (engine closed or
+// poisoned): the load-shedding visibility counter.
+func (s *statsRec) drop(n int) { s.dropped.Add(uint64(n)) }
+
+// flushDone records one flush's end-to-end executor latency.
+func (s *statsRec) flushDone(d time.Duration) {
+	s.latMu.Lock()
+	s.lat[s.latN%latWindow] = int64(d)
+	s.latN++
+	s.latMu.Unlock()
+}
+
+// latencies returns the p50/p99 of the retained flush-latency window, in
+// microseconds (0, 0 before the first flush).
+func (s *statsRec) latencies() (p50, p99 float64) {
+	s.latMu.Lock()
+	n := s.latN
+	if n > latWindow {
+		n = latWindow
+	}
+	buf := make([]int64, n)
+	copy(buf, s.lat[:n])
+	s.latMu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	pick := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return float64(buf[i]) / 1e3
+	}
+	return pick(0.50), pick(0.99)
+}
 
 func (s *statsRec) done(k kind) {
 	switch k {
@@ -58,8 +108,21 @@ type Stats struct {
 	Flushes  uint64 `json:"flushes"`   // adaptive batches executed
 	Waves    uint64 `json:"waves"`     // conflict-free waves executed
 	Errors   uint64 `json:"errors"`    // requests failed by validation
+	Dropped  uint64 `json:"dropped"`   // requests discarded unexecuted (closed / poisoned)
 	MaxFlush int64  `json:"max_flush"` // largest flush seen
 	Workers  int    `json:"workers"`   // configured PRAM worker parallelism (0 = host default)
+
+	// Backpressure visibility: the submit queue's instantaneous depth and
+	// the executor's recent flush latency distribution.
+	QueueDepth int     `json:"queue_depth"`
+	QueueCap   int     `json:"queue_cap"`
+	FlushP50US float64 `json:"flush_p50_us"` // median flush latency, µs
+	FlushP99US float64 `json:"flush_p99_us"` // p99 flush latency, µs
+
+	// AppliedSeq is the engine's wave change-log position: the sequence
+	// number of the last mutating wave executed. In forest aggregates it
+	// sums to the total mutating waves applied across trees.
+	AppliedSeq uint64 `json:"applied_seq"`
 
 	Grows     uint64 `json:"grows"`
 	Collapses uint64 `json:"collapses"`
@@ -87,12 +150,24 @@ func (s Stats) MeanWave() float64 {
 	return float64(s.Requests) / float64(s.Waves)
 }
 
-// Add accumulates other into s (for forest-wide aggregation).
+// Add accumulates other into s (for forest-wide aggregation): counters and
+// queue depths sum, latency percentiles take the worst engine, Workers the
+// largest pool.
 func (s *Stats) Add(other Stats) {
 	s.Requests += other.Requests
 	s.Flushes += other.Flushes
 	s.Waves += other.Waves
 	s.Errors += other.Errors
+	s.Dropped += other.Dropped
+	s.QueueDepth += other.QueueDepth
+	s.QueueCap += other.QueueCap
+	s.AppliedSeq += other.AppliedSeq
+	if other.FlushP50US > s.FlushP50US {
+		s.FlushP50US = other.FlushP50US
+	}
+	if other.FlushP99US > s.FlushP99US {
+		s.FlushP99US = other.FlushP99US
+	}
 	if other.MaxFlush > s.MaxFlush {
 		s.MaxFlush = other.MaxFlush
 	}
@@ -110,19 +185,26 @@ func (s *Stats) Add(other Stats) {
 
 // Stats returns a point-in-time snapshot.
 func (e *Engine) Stats() Stats {
+	p50, p99 := e.stats.latencies()
 	return Stats{
-		Requests:  e.stats.requests.Load(),
-		Flushes:   e.stats.flushes.Load(),
-		Waves:     e.stats.waves.Load(),
-		Errors:    e.stats.errors.Load(),
-		MaxFlush:  e.stats.maxFlush.Load(),
-		Workers:   e.opts.Workers,
-		Grows:     e.stats.grows.Load(),
-		Collapses: e.stats.collapses.Load(),
-		SetLeaves: e.stats.setLeaves.Load(),
-		SetOps:    e.stats.setOps.Load(),
-		Values:    e.stats.values.Load(),
-		Roots:     e.stats.roots.Load(),
-		Barriers:  e.stats.barriers.Load(),
+		Requests:   e.stats.requests.Load(),
+		Flushes:    e.stats.flushes.Load(),
+		Waves:      e.stats.waves.Load(),
+		Errors:     e.stats.errors.Load(),
+		Dropped:    e.stats.dropped.Load(),
+		MaxFlush:   e.stats.maxFlush.Load(),
+		Workers:    e.opts.Workers,
+		QueueDepth: len(e.ch),
+		QueueCap:   e.opts.Queue,
+		FlushP50US: p50,
+		FlushP99US: p99,
+		AppliedSeq: e.appliedSeq.Load(),
+		Grows:      e.stats.grows.Load(),
+		Collapses:  e.stats.collapses.Load(),
+		SetLeaves:  e.stats.setLeaves.Load(),
+		SetOps:     e.stats.setOps.Load(),
+		Values:     e.stats.values.Load(),
+		Roots:      e.stats.roots.Load(),
+		Barriers:   e.stats.barriers.Load(),
 	}
 }

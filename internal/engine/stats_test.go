@@ -1,0 +1,101 @@
+package engine_test
+
+// Backpressure-visibility and wave-tap tests: queue depth / flush latency
+// / dropped counters in Stats, and the change-log seam (WaveTap sequence
+// contiguity, mutating-only waves, AppliedSeq).
+
+import (
+	"testing"
+
+	"dyntc"
+	"dyntc/internal/replog"
+)
+
+func TestStatsBackpressureFields(t *testing.T) {
+	ring := dyntc.ModRing(97)
+	e := dyntc.NewExpr(ring, 1)
+	en := e.Serve(dyntc.BatchOptions{Queue: 64})
+	leaf := e.Tree().Root
+	for i := 0; i < 50; i++ {
+		l, _, err := en.Grow(leaf, dyntc.OpAdd(ring), 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaf = l
+	}
+	st := en.Stats()
+	if st.QueueCap != 64 {
+		t.Fatalf("QueueCap = %d, want 64", st.QueueCap)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("QueueDepth = %d after drain, want 0", st.QueueDepth)
+	}
+	if st.FlushP50US <= 0 || st.FlushP99US < st.FlushP50US {
+		t.Fatalf("flush latency p50=%v p99=%v", st.FlushP50US, st.FlushP99US)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("Dropped = %d during normal traffic", st.Dropped)
+	}
+	if st.AppliedSeq == 0 || st.AppliedSeq != en.AppliedSeq() {
+		t.Fatalf("AppliedSeq = %d (engine %d)", st.AppliedSeq, en.AppliedSeq())
+	}
+	en.Close()
+	// A submit after close is a drop.
+	if _, _, err := en.Grow(leaf, dyntc.OpAdd(ring), 1, 2); err == nil {
+		t.Fatal("grow after close succeeded")
+	}
+	if st := en.Stats(); st.Dropped != 1 {
+		t.Fatalf("Dropped = %d after post-close submit, want 1", st.Dropped)
+	}
+}
+
+func TestWaveTapSequenceAndKinds(t *testing.T) {
+	ring := dyntc.ModRing(1_000_000_007)
+	e := dyntc.NewExpr(ring, 1)
+	var waves []dyntc.Wave
+	en := e.Serve(dyntc.BatchOptions{WaveTap: func(w dyntc.Wave) { waves = append(waves, w) }})
+
+	l, r, err := en.Grow(e.Tree().Root, dyntc.OpAdd(ring), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en.SetLeaf(l, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Reads are not waves: they must not advance the sequence or tap.
+	if _, err := en.Root(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.Value(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Collapse(e.Tree().Root, 9); err != nil {
+		t.Fatal(err)
+	}
+	en.Close()
+
+	if len(waves) != 3 {
+		t.Fatalf("%d waves tapped, want 3 (reads excluded)", len(waves))
+	}
+	wantKinds := []replog.OpKind{replog.OpGrow, replog.OpSetLeaf, replog.OpCollapse}
+	for i, w := range waves {
+		if w.Seq != uint64(i+1) {
+			t.Fatalf("wave %d: seq %d", i, w.Seq)
+		}
+		if !w.Verify() {
+			t.Fatalf("wave %d fails checksum", i)
+		}
+		if len(w.Ops) != 1 || w.Ops[0].Kind != wantKinds[i] {
+			t.Fatalf("wave %d: ops %+v, want kind %v", i, w.Ops, wantKinds[i])
+		}
+	}
+	if g := waves[0].Ops[0]; g.LeftID != l.ID || g.RightID != r.ID {
+		t.Fatalf("grow record IDs (%d,%d), want (%d,%d)", g.LeftID, g.RightID, l.ID, r.ID)
+	}
+	if waves[2].Root != 9 {
+		t.Fatalf("final wave root %d, want 9", waves[2].Root)
+	}
+	if en.AppliedSeq() != 3 {
+		t.Fatalf("AppliedSeq = %d, want 3", en.AppliedSeq())
+	}
+}

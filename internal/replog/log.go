@@ -1,0 +1,255 @@
+package replog
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Log errors.
+var (
+	// ErrTruncated reports a Since position older than the ring retains;
+	// the caller must re-bootstrap from a snapshot.
+	ErrTruncated = errors.New("replog: log truncated before requested sequence")
+	// ErrGap reports an append whose sequence number is not the successor
+	// of the last appended wave.
+	ErrGap = errors.New("replog: non-contiguous wave sequence")
+	// ErrCorrupt reports a wave whose checksum does not match its content.
+	ErrCorrupt = errors.New("replog: wave checksum mismatch")
+)
+
+// Log is the wave change-log: a bounded in-memory ring of the most recent
+// waves, optionally mirrored to an append-only JSONL file. Appends come
+// from the engine executor (via its wave tap); reads come from replication
+// handlers — all methods are safe for concurrent use.
+//
+// The ring bounds memory: once it wraps, Since calls older than the
+// retained window return ErrTruncated and the follower must re-bootstrap
+// from a snapshot (the usual log-compaction contract). The file, when
+// configured, retains everything appended during the process lifetime and
+// is written through a buffered writer — Sync forces it down.
+type Log struct {
+	mu sync.Mutex
+
+	ring  []Wave
+	start int // ring index of the oldest retained wave
+	n     int // retained wave count
+
+	base uint64 // Seq of the oldest retained wave (0 = empty)
+	last uint64 // Seq of the newest appended wave (0 = none yet)
+
+	f   *os.File
+	bw  *bufio.Writer
+	enc *json.Encoder
+
+	appendErr error // first file-append error, surfaced on later calls
+}
+
+// DefaultLogCapacity is the ring size used when NewLog gets capacity <= 0.
+const DefaultLogCapacity = 4096
+
+// NewLog creates a wave log retaining up to capacity waves in memory
+// (DefaultLogCapacity if <= 0). A non-empty path additionally opens an
+// append-only JSONL file that mirrors every append. A pre-existing
+// non-empty file at path is rotated aside (path.<unix-nanos>.old) first:
+// this Log's wave stream starts at its own base sequence, and appending
+// it after an older process's stream would leave a non-contiguous,
+// unreplayable file. The rotated file remains replayable with ReadWAL
+// against the snapshot that anchors it; automatic startup recovery
+// (replay-into-engine) is a roadmap follow-on.
+func NewLog(capacity int, path string) (*Log, error) {
+	if capacity <= 0 {
+		capacity = DefaultLogCapacity
+	}
+	l := &Log{ring: make([]Wave, capacity)}
+	if path != "" {
+		if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+			rotated := fmt.Sprintf("%s.%d.old", path, time.Now().UnixNano())
+			if err := os.Rename(path, rotated); err != nil {
+				return nil, fmt.Errorf("replog: rotate stale wal: %w", err)
+			}
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("replog: open wal: %w", err)
+		}
+		l.f = f
+		l.bw = bufio.NewWriter(f)
+		l.enc = json.NewEncoder(l.bw)
+	}
+	return l, nil
+}
+
+// Append adds one sealed wave. The first append fixes the log's base
+// sequence (a log attached to a restored tree starts mid-stream); every
+// later append must carry the successor sequence number.
+//
+// The in-memory ring is authoritative: a failure of the file mirror is
+// reported (once here, persistently via Err/Sync/Close) and disables
+// further file writes, but the ring keeps advancing — a full disk
+// degrades durability, it must not silently freeze replication while the
+// leader keeps acknowledging writes.
+func (l *Log) Append(w Wave) error {
+	if !w.Verify() {
+		return ErrCorrupt
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.last != 0 && w.Seq != l.last+1 {
+		return fmt.Errorf("%w: have %d, appending %d", ErrGap, l.last, w.Seq)
+	}
+	if l.n == len(l.ring) {
+		// Evict the oldest retained wave.
+		l.start = (l.start + 1) % len(l.ring)
+		l.base++
+		l.n--
+	}
+	l.ring[(l.start+l.n)%len(l.ring)] = w
+	l.n++
+	if l.base == 0 || l.n == 1 {
+		l.base = w.Seq
+	}
+	l.last = w.Seq
+	if l.enc != nil {
+		if err := l.enc.Encode(&w); err != nil {
+			l.appendErr = fmt.Errorf("replog: wal append (mirror disabled at seq %d): %w", w.Seq, err)
+			l.enc, l.bw = nil, nil // stop mirroring; ring stays live
+			return l.appendErr
+		}
+	}
+	return nil
+}
+
+// Err returns the sticky file-mirror error, if any: non-nil means the WAL
+// file stopped at some sequence while the in-memory ring kept going.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendErr
+}
+
+// Since returns (a copy of) every retained wave with Seq > seq, in order.
+// It returns ErrTruncated when the ring no longer retains wave seq+1 —
+// the caller is too far behind and must re-bootstrap from a snapshot.
+func (l *Log) Since(seq uint64) ([]Wave, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 {
+		if l.last != 0 && seq < l.last {
+			return nil, ErrTruncated
+		}
+		return nil, nil
+	}
+	if seq >= l.last {
+		return nil, nil
+	}
+	if seq+1 < l.base {
+		return nil, ErrTruncated
+	}
+	skip := int(seq + 1 - l.base)
+	out := make([]Wave, 0, l.n-skip)
+	for i := skip; i < l.n; i++ {
+		out = append(out, l.ring[(l.start+i)%len(l.ring)])
+	}
+	return out, nil
+}
+
+// LastSeq returns the newest appended sequence number (0 if none).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// BaseSeq returns the oldest retained sequence number (0 if empty).
+func (l *Log) BaseSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 {
+		return 0
+	}
+	return l.base
+}
+
+// Len returns the number of retained waves.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Sync flushes the buffered file mirror to the OS (no-op without a file).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.appendErr != nil {
+		return l.appendErr
+	}
+	if l.bw == nil {
+		return nil
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.appendErr = err
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes and closes the file mirror (the ring stays readable).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f, l.bw, l.enc = nil, nil, nil
+	return err
+}
+
+// ReadWAL replays an append-only wave file written by a Log: every wave
+// in order, checksum-verified and contiguity-checked.
+func ReadWAL(path string) ([]Wave, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("replog: open wal: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	var out []Wave
+	for {
+		var w Wave
+		if err := dec.Decode(&w); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("replog: wal decode (after seq %d): %w", lastSeqOf(out), err)
+		}
+		if !w.Verify() {
+			return nil, fmt.Errorf("%w (seq %d)", ErrCorrupt, w.Seq)
+		}
+		if n := len(out); n > 0 && w.Seq != out[n-1].Seq+1 {
+			return nil, fmt.Errorf("%w in wal: %d then %d", ErrGap, out[n-1].Seq, w.Seq)
+		}
+		out = append(out, w)
+	}
+}
+
+func lastSeqOf(ws []Wave) uint64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	return ws[len(ws)-1].Seq
+}

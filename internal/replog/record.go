@@ -1,0 +1,139 @@
+// Package replog is the durability and replication layer over the
+// request-coalescing engine: wave change-log records, an in-memory ring /
+// append-only file log, and a versioned snapshot codec for expression
+// trees.
+//
+// The engine (internal/engine) already produces exactly the artifact a
+// replication system needs: ordered, conflict-free executed *waves*. Each
+// wave is a set of node-disjoint mutations applied as at most one call to
+// each core batch entry point, in a fixed kind order — so a wave replayed
+// through the same entry points, against the same pre-wave tree, yields a
+// bit-identical post-wave tree, including the dense node IDs assigned by
+// grows. That makes the executed-wave stream a deterministic change log:
+//
+//   - Snapshot (snapshot.go): the full tree (structure + labels + PRNG
+//     seed + applied-wave sequence number) captured through an engine
+//     barrier into a versioned, byte-deterministic codec.
+//   - Wave log (log.go): every executed mutating wave appended — sequence
+//     number, the ops with their arguments and assigned IDs, the post-wave
+//     root value, and a content checksum — to a bounded in-memory ring
+//     plus an optional append-only JSONL file.
+//   - Catch-up: a follower bootstraps from a snapshot at sequence S and
+//     applies waves S+1, S+2, … in order; the recorded grow IDs and
+//     post-wave roots let it verify convergence after every wave.
+//
+// This mirrors how change-propagation-based batch-dynamic tree systems
+// (Acar et al. 2020) treat the batch as the unit of state evolution:
+// persisting and shipping batches is the natural replication granule.
+package replog
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// OpKind enumerates the mutating request kinds a wave can carry. Reads
+// (value / root queries) and barriers do not change the tree and are never
+// logged.
+type OpKind uint8
+
+// Wave op kinds, in the fixed order batches execute within a wave.
+const (
+	OpGrow OpKind = iota + 1
+	OpCollapse
+	OpSetLeaf
+	OpSetOp
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpGrow:
+		return "grow"
+	case OpCollapse:
+		return "collapse"
+	case OpSetLeaf:
+		return "set-leaf"
+	case OpSetOp:
+		return "set-op"
+	}
+	return fmt.Sprintf("op-kind(%d)", uint8(k))
+}
+
+// Op is one mutating request of an executed wave, addressed by dense tree
+// node ID (stable for a node's lifetime, deterministic under replay).
+type Op struct {
+	Kind OpKind `json:"kind"`
+	Node int    `json:"node"`
+
+	// A, B, C are the symmetric bilinear operation coefficients
+	// (grow, set-op).
+	A int64 `json:"a,omitempty"`
+	B int64 `json:"b,omitempty"`
+	C int64 `json:"c,omitempty"`
+
+	// Value is the new leaf value (collapse, set-leaf).
+	Value int64 `json:"value,omitempty"`
+
+	// Left, Right are the fresh leaves' values (grow).
+	Left  int64 `json:"left,omitempty"`
+	Right int64 `json:"right,omitempty"`
+
+	// LeftID, RightID are the node IDs the grow assigned. ID assignment is
+	// deterministic (dense, append-only), so a replayed grow must assign
+	// the same IDs — recorded for verification, not reconstruction.
+	LeftID  int `json:"left_id,omitempty"`
+	RightID int `json:"right_id,omitempty"`
+}
+
+// Wave is one executed conflict-free wave: the unit of the change log.
+// Within a wave ops appear in execution order (grows, collapses,
+// set-leaves, set-ops; submission order within each kind), which is also
+// the order a replay must apply them.
+type Wave struct {
+	// Seq is the wave's 1-based position in the engine's applied sequence.
+	// Waves are contiguous: a follower at sequence S applies exactly S+1.
+	Seq uint64 `json:"seq"`
+	Ops []Op   `json:"ops"`
+	// Root is the root value of the expression after the wave — an O(1)
+	// convergence check for every replayed wave.
+	Root int64 `json:"root"`
+	// Sum is the FNV-1a checksum of (Seq, Ops, Root); see Seal/Verify.
+	Sum uint64 `json:"sum"`
+}
+
+// Checksum returns the FNV-1a 64-bit hash of the wave's content
+// (everything except Sum itself).
+func (w *Wave) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	i64 := func(v int64) { u64(uint64(v)) }
+	u64(w.Seq)
+	u64(uint64(len(w.Ops)))
+	for i := range w.Ops {
+		op := &w.Ops[i]
+		u64(uint64(op.Kind))
+		i64(int64(op.Node))
+		i64(op.A)
+		i64(op.B)
+		i64(op.C)
+		i64(op.Value)
+		i64(op.Left)
+		i64(op.Right)
+		i64(int64(op.LeftID))
+		i64(int64(op.RightID))
+	}
+	i64(w.Root)
+	return h.Sum64()
+}
+
+// Seal stamps the wave with its content checksum.
+func (w *Wave) Seal() { w.Sum = w.Checksum() }
+
+// Verify reports whether the wave's checksum matches its content.
+func (w *Wave) Verify() bool { return w.Sum == w.Checksum() }

@@ -1,0 +1,234 @@
+package replog
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"dyntc/internal/semiring"
+	"dyntc/internal/tree"
+)
+
+// SnapshotVersion is the current snapshot codec version. Decoders accept
+// exactly the versions they know; bumping the codec means bumping this and
+// teaching Decode the old layout.
+const SnapshotVersion = 1
+
+// Snapshot errors.
+var (
+	// ErrVersion reports a snapshot codec version this build cannot read.
+	ErrVersion = errors.New("replog: unsupported snapshot version")
+	// ErrSnapshotCorrupt reports a snapshot whose checksum does not match.
+	ErrSnapshotCorrupt = errors.New("replog: snapshot checksum mismatch")
+)
+
+// RingSpec names a semiring in the wire format. Kind uses the same names
+// as the dyntcd create API (mod|minplus|maxplus|bool|maxmin); Mod is the
+// modulus for Kind "mod".
+type RingSpec struct {
+	Kind string `json:"kind"`
+	Mod  int64  `json:"mod,omitempty"`
+}
+
+// SpecOfRing returns the wire spec of a ring.
+func SpecOfRing(r semiring.Ring) (RingSpec, error) {
+	switch rr := r.(type) {
+	case semiring.ModRing:
+		return RingSpec{Kind: "mod", Mod: rr.P}, nil
+	case semiring.MinPlus:
+		return RingSpec{Kind: "minplus"}, nil
+	case semiring.MaxPlus:
+		return RingSpec{Kind: "maxplus"}, nil
+	case semiring.Bool:
+		return RingSpec{Kind: "bool"}, nil
+	case semiring.MaxMin:
+		return RingSpec{Kind: "maxmin"}, nil
+	}
+	return RingSpec{}, fmt.Errorf("replog: ring %q has no wire spec", r.Name())
+}
+
+// Ring materializes the spec.
+func (s RingSpec) Ring() (semiring.Ring, error) {
+	switch s.Kind {
+	case "mod":
+		if s.Mod < 2 || s.Mod >= 1<<31 {
+			return nil, fmt.Errorf("replog: bad modulus %d", s.Mod)
+		}
+		return semiring.NewMod(s.Mod), nil
+	case "minplus":
+		return semiring.MinPlus{}, nil
+	case "maxplus":
+		return semiring.MaxPlus{}, nil
+	case "bool":
+		return semiring.Bool{}, nil
+	case "maxmin":
+		return semiring.MaxMin{}, nil
+	}
+	return nil, fmt.Errorf("replog: unknown ring kind %q", s.Kind)
+}
+
+// SnapNode is one live node of a snapshot. Links are node IDs; -1 means
+// none. Internal nodes carry the operation coefficients, leaves the value.
+type SnapNode struct {
+	ID     int   `json:"id"`
+	Parent int   `json:"parent"`
+	Left   int   `json:"left"`
+	Right  int   `json:"right"`
+	A      int64 `json:"a,omitempty"`
+	B      int64 `json:"b,omitempty"`
+	C      int64 `json:"c,omitempty"`
+	Value  int64 `json:"value,omitempty"`
+}
+
+// Snapshot is a full serialized expression tree plus the replication
+// metadata needed to continue its wave stream: the PRNG seed (so a
+// restored contraction is deterministic), whether the §5 tour is
+// maintained, and the applied-wave sequence number the tree state
+// reflects.
+//
+// Encoding is byte-deterministic: live nodes are sorted by ID and the JSON
+// field order is fixed by the struct, so two equal tree states always
+// encode to identical bytes — the property the replication tests pin.
+type Snapshot struct {
+	Version int      `json:"version"`
+	Ring    RingSpec `json:"ring"`
+	Seed    uint64   `json:"seed"`
+	Tour    bool     `json:"tour,omitempty"`
+	Seq     uint64   `json:"seq"`
+	// Slots is len(tree.Nodes) including deleted (nil) slots: restoring it
+	// exactly keeps future grow ID assignment identical to the leader's.
+	Slots int        `json:"slots"`
+	Nodes []SnapNode `json:"nodes"`
+	Sum   uint64     `json:"sum"`
+}
+
+// Capture serializes t (plus seed / tour / seq metadata) into a sealed
+// snapshot. The caller must hold the single-writer right to t (direct
+// owner, or inside an engine barrier).
+func Capture(t *tree.Tree, seed uint64, tour bool, seq uint64) (*Snapshot, error) {
+	spec, err := SpecOfRing(t.Ring)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		Version: SnapshotVersion,
+		Ring:    spec,
+		Seed:    seed,
+		Tour:    tour,
+		Seq:     seq,
+		Slots:   len(t.Nodes),
+		Nodes:   make([]SnapNode, 0, t.Len()),
+	}
+	id := func(n *tree.Node) int {
+		if n == nil {
+			return -1
+		}
+		return n.ID
+	}
+	for _, n := range t.Nodes {
+		if n == nil {
+			continue
+		}
+		sn := SnapNode{
+			ID:     n.ID,
+			Parent: id(n.Parent),
+			Left:   id(n.Left),
+			Right:  id(n.Right),
+		}
+		if n.IsLeaf() {
+			sn.Value = n.Value
+		} else {
+			sn.A, sn.B, sn.C = n.Op.A, n.Op.B, n.Op.C
+		}
+		s.Nodes = append(s.Nodes, sn)
+	}
+	sort.Slice(s.Nodes, func(i, j int) bool { return s.Nodes[i].ID < s.Nodes[j].ID })
+	s.Sum = s.checksum()
+	return s, nil
+}
+
+// checksum is the FNV-1a 64-bit hash of everything except Sum.
+func (s *Snapshot) checksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	i64 := func(v int64) { u64(uint64(v)) }
+	u64(uint64(s.Version))
+	h.Write([]byte(s.Ring.Kind))
+	i64(s.Ring.Mod)
+	u64(s.Seed)
+	if s.Tour {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	u64(s.Seq)
+	i64(int64(s.Slots))
+	u64(uint64(len(s.Nodes)))
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		i64(int64(n.ID))
+		i64(int64(n.Parent))
+		i64(int64(n.Left))
+		i64(int64(n.Right))
+		i64(n.A)
+		i64(n.B)
+		i64(n.C)
+		i64(n.Value)
+	}
+	return h.Sum64()
+}
+
+// Encode marshals the snapshot to its canonical byte form.
+func (s *Snapshot) Encode() ([]byte, error) {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	if err := enc.Encode(s); err != nil {
+		return nil, fmt.Errorf("replog: encode snapshot: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+// Decode parses and verifies a snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("replog: decode snapshot: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, s.Version, SnapshotVersion)
+	}
+	if s.Sum != s.checksum() {
+		return nil, ErrSnapshotCorrupt
+	}
+	return &s, nil
+}
+
+// Tree materializes the snapshot's expression tree: exact node IDs, exact
+// slot count (holes included), validated structure.
+func (s *Snapshot) Tree() (*tree.Tree, error) {
+	r, err := s.Ring.Ring()
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]tree.RestoreNode, len(s.Nodes))
+	for i, sn := range s.Nodes {
+		nodes[i] = tree.RestoreNode{
+			ID:     sn.ID,
+			Parent: sn.Parent,
+			Left:   sn.Left,
+			Right:  sn.Right,
+			Op:     semiring.Op{A: sn.A, B: sn.B, C: sn.C},
+			Value:  sn.Value,
+		}
+	}
+	return tree.Restore(r, s.Slots, nodes)
+}

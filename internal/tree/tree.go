@@ -130,6 +130,76 @@ func (t *Tree) SetOp(n *Node, op semiring.Op) {
 	n.Op = op
 }
 
+// RestoreNode describes one live node for Restore. Links are node IDs;
+// -1 means none. Exactly one of Op / Value is meaningful, as in Node.
+type RestoreNode struct {
+	ID, Parent, Left, Right int
+	Op                      semiring.Op
+	Value                   int64
+}
+
+// Restore reconstructs a tree from a serialized description: slots is the
+// historical length of the Nodes index (deleted slots included — restoring
+// it exactly keeps future ID assignment identical to the source tree), and
+// nodes lists every live node. The result is validated; values are stored
+// as given (they were normalized when first set).
+func Restore(r semiring.Ring, slots int, nodes []RestoreNode) (*Tree, error) {
+	if slots < len(nodes) || len(nodes) == 0 {
+		return nil, fmt.Errorf("tree: restore with %d nodes in %d slots", len(nodes), slots)
+	}
+	t := &Tree{Ring: r, Nodes: make([]*Node, slots)}
+	for _, rn := range nodes {
+		if rn.ID < 0 || rn.ID >= slots {
+			return nil, fmt.Errorf("tree: restore node ID %d out of range [0, %d)", rn.ID, slots)
+		}
+		if t.Nodes[rn.ID] != nil {
+			return nil, fmt.Errorf("tree: restore duplicate node ID %d", rn.ID)
+		}
+		t.Nodes[rn.ID] = &Node{ID: rn.ID}
+	}
+	at := func(id int) (*Node, error) {
+		if id == -1 {
+			return nil, nil
+		}
+		if id < 0 || id >= slots || t.Nodes[id] == nil {
+			return nil, fmt.Errorf("tree: restore link to missing node %d", id)
+		}
+		return t.Nodes[id], nil
+	}
+	for _, rn := range nodes {
+		n := t.Nodes[rn.ID]
+		var err error
+		if n.Parent, err = at(rn.Parent); err != nil {
+			return nil, err
+		}
+		if n.Left, err = at(rn.Left); err != nil {
+			return nil, err
+		}
+		if n.Right, err = at(rn.Right); err != nil {
+			return nil, err
+		}
+		if (n.Left == nil) != (n.Right == nil) {
+			return nil, fmt.Errorf("tree: restore half-internal node %d", rn.ID)
+		}
+		if n.IsLeaf() {
+			n.Value = rn.Value
+		} else {
+			n.Op = rn.Op
+		}
+		if n.Parent == nil {
+			if t.Root != nil {
+				return nil, fmt.Errorf("tree: restore found two roots (%d, %d)", t.Root.ID, rn.ID)
+			}
+			t.Root = n
+		}
+	}
+	t.liveCount = len(nodes)
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("restore: %w", err)
+	}
+	return t, nil
+}
+
 // Leaves returns the leaves in left-to-right order (iterative DFS).
 func (t *Tree) Leaves() []*Node {
 	var out []*Node

@@ -1,0 +1,290 @@
+package dyntc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dyntc/internal/core"
+	"dyntc/internal/euler"
+	"dyntc/internal/pram"
+	"dyntc/internal/replog"
+)
+
+// This file is the durability and replication face of the package
+// (internal/replog): tree snapshots, the executed-wave change log, and
+// deterministic replay into followers.
+//
+// The engine's executed waves are conflict-free, ordered batches — a
+// ready-made change log. A snapshot captures the whole tree (structure +
+// labels + PRNG seed + applied-wave sequence number) in a versioned,
+// byte-deterministic codec; a follower restores the snapshot and applies
+// the waves after it in order, verifying the recorded grow IDs and the
+// post-wave root value at every step. Replay is exact: a restored tree
+// re-assigns the same dense node IDs the leader did, so follower and
+// leader states are structurally identical, not just value-equal.
+
+// Wave is one executed mutating wave: the unit of the change log.
+type Wave = replog.Wave
+
+// WaveOp is one mutating request of a Wave, addressed by dense node ID.
+type WaveOp = replog.Op
+
+// WaveLog is a bounded in-memory ring of recent waves with an optional
+// append-only file mirror (see NewWaveLog).
+type WaveLog = replog.Log
+
+// ErrWaveGap reports a wave applied out of order (sequence skipped).
+var ErrWaveGap = errors.New("dyntc: wave sequence gap")
+
+// ErrDiverged reports a replayed wave whose verification failed: the
+// follower's state no longer matches the leader's log.
+var ErrDiverged = errors.New("dyntc: replica diverged from wave log")
+
+// NewWaveLog creates a wave change-log retaining up to capacity waves in
+// memory (a default when <= 0); a non-empty path mirrors every append to
+// an append-only JSONL file. Attach it to an engine with
+// Engine.SetWaveTap(log.Append-wrapper) or BatchOptions.WaveTap.
+func NewWaveLog(capacity int, path string) (*WaveLog, error) {
+	return replog.NewLog(capacity, path)
+}
+
+// ReadWaveLog replays an append-only wave file written by a WaveLog.
+func ReadWaveLog(path string) ([]Wave, error) { return replog.ReadWAL(path) }
+
+// Snapshot serializes the expression — structure, labels, PRNG seed,
+// whether the tour is maintained — together with the applied-wave
+// sequence number seq the state reflects, into the versioned codec of
+// internal/replog. The encoding is byte-deterministic: equal states
+// produce identical bytes.
+//
+// Snapshot requires the single-writer right to the Expr: call it directly
+// only when no Engine serves the Expr; behind an Engine, use
+// Engine.Snapshot, which runs it inside a barrier.
+func (e *Expr) Snapshot(seq uint64) ([]byte, error) {
+	snap, err := replog.Capture(e.t, e.seed, e.tour != nil, seq)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Encode()
+}
+
+// RestoreExpr rebuilds an Expr from a snapshot and returns it with the
+// snapshot's applied-wave sequence number. The seed and tour setting come
+// from the snapshot (WithSeed / WithTour options are overridden — a
+// replica must contract deterministically like its leader); WithWorkers /
+// WithGrain apply normally.
+func RestoreExpr(data []byte, opts ...Option) (*Expr, uint64, error) {
+	snap, err := replog.Decode(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := snap.Tree()
+	if err != nil {
+		return nil, 0, err
+	}
+	o := options{}
+	for _, f := range opts {
+		f(&o)
+	}
+	var m *pram.Machine
+	if o.workers != 0 {
+		m = pram.New(o.workers)
+	} else {
+		m = pram.Sequential()
+	}
+	if o.grain > 0 {
+		m.SetGrain(o.grain)
+	}
+	e := &Expr{
+		t:    t,
+		con:  core.New(t, snap.Seed, m),
+		mach: m,
+		seed: snap.Seed,
+	}
+	if snap.Tour {
+		e.tour = euler.New(t, snap.Seed^0x9E3779B97F4A7C15)
+	}
+	return e, snap.Seq, nil
+}
+
+// ApplyWave replays one logged wave onto the Expr: the wave's ops execute
+// through the same batch entry points the leader used, in the same order.
+// Every step is verified — checksum, target liveness and kind, the node
+// IDs assigned by grows, and the post-wave root value — so divergence is
+// detected at the wave that introduces it, not at the end of the log.
+//
+// ApplyWave does not check sequence contiguity (the Expr does not track a
+// sequence number); use a Follower for tracked, in-order catch-up.
+func (e *Expr) ApplyWave(w Wave) error {
+	if !w.Verify() {
+		return fmt.Errorf("%w: wave %d checksum mismatch", ErrDiverged, w.Seq)
+	}
+	node := func(id int) (*Node, error) {
+		if id < 0 || id >= len(e.t.Nodes) || e.t.Nodes[id] == nil {
+			return nil, fmt.Errorf("%w: wave %d targets dead node %d", ErrDiverged, w.Seq, id)
+		}
+		return e.t.Nodes[id], nil
+	}
+
+	// Group by kind, preserving recorded order (which is execution order:
+	// grows, collapses, set-leaves, set-ops).
+	var growIdx []int
+	var grows []GrowOp
+	var collapses []CollapseOp
+	var setLeafNodes []*Node
+	var setLeafVals []int64
+	var setOpNodes []*Node
+	var setOpOps []Op
+
+	for i := range w.Ops {
+		op := &w.Ops[i]
+		n, err := node(op.Node)
+		if err != nil {
+			return err
+		}
+		switch op.Kind {
+		case replog.OpGrow:
+			if !n.IsLeaf() {
+				return fmt.Errorf("%w: wave %d grow targets internal node %d", ErrDiverged, w.Seq, op.Node)
+			}
+			growIdx = append(growIdx, i)
+			grows = append(grows, GrowOp{Leaf: n, Op: Op{A: op.A, B: op.B, C: op.C}, LeftVal: op.Left, RightVal: op.Right})
+		case replog.OpCollapse:
+			if n.IsLeaf() || !n.Left.IsLeaf() || !n.Right.IsLeaf() {
+				return fmt.Errorf("%w: wave %d collapse target %d not collapsible", ErrDiverged, w.Seq, op.Node)
+			}
+			collapses = append(collapses, CollapseOp{Node: n, NewValue: op.Value})
+		case replog.OpSetLeaf:
+			if !n.IsLeaf() {
+				return fmt.Errorf("%w: wave %d set-leaf targets internal node %d", ErrDiverged, w.Seq, op.Node)
+			}
+			setLeafNodes = append(setLeafNodes, n)
+			setLeafVals = append(setLeafVals, op.Value)
+		case replog.OpSetOp:
+			if n.IsLeaf() {
+				return fmt.Errorf("%w: wave %d set-op targets leaf %d", ErrDiverged, w.Seq, op.Node)
+			}
+			setOpNodes = append(setOpNodes, n)
+			setOpOps = append(setOpOps, Op{A: op.A, B: op.B, C: op.C})
+		default:
+			return fmt.Errorf("%w: wave %d has unknown op kind %d", ErrDiverged, w.Seq, op.Kind)
+		}
+	}
+
+	if len(grows) > 0 {
+		pairs := e.GrowBatch(grows)
+		for j, i := range growIdx {
+			op := &w.Ops[i]
+			if pairs[j][0].ID != op.LeftID || pairs[j][1].ID != op.RightID {
+				return fmt.Errorf("%w: wave %d grow at node %d assigned IDs (%d,%d), log says (%d,%d)",
+					ErrDiverged, w.Seq, op.Node, pairs[j][0].ID, pairs[j][1].ID, op.LeftID, op.RightID)
+			}
+		}
+	}
+	if len(collapses) > 0 {
+		e.CollapseBatch(collapses)
+	}
+	if len(setLeafNodes) > 0 {
+		e.SetLeaves(setLeafNodes, setLeafVals)
+	}
+	if len(setOpNodes) > 0 {
+		e.SetOps(setOpNodes, setOpOps)
+	}
+	if root := e.Root(); root != w.Root {
+		return fmt.Errorf("%w: after wave %d root is %d, log says %d", ErrDiverged, w.Seq, root, w.Root)
+	}
+	return nil
+}
+
+// Follower is a replica of a served expression tree: it bootstraps from a
+// leader snapshot and applies shipped waves in order, tracking the applied
+// sequence number. All methods are safe for concurrent use (reads and
+// applies serialize on one mutex — a follower is a read replica, not a
+// second writer).
+type Follower struct {
+	mu  sync.Mutex
+	e   *Expr
+	seq uint64
+}
+
+// NewFollower bootstraps a replica from a leader snapshot. Options pass
+// through to RestoreExpr (WithWorkers / WithGrain; seed and tour come from
+// the snapshot).
+func NewFollower(snapshot []byte, opts ...Option) (*Follower, error) {
+	e, seq, err := RestoreExpr(snapshot, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{e: e, seq: seq}, nil
+}
+
+// Apply replays one wave. Waves at or before the follower's sequence are
+// skipped (idempotent re-delivery); a skipped-ahead sequence is ErrWaveGap
+// — fetch the missing range or re-bootstrap from a snapshot.
+func (f *Follower) Apply(w Wave) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w.Seq <= f.seq {
+		return nil
+	}
+	if w.Seq != f.seq+1 {
+		return fmt.Errorf("%w: at %d, got wave %d", ErrWaveGap, f.seq, w.Seq)
+	}
+	if err := f.e.ApplyWave(w); err != nil {
+		return err
+	}
+	f.seq = w.Seq
+	return nil
+}
+
+// ApplyAll replays a batch of waves in order (Since output ships here).
+func (f *Follower) ApplyAll(ws []Wave) error {
+	for i := range ws {
+		if err := f.Apply(ws[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seq returns the applied-wave sequence number.
+func (f *Follower) Seq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// Root returns the replica's root value.
+func (f *Follower) Root() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.e.Root()
+}
+
+// ValueID returns the value of the subexpression rooted at node id.
+func (f *Follower) ValueID(id int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id < 0 || id >= len(f.e.t.Nodes) || f.e.t.Nodes[id] == nil {
+		return 0, fmt.Errorf("dyntc: follower has no live node %d", id)
+	}
+	return f.e.Value(f.e.t.Nodes[id]), nil
+}
+
+// Query runs fn with exclusive access to the replica's Expr. fn must
+// treat the Expr as read-only: mutating a follower outside Apply breaks
+// replay determinism.
+func (f *Follower) Query(fn func(*Expr)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f.e)
+}
+
+// Snapshot re-serializes the replica at its current sequence — a follower
+// can seed further followers (fan-out) or persist its own checkpoint.
+func (f *Follower) Snapshot() ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.e.Snapshot(f.seq)
+}

@@ -1,0 +1,449 @@
+package dyntc
+
+// Durability & replication tests: the snapshot codec, the wave change-log,
+// and follower catch-up, pinned to the strongest available oracles —
+// byte-identical snapshots and the sequential replay of the same programs.
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"dyntc/internal/prng"
+)
+
+// replicaProgram is a deterministic mixed-op workload over its own region
+// of the tree (the subtree under base): grow / collapse / set-leaf /
+// set-op / value, every choice drawn from the seeded rng. It runs against
+// either an Engine (live) or a bare Expr (sequential oracle).
+type replicaProgram struct {
+	rng   *prng.Source
+	ring  Ring
+	base  *Node
+	stack []replicaFrame
+	roots []int64 // value-query answers in program order
+}
+
+type replicaFrame struct{ parent, left, right *Node }
+
+func newReplicaProgram(seed uint64, ring Ring, base *Node) *replicaProgram {
+	return &replicaProgram{rng: prng.New(seed), ring: ring, base: base}
+}
+
+// step issues one operation through the callbacks (blocking, so exactly
+// one request of this program is in flight at a time and the program's
+// operation order is deterministic).
+func (p *replicaProgram) step(
+	grow func(*Node, Op, int64, int64) (*Node, *Node),
+	collapse func(*Node, int64),
+	set func(*Node, int64),
+	setOp func(*Node, Op),
+	value func(*Node) int64,
+) {
+	top := func() *Node {
+		if len(p.stack) == 0 {
+			return p.base
+		}
+		return p.stack[len(p.stack)-1].right
+	}
+	r := p.rng.Intn(100)
+	switch {
+	case r < 35 && len(p.stack) < 24:
+		op := OpAdd(p.ring)
+		if p.rng.Intn(2) == 0 {
+			op = OpMul(p.ring)
+		}
+		target := top()
+		l, rt := grow(target, op, int64(p.rng.Intn(1000)), int64(p.rng.Intn(1000)))
+		p.stack = append(p.stack, replicaFrame{parent: target, left: l, right: rt})
+	case r < 50 && len(p.stack) > 0:
+		f := p.stack[len(p.stack)-1]
+		p.stack = p.stack[:len(p.stack)-1]
+		collapse(f.parent, int64(p.rng.Intn(1000)))
+	case r < 70:
+		k := len(p.stack)
+		target := p.base
+		if k > 0 {
+			if i := p.rng.Intn(k + 1); i < k {
+				target = p.stack[i].left
+			} else {
+				target = p.stack[k-1].right
+			}
+		}
+		set(target, int64(p.rng.Intn(1000)))
+	case r < 80 && len(p.stack) > 0:
+		f := p.stack[p.rng.Intn(len(p.stack))]
+		op := OpAdd(p.ring)
+		if p.rng.Intn(2) == 0 {
+			op = OpMul(p.ring)
+		}
+		setOp(f.parent, op)
+	default:
+		k := len(p.stack)
+		n := p.base
+		if k > 0 {
+			f := p.stack[p.rng.Intn(k)]
+			switch p.rng.Intn(3) {
+			case 0:
+				n = f.parent
+			case 1:
+				n = f.left
+			default:
+				n = f.right
+			}
+		}
+		p.roots = append(p.roots, value(n))
+	}
+}
+
+func (p *replicaProgram) runLive(t *testing.T, en *Engine, steps int) {
+	t.Helper()
+	for i := 0; i < steps; i++ {
+		p.step(
+			func(n *Node, op Op, lv, rv int64) (*Node, *Node) {
+				l, r, err := en.Grow(n, op, lv, rv)
+				if err != nil {
+					t.Errorf("live grow: %v", err)
+				}
+				return l, r
+			},
+			func(n *Node, v int64) {
+				if err := en.Collapse(n, v); err != nil {
+					t.Errorf("live collapse: %v", err)
+				}
+			},
+			func(n *Node, v int64) {
+				if err := en.SetLeaf(n, v); err != nil {
+					t.Errorf("live set-leaf: %v", err)
+				}
+			},
+			func(n *Node, op Op) {
+				if err := en.SetOp(n, op); err != nil {
+					t.Errorf("live set-op: %v", err)
+				}
+			},
+			func(n *Node) int64 {
+				v, err := en.Value(n)
+				if err != nil {
+					t.Errorf("live value: %v", err)
+				}
+				return v
+			},
+		)
+	}
+}
+
+func (p *replicaProgram) runSeq(e *Expr, steps int) {
+	for i := 0; i < steps; i++ {
+		p.step(
+			func(n *Node, op Op, lv, rv int64) (*Node, *Node) { return e.Grow(n, op, lv, rv) },
+			func(n *Node, v int64) { e.Collapse(n, v) },
+			func(n *Node, v int64) { e.SetLeaf(n, v) },
+			func(n *Node, op Op) { e.SetOp(n, op) },
+			func(n *Node) int64 { return e.Value(n) },
+		)
+	}
+}
+
+// replicaFanOut grows the single leaf into n disjoint region roots.
+func replicaFanOut(e *Expr, ring Ring, n int) []*Node {
+	leaves := []*Node{e.Tree().Root}
+	for len(leaves) < n {
+		l, r := e.Grow(leaves[0], OpAdd(ring), 1, 1)
+		leaves = append(leaves[1:], l, r)
+	}
+	return leaves
+}
+
+// TestSnapshotReplayByteIdentical is the acceptance pin: for several PRNG
+// seeds, a single deterministic program runs (a) through an engine with a
+// wave log and (b) directly on a bare Expr (the sequential replay oracle).
+// The leader's final snapshot, a follower built from the initial snapshot
+// plus the full log, and the oracle's snapshot must be byte-identical.
+func TestSnapshotReplayByteIdentical(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 99} {
+		ring := ModRing(1_000_000_007)
+
+		// Leader: engine-served, logged.
+		log, err := NewWaveLog(1<<16, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		leader := NewExpr(ring, 1, WithSeed(seed))
+		en := leader.Serve(BatchOptions{WaveTap: func(w Wave) {
+			if err := log.Append(w); err != nil {
+				t.Errorf("log append: %v", err)
+			}
+		}})
+		snap0, err := en.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := newReplicaProgram(seed*1000, ring, leader.Tree().Root)
+		prog.runLive(t, en, 400)
+		finalSnap, err := en.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		finalSeq := en.AppliedSeq()
+		en.Close()
+		if got := log.LastSeq(); got != finalSeq {
+			t.Fatalf("seed %d: log at %d, engine applied %d", seed, got, finalSeq)
+		}
+
+		// Follower: initial snapshot + full log.
+		fo, err := NewFollower(snap0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waves, err := log.Since(fo.Seq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fo.ApplyAll(waves); err != nil {
+			t.Fatalf("seed %d: follower replay: %v", seed, err)
+		}
+		foSnap, err := fo.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(foSnap, finalSnap) {
+			t.Fatalf("seed %d: follower snapshot differs from leader's", seed)
+		}
+
+		// Sequential replay oracle: the same program applied directly to a
+		// bare Expr must land on the same bytes (and the same query answers).
+		oracle := NewExpr(ring, 1, WithSeed(seed))
+		oprog := newReplicaProgram(seed*1000, ring, oracle.Tree().Root)
+		oprog.runSeq(oracle, 400)
+		oSnap, err := oracle.Snapshot(finalSeq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(oSnap, finalSnap) {
+			t.Fatalf("seed %d: sequential oracle snapshot differs from leader's", seed)
+		}
+		if len(oprog.roots) != len(prog.roots) {
+			t.Fatalf("seed %d: %d live value queries vs %d oracle", seed, len(prog.roots), len(oprog.roots))
+		}
+		for i := range oprog.roots {
+			if oprog.roots[i] != prog.roots[i] {
+				t.Fatalf("seed %d: value query %d: live %d oracle %d", seed, i, prog.roots[i], oprog.roots[i])
+			}
+		}
+	}
+}
+
+// TestFollowerMeteringDeterministic pins replay determinism of the PRAM
+// metering: two followers of the same snapshot + log — one sequential, one
+// on a 4-worker pool with a low grain — must report identical metered
+// costs (the pool invariant) and identical snapshots.
+func TestFollowerMeteringDeterministic(t *testing.T) {
+	ring := ModRing(1_000_000_007)
+	log, _ := NewWaveLog(1<<16, "")
+	leader := NewExpr(ring, 1, WithSeed(11))
+	en := leader.Serve(BatchOptions{WaveTap: func(w Wave) { _ = log.Append(w) }})
+	snap0, err := en.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := newReplicaProgram(4242, ring, leader.Tree().Root)
+	prog.runLive(t, en, 300)
+	en.Close()
+
+	fseq, err := NewFollower(snap0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpool, err := NewFollower(snap0, WithWorkers(4), WithGrain(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waves, err := log.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fseq.ApplyAll(waves); err != nil {
+		t.Fatal(err)
+	}
+	if err := fpool.ApplyAll(waves); err != nil {
+		t.Fatal(err)
+	}
+	var mseq, mpool Metrics
+	fseq.Query(func(e *Expr) { mseq = e.PRAM() })
+	fpool.Query(func(e *Expr) { mpool = e.PRAM() })
+	if mseq != mpool {
+		t.Fatalf("metering diverged: sequential %+v, 4-worker pool %+v", mseq, mpool)
+	}
+	s1, err := fseq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := fpool.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("pooled follower snapshot differs from sequential follower")
+	}
+}
+
+// TestRaceSnapshotMidTraffic is the race-detector replication test: many
+// client goroutines hammer one logged engine while snapshots are taken
+// mid-traffic; every mid-traffic snapshot, restored and fed the tail of
+// the log, must converge to the leader's exact final state, and the final
+// root must match the sequential replay of the same client programs.
+func TestRaceSnapshotMidTraffic(t *testing.T) {
+	const (
+		clients = 6
+		steps   = 150
+		seed    = 77
+	)
+	ring := ModRing(1_000_000_007)
+	log, err := NewWaveLog(1<<17, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	leader := NewExpr(ring, 1, WithSeed(seed))
+	bases := replicaFanOut(leader, ring, clients)
+	en := leader.Serve(BatchOptions{WaveTap: func(w Wave) {
+		if err := log.Append(w); err != nil {
+			t.Errorf("log append: %v", err)
+		}
+	}})
+
+	progs := make([]*replicaProgram, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		progs[i] = newReplicaProgram(uint64(9000+i), ring, bases[i])
+		wg.Add(1)
+		go func(p *replicaProgram) {
+			defer wg.Done()
+			p.runLive(t, en, steps)
+		}(progs[i])
+	}
+
+	// Snapshots taken while traffic is in full flight.
+	var snapMu sync.Mutex
+	var midSnaps [][]byte
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for i := 0; i < 5; i++ {
+			data, err := en.Snapshot()
+			if err != nil {
+				t.Errorf("mid-traffic snapshot: %v", err)
+				return
+			}
+			snapMu.Lock()
+			midSnaps = append(midSnaps, data)
+			snapMu.Unlock()
+		}
+	}()
+
+	wg.Wait()
+	snapWG.Wait()
+	finalSnap, err := en.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.Close()
+	leaderRoot := leader.Root()
+	if st := en.Stats(); st.Errors != 0 {
+		t.Fatalf("live run produced %d validation errors", st.Errors)
+	}
+
+	// Every mid-traffic snapshot + log tail converges to the leader.
+	for i, snap := range midSnaps {
+		fo, err := NewFollower(snap)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		waves, err := log.Since(fo.Seq())
+		if err != nil {
+			t.Fatalf("snapshot %d (seq %d): %v", i, fo.Seq(), err)
+		}
+		if err := fo.ApplyAll(waves); err != nil {
+			t.Fatalf("snapshot %d: catch-up: %v", i, err)
+		}
+		if fo.Root() != leaderRoot {
+			t.Fatalf("snapshot %d: follower root %d, leader %d", i, fo.Root(), leaderRoot)
+		}
+		foSnap, err := fo.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(foSnap, finalSnap) {
+			t.Fatalf("snapshot %d: follower final state differs from leader's", i)
+		}
+	}
+
+	// Sequential replay oracle: same client programs, one after another, on
+	// a bare Expr. Regions are disjoint, so the final root must agree with
+	// any concurrent interleaving, and per-region value answers replay too.
+	oracle := NewExpr(ring, 1, WithSeed(seed))
+	obases := replicaFanOut(oracle, ring, clients)
+	for i := 0; i < clients; i++ {
+		p := newReplicaProgram(uint64(9000+i), ring, obases[i])
+		p.runSeq(oracle, steps)
+		if len(p.roots) != len(progs[i].roots) {
+			t.Fatalf("client %d: %d live queries vs %d oracle", i, len(progs[i].roots), len(p.roots))
+		}
+		for j := range p.roots {
+			if p.roots[j] != progs[i].roots[j] {
+				t.Fatalf("client %d query %d: live %d oracle %d", i, j, progs[i].roots[j], p.roots[j])
+			}
+		}
+	}
+	if oracle.Root() != leaderRoot {
+		t.Fatalf("root: leader %d, sequential oracle %d", leaderRoot, oracle.Root())
+	}
+}
+
+// TestFollowerGapAndDivergence covers the failure modes: out-of-order
+// waves report ErrWaveGap, stale re-delivery is idempotent, and a wave
+// whose recorded root disagrees with the replayed state reports
+// divergence (after which the replica must re-bootstrap).
+func TestFollowerGapAndDivergence(t *testing.T) {
+	ring := ModRing(97)
+	log, _ := NewWaveLog(1024, "")
+	leader := NewExpr(ring, 1, WithSeed(5))
+	en := leader.Serve(BatchOptions{WaveTap: func(w Wave) { _ = log.Append(w) }})
+	snap0, err := en.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := newReplicaProgram(555, ring, leader.Tree().Root)
+	prog.runLive(t, en, 60)
+	en.Close()
+
+	waves, err := log.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waves) < 3 {
+		t.Fatalf("only %d waves", len(waves))
+	}
+	fo, err := NewFollower(snap0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fo.Apply(waves[1]); !errors.Is(err, ErrWaveGap) {
+		t.Fatalf("gap err = %v, want ErrWaveGap", err)
+	}
+	if err := fo.Apply(waves[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fo.Apply(waves[0]); err != nil { // idempotent re-delivery
+		t.Fatalf("re-delivery err = %v", err)
+	}
+	bad := waves[1]
+	bad.Root++
+	bad.Seal()
+	if err := fo.Apply(bad); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("diverged err = %v, want ErrDiverged", err)
+	}
+}

@@ -55,6 +55,12 @@ type BatchOptions struct {
 	// then run pool-parallel; metering is unaffected. Use a negative
 	// value for GOMAXPROCS.
 	Workers int
+	// WaveTap, when set, receives the sealed change record of every
+	// executed mutating wave, on the executor goroutine — the durability
+	// seam: pass a WaveLog's Append (or any shipper) to turn the engine's
+	// wave stream into a replayable change log. Per-engine: when serving a
+	// Forest, attach taps per tree with Engine.SetWaveTap instead.
+	WaveTap func(Wave)
 }
 
 // Serve starts an engine over e and returns it. Close the engine to drain
@@ -73,6 +79,7 @@ func (e *Expr) Serve(opts BatchOptions) *Engine {
 			Window:   opts.Window,
 			Queue:    opts.Queue,
 			Workers:  opts.Workers,
+			WaveTap:  opts.WaveTap,
 		}),
 	}
 }
@@ -82,6 +89,33 @@ func (en *Engine) Close() { en.inner.Close() }
 
 // Stats returns a point-in-time snapshot of coalescing behaviour.
 func (en *Engine) Stats() EngineStats { return en.inner.Stats() }
+
+// AppliedSeq returns the engine's wave change-log position: the sequence
+// number of the last mutating wave executed on the tree.
+func (en *Engine) AppliedSeq() uint64 { return en.inner.AppliedSeq() }
+
+// SetWaveTap installs (nil removes) the engine's wave tap: every executed
+// mutating wave's sealed change record is passed to tap on the executor
+// goroutine. Attach before traffic (or right after a restore) for a
+// gapless log; a WaveLog's Append is the usual tap.
+func (en *Engine) SetWaveTap(tap func(Wave)) { en.inner.SetWaveTap(engine.WaveTap(tap)) }
+
+// Snapshot captures the served tree through an engine barrier: the codec
+// of Expr.Snapshot at the engine's current applied-wave sequence, taken
+// against a quiescent tree, linearized with concurrent traffic.
+func (en *Engine) Snapshot() ([]byte, error) {
+	var data []byte
+	var err error
+	f := en.inner.Barrier(func(engine.Host) {
+		data, err = en.expr.Snapshot(en.inner.AppliedSeq())
+	})
+	if werr := f.Wait(); werr != nil {
+		f.Recycle()
+		return nil, werr
+	}
+	f.Recycle()
+	return data, err
+}
 
 // --- asynchronous API: submit now, redeem the Future later ---
 
@@ -318,6 +352,31 @@ func (f *Forest) Create(r Ring, rootValue int64, opts ...Option) (TreeID, *Engin
 	f.exprs[id] = en
 	f.mu.Unlock()
 	return id, en
+}
+
+// Restore rebuilds a tree from a leader snapshot and serves it under the
+// caller-chosen id (the replication path: a replica keeps the leader's
+// tree id). The engine starts at the snapshot's applied-wave sequence,
+// which is returned alongside it. Restore fails when the id is already
+// served.
+func (f *Forest) Restore(id TreeID, snapshot []byte, opts ...Option) (*Engine, uint64, error) {
+	if f.workers != 0 {
+		opts = append([]Option{WithWorkers(f.workers)}, opts...)
+	}
+	expr, seq, err := RestoreExpr(snapshot, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	inner, err := f.inner.AddAt(uint64(id), expr)
+	if err != nil {
+		return nil, 0, err
+	}
+	inner.SetAppliedSeq(seq)
+	en := &Engine{expr: expr, inner: inner}
+	f.mu.Lock()
+	f.exprs[id] = en
+	f.mu.Unlock()
+	return en, seq, nil
 }
 
 // Get returns the engine serving tree id.
