@@ -32,6 +32,16 @@
 //	dyntc-bench -replay
 //	dyntc-bench -replay -quick -replay-out=BENCH_replay.json
 //	dyntc-bench -replay -clients=8 -ops=5000
+//
+// Query mode measures the cross-tree scatter-gather engine
+// (internal/query): direct fan-out queries/sec and join latency p50/p99
+// over the forest, one POST /query versus N sequential per-tree GET
+// round-trips on the same in-process HTTP host, and the follower
+// read-offload speedup — and writes BENCH_query.json:
+//
+//	dyntc-bench -query
+//	dyntc-bench -query -quick -query-out=BENCH_query.json
+//	dyntc-bench -query -forests=64,1024 -workers=1,4,8
 package main
 
 import (
@@ -59,8 +69,39 @@ func main() {
 		out     = flag.String("out", "BENCH_engine.json", "engine mode: output JSON path ('' to skip)")
 		replay  = flag.Bool("replay", false, "run the replication/durability driver (snapshot + wave log + follower)")
 		repOut  = flag.String("replay-out", "BENCH_replay.json", "replay mode: output JSON path ('' to skip)")
+		queryB  = flag.Bool("query", false, "run the cross-tree query driver (scatter-gather vs naive per-tree GETs + follower offload)")
+		qryOut  = flag.String("query-out", "BENCH_query.json", "query mode: output JSON path ('' to skip)")
+		forests = flag.String("forests", "", "query mode: comma-separated forest sizes (default 64,256,1024)")
 	)
 	flag.Parse()
+
+	if *queryB {
+		qcfg := bench.DefaultQueryConfig(*quick, *seed)
+		if *forests != "" {
+			qcfg.ForestSizes = mustInts(*forests)
+		}
+		if *workers != "" {
+			qcfg.Workers = mustInts(*workers)
+		}
+		results := bench.QueryLoad(qcfg)
+		tb := bench.QueryTable(results)
+		tb.Fprint(os.Stdout)
+		for _, r := range results {
+			if !r.Match {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: FAIL trees=%d workers=%d: combined %d != naive per-tree sum %d\n",
+					r.Trees, r.Workers, r.Combined, r.NaiveSum)
+				os.Exit(1)
+			}
+		}
+		if *qryOut != "" {
+			if err := bench.WriteQueryJSON(*qryOut, results); err != nil {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: write %s: %v\n", *qryOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d results)\n", *qryOut, len(results))
+		}
+		return
+	}
 
 	if *replay {
 		rcfg := bench.DefaultReplayConfig(*quick, *seed)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dyntc"
+	"dyntc/internal/query"
 )
 
 // followerServer polls one leader and serves its trees read-only.
@@ -27,6 +28,11 @@ type followerServer struct {
 	poll   time.Duration
 	client *http.Client
 	start  time.Time
+
+	// queryEndpoint serves POST /v1/query against the local replicas (the
+	// read-offload path); planner is its persistent scatter pool.
+	queryEndpoint bool
+	planner       *query.Planner
 
 	mu   sync.Mutex
 	reps map[dyntc.TreeID]*replica
@@ -49,13 +55,15 @@ func newFollower(leader string, poll time.Duration) *followerServer {
 		poll = 50 * time.Millisecond
 	}
 	return &followerServer{
-		leader: leader,
-		poll:   poll,
-		client: &http.Client{Timeout: 30 * time.Second},
-		start:  time.Now(),
-		reps:   make(map[dyntc.TreeID]*replica),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		leader:        leader,
+		poll:          poll,
+		client:        &http.Client{Timeout: 30 * time.Second},
+		start:         time.Now(),
+		queryEndpoint: true,
+		planner:       query.NewPlanner(0),
+		reps:          make(map[dyntc.TreeID]*replica),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
 	}
 }
 
@@ -76,6 +84,7 @@ func (f *followerServer) run() {
 func (f *followerServer) Close() {
 	close(f.stop)
 	<-f.done
+	f.planner.Close()
 }
 
 func (f *followerServer) getJSON(path string, v any) error {
@@ -228,6 +237,9 @@ func (f *followerServer) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/trees", f.handleList)
 	mux.HandleFunc("GET /v1/trees/{id}/value", f.replicaHandler(f.handleValue))
 	mux.HandleFunc("GET /v1/trees/{id}/snapshot", f.replicaHandler(f.handleSnapshot))
+	if f.queryEndpoint {
+		mux.HandleFunc("POST /v1/query", f.handleQuery)
+	}
 	reject := func(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, apiError{http.StatusForbidden, "read-only replica: write on the leader " + f.leader})
 	}

@@ -12,7 +12,8 @@
 //	dyntcd -addr :8080 -window 200us -maxbatch 2048
 //	dyntcd -addr :8080 -workers 8          # PRAM worker pool per tree
 //	dyntcd -addr :8080 -wal-dir /var/lib/dyntcd   # durable wave log
-//	dyntcd -addr :8081 -follow http://leader:8080 # read replica
+//	dyntcd -addr :8080 -wal-dir d -compact-every 10000  # + log compaction
+//	dyntcd -addr :8081 -follow http://leader:8080 # read replica (serves /v1/query)
 //
 // -workers (default GOMAXPROCS) sets the goroutine parallelism of each
 // tree's PRAM machine: a wave's node-disjoint grow/collapse/set batches
@@ -30,6 +31,18 @@
 // in-order wave replay, re-bootstrapping automatically when it falls
 // behind the leader's ring. GET /v1/healthz reports per-tree applied
 // sequence numbers (and, on a follower, lag).
+//
+// Cross-tree queries (internal/query): POST /v1/query scatters one read
+// (root value, node value, subtree size) over any subset of the forest —
+// explicit ids, an id range, or every tree — and joins the answers with a
+// combiner (sum/min/max/count or a semiring add/mul), reporting each
+// tree's applied-wave sequence. Followers serve the same endpoint from
+// their replicas unless -query-endpoint=false, so dashboards can offload
+// cross-tree reads entirely onto replicas. With -compact-every N each
+// tree's change log is compacted every N waves: the tree is snapshotted
+// (to <wal-dir>/tree-<id>.snap when -wal-dir is set) and the ring + WAL
+// are trimmed; followers that fall behind a trimmed log re-bootstrap via
+// the existing 410 path.
 //
 // Quick session:
 //
@@ -67,11 +80,13 @@ func main() {
 		logCap   = flag.Int("log-cap", 0, "waves retained in each tree's in-memory log ring (0 = default 4096)")
 		follow   = flag.String("follow", "", "leader base URL: run as a read-only replica of that dyntcd")
 		poll     = flag.Duration("poll", 50*time.Millisecond, "follower mode: leader poll interval")
+		queryEP  = flag.Bool("query-endpoint", true, "follower mode: serve POST /v1/query against the local replicas (read offload)")
+		compact  = flag.Int("compact-every", 0, "compact each tree's log every N waves: snapshot to <wal-dir>/tree-N.snap and trim the ring + WAL (0 = off)")
 	)
 	flag.Parse()
 
 	if *follow != "" {
-		runFollower(*addr, *follow, *poll)
+		runFollower(*addr, *follow, *poll, *queryEP)
 		return
 	}
 
@@ -81,6 +96,7 @@ func main() {
 		}
 	}
 	s := newServerWAL(dyntc.BatchOptions{MaxBatch: *maxBatch, Window: *window, Queue: *queue, Workers: *workers}, *walDir, *logCap)
+	s.compactEvery = *compact
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
@@ -114,8 +130,9 @@ func main() {
 }
 
 // runFollower serves read-only replicas of a leader's trees.
-func runFollower(addr, leader string, poll time.Duration) {
+func runFollower(addr, leader string, poll time.Duration, queryEndpoint bool) {
 	f := newFollower(leader, poll)
+	f.queryEndpoint = queryEndpoint
 	go f.run()
 	srv := &http.Server{
 		Addr:              addr,

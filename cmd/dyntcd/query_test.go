@@ -1,0 +1,368 @@
+package main
+
+// Tests for the cross-tree query endpoint (leader + follower), log
+// compaction, and load shedding.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dyntc"
+)
+
+// readFileOrNil returns the file's bytes, or nil when unreadable.
+func readFileOrNil(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+type queryResp struct {
+	Combined int64 `json:"combined"`
+	Trees    int   `json:"trees"`
+	Errors   int   `json:"errors"`
+	Detail   []struct {
+		Tree       uint64 `json:"tree"`
+		Value      *int64 `json:"value"`
+		AppliedSeq uint64 `json:"applied_seq"`
+		Error      string `json:"error"`
+	} `json:"detail"`
+}
+
+// TestQueryEndpointAggregates is the acceptance check: one POST /v1/query
+// aggregates over a 64-tree forest and returns the combined result plus
+// per-tree applied sequences.
+func TestQueryEndpointAggregates(t *testing.T) {
+	ts, s := startTestServer(t)
+
+	const n = 64
+	ids := make([]uint64, 0, n)
+	for i := 1; i <= n; i++ {
+		var created struct {
+			Tree uint64 `json:"tree"`
+		}
+		call(t, "POST", ts.URL+"/v1/trees", map[string]any{"root": i, "seed": i}, 201, &created)
+		ids = append(ids, created.Tree)
+		if i%4 == 0 { // some trees get mutation history
+			growSome(t, fmt.Sprintf("%s/v1/trees/%d", ts.URL, created.Tree), 3, 0)
+		}
+	}
+	// The naive dashboard path the query replaces: one GET per tree.
+	var want int64
+	for _, id := range ids {
+		var v struct {
+			Value int64 `json:"value"`
+		}
+		call(t, "GET", fmt.Sprintf("%s/v1/trees/%d/value", ts.URL, id), nil, 200, &v)
+		want += v.Value
+	}
+
+	var res queryResp
+	call(t, "POST", ts.URL+"/v1/query", map[string]any{"read": "root", "combine": "sum", "detail": true}, 200, &res)
+	if res.Trees != n || res.Errors != 0 {
+		t.Fatalf("query: trees=%d errors=%d", res.Trees, res.Errors)
+	}
+	if res.Combined != want {
+		t.Fatalf("combined = %d, want %d", res.Combined, want)
+	}
+	if len(res.Detail) != n {
+		t.Fatalf("detail: %d entries", len(res.Detail))
+	}
+	var detailSum int64
+	for _, d := range res.Detail {
+		if d.Value == nil {
+			t.Fatalf("tree %d: no value", d.Tree)
+		}
+		detailSum += *d.Value
+		en, ok := s.forest.Get(d.Tree)
+		if !ok {
+			t.Fatalf("unknown tree %d in detail", d.Tree)
+		}
+		if d.AppliedSeq != en.AppliedSeq() { // forest is quiescent
+			t.Fatalf("tree %d: applied_seq %d, engine at %d", d.Tree, d.AppliedSeq, en.AppliedSeq())
+		}
+	}
+	if detailSum != res.Combined {
+		t.Fatalf("detail sum %d != combined %d", detailSum, res.Combined)
+	}
+
+	// Count over an id range; min over explicit ids; ring combine.
+	call(t, "POST", ts.URL+"/v1/query", map[string]any{"from": 1, "to": 16, "combine": "count"}, 200, &res)
+	if res.Combined != 16 {
+		t.Fatalf("range count: %d", res.Combined)
+	}
+	call(t, "POST", ts.URL+"/v1/query", map[string]any{"trees": []int{2, 3, 5}, "combine": "min"}, 200, &res)
+	if res.Combined != 2 {
+		t.Fatalf("min: %d", res.Combined)
+	}
+	call(t, "POST", ts.URL+"/v1/query", map[string]any{"trees": []int{2, 3}, "combine": "mul", "ring": "mod", "mod": 7}, 200, &res)
+	if res.Combined != 2*3%7 {
+		t.Fatalf("ring mul: %d", res.Combined)
+	}
+
+	// Unknown tree ids are per-tree errors, not failures.
+	call(t, "POST", ts.URL+"/v1/query", map[string]any{"trees": []int{1, 100000}, "detail": true}, 200, &res)
+	if res.Trees != 1 || res.Errors != 1 || res.Detail[1].Error == "" {
+		t.Fatalf("missing tree: %+v", res)
+	}
+
+	// Bad specs are 400s — including "from" without "to", which must not
+	// silently select every tree.
+	call(t, "POST", ts.URL+"/v1/query", map[string]any{"read": "nope"}, 400, nil)
+	call(t, "POST", ts.URL+"/v1/query", map[string]any{"combine": "nope"}, 400, nil)
+	call(t, "POST", ts.URL+"/v1/query", map[string]any{"from": 9, "to": 3}, 400, nil)
+	call(t, "POST", ts.URL+"/v1/query", map[string]any{"from": 9}, 400, nil)
+}
+
+// TestCompactionTrimsLogAndFollowerRebootstraps proves the -compact-every
+// path end to end: compaction trims the ring (log reads before the trim
+// turn 410) and a follower behind the trim re-bootstraps from a snapshot
+// and converges.
+func TestCompactionTrimsLogAndFollowerRebootstraps(t *testing.T) {
+	dir := t.TempDir()
+	// Small ring so the quarter-ring retention margin (2 waves here)
+	// doesn't swallow the trim under test.
+	s := newServerWAL(dyntc.BatchOptions{}, dir, 8)
+	s.compactEvery = 5
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() { ts.Close(); s.forest.Close(); s.closeLogs() })
+
+	var created struct {
+		Tree uint64 `json:"tree"`
+	}
+	call(t, "POST", ts.URL+"/v1/trees", map[string]any{"root": 1, "seed": 11}, 201, &created)
+	base := fmt.Sprintf("%s/v1/trees/%d", ts.URL, created.Tree)
+	leaf := growSome(t, base, 6, 0)
+
+	// Follower bootstraps at seq 6 (driven manually: no background loop,
+	// so the race between traffic and polls is under test control).
+	fo := newFollower(ts.URL, time.Millisecond)
+	fo.syncOnce()
+	rep := fo.getReplica(created.Tree)
+	if rep == nil || rep.fo.Seq() != 6 {
+		t.Fatalf("follower bootstrap: %+v", rep)
+	}
+
+	// 14 more waves; compactEvery=5 kicks the compactor past seq 6.
+	leaf = growSome(t, base, 14, leaf)
+	waitCompacted := func(sinceGone uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, err := http.Get(fmt.Sprintf("%s/log?since=%d", base, sinceGone))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusGone {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("log?since=%d still %d, compaction never trimmed", sinceGone, resp.StatusCode)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitCompacted(6) // the follower's position is now behind the ring
+
+	// Snapshot file persisted next to the WAL.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if data := readFileOrNil(fmt.Sprintf("%s/tree-%d.snap", dir, created.Tree)); data != nil {
+			if _, _, err := dyntc.RestoreExpr(data); err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("compaction snapshot never persisted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The next sync hits 410 and re-bootstraps; one more sync drains any
+	// tail. The replica must land exactly on the leader's applied seq.
+	fo.syncOnce()
+	fo.syncOnce()
+	rep = fo.getReplica(created.Tree)
+	if rep == nil {
+		t.Fatal("replica lost after re-bootstrap")
+	}
+	en, _ := s.forest.Get(created.Tree)
+	if rep.fo.Seq() != en.AppliedSeq() {
+		t.Fatalf("follower at %d, leader at %d", rep.fo.Seq(), en.AppliedSeq())
+	}
+	var lv struct {
+		Value int64 `json:"value"`
+	}
+	call(t, "GET", base+"/value", nil, 200, &lv)
+	if got := rep.fo.Root(); got != lv.Value {
+		t.Fatalf("follower root %d, leader %d", got, lv.Value)
+	}
+}
+
+// TestShed429 proves load shedding: with the executor pinned and the
+// submit queue full, the next request gets 429 + Retry-After instead of
+// blocking, and the shed is counted in /v1/stats.
+func TestShed429(t *testing.T) {
+	const queueCap = 2
+	s := newServer(dyntc.BatchOptions{Queue: queueCap})
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() { ts.Close(); s.forest.Close() })
+
+	var created struct {
+		Tree uint64 `json:"tree"`
+	}
+	call(t, "POST", ts.URL+"/v1/trees", map[string]any{"root": 1}, 201, &created)
+	base := fmt.Sprintf("%s/v1/trees/%d", ts.URL, created.Tree)
+	en, _ := s.forest.Get(created.Tree)
+
+	// Pin the executor inside a barrier so nothing drains the queue.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = en.Query(func(*dyntc.Expr) { close(started); <-release })
+	}()
+	<-started
+
+	// Fill the queue with requests that will block on their futures.
+	statuses := make(chan int, queueCap)
+	for i := 0; i < queueCap; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(base + "/value")
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for en.Stats().QueueDepth < queueCap {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: depth %d", en.Stats().QueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full + executor pinned: the next request is shed.
+	resp, err := http.Get(base + "/value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	close(release)
+	wg.Wait()
+	for i := 0; i < queueCap; i++ {
+		if st := <-statuses; st != http.StatusOK {
+			t.Fatalf("queued request finished with %d", st)
+		}
+	}
+
+	var stats struct {
+		Engine struct {
+			Shed uint64 `json:"shed"`
+		} `json:"engine"`
+	}
+	call(t, "GET", ts.URL+"/v1/stats", nil, 200, &stats)
+	if stats.Engine.Shed == 0 {
+		t.Fatal("shed not counted in /v1/stats")
+	}
+}
+
+// TestLeaderFollowerQueryEquivalence is the read-offload smoke: after
+// convergence, POST /v1/query answers identically on leader and follower.
+func TestLeaderFollowerQueryEquivalence(t *testing.T) {
+	leaderSrv, s := startTestServer(t)
+
+	const n = 8
+	for i := 1; i <= n; i++ {
+		var created struct {
+			Tree uint64 `json:"tree"`
+		}
+		call(t, "POST", leaderSrv.URL+"/v1/trees", map[string]any{"root": i, "seed": i * 7}, 201, &created)
+		growSome(t, fmt.Sprintf("%s/v1/trees/%d", leaderSrv.URL, created.Tree), i%4, 0)
+	}
+
+	fo := newFollower(leaderSrv.URL, time.Millisecond)
+	go fo.run()
+	t.Cleanup(fo.Close)
+	foSrv := httptest.NewServer(fo.routes())
+	t.Cleanup(foSrv.Close)
+
+	// Wait until every replica matches its leader engine's applied seq.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		caught := 0
+		s.forest.Each(func(id dyntc.TreeID, en *dyntc.Engine) {
+			if rep := fo.getReplica(id); rep != nil && rep.fo.Seq() == en.AppliedSeq() {
+				caught++
+			}
+		})
+		if caught == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower converged on %d/%d trees", caught, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	for _, body := range []map[string]any{
+		{"read": "root", "combine": "sum", "detail": true},
+		{"read": "root", "combine": "max", "detail": true},
+		{"from": 2, "to": 5, "combine": "count"},
+	} {
+		var lres, fres queryResp
+		call(t, "POST", leaderSrv.URL+"/v1/query", body, 200, &lres)
+		call(t, "POST", foSrv.URL+"/v1/query", body, 200, &fres)
+		if lres.Combined != fres.Combined || lres.Trees != fres.Trees || lres.Errors != fres.Errors {
+			t.Fatalf("query %v: leader %+v, follower %+v", body, lres, fres)
+		}
+		if len(lres.Detail) != len(fres.Detail) {
+			t.Fatalf("query %v: detail lengths differ", body)
+		}
+		for i := range lres.Detail {
+			ld, fd := lres.Detail[i], fres.Detail[i]
+			if ld.Tree != fd.Tree || ld.AppliedSeq != fd.AppliedSeq ||
+				(ld.Value == nil) != (fd.Value == nil) ||
+				(ld.Value != nil && *ld.Value != *fd.Value) {
+				t.Fatalf("query %v tree %d: leader %+v, follower %+v", body, ld.Tree, ld, fd)
+			}
+		}
+	}
+
+	// The endpoint can be disabled on followers.
+	fo2 := newFollower(leaderSrv.URL, time.Millisecond)
+	fo2.queryEndpoint = false
+	fo2Srv := httptest.NewServer(fo2.routes())
+	t.Cleanup(func() { fo2Srv.Close(); close(fo2.stop) })
+	resp, err := http.Post(fo2Srv.URL+"/v1/query", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled query endpoint: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
@@ -36,6 +37,8 @@ import (
 //	GET    /v1/trees/{id}/value[?node=N] -> {value}
 //	GET    /v1/trees/{id}/stats        -> engine + tree stats
 //	GET    /v1/stats                   -> forest-wide aggregate
+//	POST   /v1/query                   cross-tree scatter-gather read
+//	                                   (see query.go; also served by followers)
 //
 // Durability & replication (see internal/replog):
 //
@@ -61,6 +64,112 @@ type server struct {
 	walDir string
 	logCap int
 	logs   sync.Map // dyntc.TreeID -> *dyntc.WaveLog
+
+	// compactEvery > 0 compacts each tree's log every that many waves:
+	// snapshot the tree (to <walDir>/tree-<id>.snap when walDir is set),
+	// then trim the log ring and WAL to the snapshot's sequence. Followers
+	// behind a trimmed log re-bootstrap via the 410 path.
+	compactEvery int
+	compactors   sync.Map // dyntc.TreeID -> *compactor
+}
+
+// compactor is one tree's background log-compaction loop. The engine's
+// wave tap kicks it (non-blocking) every compactEvery waves; the loop
+// runs the snapshot barrier and the log trim off the executor goroutine.
+type compactor struct {
+	kick chan struct{} // buffered(1): coalesces kicks
+	stop chan struct{}
+	done chan struct{}
+}
+
+// compactLoop snapshots the tree and trims its log on every kick.
+func (s *server) compactLoop(id dyntc.TreeID, en *dyntc.Engine, wl *dyntc.WaveLog, c *compactor) {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.kick:
+		}
+		var seq uint64
+		if s.walDir != "" {
+			// The durable path: persist a snapshot first, then trim the
+			// log to it — snapshot + compacted WAL replaces genesis + log.
+			data, snapSeq, err := en.SnapshotAt()
+			if err != nil {
+				log.Printf("dyntcd: tree %d: compact snapshot: %v", id, err)
+				continue
+			}
+			path := filepath.Join(s.walDir, fmt.Sprintf("tree-%d.snap", id))
+			if err := writeFileSync(path, data); err != nil {
+				// Keep the log intact: without the persisted snapshot the
+				// trimmed prefix would be unrecoverable on disk.
+				log.Printf("dyntcd: tree %d: compact snapshot write: %v", id, err)
+				continue
+			}
+			seq = snapSeq
+		} else {
+			// Ring-only mode: no serialization needed — trim to the
+			// current applied sequence; followers needing older waves
+			// re-bootstrap from the live snapshot endpoint anyway.
+			seq = en.AppliedSeq()
+		}
+		// Trim with a retention margin (a quarter of the ring) so
+		// steadily-polling followers — typically a few waves behind —
+		// keep tailing incrementally instead of being forced into a full
+		// re-bootstrap after every compaction. Waves in the margin are
+		// redundant for recovery (the snapshot anchors replay at seq);
+		// they are catch-up runway.
+		capacity := s.logCap
+		if capacity <= 0 {
+			capacity = replog.DefaultLogCapacity
+		}
+		margin := uint64(capacity / 4)
+		if seq <= margin {
+			continue
+		}
+		if err := wl.Compact(seq - margin); err != nil {
+			log.Printf("dyntcd: tree %d: compact log: %v", id, err)
+		}
+	}
+}
+
+// writeFileSync writes data to path atomically (temp + rename), fsyncing
+// before the rename: the WAL trim that follows a compaction snapshot
+// must never outrun the snapshot's durability.
+func writeFileSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Order the snapshot's directory entry ahead of the WAL trim that
+	// follows: without this fsync a crash could keep the trimmed WAL but
+	// lose the snapshot that anchors it.
+	return replog.SyncDir(filepath.Dir(path))
+}
+
+// stopCompactor stops tree id's compaction loop, if any.
+func (s *server) stopCompactor(id dyntc.TreeID) {
+	if v, ok := s.compactors.LoadAndDelete(id); ok {
+		c := v.(*compactor)
+		close(c.stop)
+		<-c.done
+	}
 }
 
 func newServer(opts dyntc.BatchOptions) *server {
@@ -68,6 +177,10 @@ func newServer(opts dyntc.BatchOptions) *server {
 }
 
 func newServerWAL(opts dyntc.BatchOptions, walDir string, logCap int) *server {
+	// The server sheds rather than blocks: a request against a tree whose
+	// submit queue is full gets 429 + Retry-After instead of parking an
+	// HTTP handler goroutine on engine backpressure.
+	opts.Shed = true
 	return &server{
 		forest:  dyntc.NewForest(opts),
 		start:   time.Now(),
@@ -90,16 +203,39 @@ func (s *server) attachLog(id dyntc.TreeID, en *dyntc.Engine) error {
 		return err
 	}
 	s.logs.Store(id, wl)
+	var c *compactor
+	if s.compactEvery > 0 {
+		c = &compactor{
+			kick: make(chan struct{}, 1),
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		s.compactors.Store(id, c)
+		go s.compactLoop(id, en, wl, c)
+	}
 	en.SetWaveTap(func(w dyntc.Wave) {
 		if err := wl.Append(w); err != nil {
 			log.Printf("dyntcd: tree %d: wave log append: %v", id, err)
+		}
+		// Kick the compactor every compactEvery waves; the send is
+		// non-blocking (the tap runs on the executor) and coalesces.
+		if c != nil && w.Seq%uint64(s.compactEvery) == 0 {
+			select {
+			case c.kick <- struct{}{}:
+			default:
+			}
 		}
 	})
 	return nil
 }
 
-// closeLogs flushes and closes every tree's WAL (shutdown path).
+// closeLogs stops the compactors and flushes and closes every tree's WAL
+// (shutdown path; call after the forest has drained).
 func (s *server) closeLogs() {
+	s.compactors.Range(func(k, _ any) bool {
+		s.stopCompactor(k.(dyntc.TreeID))
+		return true
+	})
 	s.logs.Range(func(k, v any) bool {
 		if err := v.(*dyntc.WaveLog).Close(); err != nil {
 			log.Printf("dyntcd: tree %v: wal close: %v", k, err)
@@ -124,6 +260,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/trees/{id}/value", s.treeHandler(s.handleValue))
 	mux.HandleFunc("GET /v1/trees/{id}/stats", s.treeHandler(s.handleTreeStats))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/trees/{id}/snapshot", s.treeHandler(s.handleGetSnapshot))
 	mux.HandleFunc("PUT /v1/trees/{id}/snapshot", s.handlePutSnapshot)
@@ -152,6 +289,8 @@ func errStatus(err error) int {
 		errors.Is(err, engine.ErrNotInternal),
 		errors.Is(err, engine.ErrNotCollapsible):
 		return http.StatusConflict
+	case errors.Is(err, engine.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, engine.ErrClosed), errors.Is(err, engine.ErrPoisoned):
 		return http.StatusServiceUnavailable
 	}
@@ -165,7 +304,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, errStatus(err), map[string]string{"error": err.Error()})
+	status := errStatus(err)
+	if status == http.StatusTooManyRequests {
+		// Shed under load: tell well-behaved clients when to come back.
+		// The executor drains a full queue in well under a second.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 func decode(r *http.Request, v any) error {
@@ -298,6 +443,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.rings.Delete(id)
+	s.stopCompactor(id)
 	if wl, ok := s.logs.LoadAndDelete(id); ok {
 		_ = wl.(*dyntc.WaveLog).Close()
 	}

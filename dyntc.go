@@ -93,6 +93,24 @@ type Expr struct {
 	tour *euler.Tour
 	mach *pram.Machine
 	seed uint64
+
+	// frozen is set while an Engine.Query barrier runs on a wave-tapped
+	// (replicated) engine: mutations there would be invisible to the wave
+	// change-log and silently diverge every follower, so they are refused
+	// and recorded in frozenViolated (Engine.Query surfaces the error).
+	// Only the engine executor goroutine touches these.
+	frozen         bool
+	frozenViolated bool
+}
+
+// mutable refuses a mutation attempted inside a logged (wave-tapped)
+// barrier, recording the violation for Engine.Query to report.
+func (e *Expr) mutable() bool {
+	if e.frozen {
+		e.frozenViolated = true
+		return false
+	}
+	return true
 }
 
 // Option configures NewExpr.
@@ -179,7 +197,12 @@ func (e *Expr) Grow(leaf *Node, op Op, leftVal, rightVal int64) (*Node, *Node) {
 type GrowOp = core.AddOp
 
 // GrowBatch applies a set of leaf expansions as one parallel batch.
+// Inside a Query barrier on a replicated engine it refuses (returning nil
+// node pairs) and the surrounding Query reports ErrLoggedBarrier.
 func (e *Expr) GrowBatch(ops []GrowOp) [][2]*Node {
+	if !e.mutable() {
+		return make([][2]*Node, len(ops))
+	}
 	pairs := e.con.AddLeaves(ops)
 	if e.tour != nil {
 		for i, op := range ops {
@@ -200,6 +223,9 @@ type CollapseOp = core.RemoveOp
 
 // CollapseBatch applies a set of leaf-pair deletions as one parallel batch.
 func (e *Expr) CollapseBatch(ops []CollapseOp) {
+	if !e.mutable() {
+		return
+	}
 	if e.tour != nil {
 		for _, op := range ops {
 			e.tour.DeleteChildren(e.mach, op.Node.Left, op.Node.Right)
@@ -209,16 +235,32 @@ func (e *Expr) CollapseBatch(ops []CollapseOp) {
 }
 
 // SetLeaf updates one leaf value (O(log n) expected sequential heal).
-func (e *Expr) SetLeaf(leaf *Node, v int64) { e.con.SetValue(leaf, v) }
+func (e *Expr) SetLeaf(leaf *Node, v int64) {
+	if e.mutable() {
+		e.con.SetValue(leaf, v)
+	}
+}
 
 // SetLeaves updates a batch of leaf values in one parallel heal.
-func (e *Expr) SetLeaves(leaves []*Node, vs []int64) { e.con.SetValues(leaves, vs) }
+func (e *Expr) SetLeaves(leaves []*Node, vs []int64) {
+	if e.mutable() {
+		e.con.SetValues(leaves, vs)
+	}
+}
 
 // SetOp updates the operation at an internal node.
-func (e *Expr) SetOp(n *Node, op Op) { e.con.SetOp(n, op) }
+func (e *Expr) SetOp(n *Node, op Op) {
+	if e.mutable() {
+		e.con.SetOp(n, op)
+	}
+}
 
 // SetOps updates a batch of internal operations in one parallel heal.
-func (e *Expr) SetOps(ns []*Node, ops []Op) { e.con.SetOps(ns, ops) }
+func (e *Expr) SetOps(ns []*Node, ops []Op) {
+	if e.mutable() {
+		e.con.SetOps(ns, ops)
+	}
+}
 
 // Stats returns the cost of the most recent dynamic operation.
 func (e *Expr) Stats() HealStats { return e.con.LastHeal() }
@@ -228,6 +270,10 @@ func (e *Expr) PRAM() Metrics { return e.mach.Metrics() }
 
 // Workers returns the goroutine parallelism of the Expr's PRAM machine.
 func (e *Expr) Workers() int { return e.mach.Workers() }
+
+// HasTour reports whether the Expr maintains its Eulerian tour (WithTour):
+// the §5 property queries — and cross-tree subtree-size reads — require it.
+func (e *Expr) HasTour() bool { return e.tour != nil }
 
 // tourOrPanic guards the §5 application queries.
 func (e *Expr) tourOrPanic() *euler.Tour {

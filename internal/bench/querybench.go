@@ -1,0 +1,385 @@
+package bench
+
+// The cross-tree query driver: measures the scatter-gather engine
+// (internal/query, surfaced as dyntc.Forest.Query and POST /v1/query)
+// against the naive dashboard pattern it replaces — one GET round-trip
+// per tree — and the follower read-offload path, and emits the tracked
+// BENCH_query.json.
+//
+// Three measurements per (forest size, scatter workers) cell:
+//
+//   - Direct fan-out: queries/sec and join latency p50/p99 of back-to-back
+//     planner runs over the quiesced forest (no HTTP).
+//   - Round-trips-equivalent: a minimal HTTP server over the same forest;
+//     one POST /query versus N sequential GET /value round-trips on the
+//     same host — the motivating comparison (a dashboard summing N trees).
+//   - Follower offload: with every tree under leader-side mutation load,
+//     query latency against the loaded leader versus against quiesced
+//     follower replicas of the same trees.
+//
+// Every cell validates: the combined query result must equal the
+// sequential per-tree sum taken over the naive GET path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyntc"
+	"dyntc/internal/prng"
+	"dyntc/internal/query"
+)
+
+// QueryConfig configures the query bench.
+type QueryConfig struct {
+	ForestSizes []int // trees per forest
+	Workers     []int // scatter-pool sweep
+	Rounds      int   // repeated queries per measurement
+	Seed        uint64
+}
+
+// DefaultQueryConfig is the sweep cmd/dyntc-bench runs.
+func DefaultQueryConfig(quick bool, seed uint64) QueryConfig {
+	cfg := QueryConfig{
+		ForestSizes: []int{64, 256, 1024},
+		Workers:     []int{1, 4},
+		Rounds:      200,
+		Seed:        seed,
+	}
+	if quick {
+		cfg.ForestSizes = []int{64, 128}
+		cfg.Rounds = 50
+	}
+	return cfg
+}
+
+// QueryResult is one (forest size, workers) measurement.
+type QueryResult struct {
+	Trees   int `json:"trees"`
+	Workers int `json:"workers"`
+
+	// Direct fan-out over the quiesced forest.
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	JoinP50US     float64 `json:"join_p50_us"`
+	JoinP99US     float64 `json:"join_p99_us"`
+
+	// One POST /query vs N sequential GET round-trips, same host.
+	HTTPQueryUS    float64 `json:"http_query_us"`
+	NaiveGetsUS    float64 `json:"naive_gets_us"`
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+
+	// Query latency against the mutating leader vs follower replicas.
+	LeaderLoadedUS  float64 `json:"leader_loaded_us"`
+	FollowerUS      float64 `json:"follower_us"`
+	FollowerSpeedup float64 `json:"follower_speedup"`
+
+	Combined int64 `json:"combined"`
+	NaiveSum int64 `json:"naive_sum"`
+	Match    bool  `json:"match"`
+}
+
+// benchForestReader adapts the public dyntc.Forest to the query engine's
+// Reader (the bench sweeps scatter-pool sizes, which the public
+// Forest.Query pins to GOMAXPROCS).
+type benchForestReader struct{ f *dyntc.Forest }
+
+func (r benchForestReader) Trees() []uint64 {
+	ids := make([]uint64, 0, r.f.Len())
+	r.f.Each(func(id dyntc.TreeID, _ *dyntc.Engine) { ids = append(ids, uint64(id)) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (r benchForestReader) Start(id uint64, _ query.Read) query.Handle {
+	en, ok := r.f.Get(id)
+	if !ok {
+		return nil
+	}
+	return benchFutureHandle{f: en.RootAsync()}
+}
+
+type benchFutureHandle struct{ f *dyntc.Future }
+
+func (h benchFutureHandle) Wait() (int64, uint64, error) {
+	v, seq, err := h.f.ValueSeq()
+	h.f.Recycle()
+	return v, seq, err
+}
+
+// benchFollowerReader serves the same reads from follower replicas.
+type benchFollowerReader struct {
+	ids []uint64
+	fos map[uint64]*dyntc.Follower
+}
+
+func (r benchFollowerReader) Trees() []uint64 { return r.ids }
+
+func (r benchFollowerReader) Start(id uint64, rd query.Read) query.Handle {
+	fo, ok := r.fos[id]
+	if !ok {
+		return nil
+	}
+	return benchFollowerHandle{fo: fo, r: rd}
+}
+
+type benchFollowerHandle struct {
+	fo *dyntc.Follower
+	r  query.Read
+}
+
+func (h benchFollowerHandle) Wait() (int64, uint64, error) { return h.fo.ReadQuery(h.r) }
+
+// buildQueryForest creates trees single-leaf expressions and grows each a
+// few waves so values and sequences are non-trivial.
+func buildQueryForest(cfg QueryConfig, trees int) (*dyntc.Forest, []uint64) {
+	ring := dyntc.ModRing(1_000_000_007)
+	f := dyntc.NewForest(dyntc.BatchOptions{})
+	rng := prng.New(cfg.Seed)
+	ids := make([]uint64, 0, trees)
+	for i := 0; i < trees; i++ {
+		id, en := f.Create(ring, int64(rng.Intn(1000)), dyntc.WithSeed(cfg.Seed+uint64(i)))
+		ids = append(ids, uint64(id))
+		leaf := 0
+		for j := 0; j < 1+i%3; j++ {
+			l, _, err := en.GrowID(leaf, dyntc.OpAdd(ring), int64(rng.Intn(1000)), int64(rng.Intn(1000)))
+			if err != nil {
+				panic(fmt.Sprintf("bench: query forest grow: %v", err))
+			}
+			leaf = l
+		}
+	}
+	return f, ids
+}
+
+// percentile returns the q-quantile of sorted latencies, in microseconds.
+func latPct(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(lats)-1))
+	return float64(lats[i]) / float64(time.Microsecond)
+}
+
+// runQueryBench executes one (trees, workers) cell.
+func runQueryBench(cfg QueryConfig, trees, workers int) QueryResult {
+	forest, ids := buildQueryForest(cfg, trees)
+	defer forest.Close()
+	planner := query.NewPlanner(workers)
+	defer planner.Close()
+	reader := benchForestReader{f: forest}
+	spec := query.Spec{Read: query.Root(), Combine: query.Sum()}
+
+	// Direct fan-out: back-to-back planner runs, join latency measured.
+	lats := make([]time.Duration, 0, cfg.Rounds)
+	var combined int64
+	start := time.Now()
+	for r := 0; r < cfg.Rounds; r++ {
+		t0 := time.Now()
+		res, err := planner.Run(reader, spec)
+		if err != nil {
+			panic(fmt.Sprintf("bench: query run: %v", err))
+		}
+		lats = append(lats, time.Since(t0))
+		combined = res.Combined
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	// HTTP comparison on the same host: one POST /query vs N GETs.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /value", func(w http.ResponseWriter, r *http.Request) {
+		id, _ := strconv.ParseUint(r.URL.Query().Get("tree"), 10, 64)
+		en, ok := forest.Get(id)
+		if !ok {
+			http.Error(w, "no tree", http.StatusNotFound)
+			return
+		}
+		v, err := en.Root()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, `{"value":%d}`, v)
+	})
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		res, err := planner.Run(reader, spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, `{"combined":%d,"trees":%d}`, res.Combined, res.Trees)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	client := ts.Client()
+	getJSON := func(method, url string) []byte {
+		req, _ := http.NewRequest(method, url, nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %s %s: %v", method, url, err))
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("bench: %s %s: %s: %s", method, url, resp.Status, data))
+		}
+		return data
+	}
+
+	httpRounds := cfg.Rounds / 10
+	if httpRounds == 0 {
+		httpRounds = 1
+	}
+	var naiveSum int64
+	naiveStart := time.Now()
+	for r := 0; r < httpRounds; r++ {
+		naiveSum = 0
+		for _, id := range ids {
+			var v struct {
+				Value int64 `json:"value"`
+			}
+			if err := json.Unmarshal(getJSON("GET", fmt.Sprintf("%s/value?tree=%d", ts.URL, id)), &v); err != nil {
+				panic(err)
+			}
+			naiveSum += v.Value
+		}
+	}
+	naiveUS := float64(time.Since(naiveStart)) / float64(time.Microsecond) / float64(httpRounds)
+	queryStart := time.Now()
+	for r := 0; r < httpRounds; r++ {
+		getJSON("POST", ts.URL+"/query")
+	}
+	httpQueryUS := float64(time.Since(queryStart)) / float64(time.Microsecond) / float64(httpRounds)
+
+	// Follower offload: replicas of every tree, then leader under write
+	// load vs quiesced followers.
+	fr := benchFollowerReader{ids: ids, fos: make(map[uint64]*dyntc.Follower, len(ids))}
+	for _, id := range ids {
+		en, _ := forest.Get(id)
+		snap, err := en.Snapshot()
+		if err != nil {
+			panic(fmt.Sprintf("bench: snapshot tree %d: %v", id, err))
+		}
+		fo, err := dyntc.NewFollower(snap)
+		if err != nil {
+			panic(fmt.Sprintf("bench: follower tree %d: %v", id, err))
+		}
+		fr.fos[id] = fo
+	}
+	var stopLoad atomic.Bool
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		if i%4 != 0 { // load a quarter of the trees: steady mixed pressure
+			continue
+		}
+		en, _ := forest.Get(id)
+		wg.Add(1)
+		go func(i int, en *dyntc.Engine) {
+			defer wg.Done()
+			rng := prng.New(cfg.Seed + 7777*uint64(i))
+			for !stopLoad.Load() {
+				if err := en.SetLeafID(0, int64(rng.Intn(1000))); err != nil {
+					return
+				}
+			}
+		}(i, en)
+	}
+	loadRounds := cfg.Rounds / 4
+	if loadRounds == 0 {
+		loadRounds = 1
+	}
+	leaderStart := time.Now()
+	for r := 0; r < loadRounds; r++ {
+		if _, err := planner.Run(reader, spec); err != nil {
+			panic(err)
+		}
+	}
+	leaderUS := float64(time.Since(leaderStart)) / float64(time.Microsecond) / float64(loadRounds)
+	followerStart := time.Now()
+	for r := 0; r < loadRounds; r++ {
+		if _, err := planner.Run(fr, spec); err != nil {
+			panic(err)
+		}
+	}
+	followerUS := float64(time.Since(followerStart)) / float64(time.Microsecond) / float64(loadRounds)
+	stopLoad.Store(true)
+	wg.Wait()
+
+	res := QueryResult{
+		Trees:          trees,
+		Workers:        workers,
+		QueriesPerSec:  float64(cfg.Rounds) / elapsed.Seconds(),
+		JoinP50US:      latPct(lats, 0.50),
+		JoinP99US:      latPct(lats, 0.99),
+		HTTPQueryUS:    httpQueryUS,
+		NaiveGetsUS:    naiveUS,
+		LeaderLoadedUS: leaderUS,
+		FollowerUS:     followerUS,
+		Combined:       combined,
+		NaiveSum:       naiveSum,
+		Match:          combined == naiveSum,
+	}
+	if httpQueryUS > 0 {
+		res.SpeedupVsNaive = naiveUS / httpQueryUS
+	}
+	if followerUS > 0 {
+		res.FollowerSpeedup = leaderUS / followerUS
+	}
+	return res
+}
+
+// QueryLoad runs the full sweep.
+func QueryLoad(cfg QueryConfig) []QueryResult {
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{0}
+	}
+	var out []QueryResult
+	for _, w := range workers {
+		for _, n := range cfg.ForestSizes {
+			out = append(out, runQueryBench(cfg, n, w))
+		}
+	}
+	return out
+}
+
+// WriteQueryJSON writes results as the tracked BENCH_query.json payload.
+func WriteQueryJSON(path string, results []QueryResult) error {
+	payload := struct {
+		Bench   string        `json:"bench"`
+		Results []QueryResult `json:"results"`
+	}{Bench: "query-scatter-gather", Results: results}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// QueryTable renders results as a dyntc-bench table.
+func QueryTable(results []QueryResult) Table {
+	t := Table{
+		ID:      "E14",
+		Title:   "query: cross-tree scatter-gather",
+		Claim:   "one fan-out call beats N per-tree HTTP round-trips; follower replicas absorb reads from a loaded leader",
+		Columns: []string{"trees", "workers", "queries/s", "join_p50_us", "join_p99_us", "http_query_us", "naive_gets_us", "speedup", "follower_speedup", "match"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Trees, fmt.Sprint(r.Workers), fmt.Sprintf("%.0f", r.QueriesPerSec),
+			r.JoinP50US, r.JoinP99US, fmt.Sprintf("%.0f", r.HTTPQueryUS), fmt.Sprintf("%.0f", r.NaiveGetsUS),
+			fmt.Sprintf("%.2f", r.SpeedupVsNaive), fmt.Sprintf("%.2f", r.FollowerSpeedup), fmt.Sprint(r.Match))
+	}
+	t.Notes = append(t.Notes,
+		"speedup = N sequential GET /value round-trips vs one POST /query, same in-process HTTP host",
+		"follower_speedup = query latency on the mutating leader vs quiesced follower replicas",
+		"match = scatter-gather combined == sequential per-tree GET sum")
+	return t
+}

@@ -60,6 +60,15 @@ type Options struct {
 	// Queue is the submit queue capacity; submits block (backpressure)
 	// once it fills (default 4096).
 	Queue int
+	// Shed switches the full-queue policy from blocking to load shedding:
+	// a submit that finds the queue at capacity fails its future
+	// immediately with ErrOverloaded instead of blocking the caller.
+	// Servers translate that into 429 + Retry-After; library callers that
+	// want backpressure leave it false. Barriers are exempt: snapshots,
+	// log compaction and follower bootstrap ride barriers and must not
+	// starve under exactly the load shedding exists to survive — they
+	// block on a full queue like on an unshedded engine.
+	Shed bool
 	// Workers is the goroutine parallelism of the host's PRAM machine, on
 	// which a wave's node-disjoint batches execute. The engine itself
 	// stays single-executor; the layer that owns the host applies the
@@ -145,6 +154,11 @@ func (e *Engine) SetWaveTap(tap WaveTap) {
 	e.tap.Store(&tap)
 }
 
+// Tapped reports whether a wave tap is currently attached: the engine's
+// mutating waves feed a change log, so state changes that bypass the wave
+// stream (mutations inside a Barrier) would silently diverge replicas.
+func (e *Engine) Tapped() bool { return e.tap.Load() != nil }
+
 // AppliedSeq returns the sequence number of the last mutating wave the
 // engine executed (the tree state's position in the wave change-log).
 func (e *Engine) AppliedSeq() uint64 { return e.appliedSeq.Load() }
@@ -166,7 +180,8 @@ func (e *Engine) Close() {
 	<-e.done
 }
 
-// submit enqueues f, failing it immediately when the engine is closed.
+// submit enqueues f, failing it immediately when the engine is closed —
+// or, on a shedding engine, when the queue is at capacity.
 func (e *Engine) submit(f *Future) *Future {
 	e.mu.RLock()
 	if e.closed {
@@ -178,6 +193,17 @@ func (e *Engine) submit(f *Future) *Future {
 	// The send happens under the read lock so Close cannot close e.ch
 	// between the check and the send; the executor keeps draining, so
 	// blocked senders always complete.
+	if e.opts.Shed && f.kind != kBarrier {
+		select {
+		case e.ch <- f:
+			e.mu.RUnlock()
+		default:
+			e.mu.RUnlock()
+			e.stats.shed(1)
+			f.resolve(0, [2]*NodeT{}, ErrOverloaded)
+		}
+		return f
+	}
 	e.ch <- f
 	e.mu.RUnlock()
 	return f

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -119,6 +120,23 @@ func (f *Forest) Len() int {
 		s.mu.RUnlock()
 	}
 	return n
+}
+
+// IDs returns a sorted snapshot of the live tree ids — the iteration seam
+// cross-tree queries plan against (trees added or dropped afterwards are
+// the caller's race to handle per tree).
+func (f *Forest) IDs() []uint64 {
+	ids := make([]uint64, 0, 64)
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.RLock()
+		for id := range s.engines {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Each calls fn for every live tree. fn must not call back into the forest.

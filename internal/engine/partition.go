@@ -369,6 +369,7 @@ func (e *Engine) runWave(wave []*Future) {
 		f.fn(e.host)
 		e.stats.done(kBarrier)
 		resolved++
+		f.seq = e.appliedSeq.Load()
 		f.resolve(0, [2]*NodeT{}, nil)
 		return
 	}
@@ -506,8 +507,13 @@ func (e *Engine) runWave(wave []*Future) {
 		if len(sc.nodes) > 0 {
 			vals = e.host.Values(sc.nodes)
 		}
+		// Read futures carry the applied-wave sequence they observed: the
+		// wave's own mutations already advanced it above, so the stamp names
+		// exactly the tree version the values come from (Future.ValueSeq).
+		seq := e.appliedSeq.Load()
 		i := 0
 		for _, f := range sc.values {
+			f.seq = seq
 			if f.kind == kValue {
 				e.stats.done(kValue)
 				resolved++

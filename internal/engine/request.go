@@ -28,6 +28,9 @@ var (
 	ErrPoisoned = errors.New("engine: poisoned by a previous executor panic")
 	// ErrTreeExists reports a Forest.AddAt under an id already serving.
 	ErrTreeExists = errors.New("engine: forest already serves this tree id")
+	// ErrOverloaded reports a submit rejected because the queue was full
+	// (engines with Options.Shed; blocking engines never return it).
+	ErrOverloaded = errors.New("engine: submit queue full")
 )
 
 // NodeRef addresses a node of the host tree either by live handle or by its
@@ -105,6 +108,7 @@ type Future struct {
 	resolved bool
 	doneCh   chan struct{}
 	val      int64
+	seq      uint64 // applied-wave sequence observed by read requests
 	pair     [2]*tree.Node
 	err      error
 }
@@ -174,6 +178,22 @@ func (f *Future) Value() (int64, error) {
 	return val, err
 }
 
+// ValueSeq returns the request's scalar result together with the engine's
+// applied-wave sequence number at the moment the request executed. For
+// value / root / barrier requests the sequence identifies exactly which
+// version of the tree answered — the fan-in contract cross-tree queries
+// join on. Mutating requests and requests failed by validation report
+// sequence 0.
+func (f *Future) ValueSeq() (int64, uint64, error) {
+	f.mu.Lock()
+	for !f.resolved {
+		f.cond.Wait()
+	}
+	val, seq, err := f.val, f.seq, f.err
+	f.mu.Unlock()
+	return val, seq, err
+}
+
 // Pair returns the two leaves created by a grow request after Wait.
 func (f *Future) Pair() (l, r *tree.Node, err error) {
 	f.mu.Lock()
@@ -204,6 +224,7 @@ func (f *Future) Recycle() {
 	f.resolved = false
 	f.doneCh = nil
 	f.val = 0
+	f.seq = 0
 	f.pair = [2]*tree.Node{}
 	f.err = nil
 	f.mu.Unlock()

@@ -21,6 +21,7 @@ type statsRec struct {
 	waves     atomic.Uint64
 	errors    atomic.Uint64
 	dropped   atomic.Uint64
+	shedded   atomic.Uint64
 	maxFlush  atomic.Int64
 	grows     atomic.Uint64
 	collapses atomic.Uint64
@@ -52,6 +53,10 @@ func (s *statsRec) fail() { s.errors.Add(1) }
 // drop counts requests discarded without execution (engine closed or
 // poisoned): the load-shedding visibility counter.
 func (s *statsRec) drop(n int) { s.dropped.Add(uint64(n)) }
+
+// shed counts requests rejected at submit because the queue was full
+// (Options.Shed engines): the 429 visibility counter.
+func (s *statsRec) shed(n int) { s.shedded.Add(uint64(n)) }
 
 // flushDone records one flush's end-to-end executor latency.
 func (s *statsRec) flushDone(d time.Duration) {
@@ -109,6 +114,7 @@ type Stats struct {
 	Waves    uint64 `json:"waves"`     // conflict-free waves executed
 	Errors   uint64 `json:"errors"`    // requests failed by validation
 	Dropped  uint64 `json:"dropped"`   // requests discarded unexecuted (closed / poisoned)
+	Shed     uint64 `json:"shed"`      // requests rejected at submit, queue full (Options.Shed)
 	MaxFlush int64  `json:"max_flush"` // largest flush seen
 	Workers  int    `json:"workers"`   // configured PRAM worker parallelism (0 = host default)
 
@@ -159,6 +165,7 @@ func (s *Stats) Add(other Stats) {
 	s.Waves += other.Waves
 	s.Errors += other.Errors
 	s.Dropped += other.Dropped
+	s.Shed += other.Shed
 	s.QueueDepth += other.QueueDepth
 	s.QueueCap += other.QueueCap
 	s.AppliedSeq += other.AppliedSeq
@@ -192,6 +199,7 @@ func (e *Engine) Stats() Stats {
 		Waves:      e.stats.waves.Load(),
 		Errors:     e.stats.errors.Load(),
 		Dropped:    e.stats.dropped.Load(),
+		Shed:       e.stats.shedded.Load(),
 		MaxFlush:   e.stats.maxFlush.Load(),
 		Workers:    e.opts.Workers,
 		QueueDepth: len(e.ch),

@@ -31,8 +31,14 @@ func TestPoolNoGoroutineSpawnPerStep(t *testing.T) {
 	for k := 0; k < 200; k++ {
 		m.Step(1000, body)
 	}
+	// Growth is the bug; a transient decrease just means another test's
+	// released workers finished exiting. Settle before judging.
 	after := runtime.NumGoroutine()
-	if after != before {
+	for i := 0; i < 100 && after > before; i++ {
+		runtime.Gosched()
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
 		t.Fatalf("goroutines grew from %d to %d across 200 parallel steps", before, after)
 	}
 
@@ -118,7 +124,14 @@ func TestPoolPanicRecoveryAndReuse(t *testing.T) {
 	if ran.Load() != 2000 {
 		t.Fatalf("step after panic ran %d bodies, want 2000", ran.Load())
 	}
-	if now := runtime.NumGoroutine(); now != goroutines {
+	// No worker may leak from the panic; transient decreases (other tests'
+	// workers finishing their exit) are fine.
+	now := runtime.NumGoroutine()
+	for i := 0; i < 100 && now > goroutines; i++ {
+		runtime.Gosched()
+		now = runtime.NumGoroutine()
+	}
+	if now > goroutines {
 		t.Fatalf("goroutines %d -> %d after panic recovery", goroutines, now)
 	}
 }

@@ -1,0 +1,189 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Planner owns the persistent scatter-gather worker pool. One planner
+// serves any number of concurrent queries; workers are spawned lazily on
+// first demand and parked between queries, so an idle forest costs no
+// goroutines and a hot one reuses the same pool for every query — the
+// same persistent-pool discipline internal/pram applies to wave
+// execution.
+type Planner struct {
+	workers int
+	tasks   chan func()
+	stop    chan struct{}
+
+	mu      sync.Mutex
+	spawned int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewPlanner creates a planner with the given scatter parallelism
+// (GOMAXPROCS when <= 0).
+func NewPlanner(workers int) *Planner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Planner{
+		workers: workers,
+		tasks:   make(chan func()),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Workers returns the pool's scatter parallelism.
+func (p *Planner) Workers() int { return p.workers }
+
+// Close parks the pool permanently: in-flight chunk tasks finish, later
+// queries run their scatter inline on the calling goroutine. Idempotent.
+func (p *Planner) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.stop)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// worker runs chunk tasks until the planner closes.
+func (p *Planner) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case fn := <-p.tasks:
+			fn()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// dispatch hands fn to a pool worker, spawning one if none is idle and
+// the pool is below its size. It reports false when the planner is closed
+// — the caller runs fn inline.
+func (p *Planner) dispatch(fn func()) bool {
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	if p.spawned < p.workers {
+		p.spawned++
+		p.wg.Add(1)
+		go p.worker()
+	}
+	p.mu.Unlock()
+	select {
+	case p.tasks <- fn:
+		return true
+	case <-p.stop:
+		return false
+	}
+}
+
+// Run executes one cross-tree query: resolve the selector against the
+// reader's served trees, scatter the per-tree reads across the pool in
+// contiguous id chunks, and gather the partial folds into one Result.
+//
+// Within a chunk every read is submitted asynchronously before any is
+// waited on, so reads join the target engines' in-flight coalescing
+// windows instead of serializing round-trips; across chunks the pool
+// overlaps submission and collection. There is no cross-tree barrier of
+// any kind — each tree answers at whatever applied-wave sequence its
+// engine had reached, and that sequence is reported per tree.
+func (p *Planner) Run(r Reader, spec Spec) (Result, error) {
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	// Explicit-ID queries never pay the served-tree scan (a shard walk +
+	// sort over the whole forest); only range/all selectors need it.
+	ids := spec.Select.IDs
+	if len(ids) == 0 {
+		ids = spec.Select.resolve(r.Trees())
+	}
+	res := Result{Combined: spec.Combine.Identity()}
+	if len(ids) == 0 {
+		return res, nil
+	}
+
+	nchunks := p.workers
+	if len(ids) < nchunks {
+		nchunks = len(ids)
+	}
+	chunkLen := (len(ids) + nchunks - 1) / nchunks
+	// Ceil division can make the last chunks empty (e.g. 9 ids on 8
+	// workers → 5 chunks of 2); walk by offset so every chunk is non-empty.
+	nchunks = (len(ids) + chunkLen - 1) / chunkLen
+
+	var detail []TreeResult
+	if spec.Detail {
+		detail = make([]TreeResult, len(ids))
+	}
+	partials := make([]int64, nchunks)
+	counts := make([]int, nchunks)
+	errCounts := make([]int, nchunks)
+
+	var wg sync.WaitGroup
+	for c := 0; c < nchunks; c++ {
+		lo := c * chunkLen
+		hi := lo + chunkLen
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		c, lo, hi := c, lo, hi
+		task := func() {
+			defer wg.Done()
+			// Scatter: submit the whole chunk before waiting on anything.
+			handles := make([]Handle, hi-lo)
+			for i := lo; i < hi; i++ {
+				handles[i-lo] = r.Start(ids[i], spec.Read)
+			}
+			// Gather: wait, record, fold.
+			acc := spec.Combine.Identity()
+			for i := lo; i < hi; i++ {
+				tr := TreeResult{Tree: ids[i]}
+				if h := handles[i-lo]; h == nil {
+					tr.Err = ErrNoTree
+				} else {
+					tr.Value, tr.Seq, tr.Err = h.Wait()
+				}
+				if tr.Err != nil {
+					errCounts[c]++
+				} else {
+					acc = spec.Combine.Fold(acc, tr.Value)
+					counts[c]++
+				}
+				if detail != nil {
+					detail[i] = tr
+				}
+			}
+			partials[c] = acc
+		}
+		wg.Add(1)
+		if !p.dispatch(task) {
+			task()
+		}
+	}
+	wg.Wait()
+
+	// Join the per-chunk partial folds in chunk (= id) order.
+	for c := 0; c < nchunks; c++ {
+		if counts[c] > 0 {
+			res.Combined = spec.Combine.Merge(res.Combined, partials[c])
+			res.Trees += counts[c]
+		}
+		res.Errors += errCounts[c]
+	}
+	res.Detail = detail
+	return res, nil
+}

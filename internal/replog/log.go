@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 )
@@ -46,6 +47,10 @@ type Log struct {
 	f   *os.File
 	bw  *bufio.Writer
 	enc *json.Encoder
+
+	// compacting guards the unlocked phase of Compact: a second Compact
+	// arriving while one is rewriting the file is a no-op.
+	compacting bool
 
 	appendErr error // first file-append error, surfaced on later calls
 }
@@ -121,6 +126,168 @@ func (l *Log) Append(w Wave) error {
 			l.enc, l.bw = nil, nil // stop mirroring; ring stays live
 			return l.appendErr
 		}
+	}
+	return nil
+}
+
+// Compact drops every retained wave with Seq <= seq and, when a file
+// mirror is attached, rewrites the file to exactly the retained tail —
+// the log-compaction contract: the caller persists a snapshot at seq
+// first, and snapshot + compacted log replaces genesis + full log. After
+// Compact, Since calls at or before seq return ErrTruncated and the
+// caller (a follower) re-bootstraps from the snapshot — the existing 410
+// path. Appends continue seamlessly from the last appended sequence.
+//
+// The ring trim is immediate; the file rewrite happens off the log lock
+// (Append runs inline on the engine executor and must not stall behind a
+// re-encode + fsync of the whole tail), with a brief locked window at the
+// end to merge waves appended during the rewrite and swap the mirror. A
+// Compact that finds another still running is a no-op.
+func (l *Log) Compact(seq uint64) error {
+	l.mu.Lock()
+	if l.compacting {
+		l.mu.Unlock()
+		return nil
+	}
+	if seq > l.last {
+		seq = l.last
+	}
+	for l.n > 0 && l.ring[l.start].Seq <= seq {
+		l.ring[l.start] = Wave{} // release op slices to the GC
+		l.start = (l.start + 1) % len(l.ring)
+		l.n--
+	}
+	if l.n > 0 {
+		l.base = l.ring[l.start].Seq
+	} else {
+		l.base = 0
+	}
+	if l.f == nil || l.appendErr != nil {
+		err := l.appendErr
+		l.mu.Unlock()
+		return err
+	}
+	// Copy the retained tail so the bulk of the file work runs unlocked.
+	tail := make([]Wave, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		tail = append(tail, l.ring[(l.start+i)%len(l.ring)])
+	}
+	path := l.f.Name()
+	l.compacting = true
+	l.mu.Unlock()
+
+	err := l.rewrite(path, tail, seq)
+
+	l.mu.Lock()
+	l.compacting = false
+	l.mu.Unlock()
+	return err
+}
+
+// rewrite replaces the WAL file with tail plus whatever was appended
+// while tail was being written, atomically (write temp unlocked, then a
+// short locked merge + rename + mirror swap). A failure before the
+// rename leaves the old, uncompacted file fully valid.
+func (l *Log) rewrite(path string, tail []Wave, trimmed uint64) error {
+	tmp := path + ".compact"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("replog: compact: %w", err)
+	}
+	abort := func(err error) error {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	tbw := bufio.NewWriter(tf)
+	enc := json.NewEncoder(tbw)
+	for i := range tail {
+		if err := enc.Encode(&tail[i]); err != nil {
+			return abort(fmt.Errorf("replog: compact: %w", err))
+		}
+	}
+	// Flush and fsync the bulk of the tail while still unlocked: the
+	// locked window below then only syncs the few delta waves appended
+	// during this write, not the whole file.
+	if err := tbw.Flush(); err != nil {
+		return abort(fmt.Errorf("replog: compact: %w", err))
+	}
+	if err := tf.Sync(); err != nil {
+		return abort(fmt.Errorf("replog: compact: %w", err))
+	}
+	lastCopied := trimmed
+	if n := len(tail); n > 0 {
+		lastCopied = tail[n-1].Seq
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil || l.appendErr != nil {
+		return abort(l.appendErr)
+	}
+	// Waves appended during the unlocked write are still in the ring —
+	// unless it wrapped right past them, in which case the temp file
+	// would have a gap: abort, the old file is still contiguous.
+	if l.n > 0 && l.ring[l.start].Seq > lastCopied+1 {
+		return abort(fmt.Errorf("replog: compact aborted: ring advanced past the copied tail"))
+	}
+	for i := 0; i < l.n; i++ {
+		w := &l.ring[(l.start+i)%len(l.ring)]
+		if w.Seq <= lastCopied {
+			continue
+		}
+		if err := enc.Encode(w); err != nil {
+			return abort(fmt.Errorf("replog: compact: %w", err))
+		}
+	}
+	if err := tbw.Flush(); err == nil {
+		err = tf.Sync()
+	}
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replog: compact: %w", err)
+	}
+	// The rename is done: path now names the compacted file, and the old
+	// inode must not receive further appends. Swap the mirror; from here
+	// a failure disables it (sticky appendErr), never loses the swap.
+	old := l.f
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.appendErr = fmt.Errorf("replog: compact reopen (mirror disabled): %w", err)
+		l.f, l.bw, l.enc = nil, nil, nil
+		old.Close()
+		return l.appendErr
+	}
+	old.Close()
+	l.f = f
+	l.bw = bufio.NewWriter(f)
+	l.enc = json.NewEncoder(l.bw)
+	// Make the rename itself durable: without a directory fsync, a crash
+	// could surface the old (pre-compaction) file again — or, ordered
+	// against the caller's snapshot rename, the trimmed WAL without its
+	// anchoring snapshot.
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory, making renames within it durable. Shared
+// with callers that pair a snapshot rename with a log Compact.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("replog: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("replog: sync dir: %w", err)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"dyntc/internal/core"
 	"dyntc/internal/euler"
 	"dyntc/internal/pram"
+	"dyntc/internal/query"
 	"dyntc/internal/replog"
 )
 
@@ -270,6 +271,43 @@ func (f *Follower) ValueID(id int) (int64, error) {
 		return 0, fmt.Errorf("dyntc: follower has no live node %d", id)
 	}
 	return f.e.Value(f.e.t.Nodes[id]), nil
+}
+
+// ReadQuery executes one cross-tree per-tree read against the replica,
+// returning the value together with the replica's applied-wave sequence —
+// both taken under one lock, so the sequence names exactly the state that
+// answered. This is the follower side of the query engine's Reader
+// contract: read replicas serve the same POST /v1/query surface the
+// leader does (read offload).
+func (f *Follower) ReadQuery(r QueryRead) (value int64, seq uint64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	node := func(id int) (*Node, error) {
+		if id < 0 || id >= len(f.e.t.Nodes) || f.e.t.Nodes[id] == nil {
+			return nil, fmt.Errorf("dyntc: follower has no live node %d", id)
+		}
+		return f.e.t.Nodes[id], nil
+	}
+	switch r.Kind {
+	case query.ReadRoot:
+		return f.e.Root(), f.seq, nil
+	case query.ReadValue:
+		n, err := node(r.Node)
+		if err != nil {
+			return 0, 0, err
+		}
+		return f.e.Value(n), f.seq, nil
+	case query.ReadSubtree:
+		if !f.e.HasTour() {
+			return 0, 0, query.ErrNoTour
+		}
+		n, err := node(r.Node)
+		if err != nil {
+			return 0, 0, err
+		}
+		return int64(f.e.SubtreeSize(n)), f.seq, nil
+	}
+	return 0, 0, fmt.Errorf("%w: unknown read kind %d", query.ErrBadSpec, r.Kind)
 }
 
 // Query runs fn with exclusive access to the replica's Expr. fn must

@@ -1,11 +1,13 @@
 package dyntc
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"time"
 
 	"dyntc/internal/engine"
+	"dyntc/internal/query"
 )
 
 // This file is the concurrent face of the package: Expr.Serve wraps an
@@ -49,6 +51,13 @@ type BatchOptions struct {
 	Window time.Duration
 	// Queue is the submit queue capacity; submits block once it fills.
 	Queue int
+	// Shed switches the full-queue policy from blocking to load shedding:
+	// a submit that finds the queue at capacity fails immediately with
+	// engine.ErrOverloaded instead of blocking the caller. Servers
+	// translate that into 429 + Retry-After (cmd/dyntcd does); library
+	// callers that want backpressure leave it false. Shed requests are
+	// counted in EngineStats.Shed.
+	Shed bool
 	// Workers, when positive, sets the goroutine parallelism of the PRAM
 	// machine executing each wave's node-disjoint batches (the persistent
 	// worker pool of internal/pram). A wave's grow/collapse/set batches
@@ -78,6 +87,7 @@ func (e *Expr) Serve(opts BatchOptions) *Engine {
 			MaxBatch: opts.MaxBatch,
 			Window:   opts.Window,
 			Queue:    opts.Queue,
+			Shed:     opts.Shed,
 			Workers:  opts.Workers,
 			WaveTap:  opts.WaveTap,
 		}),
@@ -104,17 +114,26 @@ func (en *Engine) SetWaveTap(tap func(Wave)) { en.inner.SetWaveTap(engine.WaveTa
 // of Expr.Snapshot at the engine's current applied-wave sequence, taken
 // against a quiescent tree, linearized with concurrent traffic.
 func (en *Engine) Snapshot() ([]byte, error) {
+	data, _, err := en.SnapshotAt()
+	return data, err
+}
+
+// SnapshotAt is Snapshot returning also the applied-wave sequence the
+// snapshot captures — what log compaction trims the wave log to.
+func (en *Engine) SnapshotAt() ([]byte, uint64, error) {
 	var data []byte
+	var seq uint64
 	var err error
 	f := en.inner.Barrier(func(engine.Host) {
-		data, err = en.expr.Snapshot(en.inner.AppliedSeq())
+		seq = en.inner.AppliedSeq()
+		data, err = en.expr.Snapshot(seq)
 	})
 	if werr := f.Wait(); werr != nil {
 		f.Recycle()
-		return nil, werr
+		return nil, 0, werr
 	}
 	f.Recycle()
-	return data, err
+	return data, seq, err
 }
 
 // --- asynchronous API: submit now, redeem the Future later ---
@@ -199,14 +218,42 @@ func (en *Engine) Root() (int64, error) {
 	return v, err
 }
 
+// ErrLoggedBarrier reports a mutation attempted inside a Query callback
+// on a wave-tapped (replicated) engine. Barrier mutations bypass the wave
+// change-log — followers would never see them and silently diverge — so
+// on a tapped engine they are refused (the tree is untouched) and Query
+// returns this error. Route mutations through the Engine's own methods,
+// which the log records; untapped engines are unaffected.
+var ErrLoggedBarrier = errors.New("dyntc: mutation inside Query on a replicated engine bypasses the wave log; use Engine methods")
+
 // Query runs fn with exclusive, linearized access to the Expr: fn sees a
 // quiescent tree and may call any Expr method. Use it for the §5 tour
 // queries and anything else without a dedicated Engine method.
+//
+// On a wave-tapped engine (one feeding a change log) fn must not mutate
+// the tree: mutation attempts are refused — Grow returns nil leaves, the
+// set/collapse calls become no-ops — and Query returns ErrLoggedBarrier.
 func (en *Engine) Query(fn func(*Expr)) error {
-	f := en.inner.Barrier(func(engine.Host) { fn(en.expr) })
+	var qerr error
+	f := en.inner.Barrier(func(engine.Host) {
+		if !en.inner.Tapped() {
+			fn(en.expr)
+			return
+		}
+		en.expr.frozen, en.expr.frozenViolated = true, false
+		fn(en.expr)
+		en.expr.frozen = false
+		if en.expr.frozenViolated {
+			en.expr.frozenViolated = false
+			qerr = ErrLoggedBarrier
+		}
+	})
 	err := f.Wait()
 	f.Recycle()
-	return err
+	if err != nil {
+		return err
+	}
+	return qerr
 }
 
 // Preorder returns n's 1-based preorder number (requires WithTour on the
@@ -315,6 +362,7 @@ type TreeID = uint64
 type Forest struct {
 	inner   *engine.Forest
 	workers int // PRAM worker parallelism applied to every tree
+	planner *query.Planner
 
 	mu    sync.Mutex
 	exprs map[TreeID]*Engine
@@ -331,9 +379,11 @@ func NewForest(opts BatchOptions) *Forest {
 			MaxBatch: opts.MaxBatch,
 			Window:   opts.Window,
 			Queue:    opts.Queue,
+			Shed:     opts.Shed,
 			Workers:  opts.Workers,
 		}),
 		workers: opts.Workers,
+		planner: query.NewPlanner(0),
 		exprs:   make(map[TreeID]*Engine),
 	}
 }
@@ -415,9 +465,10 @@ func (f *Forest) Each(fn func(id TreeID, en *Engine)) {
 // Stats aggregates the engine stats of every live tree.
 func (f *Forest) Stats() EngineStats { return f.inner.TotalStats() }
 
-// Close drains and closes every tree's engine.
+// Close drains and closes every tree's engine and parks the query pool.
 func (f *Forest) Close() {
 	f.inner.Close()
+	f.planner.Close()
 	f.mu.Lock()
 	f.exprs = make(map[TreeID]*Engine)
 	f.mu.Unlock()
