@@ -57,21 +57,26 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
-		quick   = flag.Bool("quick", false, "reduced problem sizes")
-		seed    = flag.Uint64("seed", 42, "randomness seed")
-		engine  = flag.Bool("engine", false, "run the engine load driver instead of the experiments")
-		clients = flag.String("clients", "", "engine mode: comma-separated client counts (default 1,2,4,8,16,32)")
-		windows = flag.String("windows", "", "engine mode: comma-separated batch windows, e.g. 0,100us,1ms")
-		workers = flag.String("workers", "", "engine mode: comma-separated PRAM worker-pool sizes (default 1,4)")
-		grain   = flag.Int("grain", 0, "engine mode: machine sequential threshold (0 = default 1024)")
-		ops     = flag.Int("ops", 0, "engine mode: operations per client (default 2000; 300 with -quick)")
-		out     = flag.String("out", "BENCH_engine.json", "engine mode: output JSON path ('' to skip)")
-		replay  = flag.Bool("replay", false, "run the replication/durability driver (snapshot + wave log + follower)")
-		repOut  = flag.String("replay-out", "BENCH_replay.json", "replay mode: output JSON path ('' to skip)")
-		queryB  = flag.Bool("query", false, "run the cross-tree query driver (scatter-gather vs naive per-tree GETs + follower offload)")
-		qryOut  = flag.String("query-out", "BENCH_query.json", "query mode: output JSON path ('' to skip)")
-		forests = flag.String("forests", "", "query mode: comma-separated forest sizes (default 64,256,1024)")
+		exp      = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced problem sizes")
+		seed     = flag.Uint64("seed", 42, "randomness seed")
+		engine   = flag.Bool("engine", false, "run the engine load driver instead of the experiments")
+		clients  = flag.String("clients", "", "engine mode: comma-separated client counts (default 1,2,4,8,16,32)")
+		windows  = flag.String("windows", "", "engine mode: comma-separated batch windows, e.g. 0,100us,1ms")
+		workers  = flag.String("workers", "", "engine mode: comma-separated PRAM worker hints (default 1,4)")
+		grain    = flag.Int("grain", 0, "engine mode: pin the machine sequential threshold (0 = adaptive)")
+		ops      = flag.Int("ops", 0, "engine mode: operations per client (default 2000; 300 with -quick)")
+		out      = flag.String("out", "BENCH_engine.json", "engine mode: output JSON path ('' to skip)")
+		sharedP  = flag.Bool("shared-pool", false, "engine/query mode: additionally run every cell on one shared scheduler pool and record shared-vs-private speedups")
+		forestT  = flag.String("forest-trees", "", "engine mode: comma-separated forest sizes (N trees × 1 client, 4 workers each; shared pool vs N private pools)")
+		forestG  = flag.Int("forest-grain", 0, "engine mode: pinned step grain for forest cells (default 8: every wave step dispatches, so the scheduling discipline is what the cell measures)")
+		baseFile = flag.String("baseline", "", "engine mode: committed BENCH_engine.json to compare against; fails on >max-regress ops/sec regression for matching rows on the same host class")
+		maxRegr  = flag.Float64("max-regress", 0.10, "engine mode: tolerated fractional ops/sec regression vs -baseline")
+		replay   = flag.Bool("replay", false, "run the replication/durability driver (snapshot + wave log + follower)")
+		repOut   = flag.String("replay-out", "BENCH_replay.json", "replay mode: output JSON path ('' to skip)")
+		queryB   = flag.Bool("query", false, "run the cross-tree query driver (scatter-gather vs naive per-tree GETs + follower offload)")
+		qryOut   = flag.String("query-out", "BENCH_query.json", "query mode: output JSON path ('' to skip)")
+		forests  = flag.String("forests", "", "query mode: comma-separated forest sizes (default 64,256,1024)")
 	)
 	flag.Parse()
 
@@ -83,6 +88,7 @@ func main() {
 		if *workers != "" {
 			qcfg.Workers = mustInts(*workers)
 		}
+		qcfg.SharedPool = *sharedP
 		results := bench.QueryLoad(qcfg)
 		tb := bench.QueryTable(results)
 		tb.Fprint(os.Stdout)
@@ -149,13 +155,35 @@ func main() {
 		if *ops > 0 {
 			ecfg.OpsPerClient = *ops
 		}
+		ecfg.SharedPool = *sharedP
+		if *forestT != "" {
+			ecfg.ForestTrees = mustInts(*forestT)
+		}
+		if *forestG > 0 {
+			ecfg.ForestGrain = *forestG
+		}
 		results := bench.EngineLoad(ecfg)
 		tb := bench.EngineTable(results)
 		tb.Fprint(os.Stdout)
 		for _, r := range results {
 			if !r.Match {
-				fmt.Fprintf(os.Stderr, "dyntc-bench: FAIL clients=%d window=%.0fus workers=%d: live root %d != replay %d\n",
-					r.Clients, r.WindowUS, r.Workers, r.Root, r.ReplayRoot)
+				fmt.Fprintf(os.Stderr, "dyntc-bench: FAIL trees=%d clients=%d window=%.0fus workers=%d shared=%v: live root %d != replay %d\n",
+					r.Trees, r.Clients, r.WindowUS, r.Workers, r.Shared, r.Root, r.ReplayRoot)
+				os.Exit(1)
+			}
+		}
+		if *baseFile != "" {
+			baseline, err := bench.ReadEngineJSON(*baseFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: read baseline %s: %v\n", *baseFile, err)
+				os.Exit(1)
+			}
+			compared, failures := bench.CompareEngineBaseline(results, baseline, *maxRegr)
+			fmt.Printf("baseline check vs %s: %d comparable rows, %d regressions\n", *baseFile, compared, len(failures))
+			if len(failures) > 0 {
+				for _, f := range failures {
+					fmt.Fprintf(os.Stderr, "dyntc-bench: REGRESSION %s\n", f)
+				}
 				os.Exit(1)
 			}
 		}

@@ -29,8 +29,13 @@ type followerServer struct {
 	client *http.Client
 	start  time.Time
 
+	// pool is the process-wide runtime scheduler: replica replay (the
+	// verified wave re-execution) runs on it, per-tree catch-up tasks are
+	// scattered across it, and the query planner shares it.
+	pool *dyntc.SchedPool
+
 	// queryEndpoint serves POST /v1/query against the local replicas (the
-	// read-offload path); planner is its persistent scatter pool.
+	// read-offload path); planner scatters on the shared pool.
 	queryEndpoint bool
 	planner       *query.Planner
 
@@ -51,6 +56,10 @@ type replica struct {
 }
 
 func newFollower(leader string, poll time.Duration) *followerServer {
+	return newFollowerOn(leader, poll, nil)
+}
+
+func newFollowerOn(leader string, poll time.Duration, pool *dyntc.SchedPool) *followerServer {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
@@ -59,8 +68,9 @@ func newFollower(leader string, poll time.Duration) *followerServer {
 		poll:          poll,
 		client:        &http.Client{Timeout: 30 * time.Second},
 		start:         time.Now(),
+		pool:          pool,
 		queryEndpoint: true,
-		planner:       query.NewPlanner(0),
+		planner:       query.NewPlannerOn(pool, 0),
 		reps:          make(map[dyntc.TreeID]*replica),
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
@@ -111,11 +121,25 @@ func (f *followerServer) syncOnce() {
 		log.Printf("dyntcd follower: list trees: %v", err)
 		return
 	}
+	// Per-tree catch-up rides the shared scheduler: each tree's log tail
+	// fetch + verified replay is one blocking task, so many replicas catch
+	// up in parallel without spawning a goroutine per tree; whatever the
+	// pool cannot absorb runs inline on the poll loop, as before.
 	live := make(map[dyntc.TreeID]bool, len(list.Trees))
+	var wg sync.WaitGroup
 	for _, ti := range list.Trees {
-		live[ti.Tree] = true
-		f.syncTree(ti.Tree)
+		id := ti.Tree
+		live[id] = true
+		task := func() {
+			defer wg.Done()
+			f.syncTree(id)
+		}
+		wg.Add(1)
+		if f.pool == nil || !f.pool.TrySubmitBlocking(task) {
+			task()
+		}
 	}
+	wg.Wait()
 	// Drop replicas of trees the leader no longer serves.
 	f.mu.Lock()
 	for id := range f.reps {
@@ -146,7 +170,11 @@ func (f *followerServer) bootstrap(id dyntc.TreeID) (*replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	fo, err := dyntc.NewFollower(data)
+	var fopts []dyntc.Option
+	if f.pool != nil {
+		fopts = append(fopts, dyntc.WithPool(f.pool))
+	}
+	fo, err := dyntc.NewFollower(data, fopts...)
 	if err != nil {
 		return nil, err
 	}
@@ -303,11 +331,15 @@ func (f *followerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		trees = append(trees, rh)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok": true, "role": "follower", "leader": f.leader,
 		"uptime_s": time.Since(f.start).Seconds(),
 		"trees":    trees,
-	})
+	}
+	if f.pool != nil {
+		body["sched"] = f.pool.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (f *followerServer) handleList(w http.ResponseWriter, r *http.Request) {

@@ -10,16 +10,25 @@
 //
 //	dyntcd -addr :8080
 //	dyntcd -addr :8080 -window 200us -maxbatch 2048
-//	dyntcd -addr :8080 -workers 8          # PRAM worker pool per tree
+//	dyntcd -addr :8080 -sched-workers 16   # size the shared scheduler pool
+//	dyntcd -addr :8080 -workers 8          # per-tree parallelism hint
 //	dyntcd -addr :8080 -wal-dir /var/lib/dyntcd   # durable wave log
 //	dyntcd -addr :8080 -wal-dir d -compact-every 10000  # + log compaction
 //	dyntcd -addr :8081 -follow http://leader:8080 # read replica (serves /v1/query)
 //
-// -workers (default GOMAXPROCS) sets the goroutine parallelism of each
-// tree's PRAM machine: a wave's node-disjoint grow/collapse/set batches
-// execute on a persistent worker pool. 1 forces sequential wave
-// execution; metered PRAM costs are identical either way. The setting is
-// surfaced in GET /v1/stats.
+// The whole process runs on ONE runtime scheduler pool (-sched-workers,
+// default GOMAXPROCS): every tree's wave sub-batches execute as task
+// groups on it, each tree's PRAM steps chunk onto it, the cross-tree
+// query scatter rides it, and in -follow mode replica replay does too —
+// so a 1024-tree forest on a 16-core box runs 16-wide instead of
+// spawning a pool per tree. -workers (default GOMAXPROCS) is the
+// per-tree hint: how many shared workers one tree's wave may recruit; 1
+// forces sequential wave execution. Metered PRAM costs are identical
+// either way. Each engine's flush cap adapts under saturation (adaptive
+// MaxBatch; -maxbatch sets the floor). Pool utilization, steal counts
+// and queue depth are surfaced in GET /v1/stats and /v1/healthz, and
+// per-engine adaptive state (cur_max_batch, per-kind grain) in the
+// engine stats.
 //
 // Durability & replication (internal/replog): every tree's engine taps
 // its executed mutating waves into a change log — an in-memory ring of
@@ -75,7 +84,8 @@ func main() {
 		window   = flag.Duration("window", 0, "batching window (0 = adaptive idle-flush)")
 		maxBatch = flag.Int("maxbatch", 0, "max requests per flush (0 = default 1024)")
 		queue    = flag.Int("queue", 0, "per-tree submit queue capacity (0 = default 4096)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "PRAM worker-pool size per tree (1 = sequential wave execution)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "PRAM parallelism hint per tree: shared-pool workers one tree's wave may recruit (1 = sequential wave execution)")
+		schedW   = flag.Int("sched-workers", 0, "size of the process-wide runtime scheduler pool shared by waves, queries and replay (0 = GOMAXPROCS)")
 		walDir   = flag.String("wal-dir", "", "directory for append-only per-tree wave logs ('' = in-memory ring only)")
 		logCap   = flag.Int("log-cap", 0, "waves retained in each tree's in-memory log ring (0 = default 4096)")
 		follow   = flag.String("follow", "", "leader base URL: run as a read-only replica of that dyntcd")
@@ -85,8 +95,14 @@ func main() {
 	)
 	flag.Parse()
 
+	// One runtime scheduler pool for the whole process: every tree's
+	// waves, the cross-tree query scatter and (in follower mode) replica
+	// replay share its workers, so a 1024-tree forest on a 16-core box
+	// runs 16-wide instead of spawning a pool per tree.
+	pool := dyntc.NewSchedPool(*schedW)
+
 	if *follow != "" {
-		runFollower(*addr, *follow, *poll, *queryEP)
+		runFollower(*addr, *follow, *poll, *queryEP, pool)
 		return
 	}
 
@@ -95,7 +111,7 @@ func main() {
 			log.Fatalf("dyntcd: wal dir: %v", err)
 		}
 	}
-	s := newServerWAL(dyntc.BatchOptions{MaxBatch: *maxBatch, Window: *window, Queue: *queue, Workers: *workers}, *walDir, *logCap)
+	s := newServerWAL(dyntc.BatchOptions{MaxBatch: *maxBatch, Window: *window, Queue: *queue, Workers: *workers, Pool: pool}, *walDir, *logCap)
 	s.compactEvery = *compact
 	srv := &http.Server{
 		Addr:              *addr,
@@ -114,7 +130,7 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("dyntcd listening on %s (window=%v maxbatch=%d workers=%d wal=%q)", *addr, *window, *maxBatch, *workers, *walDir)
+	log.Printf("dyntcd listening on %s (window=%v maxbatch=%d workers=%d sched-workers=%d wal=%q)", *addr, *window, *maxBatch, *workers, pool.Workers(), *walDir)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -130,8 +146,8 @@ func main() {
 }
 
 // runFollower serves read-only replicas of a leader's trees.
-func runFollower(addr, leader string, poll time.Duration, queryEndpoint bool) {
-	f := newFollower(leader, poll)
+func runFollower(addr, leader string, poll time.Duration, queryEndpoint bool, pool *dyntc.SchedPool) {
+	f := newFollowerOn(leader, poll, pool)
 	f.queryEndpoint = queryEndpoint
 	go f.run()
 	srv := &http.Server{

@@ -53,7 +53,8 @@ import (
 type server struct {
 	forest  *dyntc.Forest
 	start   time.Time
-	workers int // PRAM worker-pool size applied to every tree
+	workers int              // PRAM parallelism hint applied to every tree
+	pool    *dyntc.SchedPool // the process-wide runtime scheduler (nil in tests)
 	// rings remembers each tree's ring so op names ("add"/"mul") can be
 	// parsed per request.
 	rings sync.Map // dyntc.TreeID -> dyntc.Ring
@@ -185,6 +186,7 @@ func newServerWAL(opts dyntc.BatchOptions, walDir string, logCap int) *server {
 		forest:  dyntc.NewForest(opts),
 		start:   time.Now(),
 		workers: opts.Workers,
+		pool:    opts.Pool,
 		walDir:  walDir,
 		logCap:  logCap,
 	}
@@ -842,22 +844,30 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		trees = append(trees, th)
 	})
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":       true,
 		"role":     "leader",
 		"uptime_s": time.Since(s.start).Seconds(),
 		"trees":    trees,
-	})
+	}
+	if s.pool != nil {
+		body["sched"] = s.pool.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.forest.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"trees":      s.forest.Len(),
 		"uptime_s":   time.Since(s.start).Seconds(),
 		"workers":    s.workers,
 		"engine":     st,
 		"mean_batch": st.MeanFlush(),
 		"mean_wave":  st.MeanWave(),
-	})
+	}
+	if s.pool != nil {
+		body["sched"] = s.pool.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

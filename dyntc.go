@@ -40,6 +40,7 @@ import (
 	"dyntc/internal/euler"
 	"dyntc/internal/listprefix"
 	"dyntc/internal/pram"
+	"dyntc/internal/sched"
 	"dyntc/internal/semiring"
 	"dyntc/internal/tree"
 )
@@ -120,7 +121,25 @@ type options struct {
 	seed     uint64
 	workers  int
 	grain    int
+	pool     *sched.Pool
 	withTour bool
+}
+
+// newMachine builds the Expr's PRAM machine from the parsed options.
+func (o *options) newMachine() *pram.Machine {
+	var m *pram.Machine
+	if o.workers != 0 {
+		m = pram.New(o.workers)
+	} else {
+		m = pram.Sequential()
+	}
+	if o.grain > 0 {
+		m.SetGrain(o.grain)
+	}
+	if o.pool != nil {
+		m.SetPool(o.pool)
+	}
+	return m
 }
 
 // WithSeed fixes the seed of all randomized structure (default 1).
@@ -133,12 +152,18 @@ func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 // GOMAXPROCS.
 func WithWorkers(w int) Option { return func(o *options) { o.workers = w } }
 
-// WithGrain sets the machine's sequential threshold: parallel steps with
-// fewer than g processors run inline instead of on the worker pool. Lower
-// values parallelize smaller batches (more dispatch overhead); the default
-// suits steps of a thousand processors or more. Only meaningful together
+// WithGrain pins the machine's sequential threshold: parallel steps with
+// fewer than g processors run inline instead of on the worker pool, and
+// the adaptive per-kind grain tuning is disabled. Without it the machine
+// adapts the threshold from measured step cost. Only meaningful together
 // with WithWorkers.
 func WithGrain(g int) Option { return func(o *options) { o.grain = g } }
+
+// WithPool directs the Expr's parallel steps to the given shared runtime
+// scheduler instead of the process-wide default pool. Use one pool for a
+// whole forest (NewForest and dyntcd do this for you) so every tree's
+// waves share a fixed worker set.
+func WithPool(p *SchedPool) Option { return func(o *options) { o.pool = p } }
 
 // WithTour additionally maintains the Eulerian tour and the derived tree
 // properties (Preorder, Ancestors, SubtreeSize, LCA, EulerTour).
@@ -151,15 +176,7 @@ func NewExpr(r Ring, rootValue int64, opts ...Option) *Expr {
 	for _, f := range opts {
 		f(&o)
 	}
-	var m *pram.Machine
-	if o.workers != 0 {
-		m = pram.New(o.workers)
-	} else {
-		m = pram.Sequential()
-	}
-	if o.grain > 0 {
-		m.SetGrain(o.grain)
-	}
+	m := o.newMachine()
 	t := tree.New(r, rootValue)
 	e := &Expr{
 		t:    t,
@@ -274,6 +291,17 @@ func (e *Expr) Workers() int { return e.mach.Workers() }
 // HasTour reports whether the Expr maintains its Eulerian tour (WithTour):
 // the §5 property queries — and cross-tree subtree-size reads — require it.
 func (e *Expr) HasTour() bool { return e.tour != nil }
+
+// SetStepKind labels the machine's subsequent parallel steps with the
+// batch kind issuing them, selecting which adaptive-grain estimate they
+// use and train. The serving engine brackets each wave sub-batch with
+// this; direct library use may ignore it. Not safe concurrently with the
+// batch methods.
+func (e *Expr) SetStepKind(k pram.StepKind) { e.mach.SetKind(k) }
+
+// StepGrains reports the machine's current sequential threshold per step
+// kind (see pram.StepKind) — the adaptive grain surfaced in engine stats.
+func (e *Expr) StepGrains() [pram.NumStepKinds]int { return e.mach.Grains() }
 
 // tourOrPanic guards the §5 application queries.
 func (e *Expr) tourOrPanic() *euler.Tour {

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -29,21 +30,45 @@ import (
 type EngineConfig struct {
 	Clients      []int           // client-count sweep
 	Windows      []time.Duration // batching-window sweep
-	Workers      []int           // PRAM worker-pool sweep (1 = sequential machine)
+	Workers      []int           // PRAM worker-hint sweep (1 = sequential machine)
 	OpsPerClient int             // operations per client per run
-	MaxBatch     int             // flush size cap (0 = engine default)
-	Grain        int             // machine sequential threshold (0 = default)
+	MaxBatch     int             // flush size cap floor (0 = engine default)
+	Grain        int             // machine sequential threshold (0 = adaptive)
 	Seed         uint64
+
+	// SharedPool additionally runs every cell in shared-pool mode (one
+	// process-wide scheduler for machines + wave task groups) next to the
+	// private mode (a dedicated pool per tree, the pre-refactor shape), so
+	// rows record the shared-vs-private speedup.
+	SharedPool bool
+	// ForestTrees adds forest cells: N trees, one client each, machine
+	// hint ForestWorkers per tree — the oversubscription scenario the
+	// shared pool exists for (private mode spawns N pools). Forest cells
+	// pre-grow every tree and drive batched set/value traffic so waves
+	// carry real parallel steps, and pin the grain to ForestGrain
+	// (default 8: every wave step dispatches, modeling expensive step
+	// bodies) so those steps actually hit the pools — N×workers private
+	// workers waking and parking against each other versus one
+	// self-throttling shared pool is exactly what the cell measures.
+	ForestTrees   []int
+	ForestWorkers int
+	ForestGrain   int
+	// AdaptiveProbe adds a saturation cell with a deliberately low flush
+	// cap (64) so the committed row demonstrates adaptive MaxBatch
+	// growing the cap (cur_max_batch, batch_grows, mean_batch).
+	AdaptiveProbe bool
 }
 
 // DefaultEngineConfig is the sweep cmd/dyntc-bench runs.
 func DefaultEngineConfig(quick bool, seed uint64) EngineConfig {
 	cfg := EngineConfig{
-		Clients:      []int{1, 2, 4, 8, 16, 32},
-		Windows:      []time.Duration{0, 100 * time.Microsecond, time.Millisecond},
-		Workers:      []int{1, 4},
-		OpsPerClient: 2000,
-		Seed:         seed,
+		Clients:       []int{1, 2, 4, 8, 16, 32},
+		Windows:       []time.Duration{0, 100 * time.Microsecond, time.Millisecond},
+		Workers:       []int{1, 4},
+		OpsPerClient:  2000,
+		Seed:          seed,
+		ForestWorkers: 4,
+		AdaptiveProbe: true,
 	}
 	if quick {
 		cfg.Clients = []int{1, 8}
@@ -54,23 +79,41 @@ func DefaultEngineConfig(quick bool, seed uint64) EngineConfig {
 	return cfg
 }
 
-// EngineResult is one (clients, window, workers) measurement.
+// EngineResult is one measurement: a (clients, window, workers) cell over
+// one shared tree (Trees == 1), or a forest cell (Trees > 1, one client
+// per tree), in private or shared scheduler mode.
 type EngineResult struct {
-	Clients   int     `json:"clients"`
-	WindowUS  float64 `json:"window_us"`
-	Workers   int     `json:"workers"`
-	Ops       int     `json:"ops"`
-	Seconds   float64 `json:"seconds"`
-	OpsPerSec float64 `json:"ops_per_sec"`
+	Clients    int     `json:"clients"`
+	WindowUS   float64 `json:"window_us"`
+	Workers    int     `json:"workers"`
+	Trees      int     `json:"trees"`
+	Shared     bool    `json:"shared_pool"`
+	MaxBatch   int     `json:"max_batch"`  // configured flush-cap floor (0 = default)
+	GoMaxProcs int     `json:"gomaxprocs"` // host class marker for baseline comparisons
+	Ops        int     `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
 	// SpeedupVsSeq is OpsPerSec relative to the workers=1 run of the same
-	// (clients, window) cell; 0 when the sweep has no workers=1 baseline.
-	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+	// cell; SpeedupVsPrivate relative to the private-pools run of the same
+	// cell (0 when the sweep has no matching baseline).
+	SpeedupVsSeq     float64 `json:"speedup_vs_seq"`
+	SpeedupVsPrivate float64 `json:"speedup_vs_private"`
 
 	MeanBatch float64 `json:"mean_batch"` // requests per executed flush
 	MeanWave  float64 `json:"mean_wave"`  // requests per conflict-free wave
 	MaxFlush  int64   `json:"max_flush"`
 	Flushes   uint64  `json:"flushes"`
 	Waves     uint64  `json:"waves"`
+
+	// Adaptive MaxBatch evidence: where the flush cap ended up and how
+	// often it moved.
+	CurMaxBatch int64  `json:"cur_max_batch"`
+	BatchGrows  uint64 `json:"batch_grows"`
+
+	// Goroutines is the process goroutine count mid-run (forest cells):
+	// the oversubscription axis — N private pools carry N×workers
+	// goroutines, the shared pool a fixed handful.
+	Goroutines int `json:"goroutines,omitempty"`
 
 	PRAMSteps int64 `json:"pram_steps"` // parallel rounds charged
 	PRAMWork  int64 `json:"pram_work"`  // total processor-steps charged
@@ -97,6 +140,9 @@ type loadApplier interface {
 type liveLoad struct {
 	en      *dyntc.Engine
 	pending []*dyntc.Future
+	// noAutoDrain lets saturation probes pipeline past the usual 128
+	// in-flight cap (the point is a deep queue).
+	noAutoDrain bool
 }
 
 func (a *liveLoad) grow(leaf *dyntc.Node, op dyntc.Op, lv, rv int64) (*dyntc.Node, *dyntc.Node, error) {
@@ -112,7 +158,7 @@ func (a *liveLoad) valueAsync(n *dyntc.Node) error {
 	return a.maybeDrain()
 }
 func (a *liveLoad) maybeDrain() error {
-	if len(a.pending) >= 128 {
+	if !a.noAutoDrain && len(a.pending) >= 128 {
 		return a.drain()
 	}
 	return nil
@@ -218,20 +264,32 @@ func engineFanOut(e *dyntc.Expr, ring dyntc.Ring, n int) []*dyntc.Node {
 	return leaves
 }
 
-// runEngineLoad executes one (clients, window, workers) cell. The live run
-// serves waves on a machine with the given worker-pool size; the replay
-// oracle is always sequential, so a match also certifies that pool
-// execution leaves results untouched.
-func runEngineLoad(cfg EngineConfig, clients int, window time.Duration, workers int) EngineResult {
+// runEngineLoad executes one (clients, window, workers) cell over one
+// shared tree. In shared mode the machine and the engine's wave task
+// groups ride one scheduler pool; in private mode the machine gets a
+// dedicated pool (the pre-refactor architecture). The replay oracle is
+// always sequential, so a match also certifies that pool execution
+// leaves results untouched.
+func runEngineLoad(cfg EngineConfig, clients int, window time.Duration, workers int, shared bool, maxBatch int) EngineResult {
 	ring := dyntc.ModRing(1_000_000_007)
 
 	exprOpts := []dyntc.Option{dyntc.WithSeed(cfg.Seed)}
 	if cfg.Grain > 0 {
 		exprOpts = append(exprOpts, dyntc.WithGrain(cfg.Grain))
 	}
+	var pool *dyntc.SchedPool
+	bo := dyntc.BatchOptions{MaxBatch: maxBatch, Window: window, Workers: workers}
+	if shared {
+		pool = dyntc.NewSchedPool(0)
+		exprOpts = append(exprOpts, dyntc.WithPool(pool))
+		bo.Pool = pool
+	} else if workers > 1 {
+		pool = dyntc.NewSchedPool(workers)
+		exprOpts = append(exprOpts, dyntc.WithPool(pool))
+	}
 	live := dyntc.NewExpr(ring, 1, exprOpts...)
 	bases := engineFanOut(live, ring, clients)
-	en := live.Serve(dyntc.BatchOptions{MaxBatch: cfg.MaxBatch, Window: window, Workers: workers})
+	en := live.Serve(bo)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -254,6 +312,9 @@ func runEngineLoad(cfg EngineConfig, clients int, window time.Duration, workers 
 	wg.Wait()
 	en.Close()
 	elapsed := time.Since(start)
+	if pool != nil {
+		pool.Close()
+	}
 
 	for _, err := range errs {
 		if err != nil {
@@ -278,56 +339,421 @@ func runEngineLoad(cfg EngineConfig, clients int, window time.Duration, workers 
 	pm := live.PRAM()
 	ops := clients * cfg.OpsPerClient
 	return EngineResult{
-		Clients:    clients,
-		WindowUS:   float64(window) / float64(time.Microsecond),
-		Workers:    st.Workers,
-		Ops:        ops,
-		Seconds:    elapsed.Seconds(),
-		OpsPerSec:  float64(ops) / elapsed.Seconds(),
-		MeanBatch:  st.MeanFlush(),
-		MeanWave:   st.MeanWave(),
-		MaxFlush:   st.MaxFlush,
-		Flushes:    st.Flushes,
-		Waves:      st.Waves,
-		PRAMSteps:  pm.Steps,
-		PRAMWork:   pm.Work,
-		Root:       live.Root(),
-		ReplayRoot: replay.Root(),
-		Match:      live.Root() == replay.Root(),
+		Clients:     clients,
+		WindowUS:    float64(window) / float64(time.Microsecond),
+		Workers:     st.Workers,
+		Trees:       1,
+		Shared:      shared,
+		MaxBatch:    maxBatch,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Ops:         ops,
+		Seconds:     elapsed.Seconds(),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		MeanBatch:   st.MeanFlush(),
+		MeanWave:    st.MeanWave(),
+		MaxFlush:    st.MaxFlush,
+		Flushes:     st.Flushes,
+		Waves:       st.Waves,
+		CurMaxBatch: st.CurMaxBatch,
+		BatchGrows:  st.BatchGrows,
+		PRAMSteps:   pm.Steps,
+		PRAMWork:    pm.Work,
+		Root:        live.Root(),
+		ReplayRoot:  replay.Root(),
+		Match:       live.Root() == replay.Root(),
 	}
 }
 
-// EngineLoad runs the full sweep and fills each row's speedup against the
-// workers=1 run of its (clients, window) cell.
+// forestLeaves is the pre-grown size of every forest-cell tree: big
+// enough that a coalesced set wave's heal carries parallel-sized steps.
+const forestLeaves = 96
+
+// burstProgram drives one tree's measured traffic: rounds of `burst`
+// pipelined requests (7/8 set-leaf, 1/8 value) over the pre-grown
+// leaves, drained per round — the batchy read-modify traffic coalescing
+// exists for. Forest cells use bursts of 64; the saturation probe uses
+// 256 (4× its flush-cap floor) so flushes clip against the cap with the
+// queue still deep. Same-leaf requests within a burst keep submission
+// order (the engine defers conflicting requests in order), so the
+// sequential replay oracle is exact.
+func burstProgram(rng *prng.Source, leaves []*dyntc.Node, ops, burst int,
+	set func(*dyntc.Node, int64), value func(*dyntc.Node), drain func() error) error {
+	for done := 0; done < ops; {
+		n := burst
+		if rest := ops - done; n > rest {
+			n = rest
+		}
+		for j := 0; j < n; j++ {
+			leaf := leaves[rng.Intn(len(leaves))]
+			if j%8 == 7 {
+				value(leaf)
+			} else {
+				set(leaf, int64(rng.Intn(1000)))
+			}
+		}
+		if err := drain(); err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}
+
+// runForestLoad executes one forest cell: trees independent pre-grown
+// expression trees, one client each, every tree's machine hinted at
+// `workers` with the grain pinned low (cfg.ForestGrain) so wave steps
+// genuinely hit the scheduler. In private mode every tree gets its own
+// pool — trees×workers goroutines all waking and parking against each
+// other, the oversubscription the unified scheduler removes — while
+// shared mode runs the whole forest (machines, wave task groups, engine
+// lanes) on one GOMAXPROCS-sized pool that self-throttles to the
+// hardware. The oracle replays every tree's program sequentially and
+// compares the folded roots.
+func runForestLoad(cfg EngineConfig, trees, workers int, shared bool) EngineResult {
+	ring := dyntc.ModRing(1_000_000_007)
+	grain := cfg.ForestGrain
+	if grain <= 0 {
+		grain = 8
+	}
+
+	var sharedPool *dyntc.SchedPool
+	bo := dyntc.BatchOptions{Workers: workers}
+	if shared {
+		sharedPool = dyntc.NewSchedPool(0)
+		bo.Pool = sharedPool
+	}
+	forest := dyntc.NewForest(bo)
+	var privPools []*dyntc.SchedPool
+	engines := make([]*dyntc.Engine, trees)
+	bases := make([][]*dyntc.Node, trees)
+	for i := 0; i < trees; i++ {
+		opts := []dyntc.Option{dyntc.WithSeed(cfg.Seed + uint64(i)), dyntc.WithGrain(grain)}
+		if !shared {
+			p := dyntc.NewSchedPool(workers)
+			privPools = append(privPools, p)
+			opts = append(opts, dyntc.WithPool(p))
+		}
+		_, en := forest.Create(ring, 1, opts...)
+		engines[i] = en
+		// Pre-grow deterministically through a barrier (untapped engine:
+		// direct Expr mutation inside Query is the setup fast path).
+		if err := en.Query(func(e *dyntc.Expr) { bases[i] = engineFanOut(e, ring, forestLeaves) }); err != nil {
+			panic(fmt.Sprintf("bench: forest pre-grow %d: %v", i, err))
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, trees)
+	for i := 0; i < trees; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := &liveLoad{en: engines[i]}
+			errs[i] = burstProgram(prng.New(cfg.Seed+uint64(i)*1000), bases[i], cfg.OpsPerClient, 64,
+				func(n *dyntc.Node, v int64) { _ = a.setAsync(n, v) },
+				func(n *dyntc.Node) { _ = a.valueAsync(n) },
+				a.drain)
+		}(i)
+	}
+	goroutines := runtime.NumGoroutine() // mid-run: pools spawned, clients live
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := forest.Stats()
+	var rootFold int64
+	for i := range engines {
+		var r int64
+		if err := engines[i].Query(func(e *dyntc.Expr) { r = e.Root() }); err != nil {
+			panic(fmt.Sprintf("bench: forest root %d: %v", i, err))
+		}
+		rootFold ^= r + int64(i)
+	}
+	forest.Close()
+	for _, p := range privPools {
+		p.Close()
+	}
+	if sharedPool != nil {
+		sharedPool.Close()
+	}
+	for i, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("bench: forest client %d failed: %v", i, err))
+		}
+	}
+
+	// Sequential replay oracle, tree by tree.
+	var replayFold int64
+	for i := 0; i < trees; i++ {
+		replay := dyntc.NewExpr(ring, 1, dyntc.WithSeed(cfg.Seed+uint64(i)))
+		leaves := engineFanOut(replay, ring, forestLeaves)
+		err := burstProgram(prng.New(cfg.Seed+uint64(i)*1000), leaves, cfg.OpsPerClient, 64,
+			func(n *dyntc.Node, v int64) { replay.SetLeaf(n, v) },
+			func(n *dyntc.Node) { _ = replay.Value(n) },
+			func() error { return nil })
+		if err != nil {
+			panic(fmt.Sprintf("bench: forest replay %d: %v", i, err))
+		}
+		replayFold ^= replay.Root() + int64(i)
+	}
+
+	ops := trees * cfg.OpsPerClient
+	return EngineResult{
+		Clients:     trees,
+		Workers:     workers,
+		Trees:       trees,
+		Shared:      shared,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Ops:         ops,
+		Seconds:     elapsed.Seconds(),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		MeanBatch:   st.MeanFlush(),
+		MeanWave:    st.MeanWave(),
+		MaxFlush:    st.MaxFlush,
+		Flushes:     st.Flushes,
+		Waves:       st.Waves,
+		CurMaxBatch: st.CurMaxBatch,
+		BatchGrows:  st.BatchGrows,
+		Goroutines:  goroutines,
+		Root:        rootFold,
+		ReplayRoot:  replayFold,
+		Match:       rootFold == replayFold,
+	}
+}
+
+// runSaturationProbe is the adaptive-MaxBatch evidence cell: 16 clients
+// flood one engine (flush cap floor 64) with 256-request pipelined
+// storms over disjoint leaf regions. The committed row must show
+// cur_max_batch (and the mean executed batch) well above the 64 floor.
+func runSaturationProbe(cfg EngineConfig, workers int, shared bool) EngineResult {
+	const (
+		probeClients = 16
+		probeRegion  = 32 // leaves per client
+		probeFloor   = 64 // MaxBatch floor under test
+	)
+	ring := dyntc.ModRing(1_000_000_007)
+	var pool *dyntc.SchedPool
+	exprOpts := []dyntc.Option{dyntc.WithSeed(cfg.Seed)}
+	bo := dyntc.BatchOptions{MaxBatch: probeFloor, Workers: workers}
+	if shared {
+		pool = dyntc.NewSchedPool(0)
+		exprOpts = append(exprOpts, dyntc.WithPool(pool))
+		bo.Pool = pool
+	} else if workers > 1 {
+		pool = dyntc.NewSchedPool(workers)
+		exprOpts = append(exprOpts, dyntc.WithPool(pool))
+	}
+	live := dyntc.NewExpr(ring, 1, exprOpts...)
+	leaves := engineFanOut(live, ring, probeClients*probeRegion)
+	en := live.Serve(bo)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, probeClients)
+	for i := 0; i < probeClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := &liveLoad{en: en, noAutoDrain: true}
+			region := leaves[i*probeRegion : (i+1)*probeRegion]
+			errs[i] = burstProgram(prng.New(cfg.Seed+uint64(i)*1000), region, cfg.OpsPerClient, 256,
+				func(n *dyntc.Node, v int64) { _ = a.setAsync(n, v) },
+				func(n *dyntc.Node) { _ = a.valueAsync(n) },
+				a.drain)
+		}(i)
+	}
+	wg.Wait()
+	en.Close()
+	elapsed := time.Since(start)
+	if pool != nil {
+		pool.Close()
+	}
+	for i, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("bench: saturation client %d failed: %v", i, err))
+		}
+	}
+
+	// Replay oracle: disjoint regions commute, so client-after-client
+	// sequential replay must land on the same root.
+	replay := dyntc.NewExpr(ring, 1, dyntc.WithSeed(cfg.Seed))
+	rleaves := engineFanOut(replay, ring, probeClients*probeRegion)
+	for i := 0; i < probeClients; i++ {
+		region := rleaves[i*probeRegion : (i+1)*probeRegion]
+		err := burstProgram(prng.New(cfg.Seed+uint64(i)*1000), region, cfg.OpsPerClient, 256,
+			func(n *dyntc.Node, v int64) { replay.SetLeaf(n, v) },
+			func(n *dyntc.Node) { _ = replay.Value(n) },
+			func() error { return nil })
+		if err != nil {
+			panic(fmt.Sprintf("bench: saturation replay %d: %v", i, err))
+		}
+	}
+
+	st := en.Stats()
+	pm := live.PRAM()
+	ops := probeClients * cfg.OpsPerClient
+	return EngineResult{
+		Clients:     probeClients,
+		Workers:     st.Workers,
+		Trees:       1,
+		Shared:      shared,
+		MaxBatch:    probeFloor,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Ops:         ops,
+		Seconds:     elapsed.Seconds(),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		MeanBatch:   st.MeanFlush(),
+		MeanWave:    st.MeanWave(),
+		MaxFlush:    st.MaxFlush,
+		Flushes:     st.Flushes,
+		Waves:       st.Waves,
+		CurMaxBatch: st.CurMaxBatch,
+		BatchGrows:  st.BatchGrows,
+		PRAMSteps:   pm.Steps,
+		PRAMWork:    pm.Work,
+		Root:        live.Root(),
+		ReplayRoot:  replay.Root(),
+		Match:       live.Root() == replay.Root(),
+	}
+}
+
+// EngineLoad runs the full sweep: every (clients, window, workers) cell
+// in private mode (plus shared mode with cfg.SharedPool), the forest
+// cells, and the adaptive-MaxBatch saturation probe. Each row's speedups
+// are filled against the workers=1 run and the private run of its cell.
 func EngineLoad(cfg EngineConfig) []EngineResult {
 	workers := cfg.Workers
 	if len(workers) == 0 {
 		workers = []int{1}
 	}
+	modes := []bool{false}
+	if cfg.SharedPool {
+		modes = append(modes, true)
+	}
 	var out []EngineResult
-	for _, wk := range workers {
-		for _, w := range cfg.Windows {
-			for _, c := range cfg.Clients {
-				out = append(out, runEngineLoad(cfg, c, w, wk))
+	for _, shared := range modes {
+		for _, wk := range workers {
+			for _, w := range cfg.Windows {
+				for _, c := range cfg.Clients {
+					out = append(out, runEngineLoad(cfg, c, w, wk, shared, cfg.MaxBatch))
+				}
 			}
 		}
 	}
+	fw := cfg.ForestWorkers
+	if fw <= 0 {
+		fw = 4
+	}
+	for _, shared := range modes {
+		for _, n := range cfg.ForestTrees {
+			out = append(out, runForestLoad(cfg, n, fw, shared))
+		}
+	}
+	if cfg.AdaptiveProbe {
+		for _, shared := range modes {
+			out = append(out, runSaturationProbe(cfg, workers[len(workers)-1], shared))
+		}
+	}
+
 	type cell struct {
 		clients  int
 		windowUS float64
+		trees    int
+		shared   bool
+		maxBatch int
 	}
-	baseline := make(map[cell]float64)
+	seqBase := make(map[cell]float64)
 	for _, r := range out {
 		if r.Workers == 1 {
-			baseline[cell{r.Clients, r.WindowUS}] = r.OpsPerSec
+			seqBase[cell{r.Clients, r.WindowUS, r.Trees, r.Shared, r.MaxBatch}] = r.OpsPerSec
+		}
+	}
+	type pcell struct {
+		clients  int
+		windowUS float64
+		workers  int
+		trees    int
+		maxBatch int
+	}
+	privBase := make(map[pcell]float64)
+	for _, r := range out {
+		if !r.Shared {
+			privBase[pcell{r.Clients, r.WindowUS, r.Workers, r.Trees, r.MaxBatch}] = r.OpsPerSec
 		}
 	}
 	for i := range out {
-		if base := baseline[cell{out[i].Clients, out[i].WindowUS}]; base > 0 {
+		if base := seqBase[cell{out[i].Clients, out[i].WindowUS, out[i].Trees, out[i].Shared, out[i].MaxBatch}]; base > 0 {
 			out[i].SpeedupVsSeq = out[i].OpsPerSec / base
+		}
+		if out[i].Shared {
+			if base := privBase[pcell{out[i].Clients, out[i].WindowUS, out[i].Workers, out[i].Trees, out[i].MaxBatch}]; base > 0 {
+				out[i].SpeedupVsPrivate = out[i].OpsPerSec / base
+			}
 		}
 	}
 	return out
+}
+
+// CompareEngineBaseline checks shared-pool results against a committed
+// baseline file: shared rows whose full configuration (clients, window,
+// workers, trees, max-batch floor, ops, gomaxprocs) matches a baseline
+// row must not regress OpsPerSec by more than tolerance (e.g. 0.10).
+// Rows without a comparable baseline row — a different host class
+// included — are skipped, as are measurements too short to be stable
+// (under baselineMinSeconds on either side). It returns the comparisons
+// performed and the failures.
+func CompareEngineBaseline(results, baseline []EngineResult, tolerance float64) (compared int, failures []string) {
+	const baselineMinSeconds = 0.2
+	type key struct {
+		clients  int
+		windowUS float64
+		workers  int
+		trees    int
+		maxBatch int
+		ops      int
+		gmp      int
+	}
+	base := make(map[key]EngineResult)
+	for _, r := range baseline {
+		if r.Shared {
+			base[key{r.Clients, r.WindowUS, r.Workers, r.Trees, r.MaxBatch, r.Ops, r.GoMaxProcs}] = r
+		}
+	}
+	for _, r := range results {
+		if !r.Shared {
+			continue
+		}
+		b, ok := base[key{r.Clients, r.WindowUS, r.Workers, r.Trees, r.MaxBatch, r.Ops, r.GoMaxProcs}]
+		if !ok || b.OpsPerSec <= 0 {
+			continue
+		}
+		if r.Seconds < baselineMinSeconds || b.Seconds < baselineMinSeconds {
+			continue
+		}
+		want := b.OpsPerSec
+		compared++
+		if r.OpsPerSec < (1-tolerance)*want {
+			failures = append(failures, fmt.Sprintf(
+				"clients=%d window=%.0fus workers=%d trees=%d shared=%v maxbatch=%d: %.0f ops/s vs baseline %.0f (-%.1f%%, tolerance %.0f%%)",
+				r.Clients, r.WindowUS, r.Workers, r.Trees, r.Shared, r.MaxBatch,
+				r.OpsPerSec, want, 100*(1-r.OpsPerSec/want), 100*tolerance))
+		}
+	}
+	return compared, failures
+}
+
+// ReadEngineJSON loads a BENCH_engine.json payload (for baseline checks).
+func ReadEngineJSON(path string) ([]EngineResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		Results []EngineResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, err
+	}
+	return payload.Results, nil
 }
 
 // WriteEngineJSON writes results as the tracked BENCH_engine.json payload.
@@ -348,17 +774,20 @@ func EngineTable(results []EngineResult) Table {
 	t := Table{
 		ID:      "E12",
 		Title:   "engine: concurrent request coalescing",
-		Claim:   "mean executed batch size grows with concurrency; results identical to sequential replay",
-		Columns: []string{"clients", "window_us", "workers", "ops/s", "speedup", "mean_batch", "mean_wave", "max_flush", "match"},
+		Claim:   "batch size grows with concurrency; shared scheduler beats per-tree pools at forest scale; results identical to sequential replay",
+		Columns: []string{"trees", "clients", "window_us", "workers", "shared", "ops/s", "speedup", "vs_private", "mean_batch", "cur_max_batch", "goroutines", "match"},
 	}
 	for _, r := range results {
-		t.AddRow(r.Clients, fmt.Sprintf("%.0f", r.WindowUS), fmt.Sprint(r.Workers),
+		t.AddRow(r.Trees, r.Clients, fmt.Sprintf("%.0f", r.WindowUS), fmt.Sprint(r.Workers),
+			fmt.Sprint(r.Shared),
 			fmt.Sprintf("%.0f", r.OpsPerSec), fmt.Sprintf("%.2f", r.SpeedupVsSeq),
-			r.MeanBatch, r.MeanWave,
-			fmt.Sprint(r.MaxFlush), fmt.Sprint(r.Match))
+			fmt.Sprintf("%.2f", r.SpeedupVsPrivate),
+			r.MeanBatch, fmt.Sprint(r.CurMaxBatch), fmt.Sprint(r.Goroutines), fmt.Sprint(r.Match))
 	}
 	t.Notes = append(t.Notes,
 		"structural ops blocking, label/value ops pipelined; every run replayed sequentially and compared",
-		"workers = PRAM worker-pool size for wave execution; speedup is vs the workers=1 run of the same cell")
+		"workers = per-tree PRAM hint; shared = one scheduler pool for the whole run vs a pool per tree",
+		"speedup vs the workers=1 run of the same cell; vs_private vs the private-pools run of the same cell",
+		"cur_max_batch > the configured floor demonstrates adaptive MaxBatch growth under saturation")
 	return t
 }

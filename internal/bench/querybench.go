@@ -41,9 +41,14 @@ import (
 // QueryConfig configures the query bench.
 type QueryConfig struct {
 	ForestSizes []int // trees per forest
-	Workers     []int // scatter-pool sweep
+	Workers     []int // scatter-width sweep
 	Rounds      int   // repeated queries per measurement
 	Seed        uint64
+	// SharedPool additionally runs every cell with the forest's machines,
+	// wave task groups and the query scatter all on one shared scheduler
+	// pool, next to the private mode (dedicated scatter pool, per-tree
+	// default machines), recording the shared-vs-private speedup.
+	SharedPool bool
 }
 
 // DefaultQueryConfig is the sweep cmd/dyntc-bench runs.
@@ -63,8 +68,12 @@ func DefaultQueryConfig(quick bool, seed uint64) QueryConfig {
 
 // QueryResult is one (forest size, workers) measurement.
 type QueryResult struct {
-	Trees   int `json:"trees"`
-	Workers int `json:"workers"`
+	Trees   int  `json:"trees"`
+	Workers int  `json:"workers"`
+	Shared  bool `json:"shared_pool"`
+	// SpeedupVsPrivate is QueriesPerSec relative to the private run of the
+	// same (trees, workers) cell (0 without one).
+	SpeedupVsPrivate float64 `json:"speedup_vs_private"`
 
 	// Direct fan-out over the quiesced forest.
 	QueriesPerSec float64 `json:"queries_per_sec"`
@@ -138,10 +147,11 @@ type benchFollowerHandle struct {
 func (h benchFollowerHandle) Wait() (int64, uint64, error) { return h.fo.ReadQuery(h.r) }
 
 // buildQueryForest creates trees single-leaf expressions and grows each a
-// few waves so values and sequences are non-trivial.
-func buildQueryForest(cfg QueryConfig, trees int) (*dyntc.Forest, []uint64) {
+// few waves so values and sequences are non-trivial. A non-nil pool puts
+// the whole forest (machines + wave task groups) on it.
+func buildQueryForest(cfg QueryConfig, trees int, pool *dyntc.SchedPool) (*dyntc.Forest, []uint64) {
 	ring := dyntc.ModRing(1_000_000_007)
-	f := dyntc.NewForest(dyntc.BatchOptions{})
+	f := dyntc.NewForest(dyntc.BatchOptions{Pool: pool})
 	rng := prng.New(cfg.Seed)
 	ids := make([]uint64, 0, trees)
 	for i := 0; i < trees; i++ {
@@ -168,11 +178,24 @@ func latPct(lats []time.Duration, q float64) float64 {
 	return float64(lats[i]) / float64(time.Microsecond)
 }
 
-// runQueryBench executes one (trees, workers) cell.
-func runQueryBench(cfg QueryConfig, trees, workers int) QueryResult {
-	forest, ids := buildQueryForest(cfg, trees)
+// runQueryBench executes one (trees, workers) cell. In shared mode one
+// scheduler pool hosts the forest's machines, the engines' wave task
+// groups and the query scatter; in private mode the scatter gets its own
+// dedicated pool (the pre-refactor shape).
+func runQueryBench(cfg QueryConfig, trees, workers int, shared bool) QueryResult {
+	var pool *dyntc.SchedPool
+	var planner *query.Planner
+	if shared {
+		pool = dyntc.NewSchedPool(0)
+		defer pool.Close()
+		planner = query.NewPlannerOn(pool, workers)
+	} else {
+		priv := dyntc.NewSchedPool(workers)
+		defer priv.Close()
+		planner = query.NewPlannerOn(priv, workers)
+	}
+	forest, ids := buildQueryForest(cfg, trees, pool)
 	defer forest.Close()
-	planner := query.NewPlanner(workers)
 	defer planner.Close()
 	reader := benchForestReader{f: forest}
 	spec := query.Spec{Read: query.Root(), Combine: query.Sum()}
@@ -316,6 +339,7 @@ func runQueryBench(cfg QueryConfig, trees, workers int) QueryResult {
 	res := QueryResult{
 		Trees:          trees,
 		Workers:        workers,
+		Shared:         shared,
 		QueriesPerSec:  float64(cfg.Rounds) / elapsed.Seconds(),
 		JoinP50US:      latPct(lats, 0.50),
 		JoinP99US:      latPct(lats, 0.99),
@@ -336,16 +360,38 @@ func runQueryBench(cfg QueryConfig, trees, workers int) QueryResult {
 	return res
 }
 
-// QueryLoad runs the full sweep.
+// QueryLoad runs the full sweep (shared mode rows after private ones when
+// enabled) and fills the shared rows' speedups against their private
+// counterparts.
 func QueryLoad(cfg QueryConfig) []QueryResult {
 	workers := cfg.Workers
 	if len(workers) == 0 {
 		workers = []int{0}
 	}
+	modes := []bool{false}
+	if cfg.SharedPool {
+		modes = append(modes, true)
+	}
 	var out []QueryResult
-	for _, w := range workers {
-		for _, n := range cfg.ForestSizes {
-			out = append(out, runQueryBench(cfg, n, w))
+	for _, shared := range modes {
+		for _, w := range workers {
+			for _, n := range cfg.ForestSizes {
+				out = append(out, runQueryBench(cfg, n, w, shared))
+			}
+		}
+	}
+	type cell struct{ trees, workers int }
+	priv := make(map[cell]float64)
+	for _, r := range out {
+		if !r.Shared {
+			priv[cell{r.Trees, r.Workers}] = r.QueriesPerSec
+		}
+	}
+	for i := range out {
+		if out[i].Shared {
+			if base := priv[cell{out[i].Trees, out[i].Workers}]; base > 0 {
+				out[i].SpeedupVsPrivate = out[i].QueriesPerSec / base
+			}
 		}
 	}
 	return out
@@ -370,10 +416,11 @@ func QueryTable(results []QueryResult) Table {
 		ID:      "E14",
 		Title:   "query: cross-tree scatter-gather",
 		Claim:   "one fan-out call beats N per-tree HTTP round-trips; follower replicas absorb reads from a loaded leader",
-		Columns: []string{"trees", "workers", "queries/s", "join_p50_us", "join_p99_us", "http_query_us", "naive_gets_us", "speedup", "follower_speedup", "match"},
+		Columns: []string{"trees", "workers", "shared", "queries/s", "vs_private", "join_p50_us", "join_p99_us", "http_query_us", "naive_gets_us", "speedup", "follower_speedup", "match"},
 	}
 	for _, r := range results {
-		t.AddRow(r.Trees, fmt.Sprint(r.Workers), fmt.Sprintf("%.0f", r.QueriesPerSec),
+		t.AddRow(r.Trees, fmt.Sprint(r.Workers), fmt.Sprint(r.Shared), fmt.Sprintf("%.0f", r.QueriesPerSec),
+			fmt.Sprintf("%.2f", r.SpeedupVsPrivate),
 			r.JoinP50US, r.JoinP99US, fmt.Sprintf("%.0f", r.HTTPQueryUS), fmt.Sprintf("%.0f", r.NaiveGetsUS),
 			fmt.Sprintf("%.2f", r.SpeedupVsNaive), fmt.Sprintf("%.2f", r.FollowerSpeedup), fmt.Sprint(r.Match))
 	}

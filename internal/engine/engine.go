@@ -33,7 +33,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dyntc/internal/pram"
 	"dyntc/internal/replog"
+	"dyntc/internal/sched"
 )
 
 // Host is the single-writer structure the engine serializes access to.
@@ -50,8 +52,17 @@ type Host interface {
 
 // Options configures an Engine. The zero value gives sane defaults.
 type Options struct {
-	// MaxBatch caps the number of requests per flush (default 1024).
+	// MaxBatch is the initial (and minimum) cap on requests per flush
+	// (default 1024). The effective cap adapts: it doubles while flushes
+	// saturate — a flush fills the cap with more requests still queued —
+	// up to MaxBatchCeil, and decays back once flushes run well under it,
+	// so sustained overload coalesces into larger batches (the paper's
+	// batch bound rewards exactly that) without inflating light-traffic
+	// latency. Stats reports the current cap as CurMaxBatch.
 	MaxBatch int
+	// MaxBatchCeil bounds the adaptive cap (default max(4·MaxBatch,
+	// Queue)). Set it equal to MaxBatch to pin the cap (no adaptivity).
+	MaxBatchCeil int
 	// Window is the maximum time the executor waits, counted from the
 	// first request of a flush, for more requests to coalesce. Zero means
 	// flush as soon as the queue is momentarily empty (adaptive
@@ -76,13 +87,27 @@ type Options struct {
 	// Recorded here so Stats can surface it. 0 means leave the host's
 	// machine as configured.
 	Workers int
-	// WaveTap, when set, is called on the executor goroutine after every
-	// executed wave that mutated the tree, with the wave's sealed change
-	// record (dense-ID ops, assigned grow IDs, post-wave root, checksum).
-	// This is the replication seam: internal/replog logs and ships these.
-	// The tap runs inline on the executor — it must be fast and must not
-	// call back into the engine. See also Engine.SetWaveTap.
+	// WaveTap, when set, is called after every executed wave that mutated
+	// the tree, with the wave's sealed change record (dense-ID ops,
+	// assigned grow IDs, post-wave root, checksum). This is the
+	// replication seam: internal/replog logs and ships these. The tap runs
+	// inline on the wave's execution context (the executor goroutine, or
+	// the engine's scheduler lane when Pool is set), serialized with the
+	// engine's waves — it must be fast and must not call back into the
+	// engine. See also Engine.SetWaveTap.
 	WaveTap WaveTap
+	// Pool, when set, is the shared runtime scheduler: each wave's
+	// grow/collapse/set/value sub-batches are scheduled as task groups on
+	// one serial lane of this pool instead of running on the executor
+	// goroutine. One tree's sub-batches still execute in order (the host
+	// is single-writer and metering must stay deterministic), but the
+	// lanes of many engines interleave across the pool's workers, so a
+	// big forest shares a fixed worker set instead of oversubscribing the
+	// host with per-tree execution. Results, metering and the wave log
+	// are byte-identical either way. The layer that owns the host should
+	// point its PRAM machine at the same pool (dyntc.Expr.Serve and
+	// dyntc.NewForest do).
+	Pool *sched.Pool
 }
 
 // WaveTap receives the change record of one executed mutating wave.
@@ -94,6 +119,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Queue <= 0 {
 		o.Queue = 4096
+	}
+	if o.MaxBatchCeil <= 0 {
+		o.MaxBatchCeil = 4 * o.MaxBatch
+		if o.Queue > o.MaxBatchCeil {
+			o.MaxBatchCeil = o.Queue
+		}
+	}
+	if o.MaxBatchCeil < o.MaxBatch {
+		o.MaxBatchCeil = o.MaxBatch
 	}
 	return o
 }
@@ -120,12 +154,48 @@ type Engine struct {
 	// change log can attach to an already-serving engine.
 	tap atomic.Pointer[WaveTap]
 
-	// sc is the executor's reusable flush/partition state (executor
-	// goroutine only).
+	// sc is the executor's reusable flush/partition state (touched only by
+	// the wave execution context: the executor goroutine, plus — between
+	// waveWG.Add and Wait — the chain's worker).
 	sc scratch
+
+	// curMax is the adaptive flush cap (see Options.MaxBatch); underfull
+	// counts consecutive under-filled flushes (executor only).
+	curMax    atomic.Int64
+	underfull int
+
+	// chain is the engine's serial lane on the shared scheduler (nil =
+	// waves execute inline on the executor). waveWG joins the lane's task
+	// group per wave; wavePanicked/VAL carry a phase panic back to the
+	// executor (written on the lane, read after Wait — the WaitGroup is
+	// the happens-before edge).
+	chain        *sched.Chain
+	laneWave     bool // current wave takes the lane (chain set, wave big enough)
+	waveWG       sync.WaitGroup
+	wavePanicked bool
+	wavePanicVal any
+	// phaseFns/laneFns are the wave phases and their lane-wrapped forms,
+	// built once so scheduling a wave allocates nothing (a bound method
+	// value or closure built per wave would).
+	phaseFns [numPhases]func()
+	laneFns  [numPhases]func()
+
+	// kinder/grainer are the host's optional tuning capabilities, cached
+	// once (dyntc.Expr implements both).
+	kinder  stepKinder
+	grainer grainReporter
 
 	done chan struct{}
 }
+
+// stepKinder is the optional host capability the engine uses to label
+// each wave sub-batch with its kind, so the host machine's adaptive grain
+// tunes per (tree, batch kind).
+type stepKinder interface{ SetStepKind(pram.StepKind) }
+
+// grainReporter is the optional host capability exposing the machine's
+// current per-kind grain for Stats.
+type grainReporter interface{ StepGrains() [pram.NumStepKinds]int }
 
 // New starts an engine (and its executor goroutine) over host.
 func New(host Host, opts Options) *Engine {
@@ -135,8 +205,37 @@ func New(host Host, opts Options) *Engine {
 		done: make(chan struct{}),
 	}
 	e.ch = make(chan *Future, e.opts.Queue)
+	e.curMax.Store(int64(e.opts.MaxBatch))
 	if e.opts.WaveTap != nil {
 		e.tap.Store(&e.opts.WaveTap)
+	}
+	// A serial lane on a single-worker pool cannot interleave trees — it
+	// only adds hops Go's own scheduler does better — so the lane engages
+	// only when the pool has real width. Machines still chunk their steps
+	// onto the pool either way.
+	if e.opts.Pool != nil && e.opts.Pool.Workers() > 1 {
+		e.chain = e.opts.Pool.NewChain()
+	}
+	e.kinder, _ = host.(stepKinder)
+	e.grainer, _ = host.(grainReporter)
+	e.phaseFns = [numPhases]func(){
+		e.phaseGrows, e.phaseCollapses, e.phaseSetLeaves,
+		e.phaseSetOps, e.phaseSealWave, e.phaseValues,
+	}
+	for i, fn := range e.phaseFns {
+		fn := fn
+		e.laneFns[i] = func() {
+			defer e.waveWG.Done()
+			if e.wavePanicked {
+				return
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					e.wavePanicked, e.wavePanicVal = true, r
+				}
+			}()
+			fn()
+		}
 	}
 	go e.run()
 	return e
@@ -260,7 +359,8 @@ func (e *Engine) Barrier(fn func(Host)) *Future {
 	return e.submit(f)
 }
 
-// run is the executor: the only goroutine that touches e.host.
+// run is the executor: the only goroutine that drains the queue and (via
+// its serial lane, when a pool is configured) touches e.host.
 func (e *Engine) run() {
 	defer close(e.done)
 	for {
@@ -269,21 +369,56 @@ func (e *Engine) run() {
 			return
 		}
 		flush := e.collect(first)
+		n := len(flush)
 		e.executeFlush(flush)
+		e.adaptBatch(n)
+	}
+}
+
+// adaptBatch is the adaptive flush cap (Options.MaxBatch docs): grow
+// while flushes saturate — a flush that reaches the cap was clipped by
+// it, i.e. demand outran the executor — and decay after a run of
+// well-under-filled flushes. Correctness never depends on the cap; it
+// only moves the latency/throughput trade under load.
+func (e *Engine) adaptBatch(flushLen int) {
+	cur := int(e.curMax.Load())
+	switch {
+	case flushLen >= cur && cur < e.opts.MaxBatchCeil:
+		next := cur * 2
+		if next > e.opts.MaxBatchCeil {
+			next = e.opts.MaxBatchCeil
+		}
+		e.curMax.Store(int64(next))
+		e.stats.batchGrows.Add(1)
+		e.underfull = 0
+	case flushLen < cur/4 && cur > e.opts.MaxBatch:
+		if e.underfull++; e.underfull >= 8 {
+			next := cur / 2
+			if next < e.opts.MaxBatch {
+				next = e.opts.MaxBatch
+			}
+			e.curMax.Store(int64(next))
+			e.stats.batchShrinks.Add(1)
+			e.underfull = 0
+		}
+	default:
+		e.underfull = 0
 	}
 }
 
 // collect assembles one flush: the adaptive batching window. It returns
 // immediately with whatever has accrued when the queue goes idle (Window
 // 0), or waits up to Window from the first request while the flush is
-// smaller than MaxBatch. The returned slice is the executor's reusable
-// flush buffer, valid until the next collect.
+// smaller than the current adaptive cap (Options.MaxBatch, grown under
+// saturation). The returned slice is the executor's reusable flush
+// buffer, valid until the next collect.
 func (e *Engine) collect(first *Future) []*Future {
 	flush := append(e.sc.flush[:0], first)
 	defer func() { e.sc.flush = flush }()
+	maxBatch := int(e.curMax.Load())
 
 	// Fast path: drain whatever is already queued.
-	for len(flush) < e.opts.MaxBatch {
+	for len(flush) < maxBatch {
 		select {
 		case f, ok := <-e.ch:
 			if !ok {
@@ -296,14 +431,14 @@ func (e *Engine) collect(first *Future) []*Future {
 		break
 	}
 
-	if e.opts.Window <= 0 || len(flush) >= e.opts.MaxBatch {
+	if e.opts.Window <= 0 || len(flush) >= maxBatch {
 		return flush
 	}
 
-	// Window path: keep accumulating until the deadline or MaxBatch.
+	// Window path: keep accumulating until the deadline or the cap.
 	timer := time.NewTimer(e.opts.Window)
 	defer timer.Stop()
-	for len(flush) < e.opts.MaxBatch {
+	for len(flush) < maxBatch {
 		select {
 		case f, ok := <-e.ch:
 			if !ok {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dyntc/internal/pram"
 	"dyntc/internal/replog"
 )
 
@@ -159,6 +160,14 @@ type scratch struct {
 	nodes   []*NodeT
 	vals    []int64
 	opArgs  []OpT
+
+	// Per-wave execution state shared between the phases of one wave
+	// (chain-serialized; the executor reads it again only after the wave's
+	// task group has joined).
+	resolved int         // prefix of order already resolved
+	mutating int         // mutating requests in the wave
+	tap      *WaveTap    // tap active for this wave (nil = none)
+	rec      []replog.Op // change record under construction (escapes into the tap)
 }
 
 // resolve returns the live node a ref addresses, or an error. Liveness is
@@ -344,19 +353,32 @@ func (e *Engine) footprintAll(f *Future) footprint {
 	return fp
 }
 
-// runWave executes one conflict-free wave as the core batch calls of §1.4.
-// Futures resolve in a fixed order (grows, collapses, set-leaves, set-ops,
-// values); the panic path uses that order to fail exactly the futures not
-// yet resolved — a resolved Future may already have been recycled by its
-// caller and must never be touched again.
+// runWave executes one conflict-free wave as the core batch calls of
+// §1.4, each scheduled as one entry of the wave's task group: on an
+// engine without a scheduler pool the phases run inline on the executor;
+// with one (Options.Pool) they are submitted to the engine's serial lane,
+// so one tree's sub-batches keep their order (the host is single-writer
+// and metering must stay deterministic) while the grow/set/value phases
+// of different trees' waves interleave freely across the shared workers.
+//
+// Futures resolve in a fixed order (grows, collapses, set-leaves,
+// set-ops, values); the panic path uses that order to fail exactly the
+// futures not yet resolved — a resolved Future may already have been
+// recycled by its caller and must never be touched again. A phase panic
+// on the lane is carried back to the executor through the task group's
+// join and handled identically to an inline panic.
 func (e *Engine) runWave(wave []*Future) {
 	sc := &e.sc
-	resolved := 0 // prefix of sc.order already resolved
+	sc.resolved = 0
 	defer func() {
-		if r := recover(); r != nil {
+		r := recover()
+		if r == nil && e.wavePanicked {
+			r, e.wavePanicked, e.wavePanicVal = e.wavePanicVal, false, nil
+		}
+		if r != nil {
 			e.poisoned = true
 			err := fmt.Errorf("%w: %v", ErrPoisoned, r)
-			for _, f := range sc.order[resolved:] {
+			for _, f := range sc.order[sc.resolved:] {
 				f.resolve(0, [2]*NodeT{}, err)
 			}
 		}
@@ -364,15 +386,17 @@ func (e *Engine) runWave(wave []*Future) {
 	e.stats.wave()
 
 	if wave[0].kind == kBarrier {
-		f := wave[0]
-		sc.order = append(sc.order[:0], f)
-		f.fn(e.host)
-		e.stats.done(kBarrier)
-		resolved++
-		f.seq = e.appliedSeq.Load()
-		f.resolve(0, [2]*NodeT{}, nil)
+		// Barriers execute arbitrary user code (snapshots park on I/O,
+		// tests park on channels): never occupy a shared worker with one —
+		// run it on the executor, like every wave before the lane existed.
+		sc.order = append(sc.order[:0], wave[0])
+		e.phaseBarrier()
 		return
 	}
+	// Tiny waves are not worth a lane hop: the task-group discipline pays
+	// off when a wave's sub-batches carry real parallel steps, not for a
+	// handful of requests resolved in microseconds.
+	e.laneWave = e.chain != nil && len(wave) >= laneMinWave
 
 	sc.grows = sc.grows[:0]
 	sc.collapses = sc.collapses[:0]
@@ -400,131 +424,227 @@ func (e *Engine) runWave(wave []*Future) {
 	sc.order = append(sc.order, sc.setOps...)
 	sc.order = append(sc.order, sc.values...)
 
-	// When a wave tap is attached, build the wave's change record. Op data
-	// must be captured before the corresponding resolve: a resolved Future
-	// may already be recycled (and reused) by its caller. The record slice
-	// is freshly allocated per wave — it escapes into the tap, which may
-	// retain it (log rings do).
-	tap := e.tap.Load()
-	mutating := len(sc.grows) + len(sc.collapses) + len(sc.setLeaves) + len(sc.setOps)
-	var rec []replog.Op
-	if tap != nil && mutating > 0 {
-		rec = make([]replog.Op, 0, mutating)
+	// When a wave tap is attached, the phases build the wave's change
+	// record. Op data must be captured before the corresponding resolve: a
+	// resolved Future may already be recycled (and reused) by its caller.
+	// The record slice is freshly allocated per wave — it escapes into the
+	// tap, which may retain it (log rings do).
+	sc.tap = e.tap.Load()
+	sc.mutating = len(sc.grows) + len(sc.collapses) + len(sc.setLeaves) + len(sc.setOps)
+	sc.rec = nil
+	if sc.tap != nil && sc.mutating > 0 {
+		sc.rec = make([]replog.Op, 0, sc.mutating)
 	}
 
 	if len(sc.grows) > 0 {
-		sc.growOps = sc.growOps[:0]
-		for _, f := range sc.grows {
-			sc.growOps = append(sc.growOps, GrowOp{Leaf: f.ref.N, Op: f.op, LeftVal: f.a, RightVal: f.b})
-		}
-		pairs := e.host.GrowBatch(sc.growOps)
-		for i, f := range sc.grows {
-			if rec != nil {
-				rec = append(rec, replog.Op{
-					Kind: replog.OpGrow, Node: f.ref.N.ID,
-					A: f.op.A, B: f.op.B, C: f.op.C,
-					Left: f.a, Right: f.b,
-					LeftID: pairs[i][0].ID, RightID: pairs[i][1].ID,
-				})
-			}
-			e.stats.done(kGrow)
-			resolved++
-			f.resolve(0, pairs[i], nil)
-		}
+		e.phase(phaseGrowsIdx)
 	}
 	if len(sc.collapses) > 0 {
-		sc.colOps = sc.colOps[:0]
-		for _, f := range sc.collapses {
-			sc.colOps = append(sc.colOps, CollapseOp{Node: f.ref.N, NewValue: f.a})
-		}
-		e.host.CollapseBatch(sc.colOps)
-		for _, f := range sc.collapses {
-			if rec != nil {
-				rec = append(rec, replog.Op{Kind: replog.OpCollapse, Node: f.ref.N.ID, Value: f.a})
-			}
-			e.stats.done(kCollapse)
-			resolved++
-			f.resolve(0, [2]*NodeT{}, nil)
-		}
+		e.phase(phaseCollapsesIdx)
 	}
 	if len(sc.setLeaves) > 0 {
-		sc.nodes = sc.nodes[:0]
-		sc.vals = sc.vals[:0]
-		for _, f := range sc.setLeaves {
-			sc.nodes = append(sc.nodes, f.ref.N)
-			sc.vals = append(sc.vals, f.a)
-		}
-		e.host.SetLeaves(sc.nodes, sc.vals)
-		for _, f := range sc.setLeaves {
-			if rec != nil {
-				rec = append(rec, replog.Op{Kind: replog.OpSetLeaf, Node: f.ref.N.ID, Value: f.a})
-			}
-			e.stats.done(kSetLeaf)
-			resolved++
-			f.resolve(0, [2]*NodeT{}, nil)
-		}
+		e.phase(phaseSetLeavesIdx)
 	}
 	if len(sc.setOps) > 0 {
-		sc.nodes = sc.nodes[:0]
-		sc.opArgs = sc.opArgs[:0]
-		for _, f := range sc.setOps {
-			sc.nodes = append(sc.nodes, f.ref.N)
-			sc.opArgs = append(sc.opArgs, f.op)
-		}
-		e.host.SetOps(sc.nodes, sc.opArgs)
-		for _, f := range sc.setOps {
-			if rec != nil {
-				rec = append(rec, replog.Op{Kind: replog.OpSetOp, Node: f.ref.N.ID, A: f.op.A, B: f.op.B, C: f.op.C})
-			}
-			e.stats.done(kSetOp)
-			resolved++
-			f.resolve(0, [2]*NodeT{}, nil)
-		}
+		e.phase(phaseSetOpsIdx)
 	}
-	// A mutating wave advances the applied sequence (whether or not a tap
-	// is attached — the sequence is the tree state's log position) and, if
-	// tapped, emits its sealed change record. This happens before the
-	// wave's read batch and before the executor moves on, so a later
-	// barrier (snapshots run as barriers) always observes a log position
-	// consistent with the tree it reads.
-	if mutating > 0 {
-		seq := e.appliedSeq.Add(1)
-		if rec != nil {
-			w := replog.Wave{Seq: seq, Ops: rec, Root: e.host.Root()}
-			w.Seal()
-			(*tap)(w)
-		}
+	if sc.mutating > 0 {
+		e.phase(phaseSealWaveIdx)
 	}
-
 	if len(sc.values) > 0 {
-		sc.nodes = sc.nodes[:0]
-		for _, f := range sc.values {
-			if f.kind == kValue {
-				sc.nodes = append(sc.nodes, f.ref.N)
-			}
+		e.phase(phaseValuesIdx)
+	}
+	e.joinWave()
+}
+
+// laneMinWave is the wave size below which phases run inline even with a
+// pool configured: the lane hop costs a couple of goroutine switches,
+// worthwhile only when the wave's sub-batches amortize it.
+const laneMinWave = 16
+
+// Wave phase indices into Engine.phaseFns/laneFns (barrier phases are
+// dispatched directly, not through the table).
+const (
+	phaseGrowsIdx = iota
+	phaseCollapsesIdx
+	phaseSetLeavesIdx
+	phaseSetOpsIdx
+	phaseSealWaveIdx
+	phaseValuesIdx
+	numPhases
+)
+
+// phase runs one wave phase: inline for small waves or without a pool,
+// or as the next entry of the engine's lane (the lane form skips its
+// body after a panicked phase, so a poisoned wave never executes further
+// host calls). The funcs come from the prebuilt tables — scheduling a
+// wave allocates nothing.
+func (e *Engine) phase(idx int) {
+	if !e.laneWave {
+		e.phaseFns[idx]()
+		return
+	}
+	e.waveWG.Add(1)
+	e.chain.Go(e.laneFns[idx])
+}
+
+// joinWave waits for the wave's task group; afterwards the executor owns
+// the scratch state again.
+func (e *Engine) joinWave() {
+	if e.laneWave {
+		e.waveWG.Wait()
+	}
+	if e.wavePanicked {
+		v := e.wavePanicVal
+		e.wavePanicked, e.wavePanicVal = false, nil
+		panic(v)
+	}
+}
+
+// setKind labels the host machine's next steps with the sub-batch kind
+// (per-kind adaptive grain); a no-op for hosts without the capability.
+func (e *Engine) setKind(k pram.StepKind) {
+	if e.kinder != nil {
+		e.kinder.SetStepKind(k)
+	}
+}
+
+func (e *Engine) phaseBarrier() {
+	f := e.sc.order[0]
+	e.setKind(pram.KindDefault)
+	f.fn(e.host)
+	e.stats.done(kBarrier)
+	e.sc.resolved++
+	f.seq = e.appliedSeq.Load()
+	f.resolve(0, [2]*NodeT{}, nil)
+}
+
+func (e *Engine) phaseGrows() {
+	sc := &e.sc
+	e.setKind(pram.KindGrow)
+	sc.growOps = sc.growOps[:0]
+	for _, f := range sc.grows {
+		sc.growOps = append(sc.growOps, GrowOp{Leaf: f.ref.N, Op: f.op, LeftVal: f.a, RightVal: f.b})
+	}
+	pairs := e.host.GrowBatch(sc.growOps)
+	for i, f := range sc.grows {
+		if sc.rec != nil {
+			sc.rec = append(sc.rec, replog.Op{
+				Kind: replog.OpGrow, Node: f.ref.N.ID,
+				A: f.op.A, B: f.op.B, C: f.op.C,
+				Left: f.a, Right: f.b,
+				LeftID: pairs[i][0].ID, RightID: pairs[i][1].ID,
+			})
 		}
-		var vals []int64
-		if len(sc.nodes) > 0 {
-			vals = e.host.Values(sc.nodes)
+		e.stats.done(kGrow)
+		sc.resolved++
+		f.resolve(0, pairs[i], nil)
+	}
+}
+
+func (e *Engine) phaseCollapses() {
+	sc := &e.sc
+	e.setKind(pram.KindCollapse)
+	sc.colOps = sc.colOps[:0]
+	for _, f := range sc.collapses {
+		sc.colOps = append(sc.colOps, CollapseOp{Node: f.ref.N, NewValue: f.a})
+	}
+	e.host.CollapseBatch(sc.colOps)
+	for _, f := range sc.collapses {
+		if sc.rec != nil {
+			sc.rec = append(sc.rec, replog.Op{Kind: replog.OpCollapse, Node: f.ref.N.ID, Value: f.a})
 		}
-		// Read futures carry the applied-wave sequence they observed: the
-		// wave's own mutations already advanced it above, so the stamp names
-		// exactly the tree version the values come from (Future.ValueSeq).
-		seq := e.appliedSeq.Load()
-		i := 0
-		for _, f := range sc.values {
-			f.seq = seq
-			if f.kind == kValue {
-				e.stats.done(kValue)
-				resolved++
-				f.resolve(vals[i], [2]*NodeT{}, nil)
-				i++
-			} else {
-				e.stats.done(kRoot)
-				root := e.host.Root()
-				resolved++
-				f.resolve(root, [2]*NodeT{}, nil)
-			}
+		e.stats.done(kCollapse)
+		sc.resolved++
+		f.resolve(0, [2]*NodeT{}, nil)
+	}
+}
+
+func (e *Engine) phaseSetLeaves() {
+	sc := &e.sc
+	e.setKind(pram.KindSet)
+	sc.nodes = sc.nodes[:0]
+	sc.vals = sc.vals[:0]
+	for _, f := range sc.setLeaves {
+		sc.nodes = append(sc.nodes, f.ref.N)
+		sc.vals = append(sc.vals, f.a)
+	}
+	e.host.SetLeaves(sc.nodes, sc.vals)
+	for _, f := range sc.setLeaves {
+		if sc.rec != nil {
+			sc.rec = append(sc.rec, replog.Op{Kind: replog.OpSetLeaf, Node: f.ref.N.ID, Value: f.a})
+		}
+		e.stats.done(kSetLeaf)
+		sc.resolved++
+		f.resolve(0, [2]*NodeT{}, nil)
+	}
+}
+
+func (e *Engine) phaseSetOps() {
+	sc := &e.sc
+	e.setKind(pram.KindSet)
+	sc.nodes = sc.nodes[:0]
+	sc.opArgs = sc.opArgs[:0]
+	for _, f := range sc.setOps {
+		sc.nodes = append(sc.nodes, f.ref.N)
+		sc.opArgs = append(sc.opArgs, f.op)
+	}
+	e.host.SetOps(sc.nodes, sc.opArgs)
+	for _, f := range sc.setOps {
+		if sc.rec != nil {
+			sc.rec = append(sc.rec, replog.Op{Kind: replog.OpSetOp, Node: f.ref.N.ID, A: f.op.A, B: f.op.B, C: f.op.C})
+		}
+		e.stats.done(kSetOp)
+		sc.resolved++
+		f.resolve(0, [2]*NodeT{}, nil)
+	}
+}
+
+// phaseSealWave advances the applied sequence for a mutating wave
+// (whether or not a tap is attached — the sequence is the tree state's
+// log position) and, if tapped, emits the sealed change record. It runs
+// before the wave's read phase and before the executor moves on, so a
+// later barrier (snapshots run as barriers) always observes a log
+// position consistent with the tree it reads.
+func (e *Engine) phaseSealWave() {
+	seq := e.appliedSeq.Add(1)
+	if e.sc.rec != nil {
+		w := replog.Wave{Seq: seq, Ops: e.sc.rec, Root: e.host.Root()}
+		w.Seal()
+		(*e.sc.tap)(w)
+	}
+}
+
+func (e *Engine) phaseValues() {
+	sc := &e.sc
+	e.setKind(pram.KindValue)
+	sc.nodes = sc.nodes[:0]
+	for _, f := range sc.values {
+		if f.kind == kValue {
+			sc.nodes = append(sc.nodes, f.ref.N)
+		}
+	}
+	var vals []int64
+	if len(sc.nodes) > 0 {
+		vals = e.host.Values(sc.nodes)
+	}
+	// Read futures carry the applied-wave sequence they observed: the
+	// wave's own mutations already advanced it above, so the stamp names
+	// exactly the tree version the values come from (Future.ValueSeq).
+	seq := e.appliedSeq.Load()
+	i := 0
+	for _, f := range sc.values {
+		f.seq = seq
+		if f.kind == kValue {
+			e.stats.done(kValue)
+			sc.resolved++
+			f.resolve(vals[i], [2]*NodeT{}, nil)
+			i++
+		} else {
+			e.stats.done(kRoot)
+			root := e.host.Root()
+			sc.resolved++
+			f.resolve(root, [2]*NodeT{}, nil)
 		}
 	}
 }

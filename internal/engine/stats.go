@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dyntc/internal/pram"
 )
 
 // latWindow is the number of recent flush latencies retained for the
@@ -16,20 +18,22 @@ const latWindow = 256
 // flush-latency window is a small mutex-guarded ring (one executor write
 // per flush, rare reader).
 type statsRec struct {
-	requests  atomic.Uint64
-	flushes   atomic.Uint64
-	waves     atomic.Uint64
-	errors    atomic.Uint64
-	dropped   atomic.Uint64
-	shedded   atomic.Uint64
-	maxFlush  atomic.Int64
-	grows     atomic.Uint64
-	collapses atomic.Uint64
-	setLeaves atomic.Uint64
-	setOps    atomic.Uint64
-	values    atomic.Uint64
-	roots     atomic.Uint64
-	barriers  atomic.Uint64
+	requests     atomic.Uint64
+	flushes      atomic.Uint64
+	waves        atomic.Uint64
+	errors       atomic.Uint64
+	dropped      atomic.Uint64
+	shedded      atomic.Uint64
+	maxFlush     atomic.Int64
+	batchGrows   atomic.Uint64
+	batchShrinks atomic.Uint64
+	grows        atomic.Uint64
+	collapses    atomic.Uint64
+	setLeaves    atomic.Uint64
+	setOps       atomic.Uint64
+	values       atomic.Uint64
+	roots        atomic.Uint64
+	barriers     atomic.Uint64
 
 	latMu sync.Mutex
 	lat   [latWindow]int64 // recent flush durations, nanoseconds
@@ -118,6 +122,20 @@ type Stats struct {
 	MaxFlush int64  `json:"max_flush"` // largest flush seen
 	Workers  int    `json:"workers"`   // configured PRAM worker parallelism (0 = host default)
 
+	// Adaptive batching: the current flush cap (starts at Options.MaxBatch,
+	// grows while flushes saturate) and how often it moved.
+	CurMaxBatch  int64  `json:"cur_max_batch"`
+	BatchGrows   uint64 `json:"batch_grows"`
+	BatchShrinks uint64 `json:"batch_shrinks"`
+
+	// SharedPool reports whether waves execute on the shared runtime
+	// scheduler (Options.Pool) instead of inline on the executor.
+	SharedPool bool `json:"shared_pool"`
+
+	// Grain is the host machine's current sequential threshold per batch
+	// kind (adaptive unless pinned; zero when the host does not report it).
+	Grain GrainStats `json:"grain"`
+
 	// Backpressure visibility: the submit queue's instantaneous depth and
 	// the executor's recent flush latency distribution.
 	QueueDepth int     `json:"queue_depth"`
@@ -137,6 +155,35 @@ type Stats struct {
 	Values    uint64 `json:"values"`
 	Roots     uint64 `json:"roots"`
 	Barriers  uint64 `json:"barriers"`
+}
+
+// GrainStats is the host machine's current per-kind sequential threshold
+// (see pram.StepKind): how many processors a step needs before it leaves
+// the calling goroutine for the shared pool, tuned from measured cost.
+type GrainStats struct {
+	Default  int `json:"default"`
+	Grow     int `json:"grow"`
+	Collapse int `json:"collapse"`
+	Set      int `json:"set"`
+	Value    int `json:"value"`
+}
+
+func (g *GrainStats) maxWith(other GrainStats) {
+	if other.Default > g.Default {
+		g.Default = other.Default
+	}
+	if other.Grow > g.Grow {
+		g.Grow = other.Grow
+	}
+	if other.Collapse > g.Collapse {
+		g.Collapse = other.Collapse
+	}
+	if other.Set > g.Set {
+		g.Set = other.Set
+	}
+	if other.Value > g.Value {
+		g.Value = other.Value
+	}
 }
 
 // MeanFlush is the mean executed batch size: requests per flush. Under
@@ -181,6 +228,13 @@ func (s *Stats) Add(other Stats) {
 	if other.Workers > s.Workers {
 		s.Workers = other.Workers
 	}
+	if other.CurMaxBatch > s.CurMaxBatch {
+		s.CurMaxBatch = other.CurMaxBatch
+	}
+	s.BatchGrows += other.BatchGrows
+	s.BatchShrinks += other.BatchShrinks
+	s.SharedPool = s.SharedPool || other.SharedPool
+	s.Grain.maxWith(other.Grain)
 	s.Grows += other.Grows
 	s.Collapses += other.Collapses
 	s.SetLeaves += other.SetLeaves
@@ -193,26 +247,41 @@ func (s *Stats) Add(other Stats) {
 // Stats returns a point-in-time snapshot.
 func (e *Engine) Stats() Stats {
 	p50, p99 := e.stats.latencies()
-	return Stats{
-		Requests:   e.stats.requests.Load(),
-		Flushes:    e.stats.flushes.Load(),
-		Waves:      e.stats.waves.Load(),
-		Errors:     e.stats.errors.Load(),
-		Dropped:    e.stats.dropped.Load(),
-		Shed:       e.stats.shedded.Load(),
-		MaxFlush:   e.stats.maxFlush.Load(),
-		Workers:    e.opts.Workers,
-		QueueDepth: len(e.ch),
-		QueueCap:   e.opts.Queue,
-		FlushP50US: p50,
-		FlushP99US: p99,
-		AppliedSeq: e.appliedSeq.Load(),
-		Grows:      e.stats.grows.Load(),
-		Collapses:  e.stats.collapses.Load(),
-		SetLeaves:  e.stats.setLeaves.Load(),
-		SetOps:     e.stats.setOps.Load(),
-		Values:     e.stats.values.Load(),
-		Roots:      e.stats.roots.Load(),
-		Barriers:   e.stats.barriers.Load(),
+	s := Stats{
+		Requests:     e.stats.requests.Load(),
+		Flushes:      e.stats.flushes.Load(),
+		Waves:        e.stats.waves.Load(),
+		Errors:       e.stats.errors.Load(),
+		Dropped:      e.stats.dropped.Load(),
+		Shed:         e.stats.shedded.Load(),
+		MaxFlush:     e.stats.maxFlush.Load(),
+		Workers:      e.opts.Workers,
+		CurMaxBatch:  e.curMax.Load(),
+		BatchGrows:   e.stats.batchGrows.Load(),
+		BatchShrinks: e.stats.batchShrinks.Load(),
+		SharedPool:   e.opts.Pool != nil,
+		QueueDepth:   len(e.ch),
+		QueueCap:     e.opts.Queue,
+		FlushP50US:   p50,
+		FlushP99US:   p99,
+		AppliedSeq:   e.appliedSeq.Load(),
+		Grows:        e.stats.grows.Load(),
+		Collapses:    e.stats.collapses.Load(),
+		SetLeaves:    e.stats.setLeaves.Load(),
+		SetOps:       e.stats.setOps.Load(),
+		Values:       e.stats.values.Load(),
+		Roots:        e.stats.roots.Load(),
+		Barriers:     e.stats.barriers.Load(),
 	}
+	if e.grainer != nil {
+		g := e.grainer.StepGrains()
+		s.Grain = GrainStats{
+			Default:  g[pram.KindDefault],
+			Grow:     g[pram.KindGrow],
+			Collapse: g[pram.KindCollapse],
+			Set:      g[pram.KindSet],
+			Value:    g[pram.KindValue],
+		}
+	}
+	return s
 }

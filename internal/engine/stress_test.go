@@ -235,6 +235,19 @@ func TestStressOracleWorkers4(t *testing.T) {
 	runStress(t, 8, 200, dyntc.BatchOptions{Workers: 4}, dyntc.WithGrain(8))
 }
 
+// TestStressOracleSharedPool4Workers runs the oracle with the full
+// shared-scheduler stack: wave sub-batches scheduled as task groups on a
+// 4-worker pool and the machine's steps chunked onto the same workers.
+// Under -race this drives lane scheduling, chunk claiming and stealing
+// against the whole engine; the sequential replay proves shared-pool
+// execution changes no result.
+func TestStressOracleSharedPool4Workers(t *testing.T) {
+	pool := dyntc.NewSchedPool(4)
+	defer pool.Close()
+	runStress(t, 8, 200, dyntc.BatchOptions{Workers: 4, Pool: pool},
+		dyntc.WithGrain(8), dyntc.WithPool(pool))
+}
+
 func TestStressOracleManyClients(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

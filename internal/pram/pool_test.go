@@ -1,56 +1,58 @@
 package pram
 
-// Tests for the persistent worker pool: steps must not spawn goroutines or
-// allocate, metering must be bit-for-bit identical to the sequential
-// machine, and a panicking body must leave the Machine (and its pool)
-// reusable. Run with -race: the chunk-claiming barrier is exactly the kind
-// of code the race detector exists for.
+// Tests for pool-backed step execution: steps must not spawn goroutines
+// or allocate, metering must be bit-for-bit identical to the sequential
+// machine, and a panicking body must leave the Machine (and the shared
+// scheduler pool) reusable. Run with -race: the chunk-claiming steal path
+// is exactly the kind of code the race detector exists for.
+//
+// Machines here run on dedicated sched pools (NewOnPool) so goroutine
+// accounting is exact; the leak checks use the schedtest helper shared
+// with the scheduler's own tests instead of racing asynchronous worker
+// exits against a tolerance.
 
 import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"dyntc/internal/sched"
+	"dyntc/internal/sched/schedtest"
 )
 
-// parallelTestMachine returns a machine whose pool engages on small steps.
-func parallelTestMachine(workers int) *Machine {
-	m := New(workers)
+// parallelTestMachine returns a machine on its own pool whose parallel
+// path engages on small steps. Close the returned pool when done.
+func parallelTestMachine(workers int) (*Machine, *sched.Pool) {
+	p := sched.NewPool(workers)
+	m := NewOnPool(p, workers)
 	m.SetGrain(8)
-	return m
+	return m, p
 }
 
 func TestPoolNoGoroutineSpawnPerStep(t *testing.T) {
-	m := parallelTestMachine(4)
-	defer m.Release()
+	m, p := parallelTestMachine(4)
+	defer p.Close()
 	var sink atomic.Int64
 	body := func(i int) { sink.Add(int64(i)) }
 
-	m.Step(1000, body) // warm-up: spawns the pool
-	before := runtime.NumGoroutine()
+	m.Step(1000, body) // warm-up
+	before := schedtest.StableGoroutines()
 	for k := 0; k < 200; k++ {
 		m.Step(1000, body)
 	}
-	// Growth is the bug; a transient decrease just means another test's
-	// released workers finished exiting. Settle before judging.
-	after := runtime.NumGoroutine()
-	for i := 0; i < 100 && after > before; i++ {
-		runtime.Gosched()
-		after = runtime.NumGoroutine()
-	}
-	if after > before {
-		t.Fatalf("goroutines grew from %d to %d across 200 parallel steps", before, after)
-	}
+	schedtest.WaitForGoroutines(t, before)
 
 	allocs := testing.AllocsPerRun(100, func() { m.Step(1000, body) })
-	if allocs != 0 {
-		t.Fatalf("parallel Step allocates %.1f objects/op, want 0", allocs)
+	if allocs > 0.5 {
+		t.Fatalf("parallel Step allocates %.2f objects/op, want ~0", allocs)
 	}
 }
 
 func TestPoolExecutesEveryIndexOnceSmallGrain(t *testing.T) {
 	for _, workers := range []int{2, 3, 4, 8} {
-		m := parallelTestMachine(workers)
+		m, p := parallelTestMachine(workers)
 		for _, n := range []int{8, 9, 17, 100, 1001, 4096} {
 			counts := make([]int32, n)
 			m.Step(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
@@ -60,14 +62,14 @@ func TestPoolExecutesEveryIndexOnceSmallGrain(t *testing.T) {
 				}
 			}
 		}
-		m.Release()
+		p.Close()
 	}
 }
 
 func TestPoolMetricsIdenticalToSequential(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		seq := Sequential()
-		par := parallelTestMachine(4)
+		par, p := parallelTestMachine(4)
 		x := seed
 		ns := make([]int, 50)
 		for k := range ns {
@@ -87,15 +89,64 @@ func TestPoolMetricsIdenticalToSequential(t *testing.T) {
 		if a.Load() != b.Load() {
 			t.Fatalf("seed %d: executed %d vs %d bodies", seed, a.Load(), b.Load())
 		}
-		par.Release()
+		p.Close()
+	}
+}
+
+// TestAdaptiveGrainMetricsIdentical pins that adaptive grain tuning (the
+// default for New machines) changes scheduling only, never metering.
+func TestAdaptiveGrainMetricsIdentical(t *testing.T) {
+	seq := Sequential()
+	ad := New(4) // adaptive grain, shared default pool
+	for _, kind := range []StepKind{KindDefault, KindGrow, KindSet, KindValue} {
+		ad.SetKind(kind)
+		for k := 0; k < 30; k++ {
+			n := 100 + 977*k%4000
+			seq.Step(n, func(i int) {})
+			ad.Step(n, func(i int) { time.Sleep(0) })
+		}
+	}
+	if seq.Metrics() != ad.Metrics() {
+		t.Fatalf("adaptive machine metered %+v, sequential %+v", ad.Metrics(), seq.Metrics())
+	}
+}
+
+// TestAdaptiveGrainTracksCost checks the tuner moves the threshold in the
+// right direction: expensive bodies shrink the grain, cheap ones grow it,
+// and kinds tune independently.
+func TestAdaptiveGrainTracksCost(t *testing.T) {
+	m := New(2)
+	m.SetKind(KindGrow)
+	for k := 0; k < 30; k++ {
+		m.Step(512, func(i int) { // expensive body: ~µs each
+			busy := time.Now()
+			for time.Since(busy) < time.Microsecond {
+			}
+		})
+	}
+	m.SetKind(KindValue)
+	var sink atomic.Int64
+	for k := 0; k < 200; k++ {
+		m.Step(100_000, func(i int) { sink.Add(1) }) // cheap body
+	}
+	g := m.Grains()
+	if g[KindGrow] >= g[KindValue] {
+		t.Fatalf("grain(grow expensive)=%d should be below grain(value cheap)=%d", g[KindGrow], g[KindValue])
+	}
+	if g[KindGrow] < tuneMinGrain || g[KindValue] > tuneMaxGrain {
+		t.Fatalf("grains out of clamp range: %v", g)
+	}
+	// KindCollapse never ran: still at the starting default.
+	if g[KindCollapse] != defaultGrain {
+		t.Fatalf("untrained kind grain = %d, want default %d", g[KindCollapse], defaultGrain)
 	}
 }
 
 func TestPoolPanicRecoveryAndReuse(t *testing.T) {
-	m := parallelTestMachine(4)
-	defer m.Release()
-	m.Step(1000, func(i int) {}) // warm the pool
-	goroutines := runtime.NumGoroutine()
+	m, p := parallelTestMachine(4)
+	defer p.Close()
+	m.Step(1000, func(i int) {}) // warm up
+	goroutines := schedtest.StableGoroutines()
 
 	func() {
 		defer func() {
@@ -124,21 +175,12 @@ func TestPoolPanicRecoveryAndReuse(t *testing.T) {
 	if ran.Load() != 2000 {
 		t.Fatalf("step after panic ran %d bodies, want 2000", ran.Load())
 	}
-	// No worker may leak from the panic; transient decreases (other tests'
-	// workers finishing their exit) are fine.
-	now := runtime.NumGoroutine()
-	for i := 0; i < 100 && now > goroutines; i++ {
-		runtime.Gosched()
-		now = runtime.NumGoroutine()
-	}
-	if now > goroutines {
-		t.Fatalf("goroutines %d -> %d after panic recovery", goroutines, now)
-	}
+	schedtest.WaitForGoroutines(t, goroutines)
 }
 
 func TestMachineReuseAfterReset(t *testing.T) {
-	m := parallelTestMachine(4)
-	defer m.Release()
+	m, p := parallelTestMachine(4)
+	defer p.Close()
 	var sum atomic.Int64
 	m.Step(500, func(i int) { sum.Add(int64(i)) })
 	first := m.Metrics()
@@ -176,35 +218,36 @@ func TestSetWorkersReconfigures(t *testing.T) {
 	if s.Workers() != 4 {
 		t.Fatalf("sequential upgrade: Workers() = %d", s.Workers())
 	}
-	m.Release()
-	s.Release()
 }
 
-func TestReleaseReclaimsWorkers(t *testing.T) {
-	before := runtime.NumGoroutine()
-	m := parallelTestMachine(4)
-	m.Step(1000, func(i int) {})
-	m.Release()
-	// Workers exit asynchronously; give the scheduler a few yields.
-	for i := 0; i < 100; i++ {
-		if runtime.NumGoroutine() <= before {
-			break
+// TestSharedPoolAcrossMachines is the architectural point of the
+// refactor: many machines share one pool, so total goroutines track the
+// pool size, not the machine count.
+func TestSharedPoolAcrossMachines(t *testing.T) {
+	base := schedtest.StableGoroutines()
+	p := sched.NewPool(4)
+	machines := make([]*Machine, 64)
+	for i := range machines {
+		machines[i] = NewOnPool(p, 4)
+		machines[i].SetGrain(8)
+	}
+	var total atomic.Int64
+	for round := 0; round < 5; round++ {
+		for _, m := range machines {
+			m.Step(500, func(i int) { total.Add(1) })
 		}
-		runtime.Gosched()
 	}
-	if now := runtime.NumGoroutine(); now > before {
-		t.Fatalf("goroutines %d -> %d after Release", before, now)
+	if total.Load() != 64*5*500 {
+		t.Fatalf("ran %d bodies, want %d", total.Load(), 64*5*500)
 	}
-	// Released machines restart on demand.
-	var n atomic.Int64
-	m.Step(1000, func(i int) { n.Add(1) })
-	if n.Load() != 1000 {
-		t.Fatalf("step after Release ran %d bodies", n.Load())
+	if now := runtime.NumGoroutine(); now > base+6 {
+		t.Fatalf("64 machines grew goroutines %d -> %d; pool should cap at 4 workers", base, now)
 	}
-	m.Release()
+	p.Close()
+	schedtest.WaitForGoroutines(t, base)
 }
 
-// BenchmarkStep sweeps the worker count: on a multi-core host wall-clock
+// BenchmarkStep sweeps the worker hint: on a multi-core host wall-clock
 // drops with workers while the metered cost stays constant; on any host it
 // demonstrates the dispatch path is allocation-free.
 func BenchmarkStep(b *testing.B) {
@@ -217,7 +260,6 @@ func BenchmarkStep(b *testing.B) {
 	for _, w := range workerCounts {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			m := New(w)
-			defer m.Release()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				m.Step(n, func(j int) { data[j]++ })

@@ -11,24 +11,39 @@
 //   - Work     — total processor-steps (sum of active processors per step),
 //   - MaxProcs — the largest number of processors active in any one step.
 //
-// Steps may optionally execute on a pool of goroutines. The pool is
-// persistent: workers are created once (lazily, on the first step large
-// enough to go parallel) and parked between steps, so a step dispatch is a
-// handful of channel operations and atomic adds — no goroutine spawn, no
-// WaitGroup, no allocation. Work is distributed by atomic chunk claiming
-// with an adaptive grain, so uneven bodies load-balance across workers.
-// On a single-core host execution degrades to sequential but the metered
-// quantities are identical, which is what the experiments report.
+// Steps large enough to go parallel execute on the shared work-stealing
+// scheduler (internal/sched): a Machine is a thin façade that submits
+// grain-sized chunks of each round to one process-wide pool, so a forest
+// of machines shares a fixed worker set instead of spawning a pool per
+// tree. Workers() and the grain are per-machine *hints* — they cap how
+// many pool workers one machine's round may recruit and where it switches
+// to inline execution — not dedicated goroutines. The calling goroutine
+// always participates in its own round, so a round makes progress even on
+// a saturated pool and nested rounds cannot deadlock.
+//
+// The grain adapts: unless pinned with SetGrain, the machine keeps an
+// EWMA of measured per-element step cost — separately per step kind (see
+// SetKind; engines label waves grow/collapse/set/value) — and sizes the
+// sequential threshold and chunk so a chunk costs on the order of tens of
+// microseconds, amortizing dispatch for cheap bodies and exposing
+// parallelism for expensive ones.
+//
+// Metering is purely a function of the Step/Charge sequence: a Machine
+// with any worker hint, grain or pool charges exactly the same Steps,
+// Work and MaxProcs as Sequential() for the same computation. Only
+// wall-clock differs — which is what the experiments report.
 //
 // Concurrent-write (CRCW) semantics inside a step are expressed with the
 // atomic helpers in this package (arbitrary-winner test-and-set, priority
-// max-combine) so that goroutine execution stays race-free.
+// max-combine) so that pool execution stays race-free.
 package pram
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
+	"time"
+
+	"dyntc/internal/sched"
 )
 
 // Metrics accumulates the PRAM cost of a computation.
@@ -47,34 +62,103 @@ func (m *Metrics) Add(other Metrics) {
 	}
 }
 
+// StepKind labels a parallel step with the batch kind that issued it, so
+// the adaptive grain is tuned per (machine, kind): a grow wave's
+// resimulation bodies and a value wave's replay bodies cost very
+// different nanoseconds per element, and one shared threshold would
+// mis-size both.
+type StepKind uint8
+
+// Step kinds. Engines set these around each wave sub-batch; direct
+// library use stays on KindDefault.
+const (
+	KindDefault StepKind = iota
+	KindGrow
+	KindCollapse
+	KindSet
+	KindValue
+	NumStepKinds = 5
+)
+
 // Machine executes metered parallel steps. The zero value is a sequential
-// machine; use New to pick the number of workers. Machine is not safe for
+// machine; use New to pick the parallelism hint. Machine is not safe for
 // concurrent use by multiple goroutines (each logical computation should
-// own one Machine).
-//
-// Metering is purely a function of the Step/Charge sequence: a Machine
-// with any worker count charges exactly the same Steps, Work and MaxProcs
-// as Sequential() for the same computation. Only wall-clock differs.
+// own one Machine), but any number of Machines share one scheduler pool.
 type Machine struct {
 	workers int
 	metrics Metrics
 	// grain is the sequential threshold: steps smaller than grain run
 	// inline on the calling goroutine to avoid dispatch overhead. It also
-	// sets the minimum chunk size (grain/2) for adaptive chunking.
-	grain int
-	// pool holds the persistent workers; nil until the first parallel
-	// step (machines that never cross the grain threshold never spawn).
-	pool *pool
+	// sets the minimum chunk size (grain/2) for chunk claiming. When
+	// pinned (SetGrain / Sequential) it is static; otherwise the tuner
+	// adapts it per step kind from measured cost.
+	grain  int
+	pinned bool
+	// pool is the scheduler the machine submits chunks to; nil selects
+	// the process-wide sched.Default() at the first parallel step.
+	pool *sched.Pool
+	kind StepKind
+	tune grainTuner
 }
 
-// defaultGrain is the parallel threshold for New: below this many
-// processors a round is cheaper to run inline than to dispatch.
+// defaultGrain is the starting parallel threshold: below this many
+// processors a round is assumed cheaper to run inline than to dispatch,
+// until measured cost says otherwise.
 const defaultGrain = 1024
 
-// New returns a Machine with the given goroutine parallelism. workers <= 0
-// selects GOMAXPROCS. Workers are started lazily and parked between steps;
-// they are reclaimed when the Machine is garbage collected or explicitly
-// via Release.
+// Adaptive-grain tuning constants: a chunk should cost aboutTargetNs so
+// dispatch (a few hundred nanoseconds per chunk) stays amortized without
+// starving the pool of parallelism.
+const (
+	tuneTargetNs = 50_000 // aim: one grain of work ≈ 50µs sequential
+	tuneMinGrain = 64
+	tuneMaxGrain = 1 << 20
+	tuneMinStep  = 64 // don't pay two clock reads on trivial rounds
+)
+
+// grainTuner keeps a per-kind EWMA of measured per-element cost and the
+// grain derived from it. The EWMA is only touched by the machine's
+// execution context; the derived grains are atomics so stats snapshots
+// may read them from any goroutine.
+type grainTuner struct {
+	ewma  [NumStepKinds]float64 // ns per element; 0 = no sample yet
+	grain [NumStepKinds]atomic.Int32
+}
+
+// observe folds one measured step into the kind's EWMA and re-derives
+// its grain. Wall-clock per element is used as the cost estimate for
+// both inline steps (exact) and pool steps — for a well-parallelized
+// round it UNDERestimates the sequential per-element cost by up to the
+// participant count, which makes the derived grain larger, i.e. biases
+// toward inline execution: the safe direction (a busy pool, where the
+// caller did most of the round itself, measures close to the true cost
+// and is not pushed toward even more dispatch).
+func (g *grainTuner) observe(kind StepKind, n int, elapsed time.Duration) {
+	perElem := float64(elapsed) / float64(n)
+	if perElem <= 0 {
+		// A coarse clock can measure a cheap step as zero; folding that in
+		// would zero the EWMA and overflow the grain division below.
+		return
+	}
+	if cur := g.ewma[kind]; cur == 0 {
+		g.ewma[kind] = perElem
+	} else {
+		g.ewma[kind] = 0.8*cur + 0.2*perElem
+	}
+	grain := int32(tuneTargetNs / g.ewma[kind])
+	if grain < tuneMinGrain {
+		grain = tuneMinGrain
+	}
+	if grain > tuneMaxGrain {
+		grain = tuneMaxGrain
+	}
+	g.grain[kind].Store(grain)
+}
+
+// New returns a Machine with the given parallelism hint. workers <= 0
+// selects GOMAXPROCS. Rounds execute on the shared scheduler pool
+// (sched.Default() unless SetPool chooses another); the hint caps how
+// many of its workers one round recruits.
 func New(workers int) *Machine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -82,11 +166,20 @@ func New(workers int) *Machine {
 	return &Machine{workers: workers, grain: defaultGrain}
 }
 
+// NewOnPool returns a Machine that submits its rounds to the given pool
+// (useful for dedicated pools in tests and benchmarks; nil means the
+// shared default).
+func NewOnPool(p *sched.Pool, workers int) *Machine {
+	m := New(workers)
+	m.pool = p
+	return m
+}
+
 // Sequential returns a single-worker machine. Metering is identical to a
 // parallel machine; only wall-clock execution differs.
-func Sequential() *Machine { return &Machine{workers: 1, grain: 1 << 30} }
+func Sequential() *Machine { return &Machine{workers: 1, grain: 1 << 30, pinned: true} }
 
-// Workers returns the configured goroutine parallelism.
+// Workers returns the machine's parallelism hint.
 func (m *Machine) Workers() int {
 	if m.workers <= 0 {
 		return 1
@@ -94,9 +187,8 @@ func (m *Machine) Workers() int {
 	return m.workers
 }
 
-// SetWorkers reconfigures the goroutine parallelism (w <= 0 selects
-// GOMAXPROCS). An existing pool is released; the next parallel step starts
-// a fresh one. Metering is unaffected. Not safe concurrently with Step.
+// SetWorkers reconfigures the parallelism hint (w <= 0 selects
+// GOMAXPROCS). Metering is unaffected. Not safe concurrently with Step.
 func (m *Machine) SetWorkers(w int) {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -104,44 +196,73 @@ func (m *Machine) SetWorkers(w int) {
 	if w == m.workers {
 		return
 	}
-	m.release()
 	m.workers = w
 	if m.grain >= 1<<30 && w > 1 {
 		// A Sequential() machine being upgraded: give it the real
-		// threshold so parallelism can actually engage.
+		// threshold so parallelism can actually engage, and let it adapt.
 		m.grain = defaultGrain
+		m.pinned = false
 	}
 }
 
-// SetGrain sets the sequential threshold: steps with fewer than g
-// processors run inline on the calling goroutine. Lower values exercise
-// the pool on smaller rounds (more dispatch overhead, more parallelism);
-// the default of 1024 suits bodies that are a few dozen nanoseconds each.
-// Metering is unaffected. Not safe concurrently with Step.
+// SetPool directs the machine's rounds to p (nil restores the shared
+// default pool). Not safe concurrently with Step.
+func (m *Machine) SetPool(p *sched.Pool) { m.pool = p }
+
+// SetGrain pins the sequential threshold: steps with fewer than g
+// processors run inline on the calling goroutine, and adaptive tuning is
+// disabled. Lower values exercise the pool on smaller rounds (more
+// dispatch overhead, more parallelism). Metering is unaffected. Not safe
+// concurrently with Step.
 func (m *Machine) SetGrain(g int) {
 	if g < 1 {
 		g = 1
 	}
 	m.grain = g
+	m.pinned = true
 }
 
-// Release parks the Machine's worker pool permanently, reclaiming its
-// goroutines. The Machine remains usable: a later parallel step starts a
-// fresh pool. Unreleased machines are reclaimed by the garbage collector.
-func (m *Machine) Release() { m.release() }
-
-func (m *Machine) release() {
-	if m.pool != nil {
-		m.pool.shutdown()
-		m.pool = nil
+// SetKind labels subsequent steps with the issuing batch kind, selecting
+// which adaptive-grain estimate they use and train. Engines bracket each
+// wave sub-batch with this; plain library use may ignore it.
+func (m *Machine) SetKind(k StepKind) {
+	if k < NumStepKinds {
+		m.kind = k
 	}
 }
+
+// Grains reports the current sequential threshold per step kind: the
+// pinned grain everywhere when SetGrain was used, otherwise each kind's
+// adapted value (the starting default until that kind has a sample).
+// Safe to call from any goroutine.
+func (m *Machine) Grains() [NumStepKinds]int {
+	var out [NumStepKinds]int
+	for k := range out {
+		out[k] = m.grainFor(StepKind(k))
+	}
+	return out
+}
+
+// grainFor returns the active sequential threshold for kind.
+func (m *Machine) grainFor(kind StepKind) int {
+	if m.pinned {
+		return m.grain
+	}
+	if g := m.tune.grain[kind].Load(); g > 0 {
+		return int(g)
+	}
+	return m.grain
+}
+
+// Release is a no-op kept for API compatibility: machines own no
+// goroutines — workers belong to the shared scheduler pool.
+func (m *Machine) Release() {}
 
 // Metrics returns the accumulated cost so far.
 func (m *Machine) Metrics() Metrics { return m.metrics }
 
-// Reset clears the accumulated metrics. The worker pool (if any) is kept:
-// a Machine is reusable across computations.
+// Reset clears the accumulated metrics. The adaptive-grain estimates are
+// kept: a Machine is reusable across computations.
 func (m *Machine) Reset() { m.metrics = Metrics{} }
 
 // Charge adds a round of n processors to the meters without executing
@@ -173,145 +294,48 @@ func (m *Machine) ChargeSpan(steps, work, procs int64) {
 // round and charges n processors. Bodies must not assume any ordering
 // between indices and must use the CRCW helpers for writes that can race.
 // A panic in any body aborts the round (remaining chunks are skipped) and
-// re-panics on the calling goroutine; the Machine and its pool stay
-// usable.
+// re-panics on the calling goroutine; the Machine and the shared pool
+// stay usable.
 func (m *Machine) Step(n int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
 	m.Charge(n)
-	if m.workers <= 1 || n < m.grain || n < m.workers*2 {
+	kind := m.kind
+	grain := m.grainFor(kind)
+	if m.workers <= 1 || n < grain || n < m.workers*2 {
+		if m.pinned || n < tuneMinStep {
+			for i := 0; i < n; i++ {
+				body(i)
+			}
+			return
+		}
+		start := time.Now()
 		for i := 0; i < n; i++ {
 			body(i)
 		}
+		m.tune.observe(kind, n, time.Since(start))
 		return
 	}
 	if m.pool == nil {
-		m.pool = newPool(m.workers - 1)
-		// Reclaim the workers when the Machine is dropped without an
-		// explicit Release. The cleanup closes over the pool only, so it
-		// does not keep the Machine alive.
-		runtime.AddCleanup(m, func(p *pool) { p.shutdown() }, m.pool)
+		m.pool = sched.Default()
 	}
-	// Adaptive grain: aim for ~4 chunks per participant so uneven bodies
+	// Chunk for ~4 chunks per recruited worker so uneven bodies
 	// load-balance, but never below grain/2 so dispatch stays amortized.
 	chunk := n / (m.workers * 4)
-	if min := m.grain / 2; chunk < min {
+	if min := grain / 2; chunk < min {
 		chunk = min
 	}
 	if chunk < 1 {
 		chunk = 1
 	}
-	m.pool.run(n, chunk, body)
-}
-
-// pool is a persistent team of parked worker goroutines plus a reusable
-// barrier. The dispatching goroutine participates in every round, so a
-// pool of size k serves a machine of k+1 workers.
-type pool struct {
-	size int // parked worker goroutines
-
-	wake chan struct{} // one token per worker per round
-	done chan struct{} // last finisher -> dispatcher, capacity 1
-	stop chan struct{} // closed exactly once by shutdown
-
-	stopOnce sync.Once
-
-	// Round state: written by the dispatcher before the wake tokens are
-	// sent (the channel provides the happens-before edge), reset after
-	// the barrier.
-	n     int
-	chunk int
-	body  func(int)
-
-	next      atomic.Int64 // next unclaimed index
-	remaining atomic.Int32 // participants still running this round
-	aborted   atomic.Bool  // a body panicked: stop claiming chunks
-
-	panicMu  sync.Mutex
-	panicVal any
-	panicked bool
-}
-
-func newPool(size int) *pool {
-	p := &pool{
-		size: size,
-		wake: make(chan struct{}, size),
-		done: make(chan struct{}, 1),
-		stop: make(chan struct{}),
+	if m.pinned {
+		m.pool.ParallelFor(n, chunk, m.workers, body)
+		return
 	}
-	for i := 0; i < size; i++ {
-		go p.worker()
-	}
-	return p
-}
-
-func (p *pool) shutdown() { p.stopOnce.Do(func() { close(p.stop) }) }
-
-func (p *pool) worker() {
-	for {
-		select {
-		case <-p.stop:
-			return
-		case <-p.wake:
-			p.work()
-			if p.remaining.Add(-1) == 0 {
-				p.done <- struct{}{}
-			}
-		}
-	}
-}
-
-// run executes one parallel round on the pool; the caller participates.
-func (p *pool) run(n, chunk int, body func(int)) {
-	p.n, p.chunk, p.body = n, chunk, body
-	p.next.Store(0)
-	p.aborted.Store(false)
-	p.remaining.Store(int32(p.size) + 1)
-	for i := 0; i < p.size; i++ {
-		p.wake <- struct{}{}
-	}
-	p.work()
-	if p.remaining.Add(-1) > 0 {
-		<-p.done
-	}
-	p.body = nil // release the closure between rounds
-	if p.panicked {
-		v := p.panicVal
-		p.panicked, p.panicVal = false, nil
-		panic(v)
-	}
-}
-
-// work claims and executes chunks until the round's index space is
-// exhausted (or a body panics). It never lets a panic escape: the first
-// panic value is recorded for the dispatcher and the round is aborted.
-func (p *pool) work() {
-	defer func() {
-		if r := recover(); r != nil {
-			p.aborted.Store(true)
-			p.panicMu.Lock()
-			if !p.panicked {
-				p.panicked, p.panicVal = true, r
-			}
-			p.panicMu.Unlock()
-		}
-	}()
-	chunk := int64(p.chunk)
-	for !p.aborted.Load() {
-		lo := p.next.Add(chunk) - chunk
-		if lo >= int64(p.n) {
-			return
-		}
-		hi := lo + chunk
-		if hi > int64(p.n) {
-			hi = int64(p.n)
-		}
-		body := p.body
-		for i := int(lo); i < int(hi); i++ {
-			body(i)
-		}
-	}
+	start := time.Now()
+	m.pool.ParallelFor(n, chunk, m.workers, body)
+	m.tune.observe(kind, n, time.Since(start))
 }
 
 // TestAndSet implements an arbitrary-winner CRCW write to a flag: it sets

@@ -3,92 +3,57 @@ package query
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"dyntc/internal/sched"
 )
 
-// Planner owns the persistent scatter-gather worker pool. One planner
-// serves any number of concurrent queries; workers are spawned lazily on
-// first demand and parked between queries, so an idle forest costs no
-// goroutines and a hot one reuses the same pool for every query — the
-// same persistent-pool discipline internal/pram applies to wave
-// execution.
+// Planner scatters cross-tree queries over the shared runtime scheduler
+// (internal/sched). One planner serves any number of concurrent queries;
+// it owns no goroutines of its own — chunk tasks are submitted to the
+// pool's blocking lane (a gather waits on engine futures, so it must
+// never occupy the pool's last worker), and whatever the pool cannot
+// absorb runs inline on the querying goroutine. The width is the scatter
+// parallelism hint: how many chunks a query is split into.
 type Planner struct {
-	workers int
-	tasks   chan func()
-	stop    chan struct{}
-
-	mu      sync.Mutex
-	spawned int
-	closed  bool
-	wg      sync.WaitGroup
+	pool   *sched.Pool // nil = the process-wide default pool
+	width  int
+	closed atomic.Bool
 }
 
 // NewPlanner creates a planner with the given scatter parallelism
-// (GOMAXPROCS when <= 0).
-func NewPlanner(workers int) *Planner {
+// (GOMAXPROCS when <= 0) on the process-wide default pool.
+func NewPlanner(workers int) *Planner { return NewPlannerOn(nil, workers) }
+
+// NewPlannerOn creates a planner that scatters on the given pool (nil
+// selects the process-wide default).
+func NewPlannerOn(p *sched.Pool, workers int) *Planner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Planner{
-		workers: workers,
-		tasks:   make(chan func()),
-		stop:    make(chan struct{}),
-	}
+	return &Planner{pool: p, width: workers}
 }
 
-// Workers returns the pool's scatter parallelism.
-func (p *Planner) Workers() int { return p.workers }
+// Workers returns the planner's scatter parallelism hint.
+func (p *Planner) Workers() int { return p.width }
 
-// Close parks the pool permanently: in-flight chunk tasks finish, later
-// queries run their scatter inline on the calling goroutine. Idempotent.
-func (p *Planner) Close() {
-	p.mu.Lock()
-	if !p.closed {
-		p.closed = true
-		close(p.stop)
-	}
-	p.mu.Unlock()
-	p.wg.Wait()
-}
+// Close retires the planner: later queries run their scatter inline on
+// the calling goroutine. The underlying pool is shared and unaffected.
+// Idempotent.
+func (p *Planner) Close() { p.closed.Store(true) }
 
-// worker runs chunk tasks until the planner closes.
-func (p *Planner) worker() {
-	defer p.wg.Done()
-	for {
-		select {
-		case fn := <-p.tasks:
-			fn()
-		case <-p.stop:
-			return
-		}
-	}
-}
-
-// dispatch hands fn to a pool worker, spawning one if none is idle and
-// the pool is below its size. It reports false when the planner is closed
-// — the caller runs fn inline.
+// dispatch hands fn to the pool's blocking lane, reporting false when the
+// planner is closed or no blocking slot is free — the caller runs fn
+// inline.
 func (p *Planner) dispatch(fn func()) bool {
-	select {
-	case p.tasks <- fn:
-		return true
-	default:
-	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if p.closed.Load() {
 		return false
 	}
-	if p.spawned < p.workers {
-		p.spawned++
-		p.wg.Add(1)
-		go p.worker()
+	pool := p.pool
+	if pool == nil {
+		pool = sched.Default()
 	}
-	p.mu.Unlock()
-	select {
-	case p.tasks <- fn:
-		return true
-	case <-p.stop:
-		return false
-	}
+	return pool.TrySubmitBlocking(fn)
 }
 
 // Run executes one cross-tree query: resolve the selector against the
@@ -116,7 +81,7 @@ func (p *Planner) Run(r Reader, spec Spec) (Result, error) {
 		return res, nil
 	}
 
-	nchunks := p.workers
+	nchunks := p.width
 	if len(ids) < nchunks {
 		nchunks = len(ids)
 	}

@@ -1,0 +1,84 @@
+package sched
+
+import "sync"
+
+// Chain is a serial task lane multiplexed onto the pool: tasks of one
+// chain execute in submission order, one at a time, while tasks of
+// different chains interleave freely across the pool's workers. An
+// engine's wave phases ride one chain each — the single-writer discipline
+// a contraction host requires — so a forest of engines shares the pool's
+// CPUs instead of each burning an OS thread mid-wave.
+//
+// A chain holds no goroutine while idle: the first task submitted to an
+// idle chain enqueues a drain task on the pool, and the drain runs queued
+// tasks until the chain empties again.
+type Chain struct {
+	p       *Pool
+	drainFn func() // cached so Go allocates nothing on the idle->running edge
+
+	mu      sync.Mutex
+	q       []func()
+	head    int
+	running bool
+}
+
+// NewChain creates a serial lane on the pool.
+func (p *Pool) NewChain() *Chain {
+	c := &Chain{p: p}
+	c.drainFn = c.drain
+	return c
+}
+
+// Go enqueues fn to run after every previously enqueued task of this
+// chain. Panics in fn are contained and counted (the chain keeps
+// draining); wrap fn if the panic value matters. On a closed pool the
+// drain runs inline on the caller, preserving order.
+func (c *Chain) Go(fn func()) {
+	c.mu.Lock()
+	c.q = append(c.q, fn)
+	if c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = true
+	c.mu.Unlock()
+	c.p.Submit(c.drainFn)
+}
+
+// drain runs queued tasks in order until the chain is empty.
+func (c *Chain) drain() {
+	for {
+		c.mu.Lock()
+		if c.head == len(c.q) {
+			c.q = c.q[:0]
+			c.head = 0
+			c.running = false
+			c.mu.Unlock()
+			return
+		}
+		fn := c.q[c.head]
+		c.q[c.head] = nil
+		c.head++
+		if c.head > 32 && c.head*2 >= len(c.q) {
+			n := copy(c.q, c.q[c.head:])
+			for i := n; i < len(c.q); i++ {
+				c.q[i] = nil
+			}
+			c.q = c.q[:n]
+			c.head = 0
+		}
+		c.mu.Unlock()
+		c.call(fn)
+	}
+}
+
+// call executes one chained task, containing panics so the lane (and its
+// worker) survive a misbehaving task.
+func (c *Chain) call(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.p.taskPanics.Add(1)
+		}
+	}()
+	fn()
+}

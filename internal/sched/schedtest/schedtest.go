@@ -1,0 +1,53 @@
+// Package schedtest holds test helpers shared by the scheduler's own
+// tests and its consumers (internal/pram, internal/engine): goroutine
+// leak checks that wait for asynchronous worker exits instead of racing
+// them with a fixed tolerance.
+package schedtest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitForGoroutines waits for the process goroutine count to drop back to
+// at most want, yielding and sleeping with backoff for up to ~2s, and
+// fails the test if it never does. Use it after releasing a pool (or at
+// the end of a test that spawned one) instead of comparing instantaneous
+// counts: worker goroutines exit asynchronously, so a raw NumGoroutine
+// comparison flakes in both directions — workers still draining look like
+// leaks, and another test's exiting workers mask real ones.
+func WaitForGoroutines(t testing.TB, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines settled at %d, want <= %d", now, want)
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// StableGoroutines returns the goroutine count once it has stopped
+// falling (two consecutive equal samples), so a baseline taken before
+// spawning pools is not inflated by another test's workers that are
+// still exiting.
+func StableGoroutines() int {
+	prev := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond / 4)
+		now := runtime.NumGoroutine()
+		if now == prev {
+			return now
+		}
+		prev = now
+	}
+	return prev
+}

@@ -7,7 +7,6 @@ import (
 
 	"dyntc/internal/core"
 	"dyntc/internal/euler"
-	"dyntc/internal/pram"
 	"dyntc/internal/query"
 	"dyntc/internal/replog"
 )
@@ -74,7 +73,8 @@ func (e *Expr) Snapshot(seq uint64) ([]byte, error) {
 // snapshot's applied-wave sequence number. The seed and tour setting come
 // from the snapshot (WithSeed / WithTour options are overridden — a
 // replica must contract deterministically like its leader); WithWorkers /
-// WithGrain apply normally.
+// WithGrain / WithPool apply normally, so follower replay rides the same
+// shared scheduler as leader waves.
 func RestoreExpr(data []byte, opts ...Option) (*Expr, uint64, error) {
 	snap, err := replog.Decode(data)
 	if err != nil {
@@ -88,15 +88,7 @@ func RestoreExpr(data []byte, opts ...Option) (*Expr, uint64, error) {
 	for _, f := range opts {
 		f(&o)
 	}
-	var m *pram.Machine
-	if o.workers != 0 {
-		m = pram.New(o.workers)
-	} else {
-		m = pram.Sequential()
-	}
-	if o.grain > 0 {
-		m.SetGrain(o.grain)
-	}
+	m := o.newMachine()
 	e := &Expr{
 		t:    t,
 		con:  core.New(t, snap.Seed, m),

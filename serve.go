@@ -8,7 +8,29 @@ import (
 
 	"dyntc/internal/engine"
 	"dyntc/internal/query"
+	"dyntc/internal/sched"
 )
+
+// SchedPool is the shared runtime scheduler: one work-stealing worker
+// pool (internal/sched) that engine waves, cross-tree query scatter and
+// follower replay all submit to. Create one per process (NewSchedPool)
+// and pass it through BatchOptions.Pool / NewForest / WithPool so a
+// forest of trees shares a fixed worker set instead of pooling per tree;
+// leave it nil to use the process-wide default pool.
+type SchedPool = sched.Pool
+
+// SchedStats is a point-in-time snapshot of a scheduler pool's activity
+// (workers, steals, queue depth, utilization).
+type SchedStats = sched.Stats
+
+// NewSchedPool starts a shared runtime scheduler with the given number of
+// workers (GOMAXPROCS when <= 0). Close it only after everything
+// submitting to it has quiesced.
+func NewSchedPool(workers int) *SchedPool { return sched.NewPool(workers) }
+
+// DefaultSchedPool returns the process-wide shared scheduler pool, which
+// everything without an explicit pool uses. It is never closed.
+func DefaultSchedPool() *SchedPool { return sched.Default() }
 
 // This file is the concurrent face of the package: Expr.Serve wraps an
 // Expr in a request-coalescing engine (internal/engine) that makes it safe
@@ -58,12 +80,18 @@ type BatchOptions struct {
 	// callers that want backpressure leave it false. Shed requests are
 	// counted in EngineStats.Shed.
 	Shed bool
-	// Workers, when positive, sets the goroutine parallelism of the PRAM
-	// machine executing each wave's node-disjoint batches (the persistent
-	// worker pool of internal/pram). A wave's grow/collapse/set batches
-	// then run pool-parallel; metering is unaffected. Use a negative
-	// value for GOMAXPROCS.
+	// Workers, when positive, sets the goroutine parallelism hint of the
+	// PRAM machine executing each wave's node-disjoint batches: how many
+	// shared-pool workers one wave's steps may recruit. Metering is
+	// unaffected. Use a negative value for GOMAXPROCS.
 	Workers int
+	// Pool, when set, is the shared runtime scheduler the engine and the
+	// Expr's machine run on: wave sub-batches are scheduled as task
+	// groups on one serial lane per engine, and the machine's parallel
+	// steps chunk onto the same workers, so any number of engines share
+	// one fixed worker set. Nil keeps wave execution on the executor
+	// goroutine (the machine still chunks onto the process-default pool).
+	Pool *SchedPool
 	// WaveTap, when set, receives the sealed change record of every
 	// executed mutating wave, on the executor goroutine — the durability
 	// seam: pass a WaveLog's Append (or any shipper) to turn the engine's
@@ -81,6 +109,9 @@ func (e *Expr) Serve(opts BatchOptions) *Engine {
 		e.mach.SetWorkers(opts.Workers)
 		opts.Workers = e.mach.Workers()
 	}
+	if opts.Pool != nil {
+		e.mach.SetPool(opts.Pool)
+	}
 	return &Engine{
 		expr: e,
 		inner: engine.New(e, engine.Options{
@@ -90,6 +121,7 @@ func (e *Expr) Serve(opts BatchOptions) *Engine {
 			Shed:     opts.Shed,
 			Workers:  opts.Workers,
 			WaveTap:  opts.WaveTap,
+			Pool:     opts.Pool,
 		}),
 	}
 }
@@ -256,6 +288,26 @@ func (en *Engine) Query(fn func(*Expr)) error {
 	return qerr
 }
 
+// QueryAsync submits fn for exclusive, linearized execution against a
+// quiescent Expr and returns immediately; Future.Wait blocks until fn has
+// run. It is the asynchronous form of Query. On a wave-tapped
+// (replicated) engine the same logged-barrier guard applies: mutation
+// attempts inside fn are refused — the tree is untouched, so followers
+// cannot silently diverge — but, the future having no error channel for
+// it, the violation is not reported; use Query when you need
+// ErrLoggedBarrier surfaced.
+func (en *Engine) QueryAsync(fn func(*Expr)) *Future {
+	return en.inner.Barrier(func(engine.Host) {
+		if !en.inner.Tapped() {
+			fn(en.expr)
+			return
+		}
+		en.expr.frozen = true
+		fn(en.expr)
+		en.expr.frozen, en.expr.frozenViolated = false, false
+	})
+}
+
 // Preorder returns n's 1-based preorder number (requires WithTour on the
 // underlying Expr), linearized against concurrent updates.
 func (en *Engine) Preorder(n *Node) (int, error) {
@@ -361,7 +413,8 @@ type TreeID = uint64
 // parallel. All methods are safe for concurrent use.
 type Forest struct {
 	inner   *engine.Forest
-	workers int // PRAM worker parallelism applied to every tree
+	workers int        // PRAM worker parallelism applied to every tree
+	pool    *SchedPool // shared scheduler applied to every tree (nil = default pool)
 	planner *query.Planner
 
 	mu    sync.Mutex
@@ -369,7 +422,9 @@ type Forest struct {
 }
 
 // NewForest creates an empty forest; opts configures every tree's engine,
-// and opts.Workers the PRAM worker pool of every tree it creates.
+// opts.Workers the per-tree PRAM parallelism hint, and opts.Pool the
+// shared scheduler every tree's waves — and the forest's cross-tree query
+// scatter — run on.
 func NewForest(opts BatchOptions) *Forest {
 	if opts.Workers < 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -381,21 +436,36 @@ func NewForest(opts BatchOptions) *Forest {
 			Queue:    opts.Queue,
 			Shed:     opts.Shed,
 			Workers:  opts.Workers,
+			Pool:     opts.Pool,
 		}),
 		workers: opts.Workers,
-		planner: query.NewPlanner(0),
+		pool:    opts.Pool,
+		planner: query.NewPlannerOn(opts.Pool, 0),
 		exprs:   make(map[TreeID]*Engine),
 	}
 }
 
-// Create adds a new single-leaf expression tree over ring r and returns
-// its id and serving engine. The forest's Workers setting applies unless
-// the given options override it.
-func (f *Forest) Create(r Ring, rootValue int64, opts ...Option) (TreeID, *Engine) {
+// treeOptions prepends the forest-wide machine settings so per-tree
+// options can still override them.
+func (f *Forest) treeOptions(opts []Option) []Option {
+	var pre []Option
 	if f.workers != 0 {
-		opts = append([]Option{WithWorkers(f.workers)}, opts...)
+		pre = append(pre, WithWorkers(f.workers))
 	}
-	expr := NewExpr(r, rootValue, opts...)
+	if f.pool != nil {
+		pre = append(pre, WithPool(f.pool))
+	}
+	if len(pre) == 0 {
+		return opts
+	}
+	return append(pre, opts...)
+}
+
+// Create adds a new single-leaf expression tree over ring r and returns
+// its id and serving engine. The forest's Workers and Pool settings apply
+// unless the given options override them.
+func (f *Forest) Create(r Ring, rootValue int64, opts ...Option) (TreeID, *Engine) {
+	expr := NewExpr(r, rootValue, f.treeOptions(opts)...)
 	id, inner := f.inner.Add(expr)
 	en := &Engine{expr: expr, inner: inner}
 	f.mu.Lock()
@@ -410,10 +480,7 @@ func (f *Forest) Create(r Ring, rootValue int64, opts ...Option) (TreeID, *Engin
 // which is returned alongside it. Restore fails when the id is already
 // served.
 func (f *Forest) Restore(id TreeID, snapshot []byte, opts ...Option) (*Engine, uint64, error) {
-	if f.workers != 0 {
-		opts = append([]Option{WithWorkers(f.workers)}, opts...)
-	}
-	expr, seq, err := RestoreExpr(snapshot, opts...)
+	expr, seq, err := RestoreExpr(snapshot, f.treeOptions(opts)...)
 	if err != nil {
 		return nil, 0, err
 	}
