@@ -52,6 +52,7 @@ import (
 	"strings"
 	"time"
 
+	"dyntc"
 	"dyntc/internal/bench"
 )
 
@@ -77,8 +78,21 @@ func main() {
 		queryB   = flag.Bool("query", false, "run the cross-tree query driver (scatter-gather vs naive per-tree GETs + follower offload)")
 		qryOut   = flag.String("query-out", "BENCH_query.json", "query mode: output JSON path ('' to skip)")
 		forests  = flag.String("forests", "", "query mode: comma-separated forest sizes (default 64,256,1024)")
+
+		scrape    = flag.Bool("scrape", false, "engine mode: attach a metrics registry to every run and embed its before/after sample deltas in the output JSON")
+		scrapeURL = flag.String("scrape-check", "", "CI scrape smoke: drive ops against a live dyntcd at this base URL, then validate GET /metrics and GET /v1/trace")
+		scrapeOps = flag.Int("scrape-ops", 300, "scrape-check mode: operations to drive before scraping")
 	)
 	flag.Parse()
+
+	if *scrapeURL != "" {
+		if err := bench.ScrapeCheck(*scrapeURL, *scrapeOps); err != nil {
+			fmt.Fprintf(os.Stderr, "dyntc-bench: scrape check %s: %v\n", *scrapeURL, err)
+			os.Exit(1)
+		}
+		fmt.Printf("scrape check %s: ok (%d ops)\n", *scrapeURL, *scrapeOps)
+		return
+	}
 
 	if *queryB {
 		qcfg := bench.DefaultQueryConfig(*quick, *seed)
@@ -162,6 +176,13 @@ func main() {
 		if *forestG > 0 {
 			ecfg.ForestGrain = *forestG
 		}
+		var reg *dyntc.MetricsRegistry
+		var before map[string]float64
+		if *scrape {
+			reg = dyntc.NewMetricsRegistry()
+			ecfg.Obs = dyntc.NewEngineMetrics(reg)
+			before = mustScrape(reg)
+		}
 		results := bench.EngineLoad(ecfg)
 		tb := bench.EngineTable(results)
 		tb.Fprint(os.Stdout)
@@ -188,7 +209,11 @@ func main() {
 			}
 		}
 		if *out != "" {
-			if err := bench.WriteEngineJSON(*out, results); err != nil {
+			var delta map[string]float64
+			if reg != nil {
+				delta = bench.DeltaMetrics(before, mustScrape(reg))
+			}
+			if err := bench.WriteEngineJSONScrape(*out, results, delta); err != nil {
 				fmt.Fprintf(os.Stderr, "dyntc-bench: write %s: %v\n", *out, err)
 				os.Exit(1)
 			}
@@ -210,6 +235,21 @@ func main() {
 		os.Exit(2)
 	}
 	tb.Fprint(os.Stdout)
+}
+
+// mustScrape renders and parses an in-process registry snapshot.
+func mustScrape(reg *dyntc.MetricsRegistry) map[string]float64 {
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		fmt.Fprintf(os.Stderr, "dyntc-bench: render metrics: %v\n", err)
+		os.Exit(1)
+	}
+	m, err := bench.ParseMetricsText(sb.String())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dyntc-bench: parse metrics: %v\n", err)
+		os.Exit(1)
+	}
+	return m
 }
 
 // mustInts parses a comma-separated int list.

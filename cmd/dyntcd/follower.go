@@ -44,6 +44,10 @@ type followerServer struct {
 
 	stop chan struct{}
 	done chan struct{}
+
+	// obs, when set (followerServer.observe), adds GET /metrics and
+	// GET /v1/trace to the routes and feeds the bootstrap instruments.
+	obs *obsBundle
 }
 
 // replica is one followed tree.
@@ -158,6 +162,7 @@ func (f *followerServer) getReplica(id dyntc.TreeID) *replica {
 
 // bootstrap fetches a fresh snapshot and (re)builds the replica.
 func (f *followerServer) bootstrap(id dyntc.TreeID) (*replica, error) {
+	t0 := time.Now()
 	resp, err := f.client.Get(fmt.Sprintf("%s/v1/trees/%d/snapshot", f.leader, id))
 	if err != nil {
 		return nil, err
@@ -178,10 +183,15 @@ func (f *followerServer) bootstrap(id dyntc.TreeID) (*replica, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.obs.snapshotDone(len(data), time.Since(t0))
 	rep := &replica{fo: fo, leaderSeq: fo.Seq()}
 	f.mu.Lock()
+	_, rebootstrap := f.reps[id]
 	f.reps[id] = rep
 	f.mu.Unlock()
+	if rebootstrap && f.obs != nil {
+		f.obs.rebootstraps.Inc()
+	}
 	log.Printf("dyntcd follower: tree %d bootstrapped at seq %d", id, fo.Seq())
 	return rep, nil
 }
@@ -267,6 +277,10 @@ func (f *followerServer) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/trees/{id}/snapshot", f.replicaHandler(f.handleSnapshot))
 	if f.queryEndpoint {
 		mux.HandleFunc("POST /v1/query", f.handleQuery)
+	}
+	if f.obs != nil {
+		mux.HandleFunc("GET /metrics", f.obs.handleMetrics)
+		mux.HandleFunc("GET /v1/trace", f.obs.handleTrace)
 	}
 	reject := func(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, apiError{http.StatusForbidden, "read-only replica: write on the leader " + f.leader})

@@ -92,6 +92,12 @@ func main() {
 		poll     = flag.Duration("poll", 50*time.Millisecond, "follower mode: leader poll interval")
 		queryEP  = flag.Bool("query-endpoint", true, "follower mode: serve POST /v1/query against the local replicas (read offload)")
 		compact  = flag.Int("compact-every", 0, "compact each tree's log every N waves: snapshot to <wal-dir>/tree-N.snap and trim the ring + WAL (0 = off)")
+
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address ('' = off)")
+		slowWave    = flag.Duration("slow-wave", 0, "log a structured trace of every wave flush at least this long (0 = off)")
+		accessLog   = flag.Bool("access-log", false, "log every HTTP request: method, path, status, bytes, duration")
+		traceCap    = flag.Int("trace-cap", 0, "wave trace records retained for GET /v1/trace (0 = default 256)")
+		traceSample = flag.Int("trace-sample", 0, "trace every Nth wave flush (0 = default 16)")
 	)
 	flag.Parse()
 
@@ -101,8 +107,15 @@ func main() {
 	// runs 16-wide instead of spawning a pool per tree.
 	pool := dyntc.NewSchedPool(*schedW)
 
+	// One registry + trace ring per process; every engine, the scheduler,
+	// the wave logs and the query planner report into it (GET /metrics).
+	ob := newObsBundle(*traceCap)
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
+
 	if *follow != "" {
-		runFollower(*addr, *follow, *poll, *queryEP, pool)
+		runFollower(*addr, *follow, *poll, *queryEP, pool, ob, *accessLog)
 		return
 	}
 
@@ -111,11 +124,24 @@ func main() {
 			log.Fatalf("dyntcd: wal dir: %v", err)
 		}
 	}
-	s := newServerWAL(dyntc.BatchOptions{MaxBatch: *maxBatch, Window: *window, Queue: *queue, Workers: *workers, Pool: pool}, *walDir, *logCap)
+	opts := dyntc.BatchOptions{
+		MaxBatch: *maxBatch, Window: *window, Queue: *queue, Workers: *workers, Pool: pool,
+		Metrics: ob.engine, Trace: ob.trace, TraceSample: *traceSample,
+	}
+	if *slowWave > 0 {
+		opts.SlowWave = logSlowWave
+		opts.SlowWaveThreshold = *slowWave
+	}
+	s := newServerWAL(opts, *walDir, *logCap)
 	s.compactEvery = *compact
+	s.observe(ob)
+	var handler http.Handler = s.routes()
+	if *accessLog {
+		handler = withAccessLog(handler)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.routes(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -146,13 +172,18 @@ func main() {
 }
 
 // runFollower serves read-only replicas of a leader's trees.
-func runFollower(addr, leader string, poll time.Duration, queryEndpoint bool, pool *dyntc.SchedPool) {
+func runFollower(addr, leader string, poll time.Duration, queryEndpoint bool, pool *dyntc.SchedPool, ob *obsBundle, accessLog bool) {
 	f := newFollowerOn(leader, poll, pool)
 	f.queryEndpoint = queryEndpoint
+	f.observe(ob)
 	go f.run()
+	var handler http.Handler = f.routes()
+	if accessLog {
+		handler = withAccessLog(handler)
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           f.routes(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -1,0 +1,289 @@
+package main
+
+// Observability wiring: one metrics registry per process (GET /metrics,
+// Prometheus text format, zero external deps), a sampled wave-trace ring
+// (GET /v1/trace), an opt-in access log, a structured slow-wave log and
+// an optional pprof listener. Leader and follower share all of it; the
+// per-layer instrument bundles live with their layers (internal/obs,
+// internal/engine, internal/sched, internal/replog, internal/query) —
+// this file only composes them and adds the cross-layer gauges (lag,
+// applied sequence) that need to see engines, logs and replicas side by
+// side.
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"strconv"
+	"sync"
+	"time"
+
+	"dyntc"
+	"dyntc/internal/obs"
+	"dyntc/internal/pram"
+	"dyntc/internal/replog"
+)
+
+// obsBundle is the process-wide observability state: the registry every
+// layer's families live on, plus the instrument bundles the serving code
+// feeds directly (snapshots, re-bootstraps).
+type obsBundle struct {
+	reg    *dyntc.MetricsRegistry
+	engine *dyntc.EngineMetrics
+	trace  *dyntc.WaveTraceRing
+	replog *replog.Metrics
+	query  *dyntc.QueryMetrics
+
+	// Snapshot traffic, both directions: leader compaction/GET encodes,
+	// follower bootstrap downloads.
+	snapshotBytes   *obs.Histogram
+	snapshotSeconds *obs.Histogram
+	// rebootstraps counts follower replicas rebuilt from a fresh snapshot
+	// after falling behind a trimmed log or diverging on replay.
+	rebootstraps *obs.Counter
+}
+
+// newObsBundle builds the registry and every process-level family. The
+// engine histogram bundle and the trace ring are created here and passed
+// into BatchOptions, so all trees share one set of instruments.
+func newObsBundle(traceCap int) *obsBundle {
+	reg := dyntc.NewMetricsRegistry()
+	b := &obsBundle{
+		reg:    reg,
+		engine: dyntc.NewEngineMetrics(reg),
+		trace:  dyntc.NewWaveTraceRing(traceCap),
+		replog: replog.NewMetrics(reg),
+		query:  dyntc.NewQueryMetrics(reg),
+		snapshotBytes: reg.HistogramWith("dyntc_replog_snapshot_bytes",
+			"size of one tree snapshot encode or download", obs.SizeBuckets, 1),
+		snapshotSeconds: reg.Seconds("dyntc_replog_snapshot_seconds",
+			"latency of one tree snapshot encode or download"),
+		rebootstraps: reg.Counter("dyntc_replog_rebootstraps_total",
+			"follower replicas rebuilt from a fresh snapshot (truncated log or replay divergence)"),
+	}
+	return b
+}
+
+// snapshotDone feeds the snapshot instruments; safe on a nil bundle so
+// test servers without observability skip it transparently.
+func (b *obsBundle) snapshotDone(bytes int, d time.Duration) {
+	if b == nil {
+		return
+	}
+	b.snapshotBytes.Observe(int64(bytes))
+	b.snapshotSeconds.Observe(int64(d))
+}
+
+// handleMetrics renders the registry in Prometheus text exposition
+// format (version 0.0.4).
+func (b *obsBundle) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = b.reg.WriteTo(w)
+}
+
+// handleTrace dumps the wave-trace ring, oldest first; ?n= limits to the
+// most recent n records.
+func (b *obsBundle) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeErr(w, apiError{http.StatusBadRequest, "bad n"})
+			return
+		}
+		n = v
+	}
+	traces := b.trace.Last(n)
+	if traces == nil {
+		traces = []dyntc.WaveTraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  b.trace.Total(),
+		"traces": traces,
+	})
+}
+
+// statsCache memoizes one forest-wide stats aggregation per TTL: a
+// scrape reads a dozen engine counter funcs, and each would otherwise
+// walk every engine's stats independently.
+type statsCache struct {
+	fn  func() dyntc.EngineStats
+	ttl time.Duration
+
+	mu sync.Mutex
+	at time.Time
+	st dyntc.EngineStats
+}
+
+func (c *statsCache) get() dyntc.EngineStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.at.IsZero() || time.Since(c.at) > c.ttl {
+		c.st = c.fn()
+		c.at = time.Now()
+	}
+	return c.st
+}
+
+// observe registers the leader's cross-layer families: engine counters
+// over a cached forest aggregate, scheduler gauges, and the replication
+// gauges that pair engines with their wave logs.
+func (s *server) observe(b *obsBundle) {
+	s.obs = b
+	cache := &statsCache{fn: s.forest.Stats, ttl: 250 * time.Millisecond}
+	dyntc.RegisterEngineStats(b.reg, cache.get)
+	if s.pool != nil {
+		s.pool.Observe(b.reg, pram.StepKindNames)
+	}
+	s.forest.SetQueryMetrics(b.query)
+	b.reg.GaugeFunc("dyntc_replog_applied_seq",
+		"sum over trees of the wave change-log position (leader: last logged wave)",
+		func() float64 {
+			var sum float64
+			s.logs.Range(func(_, v any) bool {
+				sum += float64(v.(*dyntc.WaveLog).LastSeq())
+				return true
+			})
+			return sum
+		})
+	b.reg.GaugeFunc("dyntc_replog_lag",
+		"max waves behind: leader reports applied-but-unlogged (normally 0), follower reports leader_seq - applied_seq",
+		func() float64 {
+			var max float64
+			s.forest.Each(func(id dyntc.TreeID, en *dyntc.Engine) {
+				v, ok := s.logs.Load(id)
+				if !ok {
+					return
+				}
+				if d := float64(en.AppliedSeq()) - float64(v.(*dyntc.WaveLog).LastSeq()); d > max {
+					max = d
+				}
+			})
+			return max
+		})
+}
+
+// observe registers the follower's cross-layer families: scheduler
+// gauges, query metrics on the replica planner, and replication lag
+// against the leader's last observed log position.
+func (f *followerServer) observe(b *obsBundle) {
+	f.obs = b
+	if f.pool != nil {
+		f.pool.Observe(b.reg, pram.StepKindNames)
+	}
+	f.planner.SetMetrics(b.query)
+	snap := func(fn func(rep *replica) uint64, fold func(acc, v float64) float64) float64 {
+		f.mu.Lock()
+		reps := make([]*replica, 0, len(f.reps))
+		for _, rep := range f.reps {
+			reps = append(reps, rep)
+		}
+		f.mu.Unlock()
+		var acc float64
+		for _, rep := range reps {
+			acc = fold(acc, float64(fn(rep)))
+		}
+		return acc
+	}
+	b.reg.GaugeFunc("dyntc_replog_applied_seq",
+		"sum over trees of the wave change-log position (leader: last logged wave)",
+		func() float64 {
+			return snap(func(rep *replica) uint64 { return rep.fo.Seq() },
+				func(acc, v float64) float64 { return acc + v })
+		})
+	b.reg.GaugeFunc("dyntc_replog_lag",
+		"max waves behind: leader reports applied-but-unlogged (normally 0), follower reports leader_seq - applied_seq",
+		func() float64 {
+			return snap(func(rep *replica) uint64 {
+				rep.mu.Lock()
+				leader := rep.leaderSeq
+				rep.mu.Unlock()
+				applied := rep.fo.Seq()
+				if leader > applied {
+					return leader - applied
+				}
+				return 0
+			}, func(acc, v float64) float64 {
+				if v > acc {
+					return v
+				}
+				return acc
+			})
+		})
+}
+
+// --- access log (opt-in, -access-log) ---
+
+// statusRecorder captures the status code and body size a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// withAccessLog logs one line per request — method, path, status, bytes
+// written, duration in microseconds — shared by leader and follower
+// muxes.
+func withAccessLog(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		log.Printf("dyntcd: access %s %s %d %dB %dus",
+			r.Method, r.URL.Path, rec.status, rec.bytes, time.Since(t0).Microseconds())
+	})
+}
+
+// --- slow-wave log (-slow-wave) ---
+
+// logSlowWave is the BatchOptions.SlowWave hook: one structured JSON
+// line per wave that crossed the threshold, greppable and parseable.
+func logSlowWave(t dyntc.WaveTraceRecord) {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return
+	}
+	log.Printf("dyntcd: slow-wave %s", b)
+}
+
+// --- pprof (-pprof-addr) ---
+
+// startPprof serves net/http/pprof on its own listener, so profiling
+// stays off the serving mux (and off its access log and any fronting
+// load balancer).
+func startPprof(addr string) {
+	go func() {
+		srv := &http.Server{
+			Addr: addr,
+			// net/http/pprof registers on the default mux; nothing else in
+			// this process does.
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		log.Printf("dyntcd: pprof listening on %s", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("dyntcd: pprof: %v", err)
+		}
+	}()
+}

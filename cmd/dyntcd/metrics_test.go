@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dyntc"
+	"dyntc/internal/bench"
+)
+
+// startObsServer is startTestServer with the observability bundle wired:
+// metrics registry, engine histograms, trace ring (sampled every flush)
+// and the /metrics + /v1/trace routes.
+func startObsServer(t *testing.T) (*httptest.Server, *server, *obsBundle) {
+	t.Helper()
+	ob := newObsBundle(16)
+	s := newServer(dyntc.BatchOptions{
+		Metrics: ob.engine, Trace: ob.trace, TraceSample: 1,
+	})
+	s.observe(ob)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		s.forest.Close()
+	})
+	return ts, s, ob
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, _ := startObsServer(t)
+
+	// Drive enough traffic for every engine family to move.
+	var created struct {
+		Tree uint64 `json:"tree"`
+	}
+	call(t, "POST", ts.URL+"/v1/trees", map[string]any{"root": 1}, http.StatusCreated, &created)
+	var grown struct{ Left, Right int }
+	call(t, "POST", tsTree(ts, created.Tree)+"/grow",
+		map[string]any{"leaf": 0, "op": "add", "left": 3, "right": 4}, http.StatusOK, &grown)
+	for i := 0; i < 50; i++ {
+		call(t, "POST", tsTree(ts, created.Tree)+"/set-leaf",
+			map[string]any{"leaf": grown.Left, "value": int64(i)}, http.StatusOK, nil)
+	}
+	call(t, "POST", ts.URL+"/v1/query", map[string]any{"read": "root"}, http.StatusOK, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same validation CI's scrape smoke applies: parseable text format,
+	// every layer's families present. The pool is nil in this test server,
+	// so sched families are exempt here.
+	required := []string{
+		"dyntc_engine_flush_seconds",
+		"dyntc_engine_coalesce_wait_seconds",
+		"dyntc_engine_requests_total",
+		"dyntc_replog_lag",
+		"dyntc_replog_appends_total",
+		"dyntc_query_join_seconds",
+	}
+	if err := bench.CheckMetricsText(string(body), required); err != nil {
+		t.Fatalf("metrics check: %v\n%s", err, body)
+	}
+	samples, err := bench.ParseMetricsText(string(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["dyntc_engine_flush_seconds_count"] <= 0 {
+		t.Fatal("flush histogram never observed")
+	}
+	if samples[`dyntc_engine_requests_total{kind="set-leaf"}`] < 50 {
+		t.Fatalf("set-leaf requests = %v, want >= 50",
+			samples[`dyntc_engine_requests_total{kind="set-leaf"}`])
+	}
+	if samples["dyntc_replog_appends_total"] <= 0 {
+		t.Fatal("wave log appends never counted")
+	}
+	if samples["dyntc_query_join_seconds_count"] != 1 {
+		t.Fatalf("query joins = %v, want 1", samples["dyntc_query_join_seconds_count"])
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	ts, _, ob := startObsServer(t)
+
+	var created struct {
+		Tree uint64 `json:"tree"`
+	}
+	call(t, "POST", ts.URL+"/v1/trees", map[string]any{"root": 1}, http.StatusCreated, &created)
+	for i := 0; i < 30; i++ {
+		call(t, "POST", tsTree(ts, created.Tree)+"/set-leaf",
+			map[string]any{"leaf": 0, "value": int64(i)}, http.StatusOK, nil)
+	}
+
+	var trace struct {
+		Total  int                     `json:"total"`
+		Traces []dyntc.WaveTraceRecord `json:"traces"`
+	}
+	call(t, "GET", ts.URL+"/v1/trace?n=5", nil, http.StatusOK, &trace)
+	if trace.Total < 30 {
+		t.Fatalf("trace total = %d, want >= 30 (sampling every flush)", trace.Total)
+	}
+	if len(trace.Traces) != 5 {
+		t.Fatalf("len(traces) = %d, want 5", len(trace.Traces))
+	}
+	for _, tr := range trace.Traces {
+		if tr.Tree != created.Tree {
+			t.Fatalf("trace tree = %d, want %d", tr.Tree, created.Tree)
+		}
+		if tr.Flush <= 0 {
+			t.Fatalf("trace flush ns = %d, want > 0", tr.Flush)
+		}
+	}
+	if ob.trace.Total() != trace.Total {
+		t.Fatalf("ring total %d != endpoint total %d", ob.trace.Total(), trace.Total)
+	}
+
+	call(t, "GET", ts.URL+"/v1/trace?n=bogus", nil, http.StatusBadRequest, nil)
+}
+
+// TestAccessLog checks the middleware's line shape: method, path,
+// status, bytes, duration.
+func TestAccessLog(t *testing.T) {
+	_, s, _ := startObsServer(t)
+	h := withAccessLog(s.routes())
+
+	var buf bytes.Buffer
+	old := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(old)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	line := buf.String()
+	if !strings.Contains(line, "access GET /healthz 200 ") || !strings.Contains(line, "us") {
+		t.Fatalf("access log line %q missing method/path/status/duration", line)
+	}
+
+	// Error statuses are captured through WriteHeader, not defaulted.
+	buf.Reset()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/trees/999/value", nil))
+	if !strings.Contains(buf.String(), " 404 ") {
+		t.Fatalf("access log line %q missing 404", buf.String())
+	}
+}
+
+func tsTree(ts *httptest.Server, id uint64) string {
+	return ts.URL + "/v1/trees/" + strconv.FormatUint(id, 10)
+}

@@ -72,6 +72,11 @@ type server struct {
 	// behind a trimmed log re-bootstrap via the 410 path.
 	compactEvery int
 	compactors   sync.Map // dyntc.TreeID -> *compactor
+
+	// obs, when set (server.observe), adds GET /metrics and GET /v1/trace
+	// to the routes and feeds the snapshot instruments. Nil in tests that
+	// don't exercise observability.
+	obs *obsBundle
 }
 
 // compactor is one tree's background log-compaction loop. The engine's
@@ -96,11 +101,13 @@ func (s *server) compactLoop(id dyntc.TreeID, en *dyntc.Engine, wl *dyntc.WaveLo
 		if s.walDir != "" {
 			// The durable path: persist a snapshot first, then trim the
 			// log to it — snapshot + compacted WAL replaces genesis + log.
+			t0 := time.Now()
 			data, snapSeq, err := en.SnapshotAt()
 			if err != nil {
 				log.Printf("dyntcd: tree %d: compact snapshot: %v", id, err)
 				continue
 			}
+			s.obs.snapshotDone(len(data), time.Since(t0))
 			path := filepath.Join(s.walDir, fmt.Sprintf("tree-%d.snap", id))
 			if err := writeFileSync(path, data); err != nil {
 				// Keep the log intact: without the persisted snapshot the
@@ -204,6 +211,9 @@ func (s *server) attachLog(id dyntc.TreeID, en *dyntc.Engine) error {
 	if err != nil {
 		return err
 	}
+	if s.obs != nil {
+		wl.SetMetrics(s.obs.replog)
+	}
 	s.logs.Store(id, wl)
 	var c *compactor
 	if s.compactEvery > 0 {
@@ -267,6 +277,10 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/trees/{id}/snapshot", s.treeHandler(s.handleGetSnapshot))
 	mux.HandleFunc("PUT /v1/trees/{id}/snapshot", s.handlePutSnapshot)
 	mux.HandleFunc("GET /v1/trees/{id}/log", s.treeHandler(s.handleLog))
+	if s.obs != nil {
+		mux.HandleFunc("GET /metrics", s.obs.handleMetrics)
+		mux.HandleFunc("GET /v1/trace", s.obs.handleTrace)
+	}
 	return mux
 }
 
@@ -722,11 +736,13 @@ func readSnapshotBody(r io.Reader) ([]byte, error) {
 }
 
 func (s *server) handleGetSnapshot(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
+	t0 := time.Now()
 	data, err := en.Snapshot()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	s.obs.snapshotDone(len(data), time.Since(t0))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)

@@ -57,6 +57,11 @@ type EngineConfig struct {
 	// cap (64) so the committed row demonstrates adaptive MaxBatch
 	// growing the cap (cur_max_batch, batch_grows, mean_batch).
 	AdaptiveProbe bool
+	// Obs, when set, attaches the engine metrics bundle to every run — the
+	// -scrape mode: the bench then measures the instrumented engine (the
+	// overhead-check configuration) and the caller can embed the
+	// registry's deltas next to the wall-clock numbers.
+	Obs *dyntc.EngineMetrics
 }
 
 // DefaultEngineConfig is the sweep cmd/dyntc-bench runs.
@@ -278,7 +283,7 @@ func runEngineLoad(cfg EngineConfig, clients int, window time.Duration, workers 
 		exprOpts = append(exprOpts, dyntc.WithGrain(cfg.Grain))
 	}
 	var pool *dyntc.SchedPool
-	bo := dyntc.BatchOptions{MaxBatch: maxBatch, Window: window, Workers: workers}
+	bo := dyntc.BatchOptions{MaxBatch: maxBatch, Window: window, Workers: workers, Metrics: cfg.Obs}
 	if shared {
 		pool = dyntc.NewSchedPool(0)
 		exprOpts = append(exprOpts, dyntc.WithPool(pool))
@@ -417,7 +422,7 @@ func runForestLoad(cfg EngineConfig, trees, workers int, shared bool) EngineResu
 	}
 
 	var sharedPool *dyntc.SchedPool
-	bo := dyntc.BatchOptions{Workers: workers}
+	bo := dyntc.BatchOptions{Workers: workers, Metrics: cfg.Obs}
 	if shared {
 		sharedPool = dyntc.NewSchedPool(0)
 		bo.Pool = sharedPool
@@ -533,7 +538,7 @@ func runSaturationProbe(cfg EngineConfig, workers int, shared bool) EngineResult
 	ring := dyntc.ModRing(1_000_000_007)
 	var pool *dyntc.SchedPool
 	exprOpts := []dyntc.Option{dyntc.WithSeed(cfg.Seed)}
-	bo := dyntc.BatchOptions{MaxBatch: probeFloor, Workers: workers}
+	bo := dyntc.BatchOptions{MaxBatch: probeFloor, Workers: workers, Metrics: cfg.Obs}
 	if shared {
 		pool = dyntc.NewSchedPool(0)
 		exprOpts = append(exprOpts, dyntc.WithPool(pool))
@@ -758,10 +763,19 @@ func ReadEngineJSON(path string) ([]EngineResult, error) {
 
 // WriteEngineJSON writes results as the tracked BENCH_engine.json payload.
 func WriteEngineJSON(path string, results []EngineResult) error {
+	return WriteEngineJSONScrape(path, results, nil)
+}
+
+// WriteEngineJSONScrape is WriteEngineJSON with an embedded metrics
+// snapshot (-scrape mode): the registry's sample deltas over the run.
+// ReadEngineJSON ignores the extra field, so scrape-annotated files stay
+// valid baselines.
+func WriteEngineJSONScrape(path string, results []EngineResult, scrape map[string]float64) error {
 	payload := struct {
-		Bench   string         `json:"bench"`
-		Results []EngineResult `json:"results"`
-	}{Bench: "engine-coalescing", Results: results}
+		Bench   string             `json:"bench"`
+		Results []EngineResult     `json:"results"`
+		Scrape  map[string]float64 `json:"scrape,omitempty"`
+	}{Bench: "engine-coalescing", Results: results, Scrape: scrape}
 	data, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,252 @@
+package bench
+
+// Metrics scraping support, two uses:
+//
+//   - `dyntc-bench -engine -scrape` attaches an in-process metrics
+//     registry to the engine load runs and embeds the before/after
+//     sample deltas in BENCH_engine.json, so committed bench files carry
+//     the instrumentation's own view of the run (flush counts, stage
+//     sums) next to the wall-clock numbers.
+//
+//   - `dyntc-bench -scrape-check <url>` is the CI smoke: drive a few
+//     hundred operations against a live dyntcd, then validate that GET
+//     /metrics parses as Prometheus text and contains the families every
+//     layer is supposed to export, and that GET /v1/trace answers.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dyntc"
+)
+
+// ParseMetricsText parses Prometheus text exposition format into
+// sample-name -> value (the name includes the label set verbatim, e.g.
+// `dyntc_engine_stage_seconds_sum{stage="grow"}`). Comment and blank
+// lines are skipped; a malformed sample line is an error.
+func ParseMetricsText(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space; the sample name
+		// (possibly containing spaces inside label values) is the rest.
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			return nil, fmt.Errorf("metrics line %d: no value: %q", ln+1, line)
+		}
+		name, val := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: bad value %q: %v", ln+1, val, err)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("metrics line %d: duplicate sample %q", ln+1, name)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// DeltaMetrics returns after-minus-before for every sample in after,
+// dropping zero deltas and histogram bucket samples (the _sum/_count
+// pairs carry the story; per-bucket deltas would bloat a BENCH file).
+func DeltaMetrics(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for name, v := range after {
+		if strings.Contains(name, "_bucket{") {
+			continue
+		}
+		if d := v - before[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// CheckMetricsText validates a /metrics payload: it must parse as
+// Prometheus text and contain at least one sample of every required
+// family (family name = sample name prefix, so histograms match via
+// their _count/_sum/_bucket series).
+func CheckMetricsText(text string, required []string) error {
+	samples, err := ParseMetricsText(text)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("metrics: no samples")
+	}
+	for _, fam := range required {
+		found := false
+		for name := range samples {
+			if name == fam || strings.HasPrefix(name, fam+"_") || strings.HasPrefix(name, fam+"{") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("metrics: required family %q missing", fam)
+		}
+	}
+	return nil
+}
+
+// RequiredLeaderFamilies is what a leader dyntcd /metrics must export —
+// one family per instrumented layer.
+var RequiredLeaderFamilies = []string{
+	"dyntc_engine_flush_seconds",
+	"dyntc_engine_coalesce_wait_seconds",
+	"dyntc_engine_requests_total",
+	"dyntc_sched_utilization",
+	"dyntc_sched_task_seconds",
+	"dyntc_replog_lag",
+	"dyntc_replog_appends_total",
+	"dyntc_query_join_seconds",
+}
+
+// ScrapeCheck drives the CI scrape smoke against a live dyntcd at
+// baseURL: create a tree, push ~ops mutations through the batch
+// endpoint, run one cross-tree query, then validate /metrics (format +
+// required families + non-zero flush count) and /v1/trace.
+func ScrapeCheck(baseURL string, ops int) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(path string, body any, out any) error {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("POST %s: %s: %s", path, resp.Status, msg)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	get := func(path string) (string, error) {
+		resp, err := client.Get(baseURL + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+		}
+		return string(body), nil
+	}
+
+	// A tree with a few leaves to spread the load over.
+	var created struct {
+		Tree uint64 `json:"tree"`
+	}
+	if err := post("/v1/trees", map[string]any{"root": 1}, &created); err != nil {
+		return err
+	}
+	tree := fmt.Sprintf("/v1/trees/%d", created.Tree)
+	leaves := []int{0}
+	for len(leaves) < 8 {
+		var grown struct {
+			Left  int `json:"left"`
+			Right int `json:"right"`
+		}
+		if err := post(tree+"/grow", map[string]any{
+			"leaf": leaves[0], "op": "add", "left": 1, "right": 2,
+		}, &grown); err != nil {
+			return err
+		}
+		leaves = append(leaves[1:], grown.Left, grown.Right)
+	}
+
+	// Batched set/value traffic: every op lands in a coalesced engine
+	// flush, so the engine histograms must move.
+	type batchOp struct {
+		Kind  string `json:"kind"`
+		Node  int    `json:"node"`
+		Value int64  `json:"value,omitempty"`
+	}
+	for done := 0; done < ops; {
+		n := 100
+		if rest := ops - done; n > rest {
+			n = rest
+		}
+		batch := make([]batchOp, n)
+		for i := range batch {
+			leaf := leaves[i%len(leaves)]
+			if i%8 == 7 {
+				batch[i] = batchOp{Kind: "value", Node: leaf}
+			} else {
+				batch[i] = batchOp{Kind: "set-leaf", Node: leaf, Value: int64(done + i)}
+			}
+		}
+		var res struct {
+			Results []struct {
+				Error string `json:"error"`
+			} `json:"results"`
+		}
+		if err := post(tree+"/batch", map[string]any{"ops": batch}, &res); err != nil {
+			return err
+		}
+		for i, r := range res.Results {
+			if r.Error != "" {
+				return fmt.Errorf("batch op %d: %s", i, r.Error)
+			}
+		}
+		done += n
+	}
+
+	// One cross-tree query so the query families move too.
+	if err := post("/v1/query", map[string]any{"read": "root", "combine": "sum"}, nil); err != nil {
+		return err
+	}
+
+	// The scrape itself.
+	text, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	if err := CheckMetricsText(text, RequiredLeaderFamilies); err != nil {
+		return err
+	}
+	samples, _ := ParseMetricsText(text)
+	if samples["dyntc_engine_flush_seconds_count"] <= 0 {
+		return fmt.Errorf("metrics: dyntc_engine_flush_seconds_count is zero after %d ops", ops)
+	}
+	if samples["dyntc_query_join_seconds_count"] <= 0 {
+		return fmt.Errorf("metrics: dyntc_query_join_seconds_count is zero after a query")
+	}
+
+	// And the trace ring endpoint.
+	traceBody, err := get("/v1/trace?n=4")
+	if err != nil {
+		return err
+	}
+	var trace struct {
+		Total  int                     `json:"total"`
+		Traces []dyntc.WaveTraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &trace); err != nil {
+		return fmt.Errorf("trace: bad body: %v", err)
+	}
+	if trace.Total <= 0 {
+		return fmt.Errorf("trace: no waves sampled after %d ops", ops)
+	}
+	return nil
+}

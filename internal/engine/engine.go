@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dyntc/internal/obs"
 	"dyntc/internal/pram"
 	"dyntc/internal/replog"
 	"dyntc/internal/sched"
@@ -108,6 +109,25 @@ type Options struct {
 	// point its PRAM machine at the same pool (dyntc.Expr.Serve and
 	// dyntc.NewForest do).
 	Pool *sched.Pool
+	// Obs, when set, receives per-flush wave-pipeline histograms
+	// (flush/coalesce/per-stage seconds — see NewObs). One Obs is shared
+	// by every engine of a forest; nil costs one bool check per flush.
+	Obs *Obs
+	// Trace, when set, receives a WaveTrace record for every
+	// TraceSample-th flush: the sampled wave-lifecycle trace dyntcd dumps
+	// via GET /v1/trace.
+	Trace *obs.TraceRing
+	// TraceSample is the flush sampling period for Trace (default 16;
+	// 1 records every flush).
+	TraceSample int
+	// SlowWave, when set, is called — on the executor, so keep it cheap —
+	// with the trace record of every flush at least SlowWaveThreshold
+	// slow, regardless of Trace sampling. dyntcd's -slow-wave structured
+	// log rides on this.
+	SlowWave func(obs.WaveTrace)
+	// SlowWaveThreshold is the flush duration that counts as slow
+	// (default 25ms when SlowWave is set).
+	SlowWaveThreshold time.Duration
 }
 
 // WaveTap receives the change record of one executed mutating wave.
@@ -128,6 +148,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatchCeil < o.MaxBatch {
 		o.MaxBatchCeil = o.MaxBatch
+	}
+	if o.TraceSample <= 0 {
+		o.TraceSample = 16
+	}
+	if o.SlowWave != nil && o.SlowWaveThreshold <= 0 {
+		o.SlowWaveThreshold = 25 * time.Millisecond
 	}
 	return o
 }
@@ -185,6 +211,14 @@ type Engine struct {
 	kinder  stepKinder
 	grainer grainReporter
 
+	// timing enables the per-flush clock reads (immutable after New): set
+	// when any of Obs / Trace / SlowWave is configured. traceID is the
+	// forest tree id stamped into trace records (SetTraceID); flushSeq
+	// counts flushes for trace sampling (executor only).
+	timing   bool
+	traceID  atomic.Uint64
+	flushSeq uint64
+
 	done chan struct{}
 }
 
@@ -218,9 +252,17 @@ func New(host Host, opts Options) *Engine {
 	}
 	e.kinder, _ = host.(stepKinder)
 	e.grainer, _ = host.(grainReporter)
+	e.timing = e.opts.Obs != nil || e.opts.Trace != nil || e.opts.SlowWave != nil
 	e.phaseFns = [numPhases]func(){
 		e.phaseGrows, e.phaseCollapses, e.phaseSetLeaves,
 		e.phaseSetOps, e.phaseSealWave, e.phaseValues,
+	}
+	if e.timing {
+		// Wrap each phase with its stage clock before the lane forms are
+		// derived, so lane-dispatched phases are timed identically.
+		for i, fn := range e.phaseFns {
+			e.phaseFns[i] = e.timedPhase(i, fn)
+		}
 	}
 	for i, fn := range e.phaseFns {
 		fn := fn
@@ -282,6 +324,9 @@ func (e *Engine) Close() {
 // submit enqueues f, failing it immediately when the engine is closed —
 // or, on a shedding engine, when the queue is at capacity.
 func (e *Engine) submit(f *Future) *Future {
+	if e.timing {
+		f.at = time.Now()
+	}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()

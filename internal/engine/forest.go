@@ -58,6 +58,7 @@ func (f *Forest) Add(host Host) (uint64, *Engine) {
 		if _, taken := s.engines[id]; !taken {
 			s.engines[id] = e
 			s.mu.Unlock()
+			e.SetTraceID(id)
 			return id, e
 		}
 		s.mu.Unlock()
@@ -82,6 +83,7 @@ func (f *Forest) AddAt(id uint64, host Host) (*Engine, error) {
 		return nil, fmt.Errorf("%w (tree %d)", ErrTreeExists, id)
 	}
 	e := New(host, f.opts)
+	e.SetTraceID(id)
 	s.engines[id] = e
 	s.mu.Unlock()
 	return e, nil
@@ -151,10 +153,19 @@ func (f *Forest) Each(fn func(id uint64, e *Engine)) {
 	}
 }
 
-// TotalStats aggregates the stats of every live engine.
+// TotalStats aggregates the stats of every live engine. Flush latency
+// percentiles are computed over the union of the engines' retained
+// latency windows — the combined distribution — not the max of per-tree
+// percentiles Stats.Add alone would report (which overstates the median
+// of a large forest by its single worst tree).
 func (f *Forest) TotalStats() Stats {
 	var total Stats
-	f.Each(func(_ uint64, e *Engine) { total.Add(e.Stats()) })
+	var lat []int64
+	f.Each(func(_ uint64, e *Engine) {
+		total.Add(e.Stats())
+		lat = e.stats.window(lat)
+	})
+	total.FlushP50US, total.FlushP99US = percentilesUS(lat)
 	return total
 }
 

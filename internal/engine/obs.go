@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"time"
+
+	"dyntc/internal/obs"
+)
+
+// This file is the engine layer's observability wiring: histogram
+// instruments over the wave pipeline (submit → coalesce wait → flush →
+// per-kind phase → seal/tap → ack), sampled per-flush trace records, and
+// the slow-wave hook. All of it is opt-in through Options; an engine
+// without Obs/Trace/SlowWave configured takes exactly one bool check per
+// flush and nothing per request.
+
+// numStages is the wave phases plus the barrier pseudo-phase (barriers
+// are dispatched directly, outside the phase table).
+const numStages = numPhases + 1
+
+// stageBarrierIdx indexes the barrier slot of scratch.stageNS.
+const stageBarrierIdx = numPhases
+
+// stageNames labels each stage slot for the stage-seconds histogram.
+var stageNames = [numStages]string{
+	"grow", "collapse", "set-leaf", "set-op", "seal", "value", "barrier",
+}
+
+// Obs bundles the engine layer's metric instruments. One Obs is shared by
+// every engine of a forest — the instruments are atomic, and per-tree
+// label cardinality would make a 10k-tree forest unscrapeable — so the
+// histograms describe the whole forest's wave pipeline.
+type Obs struct {
+	// FlushSeconds is the wall time of one coalesced flush: flush start to
+	// every request of the flush acked.
+	FlushSeconds *obs.Histogram
+	// CoalesceSeconds is how long a flush's oldest request waited between
+	// submit and flush start — the price of batching.
+	CoalesceSeconds *obs.Histogram
+	// Stage is per-phase execution time, one histogram sample per flush
+	// per non-empty stage (grow, collapse, set-leaf, set-op, seal —
+	// change-record build plus tap/WAL append —, value, barrier).
+	Stage [numStages]*obs.Histogram
+}
+
+// NewObs registers the engine histogram families on reg and returns the
+// instrument bundle to put in Options.Obs.
+func NewObs(r *obs.Registry) *Obs {
+	o := &Obs{
+		FlushSeconds: r.Seconds("dyntc_engine_flush_seconds",
+			"wall time of one coalesced flush, start to all requests acked"),
+		CoalesceSeconds: r.Seconds("dyntc_engine_coalesce_wait_seconds",
+			"wait of a flush's oldest request between submit and flush start"),
+	}
+	for i, name := range stageNames {
+		o.Stage[i] = r.Seconds("dyntc_engine_stage_seconds",
+			"execution time of one wave phase, summed per flush", "stage", name)
+	}
+	return o
+}
+
+// RegisterStatsFuncs exports the engine layer's counter and gauge
+// families on reg as scrape-time functions over a Stats provider —
+// typically a cached Forest.TotalStats, so the engines' own atomic
+// counters are the single source of truth and the request path carries no
+// second set of increments.
+func RegisterStatsFuncs(r *obs.Registry, stats func() Stats) {
+	kinds := []struct {
+		label string
+		get   func(Stats) uint64
+	}{
+		{"grow", func(s Stats) uint64 { return s.Grows }},
+		{"collapse", func(s Stats) uint64 { return s.Collapses }},
+		{"set-leaf", func(s Stats) uint64 { return s.SetLeaves }},
+		{"set-op", func(s Stats) uint64 { return s.SetOps }},
+		{"value", func(s Stats) uint64 { return s.Values }},
+		{"root", func(s Stats) uint64 { return s.Roots }},
+		{"barrier", func(s Stats) uint64 { return s.Barriers }},
+	}
+	for _, k := range kinds {
+		get := k.get
+		r.CounterFunc("dyntc_engine_requests_total", "requests executed, by kind",
+			func() float64 { return float64(get(stats())) }, "kind", k.label)
+	}
+	r.CounterFunc("dyntc_engine_flushes_total", "coalesced flushes executed",
+		func() float64 { return float64(stats().Flushes) })
+	r.CounterFunc("dyntc_engine_waves_total", "conflict-free waves executed",
+		func() float64 { return float64(stats().Waves) })
+	r.CounterFunc("dyntc_engine_errors_total", "requests failed by validation",
+		func() float64 { return float64(stats().Errors) })
+	r.CounterFunc("dyntc_engine_dropped_total", "requests discarded unexecuted (closed or poisoned)",
+		func() float64 { return float64(stats().Dropped) })
+	r.CounterFunc("dyntc_engine_shed_total", "requests rejected at submit, queue full",
+		func() float64 { return float64(stats().Shed) })
+	r.GaugeFunc("dyntc_engine_queue_depth", "submitted requests currently queued, all trees",
+		func() float64 { return float64(stats().QueueDepth) })
+	r.GaugeFunc("dyntc_engine_applied_seq", "mutating waves applied, summed over trees",
+		func() float64 { return float64(stats().AppliedSeq) })
+	r.GaugeFunc("dyntc_engine_cur_max_batch", "largest adaptive flush cap across trees",
+		func() float64 { return float64(stats().CurMaxBatch) })
+	r.GaugeFunc("dyntc_engine_flush_p50_seconds", "median flush latency over the merged retained windows",
+		func() float64 { return stats().FlushP50US / 1e6 })
+	r.GaugeFunc("dyntc_engine_flush_p99_seconds", "p99 flush latency over the merged retained windows",
+		func() float64 { return stats().FlushP99US / 1e6 })
+}
+
+// SetTraceID sets the tree id stamped into this engine's trace records —
+// forests set it to the tree's forest id right after Add/AddAt.
+func (e *Engine) SetTraceID(id uint64) { e.traceID.Store(id) }
+
+// observeFlush runs at the end of every flush on a timing-enabled engine:
+// it feeds the histograms and, when the flush is sampled (every
+// TraceSample-th) or slow (SlowWaveThreshold), assembles the WaveTrace.
+func (e *Engine) observeFlush(reqs int, coalesceNS, flushNS int64) {
+	sc := &e.sc
+	if o := e.opts.Obs; o != nil {
+		o.FlushSeconds.Observe(flushNS)
+		o.CoalesceSeconds.Observe(coalesceNS)
+		for i := range sc.stageNS {
+			if ns := sc.stageNS[i]; ns > 0 {
+				o.Stage[i].Observe(ns)
+			}
+		}
+	}
+	ring, slow := e.opts.Trace, e.opts.SlowWave
+	if ring == nil && slow == nil {
+		return
+	}
+	e.flushSeq++
+	sampled := ring != nil && e.flushSeq%uint64(e.opts.TraceSample) == 0
+	isSlow := slow != nil && flushNS >= int64(e.opts.SlowWaveThreshold)
+	if !sampled && !isSlow {
+		return
+	}
+	tr := obs.WaveTrace{
+		Tree:     e.traceID.Load(),
+		Seq:      e.appliedSeq.Load(),
+		Reqs:     reqs,
+		Waves:    sc.waveN,
+		Coalesce: coalesceNS,
+		Flush:    flushNS,
+		Grow:     sc.stageNS[phaseGrowsIdx],
+		Collapse: sc.stageNS[phaseCollapsesIdx],
+		SetLeaf:  sc.stageNS[phaseSetLeavesIdx],
+		SetOp:    sc.stageNS[phaseSetOpsIdx],
+		Seal:     sc.stageNS[phaseSealWaveIdx],
+		Value:    sc.stageNS[phaseValuesIdx],
+		Barrier:  sc.stageNS[stageBarrierIdx],
+	}
+	if sampled {
+		ring.Add(tr)
+	}
+	if isSlow {
+		slow(tr)
+	}
+}
+
+// timedPhase wraps one phase fn with a stage clock accumulating into the
+// scratch's per-flush stage slot (wave-context-serialized, like every
+// other scratch field).
+func (e *Engine) timedPhase(idx int, fn func()) func() {
+	return func() {
+		t0 := time.Now()
+		fn()
+		e.sc.stageNS[idx] += int64(time.Since(t0))
+	}
+}

@@ -168,6 +168,12 @@ type scratch struct {
 	mutating int         // mutating requests in the wave
 	tap      *WaveTap    // tap active for this wave (nil = none)
 	rec      []replog.Op // change record under construction (escapes into the tap)
+
+	// Per-flush observability accumulators (timing-enabled engines only):
+	// per-stage nanoseconds and the flush's wave count, reset at flush
+	// start, read by observeFlush after the last wave joins.
+	stageNS [numStages]int64
+	waveN   int
 }
 
 // resolve returns the live node a ref addresses, or an error. Liveness is
@@ -247,7 +253,23 @@ func (e *Engine) executeFlush(flush []*Future) {
 		return
 	}
 	flushStart := time.Now()
-	defer func() { e.stats.flushDone(time.Since(flushStart)) }()
+	var coalesceNS int64
+	if e.timing {
+		// The flush's first request is its oldest: its submit→flush-start
+		// span is the coalesce wait the batching window imposed.
+		if at := flush[0].at; !at.IsZero() {
+			coalesceNS = int64(flushStart.Sub(at))
+		}
+		e.sc.stageNS = [numStages]int64{}
+		e.sc.waveN = 0
+	}
+	defer func() {
+		d := time.Since(flushStart)
+		e.stats.flushDone(d)
+		if e.timing {
+			e.observeFlush(len(flush), coalesceNS, int64(d))
+		}
+	}()
 	e.stats.flush(len(flush))
 
 	// Deferred requests ping-pong between two reusable buffers: each round
@@ -384,13 +406,20 @@ func (e *Engine) runWave(wave []*Future) {
 		}
 	}()
 	e.stats.wave()
+	sc.waveN++
 
 	if wave[0].kind == kBarrier {
 		// Barriers execute arbitrary user code (snapshots park on I/O,
 		// tests park on channels): never occupy a shared worker with one —
 		// run it on the executor, like every wave before the lane existed.
 		sc.order = append(sc.order[:0], wave[0])
-		e.phaseBarrier()
+		if e.timing {
+			t0 := time.Now()
+			e.phaseBarrier()
+			sc.stageNS[stageBarrierIdx] += int64(time.Since(t0))
+		} else {
+			e.phaseBarrier()
+		}
 		return
 	}
 	// Tiny waves are not worth a lane hop: the task-group discipline pays

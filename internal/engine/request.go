@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"dyntc/internal/semiring"
 	"dyntc/internal/tree"
@@ -98,6 +99,7 @@ type Future struct {
 	op   semiring.Op
 	a, b int64      // grow: left/right values; set-leaf/collapse: new value in a
 	fn   func(Host) // barrier payload
+	at   time.Time  // submit time, stamped only on timing-enabled engines
 
 	// resolution — written by the executor under mu; waiters block on
 	// cond until resolved flips. doneCh is only materialized when Done()
@@ -221,6 +223,7 @@ func (f *Future) Recycle() {
 	f.op = semiring.Op{}
 	f.a, f.b = 0, 0
 	f.fn = nil
+	f.at = time.Time{}
 	f.resolved = false
 	f.doneCh = nil
 	f.val = 0

@@ -70,17 +70,25 @@ func (s *statsRec) flushDone(d time.Duration) {
 	s.latMu.Unlock()
 }
 
-// latencies returns the p50/p99 of the retained flush-latency window, in
-// microseconds (0, 0 before the first flush).
-func (s *statsRec) latencies() (p50, p99 float64) {
+// window appends a copy of the retained flush-latency samples
+// (nanoseconds) to buf — the seam forest aggregation merges across
+// engines so forest percentiles describe the combined distribution, not
+// the worst tree.
+func (s *statsRec) window(buf []int64) []int64 {
 	s.latMu.Lock()
 	n := s.latN
 	if n > latWindow {
 		n = latWindow
 	}
-	buf := make([]int64, n)
-	copy(buf, s.lat[:n])
+	buf = append(buf, s.lat[:n]...)
 	s.latMu.Unlock()
+	return buf
+}
+
+// percentilesUS returns the p50/p99 of a set of nanosecond latencies, in
+// microseconds (0, 0 when empty). Sorts buf in place.
+func percentilesUS(buf []int64) (p50, p99 float64) {
+	n := len(buf)
 	if n == 0 {
 		return 0, 0
 	}
@@ -90,6 +98,12 @@ func (s *statsRec) latencies() (p50, p99 float64) {
 		return float64(buf[i]) / 1e3
 	}
 	return pick(0.50), pick(0.99)
+}
+
+// latencies returns the p50/p99 of the retained flush-latency window, in
+// microseconds (0, 0 before the first flush).
+func (s *statsRec) latencies() (p50, p99 float64) {
+	return percentilesUS(s.window(nil))
 }
 
 func (s *statsRec) done(k kind) {
@@ -203,9 +217,12 @@ func (s Stats) MeanWave() float64 {
 	return float64(s.Requests) / float64(s.Waves)
 }
 
-// Add accumulates other into s (for forest-wide aggregation): counters and
-// queue depths sum, latency percentiles take the worst engine, Workers the
-// largest pool.
+// Add accumulates other into s: counters and queue depths sum, Workers
+// takes the largest pool. Percentiles cannot be merged from two snapshots,
+// so Add keeps the worst engine's values — an upper bound, not the
+// combined distribution; Forest.TotalStats, which can reach the engines'
+// retained latency windows, overwrites them with the true forest-wide
+// percentiles.
 func (s *Stats) Add(other Stats) {
 	s.Requests += other.Requests
 	s.Flushes += other.Flushes

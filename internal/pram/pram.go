@@ -80,6 +80,10 @@ const (
 	NumStepKinds = 5
 )
 
+// StepKindNames names each StepKind, indexed by kind — the label values
+// for per-kind scheduler metrics (sched.Pool.Observe).
+var StepKindNames = []string{"default", "grow", "collapse", "set", "value"}
+
 // Machine executes metered parallel steps. The zero value is a sequential
 // machine; use New to pick the parallelism hint. Machine is not safe for
 // concurrent use by multiple goroutines (each logical computation should
@@ -330,11 +334,11 @@ func (m *Machine) Step(n int, body func(i int)) {
 		chunk = 1
 	}
 	if m.pinned {
-		m.pool.ParallelFor(n, chunk, m.workers, body)
+		m.pool.ParallelForKind(uint8(kind), n, chunk, m.workers, body)
 		return
 	}
 	start := time.Now()
-	m.pool.ParallelFor(n, chunk, m.workers, body)
+	m.pool.ParallelForKind(uint8(kind), n, chunk, m.workers, body)
 	m.tune.observe(kind, n, time.Since(start))
 }
 

@@ -4,9 +4,33 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dyntc/internal/obs"
 	"dyntc/internal/sched"
 )
+
+// Metrics is the query engine's instrument bundle (Planner.SetMetrics).
+type Metrics struct {
+	// Queries counts completed Run calls.
+	Queries *obs.Counter
+	// TreeErrors counts per-tree read errors across all queries.
+	TreeErrors *obs.Counter
+	// ScatterWidth is the number of chunks each query scattered into.
+	ScatterWidth *obs.Histogram
+	// JoinSeconds is the whole scatter-gather-join span of one query.
+	JoinSeconds *obs.Histogram
+}
+
+// NewMetrics registers the query families on reg.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Queries:      r.Counter("dyntc_query_total", "cross-tree queries executed"),
+		TreeErrors:   r.Counter("dyntc_query_tree_errors_total", "per-tree read errors across all queries"),
+		ScatterWidth: r.HistogramWith("dyntc_query_scatter_width", "chunks one cross-tree query scattered into", obs.CountBuckets, 1),
+		JoinSeconds:  r.Seconds("dyntc_query_join_seconds", "scatter-gather-join span of one cross-tree query"),
+	}
+}
 
 // Planner scatters cross-tree queries over the shared runtime scheduler
 // (internal/sched). One planner serves any number of concurrent queries;
@@ -19,7 +43,12 @@ type Planner struct {
 	pool   *sched.Pool // nil = the process-wide default pool
 	width  int
 	closed atomic.Bool
+	m      atomic.Pointer[Metrics] // optional instruments (SetMetrics)
 }
+
+// SetMetrics attaches (or, with nil, detaches) the metrics bundle;
+// swappable at runtime so servers can instrument a serving planner.
+func (p *Planner) SetMetrics(m *Metrics) { p.m.Store(m) }
 
 // NewPlanner creates a planner with the given scatter parallelism
 // (GOMAXPROCS when <= 0) on the process-wide default pool.
@@ -89,6 +118,16 @@ func (p *Planner) Run(r Reader, spec Spec) (Result, error) {
 	// Ceil division can make the last chunks empty (e.g. 9 ids on 8
 	// workers → 5 chunks of 2); walk by offset so every chunk is non-empty.
 	nchunks = (len(ids) + chunkLen - 1) / chunkLen
+
+	if m := p.m.Load(); m != nil {
+		t0 := time.Now()
+		defer func() {
+			m.Queries.Inc()
+			m.ScatterWidth.Observe(int64(nchunks))
+			m.JoinSeconds.Observe(int64(time.Since(t0)))
+			m.TreeErrors.Add(uint64(res.Errors))
+		}()
+	}
 
 	var detail []TreeResult
 	if spec.Detail {

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,7 +54,14 @@ type Log struct {
 	compacting bool
 
 	appendErr error // first file-append error, surfaced on later calls
+
+	// m is the optional metrics bundle (SetMetrics); swappable at runtime
+	// so servers can attach instruments to already-serving logs.
+	m atomic.Pointer[Metrics]
 }
+
+// SetMetrics attaches (or, with nil, detaches) the metrics bundle.
+func (l *Log) SetMetrics(m *Metrics) { l.m.Store(m) }
 
 // DefaultLogCapacity is the ring size used when NewLog gets capacity <= 0.
 const DefaultLogCapacity = 4096
@@ -100,6 +108,13 @@ func NewLog(capacity int, path string) (*Log, error) {
 // degrades durability, it must not silently freeze replication while the
 // leader keeps acknowledging writes.
 func (l *Log) Append(w Wave) error {
+	if m := l.m.Load(); m != nil {
+		t0 := time.Now()
+		defer func() {
+			m.Appends.Inc()
+			m.AppendSeconds.Observe(int64(time.Since(t0)))
+		}()
+	}
 	if !w.Verify() {
 		return ErrCorrupt
 	}
@@ -148,6 +163,9 @@ func (l *Log) Compact(seq uint64) error {
 	if l.compacting {
 		l.mu.Unlock()
 		return nil
+	}
+	if m := l.m.Load(); m != nil {
+		m.Compactions.Inc()
 	}
 	if seq > l.last {
 		seq = l.last

@@ -1,0 +1,31 @@
+package replog
+
+import (
+	"dyntc/internal/obs"
+)
+
+// Metrics is the replication log's instrument bundle. One Metrics is
+// shared by every Log of a process (per-tree label cardinality would not
+// scale to a big forest); attach it with Log.SetMetrics. Lag and
+// applied-sequence gauges live with the server wiring (cmd/dyntcd), which
+// can see engines and replicas side by side.
+type Metrics struct {
+	// Appends counts waves appended to the change log.
+	Appends *obs.Counter
+	// AppendSeconds is the latency of one append: checksum verify, ring
+	// insert and (when mirrored) the WAL JSONL encode. Appends run inline
+	// on the engine executor via the wave tap, so this is the durability
+	// cost each mutating wave pays.
+	AppendSeconds *obs.Histogram
+	// Compactions counts log compactions started.
+	Compactions *obs.Counter
+}
+
+// NewMetrics registers the replog families on reg.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Appends:       r.Counter("dyntc_replog_appends_total", "waves appended to the change log"),
+		AppendSeconds: r.Seconds("dyntc_replog_append_seconds", "wave append latency: verify, ring insert, WAL encode"),
+		Compactions:   r.Counter("dyntc_replog_compactions_total", "log compactions started"),
+	}
+}

@@ -40,6 +40,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dyntc/internal/obs"
 )
 
 // task is one unit of queued work: either a free-standing func or a
@@ -92,6 +94,12 @@ type Pool struct {
 	pendingHelp atomic.Int64
 
 	start time.Time
+
+	// taskHists, when set by Observe, receives one latency sample per pool
+	// task, indexed by the task's kind (loop helpers carry their round's
+	// kind; free-standing tasks are kind 0). One atomic pointer load per
+	// task when unset.
+	taskHists atomic.Pointer[[MaxTaskKinds]*obs.Histogram]
 
 	tasks      atomic.Uint64
 	steals     atomic.Uint64
@@ -322,14 +330,20 @@ func (w *worker) run() {
 			return
 		}
 		begin := time.Now()
+		var kind uint8
 		if t.job != nil {
+			kind = t.job.kind // read before unref: the job may be recycled after
 			p.pendingHelp.Add(-1)
 			t.job.help()
 			t.job.unref()
 		} else {
 			p.runTask(t.fn)
 		}
-		p.busyNS.Add(int64(time.Since(begin)))
+		d := int64(time.Since(begin))
+		p.busyNS.Add(d)
+		if hs := p.taskHists.Load(); hs != nil {
+			hs[kind].Observe(d)
+		}
 	}
 }
 
@@ -369,6 +383,49 @@ func (w *worker) next() (task, bool) {
 		p.idle.Add(-1)
 		p.parkMu.Unlock()
 	}
+}
+
+// MaxTaskKinds bounds the task-kind space for per-kind latency
+// histograms; internal/pram's StepKind values fit well inside it.
+const MaxTaskKinds = 8
+
+// Observe registers the pool's metric families on reg: utilization,
+// queue depth and idle workers as gauges; tasks, steals, loops and
+// contained panics as counters; and per-kind task-latency histograms
+// labeled by kindNames (index = the kind passed to ParallelForKind;
+// missing names render as "kindN"). Safe to call once at wiring time;
+// re-registering on the same registry replaces the gauge closures.
+func (p *Pool) Observe(reg *obs.Registry, kindNames []string) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("dyntc_sched_workers", "pool worker goroutines",
+		func() float64 { return float64(len(p.workers)) })
+	reg.GaugeFunc("dyntc_sched_utilization", "fraction of worker time spent computing since pool start (blocking-lane wall clock excluded)",
+		func() float64 { return p.Stats().Utilization })
+	reg.GaugeFunc("dyntc_sched_queue_depth", "tasks currently queued across worker deques",
+		func() float64 { return float64(p.Stats().QueueDepth) })
+	reg.GaugeFunc("dyntc_sched_idle_workers", "workers parked right now",
+		func() float64 { return float64(p.idle.Load()) })
+	reg.GaugeFunc("dyntc_sched_blocking", "blocking-lane tasks in flight",
+		func() float64 { return float64(p.blocking.Load()) })
+	reg.CounterFunc("dyntc_sched_tasks_total", "free-standing tasks executed",
+		func() float64 { return float64(p.tasks.Load()) })
+	reg.CounterFunc("dyntc_sched_steals_total", "tasks taken from another worker's deque",
+		func() float64 { return float64(p.steals.Load()) })
+	reg.CounterFunc("dyntc_sched_loops_total", "ParallelFor rounds dispatched to the pool",
+		func() float64 { return float64(p.loops.Load()) })
+	reg.CounterFunc("dyntc_sched_task_panics_total", "pool tasks that panicked (contained)",
+		func() float64 { return float64(p.taskPanics.Load()) })
+	hs := new([MaxTaskKinds]*obs.Histogram)
+	for k := range hs {
+		name := "kind" + string(rune('0'+k))
+		if k < len(kindNames) && kindNames[k] != "" {
+			name = kindNames[k]
+		}
+		hs[k] = reg.Seconds("dyntc_sched_task_seconds", "pool task latency, by step kind", "kind", name)
+	}
+	p.taskHists.Store(hs)
 }
 
 // Stats is a point-in-time snapshot of pool activity.

@@ -1,0 +1,68 @@
+package dyntc
+
+import (
+	"dyntc/internal/engine"
+	"dyntc/internal/obs"
+	"dyntc/internal/query"
+)
+
+// This file is the public face of internal/obs: the metrics registry,
+// instrument bundles and wave tracing that servers (cmd/dyntcd) and
+// benchmarks (cmd/dyntc-bench) attach through BatchOptions. Everything
+// here is optional — a nil registry/bundle costs the engine one boolean
+// check per flush.
+
+// MetricsRegistry is a process-wide metrics registry: lock-cheap atomic
+// counters, gauges and fixed-bucket histograms, rendered in Prometheus
+// text exposition format by WriteTo. Dependency-free.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry creates an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// EngineMetrics is the engine-layer instrument bundle: wave flush
+// latency, coalesce wait and per-stage PRAM sub-batch histograms. One
+// bundle is shared by every engine of a process (per-tree label
+// cardinality would not scale to a big forest); pass it through
+// BatchOptions.Metrics.
+type EngineMetrics = engine.Obs
+
+// NewEngineMetrics registers the engine histogram families on r and
+// returns the bundle to pass as BatchOptions.Metrics.
+func NewEngineMetrics(r *MetricsRegistry) *EngineMetrics { return engine.NewObs(r) }
+
+// WaveTraceRecord is one sampled (or slow) wave's lifecycle breakdown:
+// request count, coalesce wait and per-stage nanoseconds. Records land
+// in a WaveTraceRing and in the BatchOptions.SlowWave callback.
+type WaveTraceRecord = obs.WaveTrace
+
+// WaveTraceRing is a fixed-capacity ring of sampled WaveTraceRecords,
+// shared by every engine it is attached to (BatchOptions.Trace).
+// cmd/dyntcd dumps it at GET /v1/trace.
+type WaveTraceRing = obs.TraceRing
+
+// NewWaveTraceRing creates a trace ring retaining the last capacity
+// records (a default capacity when <= 0).
+func NewWaveTraceRing(capacity int) *WaveTraceRing { return obs.NewTraceRing(capacity) }
+
+// QueryMetrics is the cross-tree query engine's instrument bundle:
+// query count, scatter width and join latency. Attach it to a Forest
+// with SetQueryMetrics.
+type QueryMetrics = query.Metrics
+
+// NewQueryMetrics registers the query families on r.
+func NewQueryMetrics(r *MetricsRegistry) *QueryMetrics { return query.NewMetrics(r) }
+
+// SetQueryMetrics attaches (nil detaches) the query instrument bundle
+// to the forest's cross-tree query planner. Swappable at runtime.
+func (f *Forest) SetQueryMetrics(m *QueryMetrics) { f.planner.SetMetrics(m) }
+
+// RegisterEngineStats registers the engine counter and gauge families
+// (requests by kind, flushes, waves, errors, queue depth, applied
+// sequence, adaptive batch cap, windowed flush percentiles) on r as
+// scrape-time functions over stats — typically a cached Forest.Stats
+// snapshot, so one scrape pays one aggregation. Histogram families come
+// from NewEngineMetrics; the two compose into the full engine scrape.
+func RegisterEngineStats(r *MetricsRegistry, stats func() EngineStats) {
+	engine.RegisterStatsFuncs(r, stats)
+}

@@ -98,6 +98,25 @@ type BatchOptions struct {
 	// wave stream into a replayable change log. Per-engine: when serving a
 	// Forest, attach taps per tree with Engine.SetWaveTap instead.
 	WaveTap func(Wave)
+	// Metrics, when set, turns on wave pipeline timing and feeds the
+	// engine histogram bundle (flush latency, coalesce wait, per-stage
+	// breakdown). One bundle (NewEngineMetrics) is shared by every engine
+	// it is passed to. Nil keeps the timing path disabled: the engine
+	// pays one boolean check per flush and nothing else.
+	Metrics *EngineMetrics
+	// Trace, when set, samples every TraceSample-th flush into the ring
+	// as a WaveTraceRecord (full stage breakdown). Like Metrics it turns
+	// on wave timing; the ring is shared across engines.
+	Trace *WaveTraceRing
+	// TraceSample is the flush sampling stride for Trace (default 16; 1
+	// records every flush).
+	TraceSample int
+	// SlowWave, when set, receives (on the executor goroutine) the trace
+	// record of every flush at least SlowWaveThreshold long, sampled or
+	// not — the structured slow-wave log hook. Keep it cheap or hand off.
+	SlowWave func(WaveTraceRecord)
+	// SlowWaveThreshold is the SlowWave latency floor (default 25ms).
+	SlowWaveThreshold time.Duration
 }
 
 // Serve starts an engine over e and returns it. Close the engine to drain
@@ -115,13 +134,18 @@ func (e *Expr) Serve(opts BatchOptions) *Engine {
 	return &Engine{
 		expr: e,
 		inner: engine.New(e, engine.Options{
-			MaxBatch: opts.MaxBatch,
-			Window:   opts.Window,
-			Queue:    opts.Queue,
-			Shed:     opts.Shed,
-			Workers:  opts.Workers,
-			WaveTap:  opts.WaveTap,
-			Pool:     opts.Pool,
+			MaxBatch:          opts.MaxBatch,
+			Window:            opts.Window,
+			Queue:             opts.Queue,
+			Shed:              opts.Shed,
+			Workers:           opts.Workers,
+			WaveTap:           opts.WaveTap,
+			Pool:              opts.Pool,
+			Obs:               opts.Metrics,
+			Trace:             opts.Trace,
+			TraceSample:       opts.TraceSample,
+			SlowWave:          opts.SlowWave,
+			SlowWaveThreshold: opts.SlowWaveThreshold,
 		}),
 	}
 }
@@ -431,12 +455,17 @@ func NewForest(opts BatchOptions) *Forest {
 	}
 	return &Forest{
 		inner: engine.NewForest(engine.Options{
-			MaxBatch: opts.MaxBatch,
-			Window:   opts.Window,
-			Queue:    opts.Queue,
-			Shed:     opts.Shed,
-			Workers:  opts.Workers,
-			Pool:     opts.Pool,
+			MaxBatch:          opts.MaxBatch,
+			Window:            opts.Window,
+			Queue:             opts.Queue,
+			Shed:              opts.Shed,
+			Workers:           opts.Workers,
+			Pool:              opts.Pool,
+			Obs:               opts.Metrics,
+			Trace:             opts.Trace,
+			TraceSample:       opts.TraceSample,
+			SlowWave:          opts.SlowWave,
+			SlowWaveThreshold: opts.SlowWaveThreshold,
 		}),
 		workers: opts.Workers,
 		pool:    opts.Pool,
