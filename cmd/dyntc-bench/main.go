@@ -75,6 +75,7 @@ func main() {
 		maxRegr  = flag.Float64("max-regress", 0.10, "engine mode: tolerated fractional ops/sec regression vs -baseline")
 		replay   = flag.Bool("replay", false, "run the replication/durability driver (snapshot + wave log + follower)")
 		repOut   = flag.String("replay-out", "BENCH_replay.json", "replay mode: output JSON path ('' to skip)")
+		repBase  = flag.String("replay-baseline", "", "replay mode: committed BENCH_replay.json to compare against; fails on >max-regress throughput regression for matching rows on the same host class")
 		queryB   = flag.Bool("query", false, "run the cross-tree query driver (scatter-gather vs naive per-tree GETs + follower offload)")
 		qryOut   = flag.String("query-out", "BENCH_query.json", "query mode: output JSON path ('' to skip)")
 		forests  = flag.String("forests", "", "query mode: comma-separated forest sizes (default 64,256,1024)")
@@ -139,6 +140,21 @@ func main() {
 			if !r.Converged {
 				fmt.Fprintf(os.Stderr, "dyntc-bench: FAIL clients=%d ops=%d: follower did not converge to leader snapshot\n",
 					r.Clients, r.Ops)
+				os.Exit(1)
+			}
+		}
+		if *repBase != "" {
+			baseline, err := bench.ReadReplayJSON(*repBase)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: read replay baseline %s: %v\n", *repBase, err)
+				os.Exit(1)
+			}
+			compared, failures := bench.CompareReplayBaseline(results, baseline, *maxRegr)
+			fmt.Printf("replay baseline check vs %s: %d comparable rows, %d regressions\n", *repBase, compared, len(failures))
+			if len(failures) > 0 {
+				for _, f := range failures {
+					fmt.Fprintf(os.Stderr, "dyntc-bench: FAIL %s\n", f)
+				}
 				os.Exit(1)
 			}
 		}

@@ -7,8 +7,16 @@ package main
 // the verified replay of internal/replog (recorded grow IDs and post-wave
 // roots are checked on every wave). A replica that falls behind the
 // leader's log ring (410 Gone) re-bootstraps from a fresh snapshot.
+//
+// Failover: POST /v1/promote ends replica life — every caught-up replica
+// is promoted to a new leadership term (epoch+1) and the process swaps
+// in a full leader mux over the same listener. An unreachable leader
+// does not take the follower down: the poll loop backs off
+// exponentially (with seeded jitter) and the replicas keep serving reads
+// in explicit degraded mode, reporting their staleness bound.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,11 +24,21 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyntc"
+	"dyntc/internal/prng"
 	"dyntc/internal/query"
 )
+
+// degradedErrThreshold is how many consecutive failed leader polls flip
+// the follower into degraded mode (healthz 503, staleness headers on
+// reads) even before any -degraded-after bound elapses.
+const degradedErrThreshold = 3
+
+// backoffCap bounds the exponential poll backoff against a dead leader.
+const backoffCap = 5 * time.Second
 
 // followerServer polls one leader and serves its trees read-only.
 type followerServer struct {
@@ -39,11 +57,43 @@ type followerServer struct {
 	queryEndpoint bool
 	planner       *query.Planner
 
+	// opts/walDir/logCap configure the leader this process becomes on
+	// promotion; until then only the replicas run.
+	opts   dyntc.BatchOptions
+	walDir string
+	logCap int
+
+	// degradedAfter is the staleness bound: longer than this without a
+	// successful leader contact means degraded mode (0 = only the
+	// consecutive-error threshold applies).
+	degradedAfter time.Duration
+
+	// faults, when set (setFaults), is checked at site "follower.rpc" on
+	// every leader HTTP call (see faultTransport) and rides into the
+	// leader this process becomes on promotion.
+	faults *dyntc.FaultInjector
+
 	mu   sync.Mutex
 	reps map[dyntc.TreeID]*replica
 
-	stop chan struct{}
-	done chan struct{}
+	// errMu guards the poll-loop health state: consecutive failed rounds,
+	// the current backoff, and the last successful leader contact.
+	errMu       sync.Mutex
+	consecErrs  int
+	backoff     time.Duration
+	lastContact time.Time
+	jitter      *prng.Source
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	// promoteMu serializes POST /v1/promote; leaderH holds the promoted
+	// leader's handler (handler() routes everything there once set) and
+	// leaderSrv the server behind it, for shutdown.
+	promoteMu sync.Mutex
+	leaderH   atomic.Value // http.Handler
+	leaderSrv *server
 
 	// obs, when set (followerServer.observe), adds GET /metrics and
 	// GET /v1/trace to the routes and feeds the bootstrap instruments.
@@ -57,6 +107,21 @@ type replica struct {
 	leaderSeq uint64 // last_seq reported by the leader's log endpoint
 	lastErr   string
 	applied   uint64 // waves applied by this process (catch-up throughput)
+}
+
+// faultTransport checks the injector at site "follower.rpc" before every
+// leader call: an error rule simulates a partition (latency rules stall
+// inside Check).
+type faultTransport struct {
+	base http.RoundTripper
+	in   *dyntc.FaultInjector
+}
+
+func (t *faultTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if rule := t.in.Check("follower.rpc"); rule != nil && rule.Err != nil {
+		return nil, rule.Err
+	}
+	return t.base.RoundTrip(r)
 }
 
 func newFollower(leader string, poll time.Duration) *followerServer {
@@ -76,29 +141,95 @@ func newFollowerOn(leader string, poll time.Duration, pool *dyntc.SchedPool) *fo
 		queryEndpoint: true,
 		planner:       query.NewPlannerOn(pool, 0),
 		reps:          make(map[dyntc.TreeID]*replica),
+		lastContact:   time.Now(),
+		jitter:        prng.New(uint64(time.Now().UnixNano())),
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
 	}
 }
 
-// run is the catch-up loop: discover trees, bootstrap new ones, tail logs.
+// setFaults installs the deterministic fault schedule on the leader
+// transport (site "follower.rpc") and re-seeds the backoff jitter from
+// the same seed, so a chaos run's timing is reproducible.
+func (f *followerServer) setFaults(in *dyntc.FaultInjector, seed uint64) {
+	f.faults = in
+	f.jitter = prng.New(seed ^ 0xD6E8FEB86659FD93)
+	if in != nil {
+		base := f.client.Transport
+		if base == nil {
+			base = http.DefaultTransport
+		}
+		f.client.Transport = &faultTransport{base: base, in: in}
+	}
+}
+
+// run is the catch-up loop: discover trees, bootstrap new ones, tail
+// logs. Failed rounds back off exponentially (capped, jittered) instead
+// of hammering a dead or partitioned leader at the poll interval.
 func (f *followerServer) run() {
 	defer close(f.done)
 	for {
-		f.syncOnce()
+		delay := f.noteRound(f.syncOnce())
 		select {
 		case <-f.stop:
 			return
-		case <-time.After(f.poll):
+		case <-time.After(delay):
 		}
 	}
 }
 
-// Close stops the catch-up loop and waits for it to exit.
+// noteRound records one poll round's outcome and returns the next delay:
+// the poll interval after a success, capped exponential backoff with
+// seeded jitter after consecutive failures.
+func (f *followerServer) noteRound(ok bool) time.Duration {
+	f.errMu.Lock()
+	defer f.errMu.Unlock()
+	if ok {
+		f.consecErrs = 0
+		f.backoff = 0
+		f.lastContact = time.Now()
+		return f.poll
+	}
+	f.consecErrs++
+	b := f.poll
+	for i := 1; i < f.consecErrs && b < backoffCap; i++ {
+		b *= 2
+	}
+	if b > backoffCap {
+		b = backoffCap
+	}
+	// Up to +25% jitter so a fleet of followers does not stampede the
+	// leader the moment it returns.
+	b += time.Duration(f.jitter.Int63() % int64(b/4+1))
+	f.backoff = b
+	return b
+}
+
+// health returns the poll-loop state and whether the follower is
+// degraded: too many consecutive failed rounds, or longer than the
+// configured staleness bound since the last successful leader contact.
+func (f *followerServer) health() (degraded bool, staleness time.Duration, consecErrs int, backoff time.Duration) {
+	f.errMu.Lock()
+	defer f.errMu.Unlock()
+	staleness = time.Since(f.lastContact)
+	degraded = f.consecErrs >= degradedErrThreshold ||
+		(f.degradedAfter > 0 && staleness > f.degradedAfter)
+	return degraded, staleness, f.consecErrs, f.backoff
+}
+
+// Close stops the catch-up loop and waits for it to exit. After a
+// promotion it also shuts down the leader this process became.
 func (f *followerServer) Close() {
-	close(f.stop)
+	f.stopOnce.Do(func() { close(f.stop) })
 	<-f.done
 	f.planner.Close()
+	f.promoteMu.Lock()
+	s := f.leaderSrv
+	f.promoteMu.Unlock()
+	if s != nil {
+		s.forest.Close()
+		s.closeLogs()
+	}
 }
 
 func (f *followerServer) getJSON(path string, v any) error {
@@ -114,8 +245,9 @@ func (f *followerServer) getJSON(path string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-// syncOnce runs one discovery + catch-up round.
-func (f *followerServer) syncOnce() {
+// syncOnce runs one discovery + catch-up round; false means the leader
+// was unreachable (the round counts against the backoff/degraded state).
+func (f *followerServer) syncOnce() bool {
 	var list struct {
 		Trees []struct {
 			Tree dyntc.TreeID `json:"tree"`
@@ -123,7 +255,7 @@ func (f *followerServer) syncOnce() {
 	}
 	if err := f.getJSON("/v1/trees", &list); err != nil {
 		log.Printf("dyntcd follower: list trees: %v", err)
-		return
+		return false
 	}
 	// Per-tree catch-up rides the shared scheduler: each tree's log tail
 	// fetch + verified replay is one blocking task, so many replicas catch
@@ -152,6 +284,7 @@ func (f *followerServer) syncOnce() {
 		}
 	}
 	f.mu.Unlock()
+	return true
 }
 
 func (f *followerServer) getReplica(id dyntc.TreeID) *replica {
@@ -212,7 +345,16 @@ func (f *followerServer) syncTree(id dyntc.TreeID) {
 		LastSeq uint64       `json:"last_seq"`
 	}
 	path := fmt.Sprintf("/v1/trees/%d/log?since=%d", id, rep.fo.Seq())
-	resp, err := f.client.Get(f.leader + path)
+	req, err := http.NewRequest(http.MethodGet, f.leader+path, nil)
+	if err != nil {
+		rep.setErr(err)
+		return
+	}
+	// Advertise the leadership term this replica trusts: a stale leader
+	// that sees a higher term fences itself read-only (it still serves
+	// the tail so the new term can drain it).
+	req.Header.Set("X-Dyntc-Epoch", strconv.FormatUint(rep.fo.Epoch(), 10))
+	resp, err := f.client.Do(req)
 	if err != nil {
 		rep.setErr(err)
 		return
@@ -261,6 +403,20 @@ func (r *replica) setErr(err error) {
 	r.mu.Unlock()
 }
 
+// handler is the process's serving handler: the follower mux until a
+// promotion swaps in the new leader's mux atomically under the same
+// listener.
+func (f *followerServer) handler() http.Handler {
+	mux := f.routes()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := f.leaderH.Load(); h != nil {
+			h.(http.Handler).ServeHTTP(w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
 // routes serves the read-only replica API. Mutations are rejected with
 // 403: a follower is a read replica, writes belong on the leader.
 func (f *followerServer) routes() *http.ServeMux {
@@ -275,6 +431,7 @@ func (f *followerServer) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/trees", f.handleList)
 	mux.HandleFunc("GET /v1/trees/{id}/value", f.replicaHandler(f.handleValue))
 	mux.HandleFunc("GET /v1/trees/{id}/snapshot", f.replicaHandler(f.handleSnapshot))
+	mux.HandleFunc("POST /v1/promote", f.handlePromote)
 	if f.queryEndpoint {
 		mux.HandleFunc("POST /v1/query", f.handleQuery)
 	}
@@ -296,6 +453,105 @@ func (f *followerServer) routes() *http.ServeMux {
 	return mux
 }
 
+// handlePromote turns this follower into the leader of a new term: every
+// replica is promoted (epoch+1) and restored into a serving engine with
+// its own wave log, the leader mux takes over the listener, and the old
+// leader is told to fence itself (best-effort — epoch fencing protects
+// correctness even if the demote call never lands).
+//
+// The caller is responsible for promoting a caught-up follower: waves
+// the old leader acknowledged past this replica's sequence are lost,
+// exactly as in any asynchronous-replication failover.
+func (f *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
+	f.promoteMu.Lock()
+	defer f.promoteMu.Unlock()
+	if f.leaderSrv != nil {
+		writeErr(w, apiError{http.StatusConflict, "already promoted"})
+		return
+	}
+	t0 := time.Now()
+	// Point of no return: stop tailing the old leader before switching.
+	f.stopOnce.Do(func() { close(f.stop) })
+	<-f.done
+
+	s := newServerWAL(f.opts, f.walDir, f.logCap)
+	s.faults = f.faults
+	f.mu.Lock()
+	reps := make(map[dyntc.TreeID]*replica, len(f.reps))
+	for id, rep := range f.reps {
+		reps[id] = rep
+	}
+	f.mu.Unlock()
+	abort := func(err error) {
+		s.forest.Close()
+		s.closeLogs()
+		writeErr(w, err)
+	}
+	var epoch uint64
+	for id, rep := range reps {
+		snap, seq, ep, err := rep.fo.Promote()
+		if err != nil {
+			abort(fmt.Errorf("promote tree %d: %w", id, err))
+			return
+		}
+		en, _, err := s.forest.Restore(id, snap)
+		if err != nil {
+			abort(fmt.Errorf("restore promoted tree %d: %w", id, err))
+			return
+		}
+		var ring dyntc.Ring
+		if err := en.Query(func(e *dyntc.Expr) { ring = e.Tree().Ring }); err != nil {
+			abort(err)
+			return
+		}
+		s.rings.Store(id, ring)
+		if err := s.persistSnapshot(id, snap); err != nil {
+			// Keep failing over: the tree serves from memory and the next
+			// compaction re-anchors it.
+			log.Printf("dyntcd: tree %d: persist promoted snapshot: %v", id, err)
+		}
+		if err := s.attachLog(id, en); err != nil {
+			abort(fmt.Errorf("attach log to promoted tree %d: %w", id, err))
+			return
+		}
+		if ep > epoch {
+			epoch = ep
+		}
+		log.Printf("dyntcd: tree %d promoted at seq %d epoch %d", id, seq, ep)
+	}
+	if f.obs != nil {
+		// Re-registration replaces the follower's cross-layer gauge
+		// closures with the leader's; the promotion counter marks the
+		// term change on the shared registry.
+		s.observe(f.obs)
+		f.obs.promotions.Inc()
+	}
+	f.leaderSrv = s
+	f.leaderH.Store(http.Handler(s.routes()))
+	failoverMS := time.Since(t0).Milliseconds()
+
+	// Tell the old leader it is demoted. Best-effort and asynchronous: if
+	// it is dead or partitioned the epoch fence still rejects its late
+	// writes wave by wave.
+	go func(leader string, epoch uint64) {
+		body, _ := json.Marshal(map[string]uint64{"epoch": epoch})
+		resp, err := http.Post(leader+"/v1/demote", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Printf("dyntcd: demote old leader %s: %v", leader, err)
+			return
+		}
+		resp.Body.Close()
+	}(f.leader, epoch)
+
+	log.Printf("dyntcd: promoted to leader: %d trees at epoch %d in %dms", len(reps), epoch, failoverMS)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"promoted":    true,
+		"trees":       len(reps),
+		"epoch":       epoch,
+		"failover_ms": failoverMS,
+	})
+}
+
 func (f *followerServer) replicaHandler(h func(http.ResponseWriter, *http.Request, *replica)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
@@ -308,18 +564,27 @@ func (f *followerServer) replicaHandler(h func(http.ResponseWriter, *http.Reques
 			writeErr(w, apiError{http.StatusNotFound, fmt.Sprintf("no replica of tree %d", id)})
 			return
 		}
+		// Degraded reads stay served, but say so: the header carries the
+		// staleness bound (time since the last successful leader contact).
+		if degraded, staleness, _, _ := f.health(); degraded {
+			w.Header().Set("X-Dyntc-Staleness-Ms", strconv.FormatInt(staleness.Milliseconds(), 10))
+		}
 		h(w, r, rep)
 	}
 }
 
 // handleHealthz reports per-replica applied sequence and lag behind the
-// leader's last observed log position.
+// leader's last observed log position, plus the poll loop's health:
+// consecutive failed rounds, current backoff, and staleness. A degraded
+// follower (unreachable leader) reports 503 — load balancers should
+// prefer fresher replicas — while reads keep flowing.
 func (f *followerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type repHealth struct {
 		Tree       dyntc.TreeID `json:"tree"`
 		AppliedSeq uint64       `json:"applied_seq"`
 		LeaderSeq  uint64       `json:"leader_seq"`
 		Lag        uint64       `json:"lag"`
+		Epoch      uint64       `json:"epoch"`
 		Waves      uint64       `json:"waves_applied"`
 		LastError  string       `json:"last_error,omitempty"`
 	}
@@ -336,6 +601,7 @@ func (f *followerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Tree:       id,
 			AppliedSeq: rep.fo.Seq(),
 			LeaderSeq:  rep.leaderSeq,
+			Epoch:      rep.fo.Epoch(),
 			Waves:      rep.applied,
 			LastError:  rep.lastErr,
 		}
@@ -345,15 +611,24 @@ func (f *followerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		trees = append(trees, rh)
 	}
+	degraded, staleness, consecErrs, backoff := f.health()
+	status := http.StatusOK
 	body := map[string]any{
-		"ok": true, "role": "follower", "leader": f.leader,
-		"uptime_s": time.Since(f.start).Seconds(),
-		"trees":    trees,
+		"ok": !degraded, "role": "follower", "leader": f.leader,
+		"uptime_s":           time.Since(f.start).Seconds(),
+		"trees":              trees,
+		"degraded":           degraded,
+		"consecutive_errors": consecErrs,
+		"backoff_ms":         backoff.Milliseconds(),
+		"staleness_ms":       staleness.Milliseconds(),
+	}
+	if degraded {
+		status = http.StatusServiceUnavailable
 	}
 	if f.pool != nil {
 		body["sched"] = f.pool.Stats()
 	}
-	writeJSON(w, http.StatusOK, body)
+	writeJSON(w, status, body)
 }
 
 func (f *followerServer) handleList(w http.ResponseWriter, r *http.Request) {

@@ -15,6 +15,8 @@
 //	dyntcd -addr :8080 -wal-dir /var/lib/dyntcd   # durable wave log
 //	dyntcd -addr :8080 -wal-dir d -compact-every 10000  # + log compaction
 //	dyntcd -addr :8081 -follow http://leader:8080 # read replica (serves /v1/query)
+//	dyntcd -addr :8081 -follow http://leader:8080 -wal-dir d   # promotable replica
+//	dyntcd -addr :8080 -faults 'wal.append:after=100:torn=0.5:times=1' -fault-seed 7
 //
 // The whole process runs on ONE runtime scheduler pool (-sched-workers,
 // default GOMAXPROCS): every tree's wave sub-batches execute as task
@@ -40,6 +42,25 @@
 // in-order wave replay, re-bootstrapping automatically when it falls
 // behind the leader's ring. GET /v1/healthz reports per-tree applied
 // sequence numbers (and, on a follower, lag).
+//
+// Failover: every wave and snapshot is stamped with a leadership epoch.
+// POST /v1/promote on a follower ends its replica life — each replica is
+// promoted to epoch+1 and served by a full leader mux on the same
+// listener — and the old leader, once it observes the newer term (via
+// the demote call the promotion fires, an explicit POST /v1/demote, or a
+// follower's X-Dyntc-Epoch header on log fetches), fences itself
+// read-only: writes 403, reads and the log tail keep flowing. Waves from
+// the demoted term are rejected by every log and replica that has seen
+// the new one (epoch fencing). A leader started over a -wal-dir from a
+// crash recovers at startup: each tree-<id>.snap restores, the WAL tail
+// past it replays (a torn tail is truncated, not fatal), and serving
+// resumes from a fresh snapshot + WAL pair. A follower that cannot reach
+// its leader keeps serving reads in explicit degraded mode — healthz
+// turns 503 after 3 consecutive failed polls or the -degraded-after
+// staleness bound, reads carry X-Dyntc-Staleness-Ms, and the poll loop
+// backs off exponentially with seeded jitter. -faults/-fault-seed drive
+// the deterministic fault-injection harness (see dyntc.FaultInjector)
+// at sites engine.wave, wal.append, wal.sync and follower.rpc.
 //
 // Cross-tree queries (internal/query): POST /v1/query scatters one read
 // (root value, node value, subtree size) over any subset of the forest —
@@ -92,6 +113,10 @@ func main() {
 		poll     = flag.Duration("poll", 50*time.Millisecond, "follower mode: leader poll interval")
 		queryEP  = flag.Bool("query-endpoint", true, "follower mode: serve POST /v1/query against the local replicas (read offload)")
 		compact  = flag.Int("compact-every", 0, "compact each tree's log every N waves: snapshot to <wal-dir>/tree-N.snap and trim the ring + WAL (0 = off)")
+		degAfter = flag.Duration("degraded-after", 2*time.Second, "follower mode: staleness bound before reporting degraded (0 = only the consecutive-error threshold)")
+
+		faultSpec = flag.String("faults", "", "deterministic fault schedule, e.g. 'wal.append:after=100:torn=0.5:times=1;follower.rpc:p=0.2:err=partition' (chaos testing; '' = off)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed driving the -faults schedule (same seed + same traffic = same faults)")
 
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address ('' = off)")
 		slowWave    = flag.Duration("slow-wave", 0, "log a structured trace of every wave flush at least this long (0 = off)")
@@ -114,26 +139,49 @@ func main() {
 		startPprof(*pprofAddr)
 	}
 
-	if *follow != "" {
-		runFollower(*addr, *follow, *poll, *queryEP, pool, ob, *accessLog)
-		return
+	// Deterministic fault schedule (chaos testing): a crash rule takes the
+	// whole process down, like the real fault it stands in for.
+	var faults *dyntc.FaultInjector
+	if *faultSpec != "" {
+		var err error
+		if faults, err = dyntc.FaultInjectorFromSpec(*faultSeed, *faultSpec); err != nil {
+			log.Fatalf("dyntcd: -faults: %v", err)
+		}
+		faults.OnCrash(func(site string, _ dyntc.FaultRule) {
+			log.Fatalf("dyntcd: injected crash at %s", site)
+		})
 	}
 
 	if *walDir != "" {
+		// Leaders log into it now; a follower needs it the moment it is
+		// promoted, so create it up front in both modes.
 		if err := os.MkdirAll(*walDir, 0o755); err != nil {
 			log.Fatalf("dyntcd: wal dir: %v", err)
 		}
 	}
 	opts := dyntc.BatchOptions{
 		MaxBatch: *maxBatch, Window: *window, Queue: *queue, Workers: *workers, Pool: pool,
-		Metrics: ob.engine, Trace: ob.trace, TraceSample: *traceSample,
+		Metrics: ob.engine, Trace: ob.trace, TraceSample: *traceSample, Faults: faults,
 	}
 	if *slowWave > 0 {
 		opts.SlowWave = logSlowWave
 		opts.SlowWaveThreshold = *slowWave
 	}
+
+	if *follow != "" {
+		runFollower(*addr, *follow, *poll, *queryEP, pool, ob, *accessLog, followerConfig{
+			opts: opts, walDir: *walDir, logCap: *logCap,
+			degradedAfter: *degAfter, faults: faults, faultSeed: *faultSeed,
+		})
+		return
+	}
+
 	s := newServerWAL(opts, *walDir, *logCap)
 	s.compactEvery = *compact
+	s.faults = faults
+	if err := s.recover(); err != nil {
+		log.Fatalf("dyntcd: startup recovery: %v", err)
+	}
 	s.observe(ob)
 	var handler http.Handler = s.routes()
 	if *accessLog {
@@ -171,13 +219,35 @@ func main() {
 	log.Print("dyntcd: drained and stopped")
 }
 
+// followerConfig carries the failover-relevant settings into follower
+// mode: the engine options and WAL placement the process adopts if it is
+// promoted to leader, the degraded-mode staleness bound, and the fault
+// schedule.
+type followerConfig struct {
+	opts          dyntc.BatchOptions
+	walDir        string
+	logCap        int
+	degradedAfter time.Duration
+	faults        *dyntc.FaultInjector
+	faultSeed     uint64
+}
+
 // runFollower serves read-only replicas of a leader's trees.
-func runFollower(addr, leader string, poll time.Duration, queryEndpoint bool, pool *dyntc.SchedPool, ob *obsBundle, accessLog bool) {
+func runFollower(addr, leader string, poll time.Duration, queryEndpoint bool, pool *dyntc.SchedPool, ob *obsBundle, accessLog bool, cfg followerConfig) {
 	f := newFollowerOn(leader, poll, pool)
 	f.queryEndpoint = queryEndpoint
+	f.opts = cfg.opts
+	f.walDir = cfg.walDir
+	f.logCap = cfg.logCap
+	f.degradedAfter = cfg.degradedAfter
+	if cfg.faults != nil {
+		f.setFaults(cfg.faults, cfg.faultSeed)
+	}
 	f.observe(ob)
 	go f.run()
-	var handler http.Handler = f.routes()
+	// handler() switches to the promoted leader's mux atomically when
+	// POST /v1/promote lands.
+	var handler http.Handler = f.handler()
 	if accessLog {
 		handler = withAccessLog(handler)
 	}

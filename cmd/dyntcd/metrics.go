@@ -43,6 +43,8 @@ type obsBundle struct {
 	// rebootstraps counts follower replicas rebuilt from a fresh snapshot
 	// after falling behind a trimmed log or diverging on replay.
 	rebootstraps *obs.Counter
+	// promotions counts follower→leader failovers this process performed.
+	promotions *obs.Counter
 }
 
 // newObsBundle builds the registry and every process-level family. The
@@ -62,6 +64,8 @@ func newObsBundle(traceCap int) *obsBundle {
 			"latency of one tree snapshot encode or download"),
 		rebootstraps: reg.Counter("dyntc_replog_rebootstraps_total",
 			"follower replicas rebuilt from a fresh snapshot (truncated log or replay divergence)"),
+		promotions: reg.Counter("dyntc_failover_promotions_total",
+			"follower-to-leader promotions performed by this process"),
 	}
 	return b
 }
@@ -163,6 +167,15 @@ func (s *server) observe(b *obsBundle) {
 			})
 			return max
 		})
+	b.reg.GaugeFunc("dyntc_epoch",
+		"highest leadership epoch across served trees (follower: trusted term)",
+		func() float64 { return float64(s.maxEpoch()) })
+	b.reg.GaugeFunc("dyntc_fenced_epoch",
+		"newer epoch a demoted leader fenced itself read-only at (0 = serving writes)",
+		func() float64 { return float64(s.fenced.Load()) })
+	b.reg.GaugeFunc("dyntc_degraded",
+		"1 when serving in degraded mode (follower cut off from its leader), else 0",
+		func() float64 { return 0 })
 }
 
 // observe registers the follower's cross-layer families: scheduler
@@ -211,6 +224,31 @@ func (f *followerServer) observe(b *obsBundle) {
 				}
 				return acc
 			})
+		})
+	b.reg.GaugeFunc("dyntc_epoch",
+		"highest leadership epoch across served trees (follower: trusted term)",
+		func() float64 {
+			return snap(func(rep *replica) uint64 { return rep.fo.Epoch() },
+				func(acc, v float64) float64 {
+					if v > acc {
+						return v
+					}
+					return acc
+				})
+		})
+	b.reg.GaugeFunc("dyntc_degraded",
+		"1 when serving in degraded mode (follower cut off from its leader), else 0",
+		func() float64 {
+			if degraded, _, _, _ := f.health(); degraded {
+				return 1
+			}
+			return 0
+		})
+	b.reg.GaugeFunc("dyntc_follower_backoff_seconds",
+		"current leader-poll backoff after consecutive failed rounds (0 = healthy cadence)",
+		func() float64 {
+			_, _, _, backoff := f.health()
+			return backoff.Seconds()
 		})
 }
 

@@ -10,7 +10,9 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyntc"
@@ -77,6 +79,57 @@ type server struct {
 	// to the routes and feeds the snapshot instruments. Nil in tests that
 	// don't exercise observability.
 	obs *obsBundle
+
+	// fenced, when non-zero, is the newer leadership epoch this leader has
+	// observed: a promoted follower is serving writes for a term above any
+	// this process sealed, so every write here would be lost on the next
+	// failover. A fenced leader refuses writes with 403 and keeps serving
+	// reads and its log tail (the new term drains it). Fencing is one-way;
+	// recovery is a restart.
+	fenced atomic.Uint64
+
+	// faults, when set, is the deterministic fault schedule: it rides into
+	// every tree's WAL ("wal.append"/"wal.sync") here and into the engines
+	// ("engine.wave") via BatchOptions.Faults in main.
+	faults *dyntc.FaultInjector
+}
+
+// fence records a newer leadership epoch, flipping the server read-only.
+// Multiple observations keep the highest epoch.
+func (s *server) fence(epoch uint64) {
+	for {
+		cur := s.fenced.Load()
+		if epoch <= cur {
+			return
+		}
+		if s.fenced.CompareAndSwap(cur, epoch) {
+			log.Printf("dyntcd: fenced read-only: observed leadership epoch %d above ours", epoch)
+			return
+		}
+	}
+}
+
+// maxEpoch returns the highest leadership epoch across served trees.
+func (s *server) maxEpoch() uint64 {
+	var max uint64
+	s.forest.Each(func(_ dyntc.TreeID, en *dyntc.Engine) {
+		if e := en.Epoch(); e > max {
+			max = e
+		}
+	})
+	return max
+}
+
+// writable guards a mutating handler behind the epoch fence.
+func (s *server) writable(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ep := s.fenced.Load(); ep != 0 {
+			writeErr(w, apiError{http.StatusForbidden,
+				fmt.Sprintf("demoted at epoch %d: fenced read-only", ep)})
+			return
+		}
+		h(w, r)
+	}
 }
 
 // compactor is one tree's background log-compaction loop. The engine's
@@ -214,6 +267,9 @@ func (s *server) attachLog(id dyntc.TreeID, en *dyntc.Engine) error {
 	if s.obs != nil {
 		wl.SetMetrics(s.obs.replog)
 	}
+	if s.faults != nil {
+		wl.SetFaults(s.faults)
+	}
 	s.logs.Store(id, wl)
 	var c *compactor
 	if s.compactEvery > 0 {
@@ -241,6 +297,121 @@ func (s *server) attachLog(id dyntc.TreeID, en *dyntc.Engine) error {
 	return nil
 }
 
+// persistSnapshot writes tree id's snapshot next to its WAL (no-op
+// without -wal-dir). The pair tree-<id>.snap + tree-<id>.wal is the
+// recovery anchor: restore the snapshot, replay the WAL past its
+// sequence. Called at tree birth (create / PUT snapshot / promotion) and
+// by compaction, so a WAL never exists without the snapshot that anchors
+// its replay.
+func (s *server) persistSnapshot(id dyntc.TreeID, data []byte) error {
+	if s.walDir == "" {
+		return nil
+	}
+	return writeFileSync(filepath.Join(s.walDir, fmt.Sprintf("tree-%d.snap", id)), data)
+}
+
+// recover rebuilds every tree whose snapshot survives in the WAL
+// directory: restore the snapshot, replay the recovered WAL tail past
+// its sequence (truncating a torn tail instead of refusing to start),
+// then re-anchor — persist a fresh snapshot of the recovered state and
+// rotate to a fresh WAL via attachLog. Call before serving traffic.
+func (s *server) recover() error {
+	if s.walDir == "" {
+		return nil
+	}
+	snaps, err := filepath.Glob(filepath.Join(s.walDir, "tree-*.snap"))
+	if err != nil {
+		return err
+	}
+	anchored := make(map[string]bool, len(snaps))
+	for _, sp := range snaps {
+		idStr := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(sp), "tree-"), ".snap")
+		id, perr := strconv.ParseUint(idStr, 10, 64)
+		if perr != nil {
+			continue
+		}
+		anchored[idStr] = true
+		data, rerr := os.ReadFile(sp)
+		if rerr != nil {
+			log.Printf("dyntcd: tree %s: read snapshot: %v; skipping", idStr, rerr)
+			continue
+		}
+		en, seq, rerr := s.forest.Restore(id, data)
+		if rerr != nil {
+			log.Printf("dyntcd: tree %s: restore snapshot: %v; skipping", idStr, rerr)
+			continue
+		}
+		epoch := en.Epoch()
+		walPath := filepath.Join(s.walDir, fmt.Sprintf("tree-%d.wal", id))
+		if _, serr := os.Stat(walPath); serr == nil {
+			waves, dropped, werr := dyntc.RecoverWaveLog(walPath)
+			if werr != nil {
+				log.Printf("dyntcd: tree %d: wal recover: %v; serving snapshot state", id, werr)
+			} else {
+				if dropped > 0 {
+					log.Printf("dyntcd: tree %d: wal recover: truncated %d torn tail bytes", id, dropped)
+				}
+				// Replay contiguously past the snapshot. The engine is
+				// untapped here, so mutating inside Query is legal and the
+				// replayed waves are not re-logged.
+				for _, wv := range waves {
+					if wv.Seq <= seq {
+						continue
+					}
+					if wv.Seq != seq+1 {
+						log.Printf("dyntcd: tree %d: wal gap at wave %d (recovered to %d); stopping replay", id, wv.Seq, seq)
+						break
+					}
+					wv := wv
+					var aerr error
+					if qerr := en.Query(func(e *dyntc.Expr) { aerr = e.ApplyWave(wv) }); qerr != nil {
+						aerr = qerr
+					}
+					if aerr != nil {
+						log.Printf("dyntcd: tree %d: wal replay wave %d: %v; stopping replay", id, wv.Seq, aerr)
+						break
+					}
+					seq = wv.Seq
+					if ep := wv.EpochOrDefault(); ep > epoch {
+						epoch = ep
+					}
+				}
+			}
+		}
+		en.SetAppliedSeq(seq)
+		en.SetEpoch(epoch)
+		var ring dyntc.Ring
+		if qerr := en.Query(func(e *dyntc.Expr) { ring = e.Tree().Ring }); qerr != nil {
+			return qerr
+		}
+		s.rings.Store(id, ring)
+		// Re-anchor before attaching: the fresh snapshot at the recovered
+		// sequence and the fresh WAL attachLog rotates to form a consistent
+		// pair even if the replayed tail was torn.
+		rsnap, rseq, serr := en.SnapshotAt()
+		if serr != nil {
+			return serr
+		}
+		if err := s.persistSnapshot(id, rsnap); err != nil {
+			return err
+		}
+		if err := s.attachLog(id, en); err != nil {
+			return err
+		}
+		log.Printf("dyntcd: tree %d: recovered at seq %d epoch %d", id, rseq, epoch)
+	}
+	// A WAL without its anchoring snapshot cannot be replayed (waves are
+	// deltas); refuse to guess and leave the file for the operator.
+	wals, _ := filepath.Glob(filepath.Join(s.walDir, "tree-*.wal"))
+	for _, wp := range wals {
+		idStr := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(wp), "tree-"), ".wal")
+		if !anchored[idStr] {
+			log.Printf("dyntcd: %s has no tree-%s.snap anchor; not recovered", wp, idStr)
+		}
+	}
+	return nil
+}
+
 // closeLogs stops the compactors and flushes and closes every tree's WAL
 // (shutdown path; call after the forest has drained).
 func (s *server) closeLogs() {
@@ -261,22 +432,23 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime_s": time.Since(s.start).Seconds()})
 	})
-	mux.HandleFunc("POST /v1/trees", s.handleCreate)
+	mux.HandleFunc("POST /v1/trees", s.writable(s.handleCreate))
 	mux.HandleFunc("GET /v1/trees", s.handleList)
-	mux.HandleFunc("DELETE /v1/trees/{id}", s.handleDelete)
-	mux.HandleFunc("POST /v1/trees/{id}/grow", s.treeHandler(s.handleGrow))
-	mux.HandleFunc("POST /v1/trees/{id}/collapse", s.treeHandler(s.handleCollapse))
-	mux.HandleFunc("POST /v1/trees/{id}/set-leaf", s.treeHandler(s.handleSetLeaf))
-	mux.HandleFunc("POST /v1/trees/{id}/set-op", s.treeHandler(s.handleSetOp))
-	mux.HandleFunc("POST /v1/trees/{id}/batch", s.treeHandler(s.handleBatch))
+	mux.HandleFunc("DELETE /v1/trees/{id}", s.writable(s.handleDelete))
+	mux.HandleFunc("POST /v1/trees/{id}/grow", s.writable(s.treeHandler(s.handleGrow)))
+	mux.HandleFunc("POST /v1/trees/{id}/collapse", s.writable(s.treeHandler(s.handleCollapse)))
+	mux.HandleFunc("POST /v1/trees/{id}/set-leaf", s.writable(s.treeHandler(s.handleSetLeaf)))
+	mux.HandleFunc("POST /v1/trees/{id}/set-op", s.writable(s.treeHandler(s.handleSetOp)))
+	mux.HandleFunc("POST /v1/trees/{id}/batch", s.writable(s.treeHandler(s.handleBatch)))
 	mux.HandleFunc("GET /v1/trees/{id}/value", s.treeHandler(s.handleValue))
 	mux.HandleFunc("GET /v1/trees/{id}/stats", s.treeHandler(s.handleTreeStats))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/trees/{id}/snapshot", s.treeHandler(s.handleGetSnapshot))
-	mux.HandleFunc("PUT /v1/trees/{id}/snapshot", s.handlePutSnapshot)
+	mux.HandleFunc("PUT /v1/trees/{id}/snapshot", s.writable(s.handlePutSnapshot))
 	mux.HandleFunc("GET /v1/trees/{id}/log", s.treeHandler(s.handleLog))
+	mux.HandleFunc("POST /v1/demote", s.handleDemote)
 	if s.obs != nil {
 		mux.HandleFunc("GET /metrics", s.obs.handleMetrics)
 		mux.HandleFunc("GET /v1/trace", s.obs.handleTrace)
@@ -417,10 +589,26 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	id, en := s.forest.Create(ring, req.Root, opts...)
 	s.rings.Store(id, ring)
-	if err := s.attachLog(id, en); err != nil {
+	// Persist the genesis snapshot before the WAL exists: recovery replays
+	// tree-<id>.wal on top of tree-<id>.snap, so the anchor must never
+	// trail the log it anchors.
+	fail := func(err error) {
 		s.forest.Drop(id)
 		s.rings.Delete(id)
 		writeErr(w, err)
+	}
+	if s.walDir != "" {
+		snap, err := en.Snapshot()
+		if err == nil {
+			err = s.persistSnapshot(id, snap)
+		}
+		if err != nil {
+			fail(err)
+			return
+		}
+	}
+	if err := s.attachLog(id, en); err != nil {
+		fail(err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"tree": id, "root_node": 0})
@@ -462,6 +650,12 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.stopCompactor(id)
 	if wl, ok := s.logs.LoadAndDelete(id); ok {
 		_ = wl.(*dyntc.WaveLog).Close()
+	}
+	if s.walDir != "" {
+		// A dropped tree must not resurrect on restart: remove its anchor
+		// and WAL together.
+		_ = os.Remove(filepath.Join(s.walDir, fmt.Sprintf("tree-%d.snap", id)))
+		_ = os.Remove(filepath.Join(s.walDir, fmt.Sprintf("tree-%d.wal", id)))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": id})
 }
@@ -778,6 +972,14 @@ func (s *server) handlePutSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.rings.Store(id, ring)
+	// Anchor first (the restored snapshot bytes are already the canonical
+	// encoding at seq), then attach the WAL that will continue it.
+	if err := s.persistSnapshot(id, body); err != nil {
+		s.forest.Drop(id)
+		s.rings.Delete(id)
+		writeErr(w, err)
+		return
+	}
 	if err := s.attachLog(id, en); err != nil {
 		s.forest.Drop(id)
 		s.rings.Delete(id)
@@ -792,6 +994,15 @@ func (s *server) handlePutSnapshot(w http.ResponseWriter, r *http.Request) {
 // re-bootstrap from a snapshot.
 func (s *server) handleLog(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
 	id, _ := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	// Followers advertise the leadership epoch they trust. Seeing a higher
+	// term than any wave we sealed means a promotion happened elsewhere:
+	// fence writes immediately, but keep serving the tail — the new term
+	// drains it.
+	if h := r.Header.Get("X-Dyntc-Epoch"); h != "" {
+		if ep, err := strconv.ParseUint(h, 10, 64); err == nil && ep > en.Epoch() {
+			s.fence(ep)
+		}
+	}
 	var since uint64
 	if q := r.URL.Query().Get("since"); q != "" {
 		var err error
@@ -828,14 +1039,37 @@ func (s *server) handleLog(w http.ResponseWriter, r *http.Request, en *dyntc.Eng
 	})
 }
 
+// handleDemote tells this leader a newer leadership term exists — the
+// promotion path's explicit fencing call (a promoted follower posts it
+// best-effort; operators can too). The epoch must exceed every term this
+// process has sealed waves for, else 409.
+func (s *server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if max := s.maxEpoch(); req.Epoch <= max {
+		writeErr(w, apiError{http.StatusConflict,
+			fmt.Sprintf("demote epoch %d not above current epoch %d", req.Epoch, max)})
+		return
+	}
+	s.fence(req.Epoch)
+	writeJSON(w, http.StatusOK, map[string]any{"fenced_at_epoch": s.fenced.Load()})
+}
+
 // handleHealthz reports per-engine liveness: applied change-log sequence,
-// queue depth against capacity, and drop counts — the signals a load
-// balancer or replication monitor needs.
+// leadership epoch, queue depth against capacity, and drop counts — the
+// signals a load balancer or replication monitor needs. A fenced
+// (demoted) leader reports 503 so balancers stop routing writes at it.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type treeHealth struct {
 		Tree       dyntc.TreeID `json:"tree"`
 		AppliedSeq uint64       `json:"applied_seq"`
 		LogSeq     uint64       `json:"log_seq"`
+		Epoch      uint64       `json:"epoch"`
 		QueueDepth int          `json:"queue_depth"`
 		QueueCap   int          `json:"queue_cap"`
 		Dropped    uint64       `json:"dropped"`
@@ -847,6 +1081,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		th := treeHealth{
 			Tree:       id,
 			AppliedSeq: en.AppliedSeq(),
+			Epoch:      en.Epoch(),
 			QueueDepth: st.QueueDepth,
 			QueueCap:   st.QueueCap,
 			Dropped:    st.Dropped,
@@ -860,16 +1095,22 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		trees = append(trees, th)
 	})
+	status := http.StatusOK
 	body := map[string]any{
 		"ok":       true,
 		"role":     "leader",
 		"uptime_s": time.Since(s.start).Seconds(),
 		"trees":    trees,
 	}
+	if ep := s.fenced.Load(); ep != 0 {
+		status = http.StatusServiceUnavailable
+		body["ok"] = false
+		body["fenced_at_epoch"] = ep
+	}
 	if s.pool != nil {
 		body["sched"] = s.pool.Stats()
 	}
-	writeJSON(w, http.StatusOK, body)
+	writeJSON(w, status, body)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -95,6 +95,12 @@ type Expr struct {
 	mach *pram.Machine
 	seed uint64
 
+	// epoch is the leadership term this tree's waves are stamped with:
+	// 1 for a fresh tree, the snapshot's epoch for a restored one,
+	// bumped by promotion (see Promote in replicate.go). Touched only by
+	// the owner / engine executor, like seed.
+	epoch uint64
+
 	// frozen is set while an Engine.Query barrier runs on a wave-tapped
 	// (replicated) engine: mutations there would be invisible to the wave
 	// change-log and silently diverge every follower, so they are refused
@@ -179,10 +185,11 @@ func NewExpr(r Ring, rootValue int64, opts ...Option) *Expr {
 	m := o.newMachine()
 	t := tree.New(r, rootValue)
 	e := &Expr{
-		t:    t,
-		con:  core.New(t, o.seed, m),
-		mach: m,
-		seed: o.seed,
+		t:     t,
+		con:   core.New(t, o.seed, m),
+		mach:  m,
+		seed:  o.seed,
+		epoch: 1,
 	}
 	if o.withTour {
 		e.tour = euler.New(t, o.seed^0x9E3779B97F4A7C15)

@@ -1,0 +1,43 @@
+package dyntc
+
+import "dyntc/internal/faults"
+
+// This file is the public face of the deterministic fault-injection
+// harness (internal/faults). An injector is a seeded schedule of fault
+// rules keyed by site name; the replication stack checks it at its
+// crash points:
+//
+//	"engine.wave"   once per executed wave (BatchOptions.Faults) —
+//	                injected errors poison the engine like a crash
+//	"wal.append"    per WAL record write (WaveLog.SetFaults) —
+//	                supports torn (partial) writes
+//	"wal.sync"      per WAL flush/fsync (WaveLog.SetFaults)
+//
+// dyntcd adds "follower.rpc" on the follower's HTTP transport. The same
+// seed against the same call sequence reproduces the same faults, which
+// is what lets the chaos suite assert byte-identical convergence after
+// killing and corrupting nodes mid-traffic.
+
+// FaultInjector is a seeded, deterministic fault schedule. Nil injects
+// nothing everywhere it can be attached.
+type FaultInjector = faults.Injector
+
+// FaultRule is one fault at one site: count/probability triggers plus
+// error, latency, torn-write, and crash effects.
+type FaultRule = faults.Rule
+
+// ErrFaultInjected is the default error injected by rules that carry no
+// custom error; test assertions match it with errors.Is.
+var ErrFaultInjected = faults.ErrInjected
+
+// NewFaultInjector returns an empty injector driven by seed; add rules
+// with its Add method.
+func NewFaultInjector(seed uint64) *FaultInjector { return faults.New(seed) }
+
+// FaultInjectorFromSpec builds a seeded injector from the textual rule
+// grammar used by dyntcd's -faults flag, e.g.
+//
+//	"wal.append:after=100:torn=0.5:times=1;follower.rpc:p=0.2:err=partition"
+func FaultInjectorFromSpec(seed uint64, spec string) (*FaultInjector, error) {
+	return faults.FromSpec(seed, spec)
+}

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -63,13 +64,26 @@ type ReplayResult struct {
 	MaxLagWaves  uint64  `json:"max_lag_waves"`
 	CatchupMS    float64 `json:"catchup_ms"` // leader-done -> follower converged
 
+	// FailoverMS is the promotion path end to end: epoch-bump the
+	// caught-up follower, restore its promoted snapshot into an engine,
+	// and have that engine serving.
+	FailoverMS float64 `json:"failover_ms"`
+	// DegradedStalenessMS is the staleness bound a degraded read on the
+	// cut-off follower reports: time since its last successful leader
+	// contact at the moment the read is served.
+	DegradedStalenessMS float64 `json:"degraded_staleness_ms"`
+
 	Converged bool `json:"converged"` // follower snapshot byte-identical to leader's
+
+	Seconds    float64 `json:"seconds"`    // leader traffic wall time (baseline stability gate)
+	GoMaxProcs int     `json:"gomaxprocs"` // host class for baseline comparability
 }
 
 // runReplay is one (clients, ops) measurement.
 func runReplay(cfg ReplayConfig, opsPerClient int) ReplayResult {
 	ring := dyntc.ModRing(1_000_000_007)
-	res := ReplayResult{Clients: cfg.Clients, Ops: cfg.Clients * opsPerClient}
+	res := ReplayResult{Clients: cfg.Clients, Ops: cfg.Clients * opsPerClient,
+		GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	wlog, err := dyntc.NewWaveLog(1<<20, "")
 	if err != nil {
@@ -146,11 +160,15 @@ func runReplay(cfg ReplayConfig, opsPerClient int) ReplayResult {
 	wg.Wait()
 	leaderSecs := time.Since(start).Seconds()
 	res.LeaderOpsPerSec = float64(res.Ops) / leaderSecs
+	res.Seconds = leaderSecs
 
 	// Follower catch-up time after the leader goes quiet.
 	catchupStart := time.Now()
 	close(stopTail)
 	<-tailDone
+	// The tail follower's last successful leader contact: everything
+	// after this point it serves without a leader.
+	lastContact := time.Now()
 	res.CatchupMS = float64(time.Since(catchupStart).Nanoseconds()) / 1e6
 	if lagSamples > 0 {
 		res.MeanLagWaves = float64(lagTotal) / float64(lagSamples)
@@ -207,6 +225,28 @@ func runReplay(cfg ReplayConfig, opsPerClient int) ReplayResult {
 		panic(err)
 	}
 	res.Converged = bytes.Equal(tailSnap, finalSnap) && bytes.Equal(coldSnap, finalSnap)
+
+	// Degraded read: the leader is gone (closed above), the follower
+	// keeps serving — a read's staleness bound is the time since the
+	// follower's last successful leader contact.
+	readAt := time.Now()
+	_ = tailFo.Root()
+	res.DegradedStalenessMS = float64(readAt.Sub(lastContact).Nanoseconds()) / 1e6
+
+	// Failover: promote the caught-up follower to a new leadership term
+	// and stand its state up as a serving engine.
+	foStart := time.Now()
+	psnap, _, _, err := tailFo.Promote()
+	if err != nil {
+		panic(err)
+	}
+	pe, _, err := dyntc.RestoreExpr(psnap)
+	if err != nil {
+		panic(err)
+	}
+	pen := pe.Serve(dyntc.BatchOptions{})
+	res.FailoverMS = float64(time.Since(foStart).Nanoseconds()) / 1e6
+	pen.Close()
 	return res
 }
 
@@ -235,13 +275,74 @@ func WriteReplayJSON(path string, results []ReplayResult) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// ReadReplayJSON loads a BENCH_replay.json payload (for baseline checks).
+func ReadReplayJSON(path string) ([]ReplayResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		Results []ReplayResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, err
+	}
+	return payload.Results, nil
+}
+
+// CompareReplayBaseline checks replay results against a committed
+// baseline file: rows whose configuration (clients, ops, gomaxprocs)
+// matches a baseline row must not regress LeaderOpsPerSec or
+// ReplayWavesPerSec by more than tolerance, and every current row must
+// have converged. Rows without a comparable baseline row — a different
+// host class included — are skipped, as are measurements too short to be
+// stable (under baselineMinSeconds on either side). It returns the
+// comparisons performed and the failures.
+func CompareReplayBaseline(results, baseline []ReplayResult, tolerance float64) (compared int, failures []string) {
+	const baselineMinSeconds = 0.2
+	type key struct {
+		clients int
+		ops     int
+		gmp     int
+	}
+	base := make(map[key]ReplayResult)
+	for _, r := range baseline {
+		base[key{r.Clients, r.Ops, r.GoMaxProcs}] = r
+	}
+	for _, r := range results {
+		if !r.Converged {
+			failures = append(failures, fmt.Sprintf(
+				"clients=%d ops=%d: follower did not converge to the leader's snapshot bytes", r.Clients, r.Ops))
+			continue
+		}
+		b, ok := base[key{r.Clients, r.Ops, r.GoMaxProcs}]
+		if !ok {
+			continue
+		}
+		if r.Seconds < baselineMinSeconds || b.Seconds < baselineMinSeconds {
+			continue
+		}
+		compared++
+		check := func(name string, have, want float64) {
+			if want > 0 && have < (1-tolerance)*want {
+				failures = append(failures, fmt.Sprintf(
+					"clients=%d ops=%d: %s %.0f vs baseline %.0f (-%.1f%%, tolerance %.0f%%)",
+					r.Clients, r.Ops, name, have, want, 100*(1-have/want), 100*tolerance))
+			}
+		}
+		check("leader_ops/s", r.LeaderOpsPerSec, b.LeaderOpsPerSec)
+		check("replay_waves/s", r.ReplayWavesPerSec, b.ReplayWavesPerSec)
+	}
+	return compared, failures
+}
+
 // ReplayTable renders results as a dyntc-bench table.
 func ReplayTable(results []ReplayResult) Table {
 	t := Table{
 		ID:      "E13",
 		Title:   "replication: snapshot + wave log + follower catch-up",
 		Claim:   "followers replaying the wave log converge to the leader's exact snapshot bytes",
-		Columns: []string{"clients", "ops", "waves", "leader_ops/s", "snap_KB", "snap_ms", "restore_ms", "replay_waves/s", "mean_lag", "max_lag", "catchup_ms", "converged"},
+		Columns: []string{"clients", "ops", "waves", "leader_ops/s", "snap_KB", "snap_ms", "restore_ms", "replay_waves/s", "mean_lag", "max_lag", "catchup_ms", "failover_ms", "stale_ms", "converged"},
 	}
 	for _, r := range results {
 		t.AddRow(r.Clients, r.Ops, r.Waves,
@@ -253,10 +354,14 @@ func ReplayTable(results []ReplayResult) Table {
 			fmt.Sprintf("%.1f", r.MeanLagWaves),
 			fmt.Sprint(r.MaxLagWaves),
 			fmt.Sprintf("%.2f", r.CatchupMS),
+			fmt.Sprintf("%.2f", r.FailoverMS),
+			fmt.Sprintf("%.2f", r.DegradedStalenessMS),
 			fmt.Sprint(r.Converged))
 	}
 	t.Notes = append(t.Notes,
 		"leader_ops/s includes wave logging and a live-tailing in-process follower",
-		"lag sampled each follower poll (200µs); catch-up is leader-quiet to follower-converged")
+		"lag sampled each follower poll (200µs); catch-up is leader-quiet to follower-converged",
+		"failover_ms promotes the caught-up follower and stands it up as a serving engine",
+		"stale_ms is the staleness bound a degraded read reports after the leader is gone")
 	return t
 }

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dyntc/internal/faults"
 	"dyntc/internal/obs"
 	"dyntc/internal/pram"
 	"dyntc/internal/replog"
@@ -128,6 +129,14 @@ type Options struct {
 	// SlowWaveThreshold is the flush duration that counts as slow
 	// (default 25ms when SlowWave is set).
 	SlowWaveThreshold time.Duration
+	// Faults, when set, is the deterministic fault-injection schedule:
+	// site "engine.wave" is checked once per executed wave on the
+	// executor. An injected error panics the wave, which the engine's
+	// own recovery turns into a poisoned engine — the library-level
+	// stand-in for a leader crash mid-traffic; injected latency
+	// simulates a stalled flush. nil (production) costs one pointer
+	// check per wave.
+	Faults *faults.Injector
 }
 
 // WaveTap receives the change record of one executed mutating wave.
@@ -176,6 +185,10 @@ type Engine struct {
 	// is the tree state's position in the wave change-log. Restored
 	// followers seed it with their snapshot's sequence (SetAppliedSeq).
 	appliedSeq atomic.Uint64
+	// epoch is the leadership term stamped into every sealed wave: 1 for
+	// a fresh engine, the host's term when the host reports one (a tree
+	// restored from a snapshot), advanced by SetEpoch at promotion.
+	epoch atomic.Uint64
 	// tap is the active wave tap (nil = none); swappable at runtime so a
 	// change log can attach to an already-serving engine.
 	tap atomic.Pointer[WaveTap]
@@ -252,6 +265,13 @@ func New(host Host, opts Options) *Engine {
 	}
 	e.kinder, _ = host.(stepKinder)
 	e.grainer, _ = host.(grainReporter)
+	// A host restored from a snapshot carries its leadership term; seed
+	// the wave stamp from it (same capability pattern as kinder).
+	if ep, ok := host.(interface{ Epoch() uint64 }); ok {
+		e.epoch.Store(ep.Epoch())
+	} else {
+		e.epoch.Store(1)
+	}
 	e.timing = e.opts.Obs != nil || e.opts.Trace != nil || e.opts.SlowWave != nil
 	e.phaseFns = [numPhases]func(){
 		e.phaseGrows, e.phaseCollapses, e.phaseSetLeaves,
@@ -308,6 +328,22 @@ func (e *Engine) AppliedSeq() uint64 { return e.appliedSeq.Load() }
 // over a host restored from a snapshot taken at that sequence. Call it
 // before the engine receives traffic.
 func (e *Engine) SetAppliedSeq(seq uint64) { e.appliedSeq.Store(seq) }
+
+// Epoch returns the leadership term stamped into sealed waves.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// SetEpoch advances the wave-stamp epoch (it never moves backwards).
+// Startup recovery uses it after replaying a WAL that crossed a
+// failover; promotion normally flows the bumped epoch in via the
+// restored host instead.
+func (e *Engine) SetEpoch(epoch uint64) {
+	for {
+		cur := e.epoch.Load()
+		if epoch <= cur || e.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
 
 // Close stops accepting requests, waits for the executor to drain every
 // pending request, and returns. Close is idempotent.

@@ -392,6 +392,12 @@ func (e *Engine) footprintAll(f *Future) footprint {
 func (e *Engine) runWave(wave []*Future) {
 	sc := &e.sc
 	sc.resolved = 0
+	// Point order at this wave before anything can panic: until the
+	// phase-ordered rebuild below, sc.order still holds the previous
+	// wave's (resolved, possibly recycled) futures, and a panic in that
+	// window — the engine.wave fault check fires there — would fail the
+	// wrong futures and strand this wave's callers forever.
+	sc.order = append(sc.order[:0], wave...)
 	defer func() {
 		r := recover()
 		if r == nil && e.wavePanicked {
@@ -407,6 +413,13 @@ func (e *Engine) runWave(wave []*Future) {
 	}()
 	e.stats.wave()
 	sc.waveN++
+
+	// Fault-injection crash point for the flush path: an injected error
+	// rides the wave's own panic recovery into a poisoned engine — every
+	// in-flight future fails, exactly like a genuine executor crash.
+	if r := e.opts.Faults.Check("engine.wave"); r != nil && r.Err != nil {
+		panic(r.Err)
+	}
 
 	if wave[0].kind == kBarrier {
 		// Barriers execute arbitrary user code (snapshots park on I/O,
@@ -638,7 +651,7 @@ func (e *Engine) phaseSetOps() {
 func (e *Engine) phaseSealWave() {
 	seq := e.appliedSeq.Add(1)
 	if e.sc.rec != nil {
-		w := replog.Wave{Seq: seq, Ops: e.sc.rec, Root: e.host.Root()}
+		w := replog.Wave{Seq: seq, Epoch: e.epoch.Load(), Ops: e.sc.rec, Root: e.host.Root()}
 		w.Seal()
 		(*e.sc.tap)(w)
 	}

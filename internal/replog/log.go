@@ -2,6 +2,7 @@ package replog
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dyntc/internal/faults"
 )
 
 // Log errors.
@@ -23,6 +26,10 @@ var (
 	ErrGap = errors.New("replog: non-contiguous wave sequence")
 	// ErrCorrupt reports a wave whose checksum does not match its content.
 	ErrCorrupt = errors.New("replog: wave checksum mismatch")
+	// ErrStaleEpoch reports a wave carrying an epoch lower than one
+	// already accepted — a late write from a demoted leader, rejected by
+	// the fence.
+	ErrStaleEpoch = errors.New("replog: wave epoch below current epoch")
 )
 
 // Log is the wave change-log: a bounded in-memory ring of the most recent
@@ -42,12 +49,22 @@ type Log struct {
 	start int // ring index of the oldest retained wave
 	n     int // retained wave count
 
-	base uint64 // Seq of the oldest retained wave (0 = empty)
-	last uint64 // Seq of the newest appended wave (0 = none yet)
+	base  uint64 // Seq of the oldest retained wave (0 = empty)
+	last  uint64 // Seq of the newest appended wave (0 = none yet)
+	epoch uint64 // highest epoch accepted so far (0 = none yet)
 
-	f   *os.File
-	bw  *bufio.Writer
-	enc *json.Encoder
+	f  *os.File
+	bw *bufio.Writer
+	// enc encodes into ebuf, never straight into bw: each record is
+	// staged as one byte slice so the write to the mirror goes through a
+	// single seam — which is where fault injection tears it.
+	enc  *json.Encoder
+	ebuf bytes.Buffer
+
+	// faults is the optional fault-injection schedule (SetFaults); sites
+	// "wal.append" (per-record mirror write, supports torn writes) and
+	// "wal.sync" (flush/fsync).
+	faults *faults.Injector
 
 	// compacting guards the unlocked phase of Compact: a second Compact
 	// arriving while one is rewriting the file is a no-op.
@@ -62,6 +79,14 @@ type Log struct {
 
 // SetMetrics attaches (or, with nil, detaches) the metrics bundle.
 func (l *Log) SetMetrics(m *Metrics) { l.m.Store(m) }
+
+// SetFaults attaches (or, with nil, detaches) a fault-injection
+// schedule to the WAL I/O path.
+func (l *Log) SetFaults(in *faults.Injector) {
+	l.mu.Lock()
+	l.faults = in
+	l.mu.Unlock()
+}
 
 // DefaultLogCapacity is the ring size used when NewLog gets capacity <= 0.
 const DefaultLogCapacity = 4096
@@ -81,6 +106,11 @@ func NewLog(capacity int, path string) (*Log, error) {
 	}
 	l := &Log{ring: make([]Wave, capacity)}
 	if path != "" {
+		// A crash in compaction's rename window can leave a stale
+		// path.compact temp file behind. It is never valid to adopt: the
+		// rename not having happened means path itself is still the
+		// current, fully-contiguous file. Drop the leftover.
+		os.Remove(path + ".compact")
 		if st, err := os.Stat(path); err == nil && st.Size() > 0 {
 			rotated := fmt.Sprintf("%s.%d.old", path, time.Now().UnixNano())
 			if err := os.Rename(path, rotated); err != nil {
@@ -93,7 +123,7 @@ func NewLog(capacity int, path string) (*Log, error) {
 		}
 		l.f = f
 		l.bw = bufio.NewWriter(f)
-		l.enc = json.NewEncoder(l.bw)
+		l.enc = json.NewEncoder(&l.ebuf)
 	}
 	return l, nil
 }
@@ -123,6 +153,10 @@ func (l *Log) Append(w Wave) error {
 	if l.last != 0 && w.Seq != l.last+1 {
 		return fmt.Errorf("%w: have %d, appending %d", ErrGap, l.last, w.Seq)
 	}
+	if ep := w.EpochOrDefault(); ep < l.epoch {
+		return fmt.Errorf("%w: log at epoch %d, wave %d carries epoch %d",
+			ErrStaleEpoch, l.epoch, w.Seq, ep)
+	}
 	if l.n == len(l.ring) {
 		// Evict the oldest retained wave.
 		l.start = (l.start + 1) % len(l.ring)
@@ -135,10 +169,40 @@ func (l *Log) Append(w Wave) error {
 		l.base = w.Seq
 	}
 	l.last = w.Seq
-	if l.enc != nil {
+	l.epoch = w.EpochOrDefault()
+	if l.bw != nil {
+		l.ebuf.Reset()
 		if err := l.enc.Encode(&w); err != nil {
 			l.appendErr = fmt.Errorf("replog: wal append (mirror disabled at seq %d): %w", w.Seq, err)
 			l.enc, l.bw = nil, nil // stop mirroring; ring stays live
+			return l.appendErr
+		}
+		rec := l.ebuf.Bytes()
+		var err error
+		if fi := l.faults; fi != nil {
+			_, err = fi.Write("wal.append", l.bw, rec)
+		} else {
+			_, err = l.bw.Write(rec)
+		}
+		if err != nil {
+			// A failed or torn write leaves the mirror mid-record. Push
+			// whatever landed down to the file — the on-disk tail then
+			// holds exactly the partial record a crash would have left,
+			// which is what RecoverWAL is for — and disable the mirror.
+			l.bw.Flush()
+			l.f.Sync()
+			l.appendErr = fmt.Errorf("replog: wal append (mirror disabled at seq %d): %w", w.Seq, err)
+			l.enc, l.bw = nil, nil
+			return l.appendErr
+		}
+		// Hand the record to the OS now (no fsync): a killed process
+		// loses at most the record the kernel was mid-write on — the
+		// torn tail RecoverWAL truncates — instead of the whole
+		// buffered tail. Waves are already coalesced batches, so this
+		// is one write syscall per wave, not per operation.
+		if err := l.bw.Flush(); err != nil {
+			l.appendErr = fmt.Errorf("replog: wal append (mirror disabled at seq %d): %w", w.Seq, err)
+			l.enc, l.bw = nil, nil
 			return l.appendErr
 		}
 	}
@@ -285,7 +349,7 @@ func (l *Log) rewrite(path string, tail []Wave, trimmed uint64) error {
 	old.Close()
 	l.f = f
 	l.bw = bufio.NewWriter(f)
-	l.enc = json.NewEncoder(l.bw)
+	l.enc = json.NewEncoder(&l.ebuf)
 	// Make the rename itself durable: without a directory fsync, a crash
 	// could surface the old (pre-compaction) file again — or, ordered
 	// against the caller's snapshot rename, the trimmed WAL without its
@@ -351,6 +415,13 @@ func (l *Log) LastSeq() uint64 {
 	return l.last
 }
 
+// LastEpoch returns the highest epoch accepted so far (0 if none).
+func (l *Log) LastEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
 // BaseSeq returns the oldest retained sequence number (0 if empty).
 func (l *Log) BaseSeq() uint64 {
 	l.mu.Lock()
@@ -381,6 +452,13 @@ func (l *Log) syncLocked() error {
 	}
 	if l.bw == nil {
 		return nil
+	}
+	if fi := l.faults; fi != nil {
+		if r := fi.Check("wal.sync"); r != nil && r.Err != nil {
+			l.appendErr = fmt.Errorf("replog: wal sync (mirror disabled): %w", r.Err)
+			l.enc, l.bw = nil, nil
+			return l.appendErr
+		}
 	}
 	if err := l.bw.Flush(); err != nil {
 		l.appendErr = err
@@ -437,4 +515,67 @@ func lastSeqOf(ws []Wave) uint64 {
 		return 0
 	}
 	return ws[len(ws)-1].Seq
+}
+
+// RecoverWAL replays a wave file like ReadWAL, but treats a bad tail —
+// a record that fails to decode, fails its checksum, or breaks sequence
+// contiguity — as the debris of a crash mid-append rather than a fatal
+// error: the file is truncated in place to end exactly after the last
+// valid wave, and the valid prefix is returned along with the number of
+// bytes dropped. This is the startup-recovery contract: a process that
+// died mid-write loses at most its unacknowledged tail and restarts
+// from the last durable wave instead of refusing to boot.
+//
+// Only genuine I/O failures (open, truncate, fsync) return an error.
+// dropped == 0 means the file was fully valid and untouched.
+func RecoverWAL(path string) (waves []Wave, dropped int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("replog: open wal: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("replog: stat wal: %w", err)
+	}
+	dec := json.NewDecoder(bufio.NewReader(f))
+	var good int64 // byte offset just past the last valid wave
+	clean := false
+	for {
+		var w Wave
+		if derr := dec.Decode(&w); derr != nil {
+			// InputOffset after a Decode sits on the closing brace, so a
+			// fully-valid file would still count its final newline as
+			// dropped; a clean EOF means keep the whole file instead.
+			clean = errors.Is(derr, io.EOF)
+			break
+		}
+		if !w.Verify() {
+			break // corrupt tail: checksum mismatch
+		}
+		if n := len(waves); n > 0 && w.Seq != waves[n-1].Seq+1 {
+			break // tail past a gap is unreplayable
+		}
+		good = dec.InputOffset()
+		waves = append(waves, w)
+	}
+	if clean {
+		good = st.Size()
+	}
+	dropped = st.Size() - good
+	if dropped < 0 {
+		dropped = 0
+	}
+	if dropped > 0 {
+		if err := f.Truncate(good); err != nil {
+			return waves, dropped, fmt.Errorf("replog: truncate torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return waves, dropped, fmt.Errorf("replog: sync recovered wal: %w", err)
+		}
+		if err := SyncDir(filepath.Dir(path)); err != nil {
+			return waves, dropped, err
+		}
+	}
+	return waves, dropped, nil
 }

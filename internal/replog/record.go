@@ -93,12 +93,28 @@ type Wave struct {
 	// Seq is the wave's 1-based position in the engine's applied sequence.
 	// Waves are contiguous: a follower at sequence S applies exactly S+1.
 	Seq uint64 `json:"seq"`
-	Ops []Op   `json:"ops"`
+	// Epoch is the leadership term that produced the wave. Every
+	// promotion of a follower bumps the epoch by one; a wave carrying an
+	// epoch lower than the receiver's is a late write from a demoted
+	// leader and must be rejected (the fence). Zero is read as epoch 1
+	// so records written before epochs existed stay valid.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Ops   []Op   `json:"ops"`
 	// Root is the root value of the expression after the wave — an O(1)
 	// convergence check for every replayed wave.
 	Root int64 `json:"root"`
-	// Sum is the FNV-1a checksum of (Seq, Ops, Root); see Seal/Verify.
+	// Sum is the FNV-1a checksum of (Seq, Epoch, Ops, Root); see
+	// Seal/Verify.
 	Sum uint64 `json:"sum"`
+}
+
+// EpochOrDefault returns the wave's epoch, mapping the zero value (a
+// record sealed before epochs existed) to the initial epoch 1.
+func (w *Wave) EpochOrDefault() uint64 {
+	if w.Epoch == 0 {
+		return 1
+	}
+	return w.Epoch
 }
 
 // Checksum returns the FNV-1a 64-bit hash of the wave's content
@@ -114,6 +130,7 @@ func (w *Wave) Checksum() uint64 {
 	}
 	i64 := func(v int64) { u64(uint64(v)) }
 	u64(w.Seq)
+	u64(w.Epoch)
 	u64(uint64(len(w.Ops)))
 	for i := range w.Ops {
 		op := &w.Ops[i]

@@ -1,0 +1,265 @@
+package replog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dyntc/internal/faults"
+)
+
+// writeWAL appends n sealed waves to a fresh log at path and closes it.
+func writeWAL(t *testing.T, path string, n int) {
+	t.Helper()
+	l, err := NewLog(64, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= uint64(n); seq++ {
+		if err := l.Append(mkWave(seq, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverWALCleanFileUntouched: a fully valid file recovers with
+// zero dropped bytes and identical size.
+func TestRecoverWALCleanFileUntouched(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.wal")
+	writeWAL(t, path, 5)
+	before, _ := os.Stat(path)
+	ws, dropped, err := RecoverWAL(path)
+	if err != nil || dropped != 0 || len(ws) != 5 {
+		t.Fatalf("clean recover: %d waves, %d dropped, err %v", len(ws), dropped, err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() != before.Size() {
+		t.Fatalf("clean file resized %d -> %d", before.Size(), after.Size())
+	}
+}
+
+// TestRecoverWALTornTail: crash mid-append leaves a partial JSON record;
+// recovery truncates to the last valid wave and the file replays clean.
+func TestRecoverWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.wal")
+	writeWAL(t, path, 4)
+	// Tear the tail: append half of a record, as a crash mid-write would.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":5,"ops":[{"kind":3,"no`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The strict reader refuses the file — this is the "aborts startup"
+	// behaviour recovery exists to replace.
+	if _, err := ReadWAL(path); err == nil {
+		t.Fatal("ReadWAL accepted a torn tail")
+	}
+
+	ws, dropped, err := RecoverWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 || ws[3].Seq != 4 {
+		t.Fatalf("recovered %d waves, want 4", len(ws))
+	}
+	if dropped == 0 {
+		t.Fatal("torn tail reported 0 dropped bytes")
+	}
+	// Truncation is durable: the strict reader accepts the file now, and
+	// a second recovery is a no-op.
+	if ws, err = ReadWAL(path); err != nil || len(ws) != 4 {
+		t.Fatalf("post-recovery ReadWAL: %d waves, err %v", len(ws), err)
+	}
+	if _, dropped, err = RecoverWAL(path); err != nil || dropped != 0 {
+		t.Fatalf("second recovery dropped %d, err %v", dropped, err)
+	}
+}
+
+// TestRecoverWALTornFirstRecord: the whole file is one partial record —
+// recovery truncates to empty rather than failing.
+func TestRecoverWALTornFirstRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.wal")
+	if err := os.WriteFile(path, []byte(`{"seq":1,"ops"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ws, dropped, err := RecoverWAL(path)
+	if err != nil || len(ws) != 0 || dropped == 0 {
+		t.Fatalf("recover: %d waves, %d dropped, err %v", len(ws), dropped, err)
+	}
+	if st, _ := os.Stat(path); st.Size() != 0 {
+		t.Fatalf("file not truncated to empty: %d bytes", st.Size())
+	}
+}
+
+// TestRecoverWALCorruptChecksumTail: a decodable record whose checksum
+// fails (bit rot, or a write interleaved across a crash) is dropped with
+// everything after it.
+func TestRecoverWALCorruptChecksumTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.wal")
+	writeWAL(t, path, 3)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := []byte(`{"seq":4,"ops":[],"root":999,"sum":1}` + "\n")
+	if _, err := f.Write(enc); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Dropped covers the corrupt record plus the newline that preceded it
+	// (truncation lands exactly after the last valid record's brace).
+	ws, dropped, err := RecoverWAL(path)
+	if err != nil || len(ws) != 3 || dropped < int64(len(enc)) {
+		t.Fatalf("recover: %d waves, %d dropped (want >= %d), err %v", len(ws), dropped, len(enc), err)
+	}
+	if ws, err = ReadWAL(path); err != nil || len(ws) != 3 {
+		t.Fatalf("post-recovery ReadWAL: %d waves, err %v", len(ws), err)
+	}
+}
+
+// TestRecoverWALTornByInjector: end-to-end — a torn write injected at
+// the wal.append seam leaves a partial record on disk (the mirror
+// flushes what landed before disabling itself), and RecoverWAL brings
+// the file back to the last durable wave.
+func TestRecoverWALTornByInjector(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.wal")
+	l, err := NewLog(64, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faults.New(42)
+	in.Add(faults.Rule{Site: "wal.append", After: 3, Torn: 0.4, Times: 1})
+	l.SetFaults(in)
+	var appendErr error
+	for seq := uint64(1); seq <= 4; seq++ {
+		if err := l.Append(mkWave(seq, 2)); err != nil {
+			appendErr = err
+		}
+	}
+	if !errors.Is(appendErr, faults.ErrInjected) {
+		t.Fatalf("torn append surfaced %v", appendErr)
+	}
+	// The ring is still authoritative past the tear.
+	if err := l.Append(mkWave(5, 1)); err != nil {
+		t.Fatalf("ring append after tear: %v", err)
+	}
+	l.Close()
+
+	ws, dropped, err := RecoverWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 || dropped == 0 {
+		t.Fatalf("recovered %d waves (%d dropped), want 3 with a torn tail", len(ws), dropped)
+	}
+}
+
+// TestNewLogCleansStaleCompactTemp: the documented compaction crash
+// window — die between writing path.compact and renaming it over path —
+// must not poison the next startup: the leftover temp is discarded (the
+// original file is still the current one) and the WAL opens normally.
+func TestNewLogCleansStaleCompactTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tree.wal")
+	writeWAL(t, path, 3)
+	if err := os.WriteFile(path+".compact", []byte(`{"seq":9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLog(8, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := os.Stat(path + ".compact"); !os.IsNotExist(err) {
+		t.Fatalf("stale .compact not removed: %v", err)
+	}
+	// And a later compaction still works over the cleaned state.
+	if err := l.Append(mkWave(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(0); err != nil {
+		t.Fatalf("compact after cleanup: %v", err)
+	}
+}
+
+// TestAppendRejectsStaleEpoch: the log is part of the fence — once a
+// wave of epoch E is accepted, waves of lower epochs are refused.
+func TestAppendRejectsStaleEpoch(t *testing.T) {
+	l, err := NewLog(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := Wave{Seq: 1, Epoch: 2, Root: 10}
+	w1.Seal()
+	if err := l.Append(w1); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastEpoch(); got != 2 {
+		t.Fatalf("LastEpoch = %d, want 2", got)
+	}
+	stale := Wave{Seq: 2, Epoch: 1, Root: 20}
+	stale.Seal()
+	if err := l.Append(stale); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale epoch append err = %v, want ErrStaleEpoch", err)
+	}
+	// Unstamped waves (epoch 0) read as epoch 1: also stale here.
+	legacy := Wave{Seq: 2, Root: 20}
+	legacy.Seal()
+	if err := l.Append(legacy); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("legacy epoch append err = %v, want ErrStaleEpoch", err)
+	}
+	// A higher epoch advances the fence.
+	w2 := Wave{Seq: 2, Epoch: 3, Root: 20}
+	w2.Seal()
+	if err := l.Append(w2); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastEpoch(); got != 3 {
+		t.Fatalf("LastEpoch = %d, want 3", got)
+	}
+}
+
+// TestSnapshotEpochRoundTrip: version-2 snapshots carry the epoch; the
+// checksum covers it; version-1 bytes (no epoch) still decode and
+// default to epoch 1.
+func TestSnapshotEpochRoundTrip(t *testing.T) {
+	s := &Snapshot{Version: SnapshotVersion, Ring: RingSpec{Kind: "minplus"}, Seq: 9, Epoch: 4}
+	s.Sum = s.checksum()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Epoch != 4 || dec.EpochOrDefault() != 4 {
+		t.Fatalf("epoch = %d", dec.Epoch)
+	}
+	// Tampering with the epoch breaks the seal.
+	s2 := *s
+	s2.Epoch = 5
+	data2, _ := s2.Encode()
+	if _, err := Decode(data2); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("tampered epoch decode err = %v", err)
+	}
+	// Version-1 layout: no epoch field, checksum without it.
+	v1 := &Snapshot{Version: 1, Ring: RingSpec{Kind: "minplus"}, Seq: 9}
+	v1.Sum = v1.checksum()
+	d1, _ := v1.Encode()
+	dec1, err := Decode(d1)
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if dec1.EpochOrDefault() != 1 {
+		t.Fatalf("v1 default epoch = %d", dec1.EpochOrDefault())
+	}
+}

@@ -2,11 +2,11 @@ package replog
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
 	"path/filepath"
 	"testing"
 
+	"dyntc/internal/faults"
 	"dyntc/internal/prng"
 	"dyntc/internal/semiring"
 	"dyntc/internal/tree"
@@ -177,9 +177,10 @@ func TestMirrorFailureKeepsRingLive(t *testing.T) {
 	if err := l.Append(mkWave(1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	l.f.Close() // simulate the disk going away under the buffered writer
-	l.bw = nil  // force the encoder's buffered writes to surface at Append
-	l.enc = json.NewEncoder(failWriter{})
+	// Simulate the disk going away under the record writer.
+	in := faults.New(1)
+	in.Add(faults.Rule{Site: "wal.append", Err: errors.New("disk gone"), Times: 1})
+	l.SetFaults(in)
 	if err := l.Append(mkWave(2, 1)); err == nil {
 		t.Fatal("mirror failure not reported")
 	}
@@ -195,10 +196,6 @@ func TestMirrorFailureKeepsRingLive(t *testing.T) {
 		t.Fatalf("Since(0) after mirror failure: %d waves, err %v", len(ws), err)
 	}
 }
-
-type failWriter struct{}
-
-func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk gone") }
 
 func TestRingSpecRoundTrip(t *testing.T) {
 	rings := []semiring.Ring{
@@ -232,7 +229,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 				orig.DeleteChildren(p, src.Int63()%1000)
 			}
 		}
-		snap, err := Capture(orig, seed, false, 7)
+		snap, err := Capture(orig, seed, false, 7, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,7 +255,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 			t.Fatalf("eval: %d vs %d", restored.Eval(), orig.Eval())
 		}
 		// Byte determinism: capture of the restored tree encodes identically.
-		snap2, err := Capture(restored, seed, false, 7)
+		snap2, err := Capture(restored, seed, false, 7, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,7 +272,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotRejectsTampering(t *testing.T) {
 	src := prng.New(1)
 	orig := tree.Generate(semiring.NewMod(97), src, 10, tree.ShapeBalanced)
-	snap, _ := Capture(orig, 1, false, 0)
+	snap, _ := Capture(orig, 1, false, 0, 1)
 	data, _ := snap.Encode()
 	tampered := bytes.Replace(data, []byte(`"seq":0`), []byte(`"seq":5`), 1)
 	if !bytes.Contains(data, []byte(`"seq":0`)) {

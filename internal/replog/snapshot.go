@@ -14,8 +14,9 @@ import (
 
 // SnapshotVersion is the current snapshot codec version. Decoders accept
 // exactly the versions they know; bumping the codec means bumping this and
-// teaching Decode the old layout.
-const SnapshotVersion = 1
+// teaching Decode the old layout. Version 2 added the leadership Epoch
+// (absent in version 1, which decodes as epoch 0 = default epoch 1).
+const SnapshotVersion = 2
 
 // Snapshot errors.
 var (
@@ -98,6 +99,10 @@ type Snapshot struct {
 	Seed    uint64   `json:"seed"`
 	Tour    bool     `json:"tour,omitempty"`
 	Seq     uint64   `json:"seq"`
+	// Epoch is the leadership term the captured state was produced under;
+	// a follower restored from this snapshot rejects waves from older
+	// epochs. Zero (version-1 snapshots) reads as the initial epoch 1.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Slots is len(tree.Nodes) including deleted (nil) slots: restoring it
 	// exactly keeps future grow ID assignment identical to the leader's.
 	Slots int        `json:"slots"`
@@ -105,10 +110,10 @@ type Snapshot struct {
 	Sum   uint64     `json:"sum"`
 }
 
-// Capture serializes t (plus seed / tour / seq metadata) into a sealed
-// snapshot. The caller must hold the single-writer right to t (direct
-// owner, or inside an engine barrier).
-func Capture(t *tree.Tree, seed uint64, tour bool, seq uint64) (*Snapshot, error) {
+// Capture serializes t (plus seed / tour / seq / epoch metadata) into a
+// sealed snapshot. The caller must hold the single-writer right to t
+// (direct owner, or inside an engine barrier).
+func Capture(t *tree.Tree, seed uint64, tour bool, seq, epoch uint64) (*Snapshot, error) {
 	spec, err := SpecOfRing(t.Ring)
 	if err != nil {
 		return nil, err
@@ -119,6 +124,7 @@ func Capture(t *tree.Tree, seed uint64, tour bool, seq uint64) (*Snapshot, error
 		Seed:    seed,
 		Tour:    tour,
 		Seq:     seq,
+		Epoch:   epoch,
 		Slots:   len(t.Nodes),
 		Nodes:   make([]SnapNode, 0, t.Len()),
 	}
@@ -171,6 +177,11 @@ func (s *Snapshot) checksum() uint64 {
 		u64(0)
 	}
 	u64(s.Seq)
+	if s.Version >= 2 {
+		// Version 1 predates epochs; hashing the field there would break
+		// verification of archived v1 snapshots.
+		u64(s.Epoch)
+	}
 	i64(int64(s.Slots))
 	u64(uint64(len(s.Nodes)))
 	for i := range s.Nodes {
@@ -203,13 +214,22 @@ func Decode(data []byte) (*Snapshot, error) {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("replog: decode snapshot: %w", err)
 	}
-	if s.Version != SnapshotVersion {
-		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, s.Version, SnapshotVersion)
+	if s.Version < 1 || s.Version > SnapshotVersion {
+		return nil, fmt.Errorf("%w: %d (this build reads 1..%d)", ErrVersion, s.Version, SnapshotVersion)
 	}
 	if s.Sum != s.checksum() {
 		return nil, ErrSnapshotCorrupt
 	}
 	return &s, nil
+}
+
+// EpochOrDefault returns the snapshot's epoch, mapping the zero value
+// (a version-1 snapshot) to the initial epoch 1.
+func (s *Snapshot) EpochOrDefault() uint64 {
+	if s.Epoch == 0 {
+		return 1
+	}
+	return s.Epoch
 }
 
 // Tree materializes the snapshot's expression tree: exact node IDs, exact

@@ -41,6 +41,15 @@ var ErrWaveGap = errors.New("dyntc: wave sequence gap")
 // follower's state no longer matches the leader's log.
 var ErrDiverged = errors.New("dyntc: replica diverged from wave log")
 
+// ErrStaleEpoch reports a wave stamped with an epoch below the
+// receiver's: a late write from a demoted leader, rejected by the fence.
+var ErrStaleEpoch = replog.ErrStaleEpoch
+
+// ErrPromoted reports an operation on a Follower that has been promoted
+// to leader: its replica state was handed to the new leadership term and
+// must not keep replaying the old leader's waves.
+var ErrPromoted = errors.New("dyntc: follower has been promoted")
+
 // NewWaveLog creates a wave change-log retaining up to capacity waves in
 // memory (a default when <= 0); a non-empty path mirrors every append to
 // an append-only JSONL file. Attach it to an engine with
@@ -52,6 +61,14 @@ func NewWaveLog(capacity int, path string) (*WaveLog, error) {
 // ReadWaveLog replays an append-only wave file written by a WaveLog.
 func ReadWaveLog(path string) ([]Wave, error) { return replog.ReadWAL(path) }
 
+// RecoverWaveLog reads a wave file, truncating a torn or corrupt tail —
+// the record a crash cut mid-append, and everything after it — down to
+// the last valid wave. It returns the surviving waves and how many bytes
+// were dropped; the truncation is durable, so a subsequent ReadWaveLog
+// accepts the file. Use it on the startup path where ReadWaveLog's
+// strict refusal would turn one torn record into an unbootable store.
+func RecoverWaveLog(path string) ([]Wave, int64, error) { return replog.RecoverWAL(path) }
+
 // Snapshot serializes the expression — structure, labels, PRNG seed,
 // whether the tour is maintained — together with the applied-wave
 // sequence number seq the state reflects, into the versioned codec of
@@ -62,11 +79,31 @@ func ReadWaveLog(path string) ([]Wave, error) { return replog.ReadWAL(path) }
 // only when no Engine serves the Expr; behind an Engine, use
 // Engine.Snapshot, which runs it inside a barrier.
 func (e *Expr) Snapshot(seq uint64) ([]byte, error) {
-	snap, err := replog.Capture(e.t, e.seed, e.tour != nil, seq)
+	snap, err := replog.Capture(e.t, e.seed, e.tour != nil, seq, e.Epoch())
 	if err != nil {
 		return nil, err
 	}
 	return snap.Encode()
+}
+
+// Epoch returns the leadership term the Expr's waves are stamped with
+// (1 for a fresh tree; restored trees carry their snapshot's epoch).
+func (e *Expr) Epoch() uint64 {
+	if e.epoch == 0 {
+		return 1
+	}
+	return e.epoch
+}
+
+// AdoptEpoch advances the Expr's epoch (it never goes backwards). Like
+// Snapshot, it requires the single-writer right: call it directly only
+// when no Engine serves the Expr, or inside an engine barrier. Normal
+// code never needs it — epochs move via Promote and replayed waves —
+// but startup recovery replaying a WAL that spans a failover does.
+func (e *Expr) AdoptEpoch(epoch uint64) {
+	if epoch > e.Epoch() {
+		e.epoch = epoch
+	}
 }
 
 // RestoreExpr rebuilds an Expr from a snapshot and returns it with the
@@ -90,10 +127,11 @@ func RestoreExpr(data []byte, opts ...Option) (*Expr, uint64, error) {
 	}
 	m := o.newMachine()
 	e := &Expr{
-		t:    t,
-		con:  core.New(t, snap.Seed, m),
-		mach: m,
-		seed: snap.Seed,
+		t:     t,
+		con:   core.New(t, snap.Seed, m),
+		mach:  m,
+		seed:  snap.Seed,
+		epoch: snap.EpochOrDefault(),
 	}
 	if snap.Tour {
 		e.tour = euler.New(t, snap.Seed^0x9E3779B97F4A7C15)
@@ -187,6 +225,10 @@ func (e *Expr) ApplyWave(w Wave) error {
 	if root := e.Root(); root != w.Root {
 		return fmt.Errorf("%w: after wave %d root is %d, log says %d", ErrDiverged, w.Seq, root, w.Root)
 	}
+	// A verified wave from a newer leadership term moves the replica into
+	// that term (epoch fencing rejects the reverse direction; see
+	// Follower.Apply). Contiguity checks are the Follower's job.
+	e.AdoptEpoch(w.EpochOrDefault())
 	return nil
 }
 
@@ -196,9 +238,10 @@ func (e *Expr) ApplyWave(w Wave) error {
 // applies serialize on one mutex — a follower is a read replica, not a
 // second writer).
 type Follower struct {
-	mu  sync.Mutex
-	e   *Expr
-	seq uint64
+	mu       sync.Mutex
+	e        *Expr
+	seq      uint64
+	promoted bool
 }
 
 // NewFollower bootstraps a replica from a leader snapshot. Options pass
@@ -214,12 +257,22 @@ func NewFollower(snapshot []byte, opts ...Option) (*Follower, error) {
 
 // Apply replays one wave. Waves at or before the follower's sequence are
 // skipped (idempotent re-delivery); a skipped-ahead sequence is ErrWaveGap
-// — fetch the missing range or re-bootstrap from a snapshot.
+// — fetch the missing range or re-bootstrap from a snapshot. A wave
+// stamped with an epoch below the follower's is ErrStaleEpoch — the
+// fence against a demoted leader's late writes; a higher epoch is
+// adopted. A promoted follower refuses all further waves (ErrPromoted).
 func (f *Follower) Apply(w Wave) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.promoted {
+		return ErrPromoted
+	}
 	if w.Seq <= f.seq {
 		return nil
+	}
+	if ep := w.EpochOrDefault(); ep < f.e.Epoch() {
+		return fmt.Errorf("%w: follower at epoch %d, wave %d carries epoch %d",
+			ErrStaleEpoch, f.e.Epoch(), w.Seq, ep)
 	}
 	if w.Seq != f.seq+1 {
 		return fmt.Errorf("%w: at %d, got wave %d", ErrWaveGap, f.seq, w.Seq)
@@ -246,6 +299,13 @@ func (f *Follower) Seq() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.seq
+}
+
+// Epoch returns the leadership term the replica currently trusts.
+func (f *Follower) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.e.Epoch()
 }
 
 // Root returns the replica's root value.
@@ -317,4 +377,43 @@ func (f *Follower) Snapshot() ([]byte, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.e.Snapshot(f.seq)
+}
+
+// Promote ends the follower's replica life and begins a new leadership
+// term: the epoch advances by one and the state is re-serialized as a
+// snapshot of the new term, which the caller restores into a serving
+// Engine (Forest.Restore / RestoreExpr) to take writes. Every wave the
+// new leader seals carries the bumped epoch, so the per-wave
+// verification every replica already performs doubles as the fence: any
+// late wave from the demoted leader arrives with the old epoch and is
+// rejected (ErrStaleEpoch) by logs and followers that have seen the new
+// term.
+//
+// Promote is the point of no return for this Follower — further Apply
+// calls fail with ErrPromoted. The caller is responsible for promoting
+// only a caught-up follower (compare Seq against the last leader
+// sequence it can observe): waves the old leader acknowledged past the
+// promotion point are lost, exactly as in any asynchronous-replication
+// failover.
+func (f *Follower) Promote() (snapshot []byte, seq, epoch uint64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return nil, 0, 0, ErrPromoted
+	}
+	f.e.AdoptEpoch(f.e.Epoch() + 1)
+	data, err := f.e.Snapshot(f.seq)
+	if err != nil {
+		// Leave the follower usable: nothing observed the new epoch.
+		f.e.epoch--
+		return nil, 0, 0, err
+	}
+	f.promoted = true
+	return data, f.seq, f.e.Epoch(), nil
+}
+
+// Promote turns a caught-up Follower into the seed of a new leadership
+// term at epoch+1. See Follower.Promote.
+func Promote(f *Follower) (snapshot []byte, seq, epoch uint64, err error) {
+	return f.Promote()
 }

@@ -117,6 +117,12 @@ type BatchOptions struct {
 	SlowWave func(WaveTraceRecord)
 	// SlowWaveThreshold is the SlowWave latency floor (default 25ms).
 	SlowWaveThreshold time.Duration
+	// Faults, when set, is a deterministic fault-injection schedule
+	// (NewFaultInjector): the engine checks site "engine.wave" once per
+	// executed wave, and an injected error crashes the wave into a
+	// poisoned engine — the chaos suite's stand-in for a leader dying
+	// mid-traffic. Nil (production) injects nothing.
+	Faults *FaultInjector
 }
 
 // Serve starts an engine over e and returns it. Close the engine to drain
@@ -146,6 +152,7 @@ func (e *Expr) Serve(opts BatchOptions) *Engine {
 			TraceSample:       opts.TraceSample,
 			SlowWave:          opts.SlowWave,
 			SlowWaveThreshold: opts.SlowWaveThreshold,
+			Faults:            opts.Faults,
 		}),
 	}
 }
@@ -159,6 +166,24 @@ func (en *Engine) Stats() EngineStats { return en.inner.Stats() }
 // AppliedSeq returns the engine's wave change-log position: the sequence
 // number of the last mutating wave executed on the tree.
 func (en *Engine) AppliedSeq() uint64 { return en.inner.AppliedSeq() }
+
+// Epoch returns the leadership term stamped into the engine's sealed
+// waves (1 for a fresh tree; a restored tree carries its snapshot's
+// epoch, so promotion flows the bumped term in via Forest.Restore).
+func (en *Engine) Epoch() uint64 { return en.inner.Epoch() }
+
+// SetEpoch advances the wave-stamp epoch (never backwards). Startup
+// recovery calls it after replaying a WAL tail that crossed a failover;
+// normal promotion does not need it.
+func (en *Engine) SetEpoch(epoch uint64) { en.inner.SetEpoch(epoch) }
+
+// SetAppliedSeq seeds the engine's wave change-log position. It exists
+// for startup recovery: after a snapshot restore the engine already sits
+// at the snapshot's sequence (Forest.Restore seeds it), but replaying a
+// recovered WAL tail on top of the restore advances the tree past that
+// point, and the next sealed wave must continue the sequence. Call it
+// only before the engine receives traffic.
+func (en *Engine) SetAppliedSeq(seq uint64) { en.inner.SetAppliedSeq(seq) }
 
 // SetWaveTap installs (nil removes) the engine's wave tap: every executed
 // mutating wave's sealed change record is passed to tap on the executor
@@ -466,6 +491,7 @@ func NewForest(opts BatchOptions) *Forest {
 			TraceSample:       opts.TraceSample,
 			SlowWave:          opts.SlowWave,
 			SlowWaveThreshold: opts.SlowWaveThreshold,
+			Faults:            opts.Faults,
 		}),
 		workers: opts.Workers,
 		pool:    opts.Pool,
