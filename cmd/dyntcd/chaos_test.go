@@ -499,3 +499,62 @@ func TestChaosCleanRestartIdentity(t *testing.T) {
 		t.Fatal("clean restart did not reproduce the pre-shutdown snapshot")
 	}
 }
+
+// TestPromoteAbortIsRetryable: a promotion that fails part-way through
+// its prepare phase (here: the new term's WAL directory does not exist,
+// so attaching the first tree's log fails) must leave the follower fully
+// live — poll loop tailing, replicas applying, reads flowing — so a
+// retried POST /v1/promote succeeds once the cause is fixed. Pins the
+// all-or-nothing promotion contract.
+func TestPromoteAbortIsRetryable(t *testing.T) {
+	leaderSrv, _ := startTestServer(t)
+	var created struct {
+		Tree uint64 `json:"tree"`
+	}
+	call(t, "POST", leaderSrv.URL+"/v1/trees", map[string]any{"root": 1, "seed": 8}, 201, &created)
+	base := fmt.Sprintf("%s/v1/trees/%d", leaderSrv.URL, created.Tree)
+	leaf := growSome(t, base, 5, 0)
+
+	fo := newFollower(leaderSrv.URL, 2*time.Millisecond)
+	fo.walDir = filepath.Join(t.TempDir(), "missing", "wal") // parent absent: attachLog fails
+	go fo.run()
+	t.Cleanup(fo.Close)
+	foSrv := httptest.NewServer(fo.handler())
+	t.Cleanup(foSrv.Close)
+	waitHealthz(t, foSrv.URL, func(status int, h healthTrees) bool {
+		return len(h.Trees) == 1 && h.Trees[0].AppliedSeq == 5
+	})
+
+	if status := postStatus(t, foSrv.URL+"/v1/promote", nil, nil); status != 500 {
+		t.Fatalf("promote into a missing wal dir: status %d, want 500", status)
+	}
+
+	// Aborted, not wedged: still a follower, and the poll loop still
+	// applies new leader waves (no replica was marked promoted).
+	leaf = growSome(t, base, 2, leaf)
+	waitHealthz(t, foSrv.URL, func(status int, h healthTrees) bool {
+		return status == 200 && h.Role == "follower" &&
+			len(h.Trees) == 1 && h.Trees[0].AppliedSeq == 7
+	})
+
+	// Fix the cause and retry: the same promotion now commits.
+	if err := os.MkdirAll(fo.walDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var promoted struct {
+		Promoted bool   `json:"promoted"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	if status := postStatus(t, foSrv.URL+"/v1/promote", nil, &promoted); status != 200 {
+		t.Fatalf("retried promote: status %d", status)
+	}
+	if !promoted.Promoted || promoted.Epoch != 2 {
+		t.Fatalf("retried promote: %+v", promoted)
+	}
+	waitHealthz(t, foSrv.URL, func(status int, h healthTrees) bool {
+		return status == 200 && h.Role == "leader"
+	})
+	// The new leader serves writes at the new term.
+	call(t, "POST", fmt.Sprintf("%s/v1/trees/%d/set-leaf", foSrv.URL, created.Tree),
+		map[string]any{"leaf": leaf, "value": 77}, 200, nil)
+}

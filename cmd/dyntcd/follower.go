@@ -459,9 +459,17 @@ func (f *followerServer) routes() *http.ServeMux {
 // leader is told to fence itself (best-effort — epoch fencing protects
 // correctness even if the demote call never lands).
 //
+// Promotion is all-or-nothing. Phase 1 prepares: every replica's state
+// is re-stamped at the next term and restored into a fresh leader
+// server, while the poll loop keeps tailing and the replicas keep
+// applying — nothing is committed, so any per-tree failure aborts with
+// every replica still live and a retried POST /v1/promote can succeed.
+// Only after every tree is restored does phase 2 commit: stop the poll
+// loop, mark the replicas promoted, and swap the leader mux in.
+//
 // The caller is responsible for promoting a caught-up follower: waves
-// the old leader acknowledged past this replica's sequence are lost,
-// exactly as in any asynchronous-replication failover.
+// the old leader acknowledged past each replica's prepared sequence are
+// lost, exactly as in any asynchronous-replication failover.
 func (f *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 	f.promoteMu.Lock()
 	defer f.promoteMu.Unlock()
@@ -470,9 +478,6 @@ func (f *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	// Point of no return: stop tailing the old leader before switching.
-	f.stopOnce.Do(func() { close(f.stop) })
-	<-f.done
 
 	s := newServerWAL(f.opts, f.walDir, f.logCap)
 	s.faults = f.faults
@@ -489,7 +494,7 @@ func (f *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 	}
 	var epoch uint64
 	for id, rep := range reps {
-		snap, seq, ep, err := rep.fo.Promote()
+		snap, seq, ep, err := rep.fo.PreparePromote()
 		if err != nil {
 			abort(fmt.Errorf("promote tree %d: %w", id, err))
 			return
@@ -518,6 +523,16 @@ func (f *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 			epoch = ep
 		}
 		log.Printf("dyntcd: tree %d promoted at seq %d epoch %d", id, seq, ep)
+	}
+
+	// Phase 2 — commit: every tree restored, so the promotion can no
+	// longer fail. Stop tailing the old leader, then mark the replicas
+	// promoted (late waves now get ErrPromoted instead of applying to
+	// state the new term no longer reads).
+	f.stopOnce.Do(func() { close(f.stop) })
+	<-f.done
+	for _, rep := range reps {
+		rep.fo.MarkPromoted()
 	}
 	if f.obs != nil {
 		// Re-registration replaces the follower's cross-layer gauge

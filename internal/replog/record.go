@@ -103,8 +103,9 @@ type Wave struct {
 	// Root is the root value of the expression after the wave — an O(1)
 	// convergence check for every replayed wave.
 	Root int64 `json:"root"`
-	// Sum is the FNV-1a checksum of (Seq, Epoch, Ops, Root); see
-	// Seal/Verify.
+	// Sum is the FNV-1a checksum of (Seq, Epoch, Ops, Root), with the
+	// epoch word included only when Epoch is non-zero so pre-epoch
+	// records stay verifiable; see Checksum/Seal/Verify.
 	Sum uint64 `json:"sum"`
 }
 
@@ -130,7 +131,14 @@ func (w *Wave) Checksum() uint64 {
 	}
 	i64 := func(v int64) { u64(uint64(v)) }
 	u64(w.Seq)
-	u64(w.Epoch)
+	// Records sealed before epochs existed carry Epoch == 0 and a Sum
+	// computed without the epoch word; hashing the epoch only when set
+	// keeps those records verifiable. New waves are always sealed with
+	// epoch >= 1, so the gate is unambiguous (mirrors the Version >= 2
+	// gate in the snapshot codec).
+	if w.Epoch != 0 {
+		u64(w.Epoch)
+	}
 	u64(uint64(len(w.Ops)))
 	for i := range w.Ops {
 		op := &w.Ops[i]

@@ -401,15 +401,50 @@ func (f *Follower) Promote() (snapshot []byte, seq, epoch uint64, err error) {
 	if f.promoted {
 		return nil, 0, 0, ErrPromoted
 	}
+	// Capture the raw prior epoch so the error path restores it exactly:
+	// a decrement would bypass AdoptEpoch's never-backwards invariant and
+	// the zero-maps-to-one convention.
+	prev := f.e.epoch
 	f.e.AdoptEpoch(f.e.Epoch() + 1)
 	data, err := f.e.Snapshot(f.seq)
 	if err != nil {
 		// Leave the follower usable: nothing observed the new epoch.
-		f.e.epoch--
+		f.e.epoch = prev
 		return nil, 0, 0, err
 	}
 	f.promoted = true
 	return data, f.seq, f.e.Epoch(), nil
+}
+
+// PreparePromote serializes the replica's state re-stamped with the next
+// leadership term (epoch+1) without committing anything: the replica's
+// own epoch is untouched and Apply keeps working, so a caller promoting
+// many trees can restore every prepared snapshot first and only then
+// commit each follower with MarkPromoted — a failure part-way leaves all
+// replicas live and a retry can succeed (all-or-nothing promotion).
+func (f *Follower) PreparePromote() (snapshot []byte, seq, epoch uint64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return nil, 0, 0, ErrPromoted
+	}
+	prev := f.e.epoch
+	next := f.e.Epoch() + 1
+	f.e.AdoptEpoch(next)
+	data, err := f.e.Snapshot(f.seq)
+	f.e.epoch = prev
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return data, f.seq, next, nil
+}
+
+// MarkPromoted commits a prepared promotion: further Apply calls fail
+// with ErrPromoted. Idempotent. See PreparePromote.
+func (f *Follower) MarkPromoted() {
+	f.mu.Lock()
+	f.promoted = true
+	f.mu.Unlock()
 }
 
 // Promote turns a caught-up Follower into the seed of a new leadership
