@@ -81,8 +81,9 @@ func main() {
 		forests  = flag.String("forests", "", "query mode: comma-separated forest sizes (default 64,256,1024)")
 
 		scrape    = flag.Bool("scrape", false, "engine mode: attach a metrics registry to every run and embed its before/after sample deltas in the output JSON")
-		scrapeURL = flag.String("scrape-check", "", "CI scrape smoke: drive ops against a live dyntcd at this base URL, then validate GET /metrics and GET /v1/trace")
+		scrapeURL = flag.String("scrape-check", "", "CI scrape smoke: drive ops against a live dyntcd at this base URL, then validate GET /metrics, GET /v1/trace and GET /v1/spans (one traced batch)")
 		scrapeOps = flag.Int("scrape-ops", 300, "scrape-check mode: operations to drive before scraping")
+		scrapeFo  = flag.String("scrape-follower", "", "scrape-check mode: also validate a follower dyntcd at this base URL (lag-stage histograms + replica spans; polls until catch-up)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("scrape check %s: ok (%d ops)\n", *scrapeURL, *scrapeOps)
+		if *scrapeFo != "" {
+			if err := bench.FollowerScrapeCheck(*scrapeURL, *scrapeFo); err != nil {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: follower scrape check %s: %v\n", *scrapeFo, err)
+				os.Exit(1)
+			}
+			fmt.Printf("follower scrape check %s: ok\n", *scrapeFo)
+		}
 		return
 	}
 
@@ -197,6 +205,14 @@ func main() {
 		if *scrape {
 			reg = dyntc.NewMetricsRegistry()
 			ecfg.Obs = dyntc.NewEngineMetrics(reg)
+			// Tracing on at the default cadence: the instrumented run also
+			// carries the span layer's (unsampled) flush-path cost.
+			spans, err := dyntc.NewSpanLog(0, "bench", "")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: span log: %v\n", err)
+				os.Exit(1)
+			}
+			ecfg.Spans = spans
 			before = mustScrape(reg)
 		}
 		results := bench.EngineLoad(ecfg)

@@ -20,7 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -254,7 +254,7 @@ func (f *followerServer) syncOnce() bool {
 		} `json:"trees"`
 	}
 	if err := f.getJSON("/v1/trees", &list); err != nil {
-		log.Printf("dyntcd follower: list trees: %v", err)
+		slog.Warn("follower: list trees failed", "err", err)
 		return false
 	}
 	// Per-tree catch-up rides the shared scheduler: each tree's log tail
@@ -325,7 +325,7 @@ func (f *followerServer) bootstrap(id dyntc.TreeID) (*replica, error) {
 	if rebootstrap && f.obs != nil {
 		f.obs.rebootstraps.Inc()
 	}
-	log.Printf("dyntcd follower: tree %d bootstrapped at seq %d", id, fo.Seq())
+	slog.Info("follower: tree bootstrapped", "tree", id, "seq", fo.Seq())
 	return rep, nil
 }
 
@@ -335,7 +335,7 @@ func (f *followerServer) syncTree(id dyntc.TreeID) {
 	if rep == nil {
 		var err error
 		if rep, err = f.bootstrap(id); err != nil {
-			log.Printf("dyntcd follower: tree %d bootstrap: %v", id, err)
+			slog.Warn("follower: bootstrap failed", "tree", id, "err", err)
 			return
 		}
 	}
@@ -365,9 +365,9 @@ func (f *followerServer) syncTree(id dyntc.TreeID) {
 		err = json.NewDecoder(resp.Body).Decode(&tail)
 	case http.StatusGone:
 		// Fell behind the leader's ring: re-bootstrap from a snapshot.
-		log.Printf("dyntcd follower: tree %d log truncated, re-bootstrapping", id)
+		slog.Warn("follower: log truncated, re-bootstrapping", "tree", id)
 		if _, err := f.bootstrap(id); err != nil {
-			log.Printf("dyntcd follower: tree %d re-bootstrap: %v", id, err)
+			slog.Error("follower: re-bootstrap failed", "tree", id, "err", err)
 			rep.setErr(err)
 		}
 		return
@@ -382,19 +382,68 @@ func (f *followerServer) syncTree(id dyntc.TreeID) {
 	rep.mu.Lock()
 	rep.leaderSeq = tail.LastSeq
 	rep.mu.Unlock()
-	if err := rep.fo.ApplyAll(tail.Waves); err != nil {
-		// Divergence is unrecoverable by replay: rebuild from a snapshot.
-		log.Printf("dyntcd follower: tree %d apply: %v; re-bootstrapping", id, err)
-		rep.setErr(err)
-		if _, berr := f.bootstrap(id); berr != nil {
-			log.Printf("dyntcd follower: tree %d re-bootstrap: %v", id, berr)
+	// Apply wave by wave (not ApplyAll) so every replicated wave's lag is
+	// attributed to its stages — appended→fetched against the leader's WAL
+	// timestamp, fetched→applied against the verified replay — and its
+	// follower-side spans land in the span log as each wave completes.
+	fetched := time.Now()
+	for _, wv := range tail.Waves {
+		if err := rep.fo.Apply(wv); err != nil {
+			// Divergence is unrecoverable by replay: rebuild from a snapshot.
+			slog.Error("follower: apply failed, re-bootstrapping", "tree", id, "seq", wv.Seq, "err", err)
+			rep.setErr(err)
+			if _, berr := f.bootstrap(id); berr != nil {
+				slog.Error("follower: re-bootstrap failed", "tree", id, "err", berr)
+			}
+			return
 		}
-		return
+		rep.mu.Lock()
+		rep.applied++
+		rep.mu.Unlock()
+		f.observeApply(wv, fetched)
 	}
 	rep.mu.Lock()
-	rep.applied += uint64(len(tail.Waves))
 	rep.lastErr = ""
 	rep.mu.Unlock()
+}
+
+// observeApply attributes one replicated wave's lag and stitches the
+// follower's side of its distributed trace. The appended→fetched stage
+// runs from the leader's WAL-append timestamp to this follower holding
+// the decoded tail; fetched→applied runs from there to the wave's
+// verified replay completing. Timed waves feed the histograms always;
+// span records are added only for waves sealed inside a sampled trace
+// (TraceID set), parented on the deterministic (epoch, seq) wave span ID
+// both processes derive independently.
+func (f *followerServer) observeApply(wv dyntc.Wave, fetched time.Time) {
+	b := f.obs
+	if b == nil || wv.AppendedAt == 0 {
+		return
+	}
+	fetchedNS := fetched.UnixNano()
+	fetchLag := fetchedNS - wv.AppendedAt
+	if fetchLag < 0 {
+		// Cross-process clock skew: clamp rather than poison the histogram.
+		fetchLag = 0
+	}
+	applyLag := time.Now().UnixNano() - fetchedNS
+	b.replog.AppendedFetched.Observe(fetchLag)
+	b.replog.FetchedApplied.Observe(applyLag)
+	if wv.TraceID == 0 || b.spans == nil {
+		return
+	}
+	epoch := wv.EpochOrDefault()
+	anchor := dyntc.WaveSpanID(epoch, wv.Seq)
+	b.spans.Add(dyntc.SpanRecord{
+		Trace: dyntc.SpanID(wv.TraceID), Span: dyntc.NewSpanID(), Parent: anchor,
+		Name: "replica.fetch", Seq: wv.Seq, Epoch: epoch,
+		Start: wv.AppendedAt, Dur: fetchLag,
+	})
+	b.spans.Add(dyntc.SpanRecord{
+		Trace: dyntc.SpanID(wv.TraceID), Span: dyntc.NewSpanID(), Parent: anchor,
+		Name: "replica.apply", Seq: wv.Seq, Epoch: epoch,
+		Start: fetchedNS, Dur: applyLag,
+	})
 }
 
 func (r *replica) setErr(err error) {
@@ -438,6 +487,7 @@ func (f *followerServer) routes() *http.ServeMux {
 	if f.obs != nil {
 		mux.HandleFunc("GET /metrics", f.obs.handleMetrics)
 		mux.HandleFunc("GET /v1/trace", f.obs.handleTrace)
+		mux.HandleFunc("GET /v1/spans", f.obs.handleSpans)
 	}
 	reject := func(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, apiError{http.StatusForbidden, "read-only replica: write on the leader " + f.leader})
@@ -481,6 +531,10 @@ func (f *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 
 	s := newServerWAL(f.opts, f.walDir, f.logCap)
 	s.faults = f.faults
+	// Hand the bundle over before any attachLog so the promoted term's
+	// wave logs are instrumented from their first append (observe —
+	// re-registering the gauges — waits for the phase-2 commit).
+	s.obs = f.obs
 	f.mu.Lock()
 	reps := make(map[dyntc.TreeID]*replica, len(f.reps))
 	for id, rep := range f.reps {
@@ -513,7 +567,7 @@ func (f *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 		if err := s.persistSnapshot(id, snap); err != nil {
 			// Keep failing over: the tree serves from memory and the next
 			// compaction re-anchors it.
-			log.Printf("dyntcd: tree %d: persist promoted snapshot: %v", id, err)
+			slog.Error("persist promoted snapshot failed", "tree", id, "err", err)
 		}
 		if err := s.attachLog(id, en); err != nil {
 			abort(fmt.Errorf("attach log to promoted tree %d: %w", id, err))
@@ -522,7 +576,7 @@ func (f *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 		if ep > epoch {
 			epoch = ep
 		}
-		log.Printf("dyntcd: tree %d promoted at seq %d epoch %d", id, seq, ep)
+		slog.Info("tree promoted", "tree", id, "seq", seq, "epoch", ep)
 	}
 
 	// Phase 2 — commit: every tree restored, so the promotion can no
@@ -552,13 +606,13 @@ func (f *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 		body, _ := json.Marshal(map[string]uint64{"epoch": epoch})
 		resp, err := http.Post(leader+"/v1/demote", "application/json", bytes.NewReader(body))
 		if err != nil {
-			log.Printf("dyntcd: demote old leader %s: %v", leader, err)
+			slog.Warn("demote old leader failed", "leader", leader, "err", err)
 			return
 		}
 		resp.Body.Close()
 	}(f.leader, epoch)
 
-	log.Printf("dyntcd: promoted to leader: %d trees at epoch %d in %dms", len(reps), epoch, failoverMS)
+	slog.Info("promoted to leader", "trees", len(reps), "epoch", epoch, "failover_ms", failoverMS)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"promoted":    true,
 		"trees":       len(reps),

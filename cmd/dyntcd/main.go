@@ -88,7 +88,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -97,7 +98,21 @@ import (
 	"time"
 
 	"dyntc"
+	"dyntc/internal/pram"
 )
+
+// schedSpanSample is the sampling stride for scheduler task spans: pool
+// tasks run orders of magnitude more often than flushes, so they are
+// sampled far more sparsely to keep the span ring dominated by wave
+// lifecycles rather than task noise.
+const schedSpanSample = 256
+
+// fatal logs one structured error line and exits, the slog replacement
+// for log.Fatalf.
+func fatal(msg string, attrs ...any) {
+	slog.Error(msg, attrs...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -123,8 +138,21 @@ func main() {
 		accessLog   = flag.Bool("access-log", false, "log every HTTP request: method, path, status, bytes, duration")
 		traceCap    = flag.Int("trace-cap", 0, "wave trace records retained for GET /v1/trace (0 = default 256)")
 		traceSample = flag.Int("trace-sample", 0, "trace every Nth wave flush (0 = default 16)")
+		spanCap     = flag.Int("span-cap", 0, "distributed-trace spans retained for GET /v1/spans (0 = default 4096)")
+		spanLog     = flag.String("span-log", "", "mirror every recorded span to this append-only JSONL file ('' = off)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+
+	switch *logFormat {
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	case "text":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	default:
+		fmt.Fprintf(os.Stderr, "dyntcd: -log-format %q: want text or json\n", *logFormat)
+		os.Exit(2)
+	}
 
 	// One runtime scheduler pool for the whole process: every tree's
 	// waves, the cross-tree query scatter and (in follower mode) replica
@@ -132,9 +160,20 @@ func main() {
 	// runs 16-wide instead of spawning a pool per tree.
 	pool := dyntc.NewSchedPool(*schedW)
 
-	// One registry + trace ring per process; every engine, the scheduler,
-	// the wave logs and the query planner report into it (GET /metrics).
-	ob := newObsBundle(*traceCap)
+	// One registry + trace ring + span log per process; every engine, the
+	// scheduler, the wave logs and the query planner report into it
+	// (GET /metrics, /v1/trace, /v1/spans).
+	proc := "leader"
+	if *follow != "" {
+		proc = "follower"
+	}
+	ob, err := newObsBundle(*traceCap, *spanCap, proc, *spanLog)
+	if err != nil {
+		fatal("span log", "err", err)
+	}
+	defer ob.spans.Close()
+	// Scheduler task spans ride the same exporter, sparsely sampled.
+	pool.SetSpans(ob.spans, schedSpanSample, pram.StepKindNames)
 	if *pprofAddr != "" {
 		startPprof(*pprofAddr)
 	}
@@ -145,10 +184,10 @@ func main() {
 	if *faultSpec != "" {
 		var err error
 		if faults, err = dyntc.FaultInjectorFromSpec(*faultSeed, *faultSpec); err != nil {
-			log.Fatalf("dyntcd: -faults: %v", err)
+			fatal("bad -faults spec", "err", err)
 		}
 		faults.OnCrash(func(site string, _ dyntc.FaultRule) {
-			log.Fatalf("dyntcd: injected crash at %s", site)
+			fatal("injected crash", "site", site)
 		})
 	}
 
@@ -156,12 +195,13 @@ func main() {
 		// Leaders log into it now; a follower needs it the moment it is
 		// promoted, so create it up front in both modes.
 		if err := os.MkdirAll(*walDir, 0o755); err != nil {
-			log.Fatalf("dyntcd: wal dir: %v", err)
+			fatal("wal dir", "err", err)
 		}
 	}
 	opts := dyntc.BatchOptions{
 		MaxBatch: *maxBatch, Window: *window, Queue: *queue, Workers: *workers, Pool: pool,
 		Metrics: ob.engine, Trace: ob.trace, TraceSample: *traceSample, Faults: faults,
+		Spans: ob.spans,
 	}
 	if *slowWave > 0 {
 		opts.SlowWave = logSlowWave
@@ -180,7 +220,7 @@ func main() {
 	s.compactEvery = *compact
 	s.faults = faults
 	if err := s.recover(); err != nil {
-		log.Fatalf("dyntcd: startup recovery: %v", err)
+		fatal("startup recovery", "err", err)
 	}
 	s.observe(ob)
 	var handler http.Handler = s.routes()
@@ -204,9 +244,10 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("dyntcd listening on %s (window=%v maxbatch=%d workers=%d sched-workers=%d wal=%q)", *addr, *window, *maxBatch, *workers, pool.Workers(), *walDir)
+	slog.Info("dyntcd listening", "addr", *addr, "window", *window, "maxbatch", *maxBatch,
+		"workers", *workers, "sched_workers", pool.Workers(), "wal", *walDir)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("serve", "err", err)
 	}
 	// ListenAndServe returns as soon as Shutdown *starts*; wait for it to
 	// finish draining in-flight handlers, then drain every engine's queue
@@ -216,7 +257,7 @@ func main() {
 	<-shutdownDone
 	s.forest.Close()
 	s.closeLogs()
-	log.Print("dyntcd: drained and stopped")
+	slog.Info("drained and stopped")
 }
 
 // followerConfig carries the failover-relevant settings into follower
@@ -268,12 +309,12 @@ func runFollower(addr, leader string, poll time.Duration, queryEndpoint bool, po
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("dyntcd following %s on %s (poll=%v)", leader, addr, poll)
+	slog.Info("dyntcd following", "leader", leader, "addr", addr, "poll", poll)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("serve", "err", err)
 	}
 	stop()
 	<-shutdownDone
 	f.Close()
-	log.Print("dyntcd follower: stopped")
+	slog.Info("follower stopped")
 }

@@ -11,9 +11,8 @@ package main
 // side.
 
 import (
-	"encoding/json"
 	"errors"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
 	"strconv"
@@ -28,13 +27,20 @@ import (
 
 // obsBundle is the process-wide observability state: the registry every
 // layer's families live on, plus the instrument bundles the serving code
-// feeds directly (snapshots, re-bootstraps).
+// feeds directly (snapshots, re-bootstraps) and the span log every layer
+// exports distributed-trace spans into.
 type obsBundle struct {
 	reg    *dyntc.MetricsRegistry
 	engine *dyntc.EngineMetrics
 	trace  *dyntc.WaveTraceRing
 	replog *replog.Metrics
 	query  *dyntc.QueryMetrics
+
+	// spans is the process-wide span exporter: engines (via
+	// BatchOptions.Spans), wave logs (via replog.Metrics.Spans), the
+	// follower's replay loop and the HTTP ingest layer all record into it;
+	// GET /v1/spans serves its ring.
+	spans *dyntc.SpanLog
 
 	// Snapshot traffic, both directions: leader compaction/GET encodes,
 	// follower bootstrap downloads.
@@ -48,9 +54,15 @@ type obsBundle struct {
 }
 
 // newObsBundle builds the registry and every process-level family. The
-// engine histogram bundle and the trace ring are created here and passed
-// into BatchOptions, so all trees share one set of instruments.
-func newObsBundle(traceCap int) *obsBundle {
+// engine histogram bundle, the trace ring and the span log are created
+// here and passed into BatchOptions, so all trees share one set of
+// instruments. proc labels this process's spans ("leader", "follower");
+// a non-empty spanPath mirrors spans to an append-only JSONL file.
+func newObsBundle(traceCap, spanCap int, proc, spanPath string) (*obsBundle, error) {
+	spans, err := dyntc.NewSpanLog(spanCap, proc, spanPath)
+	if err != nil {
+		return nil, err
+	}
 	reg := dyntc.NewMetricsRegistry()
 	b := &obsBundle{
 		reg:    reg,
@@ -58,6 +70,7 @@ func newObsBundle(traceCap int) *obsBundle {
 		trace:  dyntc.NewWaveTraceRing(traceCap),
 		replog: replog.NewMetrics(reg),
 		query:  dyntc.NewQueryMetrics(reg),
+		spans:  spans,
 		snapshotBytes: reg.HistogramWith("dyntc_replog_snapshot_bytes",
 			"size of one tree snapshot encode or download", obs.SizeBuckets, 1),
 		snapshotSeconds: reg.Seconds("dyntc_replog_snapshot_seconds",
@@ -67,7 +80,13 @@ func newObsBundle(traceCap int) *obsBundle {
 		promotions: reg.Counter("dyntc_failover_promotions_total",
 			"follower-to-leader promotions performed by this process"),
 	}
-	return b
+	// Every WAL append records the sealed→appended lag and its wal.append
+	// span through the replog bundle.
+	b.replog.Spans = spans
+	// Process health families (goroutines, heap, GC pauses, build info)
+	// ride the same registry on leader and follower alike.
+	dyntc.RegisterGoRuntime(reg)
+	return b, nil
 }
 
 // snapshotDone feeds the snapshot instruments; safe on a nil bundle so
@@ -106,6 +125,49 @@ func (b *obsBundle) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"total":  b.trace.Total(),
 		"traces": traces,
+	})
+}
+
+// handleSpans serves the span log. ?trace=<16 hex> returns one
+// distributed trace's spans, ?seq=N returns the spans of wave sequence N
+// (the cross-process join key), ?n=N the most recent N; with no filter,
+// everything retained. Always oldest first.
+func (b *obsBundle) handleSpans(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var spans []dyntc.SpanRecord
+	switch {
+	case q.Get("trace") != "":
+		id, err := obs.ParseSpanID(q.Get("trace"))
+		if err != nil {
+			writeErr(w, apiError{http.StatusBadRequest, "bad trace id"})
+			return
+		}
+		spans = b.spans.ByTrace(id)
+	case q.Get("seq") != "":
+		seq, err := strconv.ParseUint(q.Get("seq"), 10, 64)
+		if err != nil {
+			writeErr(w, apiError{http.StatusBadRequest, "bad seq"})
+			return
+		}
+		spans = b.spans.BySeq(seq)
+	default:
+		n := b.spans.Len()
+		if s := q.Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				writeErr(w, apiError{http.StatusBadRequest, "bad n"})
+				return
+			}
+			n = v
+		}
+		spans = b.spans.Last(n)
+	}
+	if spans == nil {
+		spans = []dyntc.SpanRecord{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total": b.spans.Total(),
+		"spans": spans,
 	})
 }
 
@@ -277,9 +339,10 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// withAccessLog logs one line per request — method, path, status, bytes
-// written, duration in microseconds — shared by leader and follower
-// muxes.
+// withAccessLog logs one structured line per request — method, path,
+// status, bytes written, duration, and the distributed trace the request
+// joined (when it carried or was assigned one) — shared by leader and
+// follower muxes.
 func withAccessLog(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
@@ -288,21 +351,49 @@ func withAccessLog(h http.Handler) http.Handler {
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		log.Printf("dyntcd: access %s %s %d %dB %dus",
-			r.Method, r.URL.Path, rec.status, rec.bytes, time.Since(t0).Microseconds())
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"dur_us", time.Since(t0).Microseconds(),
+		}
+		// The handler echoes X-Dyntc-Trace on traced requests; correlate
+		// the access line with the trace it belongs to.
+		if tr := rec.Header().Get("X-Dyntc-Trace"); tr != "" {
+			attrs = append(attrs, "trace", tr)
+		}
+		slog.Info("access", attrs...)
 	})
 }
 
 // --- slow-wave log (-slow-wave) ---
 
-// logSlowWave is the BatchOptions.SlowWave hook: one structured JSON
-// line per wave that crossed the threshold, greppable and parseable.
+// logSlowWave is the BatchOptions.SlowWave hook: one structured line per
+// wave flush that crossed the threshold, carrying the per-stage
+// breakdown and, when the flush was span-sampled, the trace ID to look
+// the full span tree up with (/v1/spans?trace=).
 func logSlowWave(t dyntc.WaveTraceRecord) {
-	b, err := json.Marshal(t)
-	if err != nil {
-		return
+	attrs := []any{
+		"tree", t.Tree,
+		"seq", t.Seq,
+		"epoch", t.Epoch,
+		"reqs", t.Reqs,
+		"waves", t.Waves,
+		"coalesce_ns", t.Coalesce,
+		"flush_ns", t.Flush,
+		"grow_ns", t.Grow,
+		"collapse_ns", t.Collapse,
+		"set_leaf_ns", t.SetLeaf,
+		"set_op_ns", t.SetOp,
+		"seal_ns", t.Seal,
+		"value_ns", t.Value,
+		"barrier_ns", t.Barrier,
 	}
-	log.Printf("dyntcd: slow-wave %s", b)
+	if t.TraceID != 0 {
+		attrs = append(attrs, "trace", t.TraceID.String())
+	}
+	slog.Warn("slow wave", attrs...)
 }
 
 // --- pprof (-pprof-addr) ---
@@ -319,9 +410,9 @@ func startPprof(addr string) {
 			Handler:           http.DefaultServeMux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
-		log.Printf("dyntcd: pprof listening on %s", addr)
+		slog.Info("pprof listening", "addr", addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("dyntcd: pprof: %v", err)
+			slog.Error("pprof server failed", "err", err)
 		}
 	}()
 }

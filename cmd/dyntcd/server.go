@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -103,7 +103,7 @@ func (s *server) fence(epoch uint64) {
 			return
 		}
 		if s.fenced.CompareAndSwap(cur, epoch) {
-			log.Printf("dyntcd: fenced read-only: observed leadership epoch %d above ours", epoch)
+			slog.Warn("fenced read-only: observed leadership epoch above ours", "epoch", epoch)
 			return
 		}
 	}
@@ -157,7 +157,7 @@ func (s *server) compactLoop(id dyntc.TreeID, en *dyntc.Engine, wl *dyntc.WaveLo
 			t0 := time.Now()
 			data, snapSeq, err := en.SnapshotAt()
 			if err != nil {
-				log.Printf("dyntcd: tree %d: compact snapshot: %v", id, err)
+				slog.Error("compact snapshot failed", "tree", id, "err", err)
 				continue
 			}
 			s.obs.snapshotDone(len(data), time.Since(t0))
@@ -165,7 +165,7 @@ func (s *server) compactLoop(id dyntc.TreeID, en *dyntc.Engine, wl *dyntc.WaveLo
 			if err := writeFileSync(path, data); err != nil {
 				// Keep the log intact: without the persisted snapshot the
 				// trimmed prefix would be unrecoverable on disk.
-				log.Printf("dyntcd: tree %d: compact snapshot write: %v", id, err)
+				slog.Error("compact snapshot write failed", "tree", id, "err", err)
 				continue
 			}
 			seq = snapSeq
@@ -190,7 +190,7 @@ func (s *server) compactLoop(id dyntc.TreeID, en *dyntc.Engine, wl *dyntc.WaveLo
 			continue
 		}
 		if err := wl.Compact(seq - margin); err != nil {
-			log.Printf("dyntcd: tree %d: compact log: %v", id, err)
+			slog.Error("compact log failed", "tree", id, "err", err)
 		}
 	}
 }
@@ -283,7 +283,7 @@ func (s *server) attachLog(id dyntc.TreeID, en *dyntc.Engine) error {
 	}
 	en.SetWaveTap(func(w dyntc.Wave) {
 		if err := wl.Append(w); err != nil {
-			log.Printf("dyntcd: tree %d: wave log append: %v", id, err)
+			slog.Error("wave log append failed", "tree", id, "seq", w.Seq, "err", err)
 		}
 		// Kick the compactor every compactEvery waves; the send is
 		// non-blocking (the tap runs on the executor) and coalesces.
@@ -333,12 +333,12 @@ func (s *server) recover() error {
 		anchored[idStr] = true
 		data, rerr := os.ReadFile(sp)
 		if rerr != nil {
-			log.Printf("dyntcd: tree %s: read snapshot: %v; skipping", idStr, rerr)
+			slog.Error("read snapshot failed, skipping tree", "tree", idStr, "err", rerr)
 			continue
 		}
 		en, seq, rerr := s.forest.Restore(id, data)
 		if rerr != nil {
-			log.Printf("dyntcd: tree %s: restore snapshot: %v; skipping", idStr, rerr)
+			slog.Error("restore snapshot failed, skipping tree", "tree", idStr, "err", rerr)
 			continue
 		}
 		epoch := en.Epoch()
@@ -346,10 +346,10 @@ func (s *server) recover() error {
 		if _, serr := os.Stat(walPath); serr == nil {
 			waves, dropped, werr := dyntc.RecoverWaveLog(walPath)
 			if werr != nil {
-				log.Printf("dyntcd: tree %d: wal recover: %v; serving snapshot state", id, werr)
+				slog.Error("wal recover failed, serving snapshot state", "tree", id, "err", werr)
 			} else {
 				if dropped > 0 {
-					log.Printf("dyntcd: tree %d: wal recover: truncated %d torn tail bytes", id, dropped)
+					slog.Warn("wal recover truncated torn tail", "tree", id, "bytes", dropped)
 				}
 				// Replay contiguously past the snapshot. The engine is
 				// untapped here, so mutating inside Query is legal and the
@@ -359,7 +359,7 @@ func (s *server) recover() error {
 						continue
 					}
 					if wv.Seq != seq+1 {
-						log.Printf("dyntcd: tree %d: wal gap at wave %d (recovered to %d); stopping replay", id, wv.Seq, seq)
+						slog.Warn("wal gap, stopping replay", "tree", id, "wave", wv.Seq, "recovered_to", seq)
 						break
 					}
 					wv := wv
@@ -368,7 +368,7 @@ func (s *server) recover() error {
 						aerr = qerr
 					}
 					if aerr != nil {
-						log.Printf("dyntcd: tree %d: wal replay wave %d: %v; stopping replay", id, wv.Seq, aerr)
+						slog.Error("wal replay failed, stopping replay", "tree", id, "wave", wv.Seq, "err", aerr)
 						break
 					}
 					seq = wv.Seq
@@ -398,7 +398,7 @@ func (s *server) recover() error {
 		if err := s.attachLog(id, en); err != nil {
 			return err
 		}
-		log.Printf("dyntcd: tree %d: recovered at seq %d epoch %d", id, rseq, epoch)
+		slog.Info("tree recovered", "tree", id, "seq", rseq, "epoch", epoch)
 	}
 	// A WAL without its anchoring snapshot cannot be replayed (waves are
 	// deltas); refuse to guess and leave the file for the operator.
@@ -406,7 +406,7 @@ func (s *server) recover() error {
 	for _, wp := range wals {
 		idStr := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(wp), "tree-"), ".wal")
 		if !anchored[idStr] {
-			log.Printf("dyntcd: %s has no tree-%s.snap anchor; not recovered", wp, idStr)
+			slog.Warn("wal has no snapshot anchor, not recovered", "wal", wp, "tree", idStr)
 		}
 	}
 	return nil
@@ -421,7 +421,7 @@ func (s *server) closeLogs() {
 	})
 	s.logs.Range(func(k, v any) bool {
 		if err := v.(*dyntc.WaveLog).Close(); err != nil {
-			log.Printf("dyntcd: tree %v: wal close: %v", k, err)
+			slog.Error("wal close failed", "tree", k, "err", err)
 		}
 		return true
 	})
@@ -452,8 +452,37 @@ func (s *server) routes() *http.ServeMux {
 	if s.obs != nil {
 		mux.HandleFunc("GET /metrics", s.obs.handleMetrics)
 		mux.HandleFunc("GET /v1/trace", s.obs.handleTrace)
+		mux.HandleFunc("GET /v1/spans", s.obs.handleSpans)
 	}
 	return mux
+}
+
+// tracedOp joins a handler to the distributed trace its request carries
+// in X-Dyntc-Trace: an ingest span (parented on the caller's span) is
+// opened for the handler's duration, the returned engine view submits
+// under that span — which forces the executing flush into the sampled
+// span path — and the response echoes "<trace>-<ingest span>" so the
+// client can stitch its own spans on. A request without the header (or
+// a server without a span log) gets an untraced view and a no-op
+// finish; engine-side sampling then decides alone.
+func (s *server) tracedOp(w http.ResponseWriter, r *http.Request, en *dyntc.Engine, op string) (dyntc.TracedEngine, func()) {
+	sc := dyntc.ParseTraceHeader(r.Header.Get("X-Dyntc-Trace"))
+	if !sc.Valid() || s.obs == nil || s.obs.spans == nil {
+		return en.Traced(dyntc.TraceContext{}), func() {}
+	}
+	ingest := dyntc.TraceContext{Trace: sc.Trace, Span: dyntc.NewSpanID()}
+	w.Header().Set("X-Dyntc-Trace", dyntc.FormatTraceHeader(ingest))
+	t0 := time.Now()
+	return en.Traced(ingest), func() {
+		s.obs.spans.Add(dyntc.SpanRecord{
+			Trace:  sc.Trace,
+			Span:   ingest.Span,
+			Parent: sc.Span,
+			Name:   "ingest." + op,
+			Start:  t0.UnixNano(),
+			Dur:    int64(time.Since(t0)),
+		})
+	}
 }
 
 // --- plumbing ---
@@ -691,7 +720,9 @@ func (s *server) handleGrow(w http.ResponseWriter, r *http.Request, en *dyntc.En
 		writeErr(w, err)
 		return
 	}
-	lID, rID, err := en.GrowID(req.Leaf, op, req.Left, req.Right)
+	ten, finish := s.tracedOp(w, r, en, "grow")
+	defer finish()
+	lID, rID, err := ten.GrowID(req.Leaf, op, req.Left, req.Right)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -708,7 +739,9 @@ func (s *server) handleCollapse(w http.ResponseWriter, r *http.Request, en *dynt
 		writeErr(w, err)
 		return
 	}
-	if err := en.CollapseID(req.Node, req.Value); err != nil {
+	ten, finish := s.tracedOp(w, r, en, "collapse")
+	defer finish()
+	if err := ten.CollapseID(req.Node, req.Value); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -724,7 +757,9 @@ func (s *server) handleSetLeaf(w http.ResponseWriter, r *http.Request, en *dyntc
 		writeErr(w, err)
 		return
 	}
-	if err := en.SetLeafID(req.Leaf, req.Value); err != nil {
+	ten, finish := s.tracedOp(w, r, en, "set-leaf")
+	defer finish()
+	if err := ten.SetLeafID(req.Leaf, req.Value); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -750,7 +785,9 @@ func (s *server) handleSetOp(w http.ResponseWriter, r *http.Request, en *dyntc.E
 		writeErr(w, err)
 		return
 	}
-	if err := en.SetOpID(req.Node, op); err != nil {
+	ten, finish := s.tracedOp(w, r, en, "set-op")
+	defer finish()
+	if err := ten.SetOpID(req.Node, op); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -759,8 +796,10 @@ func (s *server) handleSetOp(w http.ResponseWriter, r *http.Request, en *dyntc.E
 
 func (s *server) handleValue(w http.ResponseWriter, r *http.Request, en *dyntc.Engine) {
 	q := r.URL.Query().Get("node")
+	ten, finish := s.tracedOp(w, r, en, "value")
+	defer finish()
 	if q == "" {
-		v, err := en.Root()
+		v, err := ten.Root()
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -773,7 +812,7 @@ func (s *server) handleValue(w http.ResponseWriter, r *http.Request, en *dyntc.E
 		writeErr(w, apiError{http.StatusBadRequest, "bad node id"})
 		return
 	}
-	v, err := en.ValueID(nodeID)
+	v, err := ten.ValueID(nodeID)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -814,6 +853,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, en *dyntc.E
 		Right *int   `json:"right,omitempty"`
 		Value *int64 `json:"value,omitempty"`
 	}
+	ten, finish := s.tracedOp(w, r, en, "batch")
+	defer finish()
 	// Validate every op before submitting any, so a malformed batch is
 	// rejected whole rather than partially executed.
 	submits := make([]func() *dyntc.Future, len(req.Ops))
@@ -828,22 +869,22 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, en *dyntc.E
 				writeErr(w, apiError{http.StatusBadRequest, fmt.Sprintf("op %d: %v", i, err)})
 				return
 			}
-			submits[i] = func() *dyntc.Future { return en.GrowIDAsync(op.Node, parsed, op.Left, op.Right) }
+			submits[i] = func() *dyntc.Future { return ten.GrowIDAsync(op.Node, parsed, op.Left, op.Right) }
 		case "collapse":
-			submits[i] = func() *dyntc.Future { return en.CollapseIDAsync(op.Node, op.Value) }
+			submits[i] = func() *dyntc.Future { return ten.CollapseIDAsync(op.Node, op.Value) }
 		case "set-leaf":
-			submits[i] = func() *dyntc.Future { return en.SetLeafIDAsync(op.Node, op.Value) }
+			submits[i] = func() *dyntc.Future { return ten.SetLeafIDAsync(op.Node, op.Value) }
 		case "set-op":
 			parsed, err := parseOp(op.Op, ring)
 			if err != nil {
 				writeErr(w, apiError{http.StatusBadRequest, fmt.Sprintf("op %d: %v", i, err)})
 				return
 			}
-			submits[i] = func() *dyntc.Future { return en.SetOpIDAsync(op.Node, parsed) }
+			submits[i] = func() *dyntc.Future { return ten.SetOpIDAsync(op.Node, parsed) }
 		case "value":
-			submits[i] = func() *dyntc.Future { return en.ValueIDAsync(op.Node) }
+			submits[i] = func() *dyntc.Future { return ten.ValueIDAsync(op.Node) }
 		case "root":
-			submits[i] = func() *dyntc.Future { return en.RootAsync() }
+			submits[i] = func() *dyntc.Future { return ten.RootAsync() }
 		default:
 			writeErr(w, apiError{http.StatusBadRequest, fmt.Sprintf("op %d: unknown kind %q", i, op.Kind)})
 			return

@@ -62,6 +62,11 @@ type EngineConfig struct {
 	// overhead-check configuration) and the caller can embed the
 	// registry's deltas next to the wall-clock numbers.
 	Obs *dyntc.EngineMetrics
+	// Spans, when set, additionally enables distributed tracing at the
+	// default sampling cadence, so an instrumented run also carries the
+	// span layer's cost on the (almost always unsampled) flush path —
+	// the configuration the scrape-on baseline gate regresses against.
+	Spans *dyntc.SpanLog
 }
 
 // DefaultEngineConfig is the sweep cmd/dyntc-bench runs.
@@ -283,7 +288,7 @@ func runEngineLoad(cfg EngineConfig, clients int, window time.Duration, workers 
 		exprOpts = append(exprOpts, dyntc.WithGrain(cfg.Grain))
 	}
 	var pool *dyntc.SchedPool
-	bo := dyntc.BatchOptions{MaxBatch: maxBatch, Window: window, Workers: workers, Metrics: cfg.Obs}
+	bo := dyntc.BatchOptions{MaxBatch: maxBatch, Window: window, Workers: workers, Metrics: cfg.Obs, Spans: cfg.Spans}
 	if shared {
 		pool = dyntc.NewSchedPool(0)
 		exprOpts = append(exprOpts, dyntc.WithPool(pool))
@@ -422,7 +427,7 @@ func runForestLoad(cfg EngineConfig, trees, workers int, shared bool) EngineResu
 	}
 
 	var sharedPool *dyntc.SchedPool
-	bo := dyntc.BatchOptions{Workers: workers, Metrics: cfg.Obs}
+	bo := dyntc.BatchOptions{Workers: workers, Metrics: cfg.Obs, Spans: cfg.Spans}
 	if shared {
 		sharedPool = dyntc.NewSchedPool(0)
 		bo.Pool = sharedPool
@@ -538,7 +543,7 @@ func runSaturationProbe(cfg EngineConfig, workers int, shared bool) EngineResult
 	ring := dyntc.ModRing(1_000_000_007)
 	var pool *dyntc.SchedPool
 	exprOpts := []dyntc.Option{dyntc.WithSeed(cfg.Seed)}
-	bo := dyntc.BatchOptions{MaxBatch: probeFloor, Workers: workers, Metrics: cfg.Obs}
+	bo := dyntc.BatchOptions{MaxBatch: probeFloor, Workers: workers, Metrics: cfg.Obs, Spans: cfg.Spans}
 	if shared {
 		pool = dyntc.NewSchedPool(0)
 		exprOpts = append(exprOpts, dyntc.WithPool(pool))

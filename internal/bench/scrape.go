@@ -100,7 +100,8 @@ func CheckMetricsText(text string, required []string) error {
 }
 
 // RequiredLeaderFamilies is what a leader dyntcd /metrics must export —
-// one family per instrumented layer.
+// one family per instrumented layer, plus the process-health families
+// every role carries (Go runtime, build info, replication-lag stages).
 var RequiredLeaderFamilies = []string{
 	"dyntc_engine_flush_seconds",
 	"dyntc_engine_coalesce_wait_seconds",
@@ -109,7 +110,25 @@ var RequiredLeaderFamilies = []string{
 	"dyntc_sched_task_seconds",
 	"dyntc_replog_lag",
 	"dyntc_replog_appends_total",
+	"dyntc_repl_stage_seconds",
 	"dyntc_query_join_seconds",
+	"dyntc_go_goroutines",
+	"dyntc_go_heap_alloc_bytes",
+	"dyntc_go_gc_pause_seconds",
+	"dyntc_build_info",
+}
+
+// RequiredFollowerFamilies is what a follower dyntcd /metrics must
+// export: replication position and lag attribution over the tailed
+// leader, plus the shared process-health families.
+var RequiredFollowerFamilies = []string{
+	"dyntc_replog_applied_seq",
+	"dyntc_replog_lag",
+	"dyntc_repl_stage_seconds",
+	"dyntc_epoch",
+	"dyntc_go_goroutines",
+	"dyntc_go_heap_alloc_bytes",
+	"dyntc_build_info",
 }
 
 // ScrapeCheck drives the CI scrape smoke against a live dyntcd at
@@ -217,6 +236,53 @@ func ScrapeCheck(baseURL string, ops int) error {
 		return err
 	}
 
+	// One explicitly traced mutating batch: the X-Dyntc-Trace header must
+	// be echoed back with the server's ingest span, force the flush into
+	// the span log, and leave the full leader-side span tree readable at
+	// /v1/spans?trace=.
+	trace := dyntc.NewTraceID()
+	hdr := dyntc.FormatTraceHeader(dyntc.TraceContext{Trace: trace, Span: dyntc.NewSpanID()})
+	tracedBody, _ := json.Marshal(map[string]any{"ops": []batchOp{
+		{Kind: "set-leaf", Node: leaves[0], Value: 42},
+	}})
+	req, err := http.NewRequest(http.MethodPost, baseURL+tree+"/batch", bytes.NewReader(tracedBody))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Dyntc-Trace", hdr)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traced batch: %s", resp.Status)
+	}
+	if echo := resp.Header.Get("X-Dyntc-Trace"); !strings.HasPrefix(echo, trace.String()+"-") || echo == hdr {
+		return fmt.Errorf("traced batch: echoed header %q, want %s-<fresh ingest span>", echo, trace)
+	}
+	spansBody, err := get("/v1/spans?trace=" + trace.String())
+	if err != nil {
+		return err
+	}
+	var spans struct {
+		Spans []dyntc.SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(spansBody), &spans); err != nil {
+		return fmt.Errorf("spans: bad body: %v", err)
+	}
+	names := make(map[string]bool, len(spans.Spans))
+	for _, sp := range spans.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"ingest.batch", "engine.flush", "wave", "wal.append"} {
+		if !names[want] {
+			return fmt.Errorf("spans: trace %s missing a %q span (have %v)", trace, want, names)
+		}
+	}
+
 	// The scrape itself.
 	text, err := get("/metrics")
 	if err != nil {
@@ -232,21 +298,133 @@ func ScrapeCheck(baseURL string, ops int) error {
 	if samples["dyntc_query_join_seconds_count"] <= 0 {
 		return fmt.Errorf("metrics: dyntc_query_join_seconds_count is zero after a query")
 	}
+	if samples[`dyntc_repl_stage_seconds_count{stage="sealed_appended"}`] <= 0 {
+		return fmt.Errorf("metrics: sealed_appended lag stage empty after a traced wave")
+	}
 
 	// And the trace ring endpoint.
 	traceBody, err := get("/v1/trace?n=4")
 	if err != nil {
 		return err
 	}
-	var trace struct {
+	var ring struct {
 		Total  int                     `json:"total"`
 		Traces []dyntc.WaveTraceRecord `json:"traces"`
 	}
-	if err := json.Unmarshal([]byte(traceBody), &trace); err != nil {
+	if err := json.Unmarshal([]byte(traceBody), &ring); err != nil {
 		return fmt.Errorf("trace: bad body: %v", err)
 	}
-	if trace.Total <= 0 {
+	if ring.Total <= 0 {
 		return fmt.Errorf("trace: no waves sampled after %d ops", ops)
 	}
 	return nil
+}
+
+// FollowerScrapeCheck validates a live follower dyntcd at baseURL
+// tailing the leader at leaderURL: /metrics must carry the follower
+// families with both follower-side lag stages (appended→fetched,
+// fetched→applied) non-empty, and /v1/spans must hold the replica spans
+// of at least one replicated wave. A follower that bootstrapped after
+// the ScrapeCheck traffic finished has nothing to apply (the snapshot
+// already covers every wave), so each poll round seals one more wave on
+// the leader before re-checking; the check passes as soon as a
+// post-bootstrap wave has flowed through the verified replay.
+func FollowerScrapeCheck(leaderURL, baseURL string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	get := func(path string) (string, error) {
+		resp, err := client.Get(baseURL + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+		}
+		return string(body), nil
+	}
+	// One dedicated tree to nudge: every poll round grows it by one wave,
+	// so the follower always has fresh log tail to attribute.
+	nudgeBody, _ := json.Marshal(map[string]any{"root": 1})
+	resp, err := client.Post(leaderURL+"/v1/trees", "application/json", bytes.NewReader(nudgeBody))
+	if err != nil {
+		return fmt.Errorf("create nudge tree: %w", err)
+	}
+	var nudge struct {
+		Tree uint64 `json:"tree"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&nudge)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("create nudge tree: %w", err)
+	}
+	sealWave := func(v int64) error {
+		body, _ := json.Marshal(map[string]any{"leaf": 0, "value": v})
+		resp, err := client.Post(fmt.Sprintf("%s/v1/trees/%d/set-leaf", leaderURL, nudge.Tree),
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("nudge set-leaf: %s", resp.Status)
+		}
+		return nil
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	var lastErr error
+	for round := int64(0); ; round++ {
+		if err := sealWave(round); err != nil {
+			return fmt.Errorf("follower scrape: %w", err)
+		}
+		lastErr = func() error {
+			text, err := get("/metrics")
+			if err != nil {
+				return err
+			}
+			if err := CheckMetricsText(text, RequiredFollowerFamilies); err != nil {
+				return err
+			}
+			samples, _ := ParseMetricsText(text)
+			for _, stage := range []string{"appended_fetched", "fetched_applied"} {
+				if samples[`dyntc_repl_stage_seconds_count{stage="`+stage+`"}`] <= 0 {
+					return fmt.Errorf("metrics: follower %s lag stage empty", stage)
+				}
+			}
+			spansBody, err := get("/v1/spans")
+			if err != nil {
+				return err
+			}
+			var spans struct {
+				Spans []dyntc.SpanRecord `json:"spans"`
+			}
+			if err := json.Unmarshal([]byte(spansBody), &spans); err != nil {
+				return fmt.Errorf("spans: bad body: %v", err)
+			}
+			var applied bool
+			for _, sp := range spans.Spans {
+				if sp.Name == "replica.apply" && sp.Proc == "follower" &&
+					sp.Parent == dyntc.WaveSpanID(sp.Epoch, sp.Seq) {
+					applied = true
+					break
+				}
+			}
+			if !applied {
+				return fmt.Errorf("spans: no replica.apply span parented on its wave anchor yet")
+			}
+			return nil
+		}()
+		if lastErr == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("follower scrape: %w", lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }

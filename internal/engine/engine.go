@@ -121,6 +121,15 @@ type Options struct {
 	// TraceSample is the flush sampling period for Trace (default 16;
 	// 1 records every flush).
 	TraceSample int
+	// Spans, when set, receives distributed-trace spans for sampled
+	// flushes: a flush span parented on the ingest span of the first
+	// traced request (when one carries a SpanContext), per-stage child
+	// spans, and one wave span per sealed wave whose deterministic ID
+	// (obs.WaveSpanID) lets follower-side spans stitch to it by
+	// (epoch, seq). Flushes are sampled at the TraceSample period; a flush
+	// containing an explicitly traced request is always recorded. Setting
+	// Spans enables timing like Obs/Trace do.
+	Spans *obs.SpanLog
 	// SlowWave, when set, is called — on the executor, so keep it cheap —
 	// with the trace record of every flush at least SlowWaveThreshold
 	// slow, regardless of Trace sampling. dyntcd's -slow-wave structured
@@ -272,7 +281,7 @@ func New(host Host, opts Options) *Engine {
 	} else {
 		e.epoch.Store(1)
 	}
-	e.timing = e.opts.Obs != nil || e.opts.Trace != nil || e.opts.SlowWave != nil
+	e.timing = e.opts.Obs != nil || e.opts.Trace != nil || e.opts.SlowWave != nil || e.opts.Spans != nil
 	e.phaseFns = [numPhases]func(){
 		e.phaseGrows, e.phaseCollapses, e.phaseSetLeaves,
 		e.phaseSetOps, e.phaseSealWave, e.phaseValues,
@@ -429,6 +438,50 @@ func (e *Engine) Value(ref NodeRef) *Future {
 // Root submits a root value query. Future.Value returns it.
 func (e *Engine) Root() *Future {
 	return e.submit(newFuture(kRoot))
+}
+
+// GrowCtx is Grow carrying a distributed-trace context: the flush that
+// executes the request adopts sc's trace (and is force-sampled into the
+// span log). The zero SpanContext degrades to plain Grow at no cost.
+func (e *Engine) GrowCtx(sc obs.SpanContext, ref NodeRef, op OpT, leftVal, rightVal int64) *Future {
+	f := newFuture(kGrow)
+	f.ref, f.op, f.a, f.b, f.span = ref, op, leftVal, rightVal, sc
+	return e.submit(f)
+}
+
+// CollapseCtx is Collapse carrying a distributed-trace context.
+func (e *Engine) CollapseCtx(sc obs.SpanContext, ref NodeRef, newValue int64) *Future {
+	f := newFuture(kCollapse)
+	f.ref, f.a, f.span = ref, newValue, sc
+	return e.submit(f)
+}
+
+// SetLeafCtx is SetLeaf carrying a distributed-trace context.
+func (e *Engine) SetLeafCtx(sc obs.SpanContext, ref NodeRef, value int64) *Future {
+	f := newFuture(kSetLeaf)
+	f.ref, f.a, f.span = ref, value, sc
+	return e.submit(f)
+}
+
+// SetOpCtx is SetOp carrying a distributed-trace context.
+func (e *Engine) SetOpCtx(sc obs.SpanContext, ref NodeRef, op OpT) *Future {
+	f := newFuture(kSetOp)
+	f.ref, f.op, f.span = ref, op, sc
+	return e.submit(f)
+}
+
+// ValueCtx is Value carrying a distributed-trace context.
+func (e *Engine) ValueCtx(sc obs.SpanContext, ref NodeRef) *Future {
+	f := newFuture(kValue)
+	f.ref, f.span = ref, sc
+	return e.submit(f)
+}
+
+// RootCtx is Root carrying a distributed-trace context.
+func (e *Engine) RootCtx(sc obs.SpanContext) *Future {
+	f := newFuture(kRoot)
+	f.span = sc
+	return e.submit(f)
 }
 
 // Barrier submits fn for exclusive, linearized execution on the executor

@@ -107,9 +107,96 @@ func RegisterStatsFuncs(r *obs.Registry, stats func() Stats) {
 // forests set it to the tree's forest id right after Add/AddAt.
 func (e *Engine) SetTraceID(id uint64) { e.traceID.Store(id) }
 
+// beginFlushSpan decides, at flush start, whether this flush is recorded
+// into the span log: every TraceSample-th flush, or any flush carrying a
+// request with an explicit trace context (the first such request's trace
+// is adopted, so an X-Dyntc-Trace header forces end-to-end tracing). The
+// unsampled path is allocation-free: one counter compare plus one span
+// field compare per request.
+func (e *Engine) beginFlushSpan(flush []*Future, flushStart time.Time) {
+	sc := &e.sc
+	sc.spanActive = false
+	sc.spanTrace, sc.spanParent, sc.spanFlush = 0, 0, 0
+	sc.flushT0 = flushStart
+	if e.opts.Spans == nil {
+		return
+	}
+	sampled := e.flushSeq%uint64(e.opts.TraceSample) == 0
+	for _, f := range flush {
+		if f.span.Valid() {
+			sc.spanTrace, sc.spanParent = f.span.Trace, f.span.Span
+			sampled = true
+			break
+		}
+	}
+	if !sampled {
+		return
+	}
+	sc.spanActive = true
+	if sc.spanTrace == 0 {
+		sc.spanTrace = obs.NewTraceID()
+	}
+	sc.spanFlush = obs.NewSpanID()
+	for i := range sc.stageStart {
+		sc.stageStart[i] = -1
+	}
+}
+
+// emitFlushSpans records the sampled flush's span tree: the flush span
+// (parented on the adopting request's ingest span, when one exists), an
+// engine.coalesce span for the batching wait, and one child span per
+// stage that ran, timestamped from the stage's first start within the
+// flush. Wave anchor spans were already emitted by phaseSealWave.
+func (e *Engine) emitFlushSpans(reqs int, coalesceNS, flushNS int64) {
+	sc := &e.sc
+	sl := e.opts.Spans
+	tree := e.traceID.Load()
+	epoch := e.epoch.Load()
+	t0 := sc.flushT0.UnixNano()
+	sl.Add(obs.Span{
+		Trace:  sc.spanTrace,
+		Span:   sc.spanFlush,
+		Parent: sc.spanParent,
+		Name:   "engine.flush",
+		Tree:   tree,
+		Seq:    e.appliedSeq.Load(),
+		Epoch:  epoch,
+		Start:  t0,
+		Dur:    flushNS,
+		Reqs:   reqs,
+	})
+	if coalesceNS > 0 {
+		sl.Add(obs.Span{
+			Trace:  sc.spanTrace,
+			Span:   obs.NewSpanID(),
+			Parent: sc.spanFlush,
+			Name:   "engine.coalesce",
+			Tree:   tree,
+			Epoch:  epoch,
+			Start:  t0 - coalesceNS,
+			Dur:    coalesceNS,
+		})
+	}
+	for i := range sc.stageNS {
+		if sc.stageNS[i] > 0 && sc.stageStart[i] >= 0 {
+			sl.Add(obs.Span{
+				Trace:  sc.spanTrace,
+				Span:   obs.NewSpanID(),
+				Parent: sc.spanFlush,
+				Name:   "stage." + stageNames[i],
+				Tree:   tree,
+				Epoch:  epoch,
+				Start:  t0 + sc.stageStart[i],
+				Dur:    sc.stageNS[i],
+			})
+		}
+	}
+}
+
 // observeFlush runs at the end of every flush on a timing-enabled engine:
-// it feeds the histograms and, when the flush is sampled (every
-// TraceSample-th) or slow (SlowWaveThreshold), assembles the WaveTrace.
+// it feeds the histograms, emits the flush's span tree when span-sampled,
+// and, when the flush is trace-sampled (every TraceSample-th) or slow
+// (SlowWaveThreshold), assembles the WaveTrace.
 func (e *Engine) observeFlush(reqs int, coalesceNS, flushNS int64) {
 	sc := &e.sc
 	if o := e.opts.Obs; o != nil {
@@ -121,11 +208,13 @@ func (e *Engine) observeFlush(reqs int, coalesceNS, flushNS int64) {
 			}
 		}
 	}
+	if sc.spanActive {
+		e.emitFlushSpans(reqs, coalesceNS, flushNS)
+	}
 	ring, slow := e.opts.Trace, e.opts.SlowWave
 	if ring == nil && slow == nil {
 		return
 	}
-	e.flushSeq++
 	sampled := ring != nil && e.flushSeq%uint64(e.opts.TraceSample) == 0
 	isSlow := slow != nil && flushNS >= int64(e.opts.SlowWaveThreshold)
 	if !sampled && !isSlow {
@@ -134,6 +223,7 @@ func (e *Engine) observeFlush(reqs int, coalesceNS, flushNS int64) {
 	tr := obs.WaveTrace{
 		Tree:     e.traceID.Load(),
 		Seq:      e.appliedSeq.Load(),
+		Epoch:    e.epoch.Load(),
 		Reqs:     reqs,
 		Waves:    sc.waveN,
 		Coalesce: coalesceNS,
@@ -145,6 +235,9 @@ func (e *Engine) observeFlush(reqs int, coalesceNS, flushNS int64) {
 		Seal:     sc.stageNS[phaseSealWaveIdx],
 		Value:    sc.stageNS[phaseValuesIdx],
 		Barrier:  sc.stageNS[stageBarrierIdx],
+	}
+	if sc.spanActive {
+		tr.TraceID = sc.spanTrace
 	}
 	if sampled {
 		ring.Add(tr)
@@ -160,6 +253,9 @@ func (e *Engine) observeFlush(reqs int, coalesceNS, flushNS int64) {
 func (e *Engine) timedPhase(idx int, fn func()) func() {
 	return func() {
 		t0 := time.Now()
+		if e.sc.spanActive && e.sc.stageStart[idx] < 0 {
+			e.sc.stageStart[idx] = int64(t0.Sub(e.sc.flushT0))
+		}
 		fn()
 		e.sc.stageNS[idx] += int64(time.Since(t0))
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dyntc/internal/obs"
 	"dyntc/internal/pram"
 	"dyntc/internal/replog"
 )
@@ -174,6 +175,20 @@ type scratch struct {
 	// start, read by observeFlush after the last wave joins.
 	stageNS [numStages]int64
 	waveN   int
+
+	// Per-flush distributed-trace state (engines with Options.Spans):
+	// spanActive marks a flush sampled into the span log — every
+	// TraceSample-th flush, or any flush carrying an explicitly traced
+	// request. spanTrace/spanParent are the adopted trace and ingest-span
+	// parent; spanFlush is the flush span's own ID (parent of stage and
+	// wave spans). flushT0 anchors span timestamps; stageStart holds each
+	// stage's first-start offset from flushT0 (-1 = never ran).
+	spanActive bool
+	spanTrace  obs.SpanID
+	spanParent obs.SpanID
+	spanFlush  obs.SpanID
+	flushT0    time.Time
+	stageStart [numStages]int64
 }
 
 // resolve returns the live node a ref addresses, or an error. Liveness is
@@ -262,6 +277,8 @@ func (e *Engine) executeFlush(flush []*Future) {
 		}
 		e.sc.stageNS = [numStages]int64{}
 		e.sc.waveN = 0
+		e.flushSeq++
+		e.beginFlushSpan(flush, flushStart)
 	}
 	defer func() {
 		d := time.Since(flushStart)
@@ -428,6 +445,9 @@ func (e *Engine) runWave(wave []*Future) {
 		sc.order = append(sc.order[:0], wave[0])
 		if e.timing {
 			t0 := time.Now()
+			if sc.spanActive && sc.stageStart[stageBarrierIdx] < 0 {
+				sc.stageStart[stageBarrierIdx] = int64(t0.Sub(sc.flushT0))
+			}
 			e.phaseBarrier()
 			sc.stageNS[stageBarrierIdx] += int64(time.Since(t0))
 		} else {
@@ -651,7 +671,31 @@ func (e *Engine) phaseSetOps() {
 func (e *Engine) phaseSealWave() {
 	seq := e.appliedSeq.Add(1)
 	if e.sc.rec != nil {
-		w := replog.Wave{Seq: seq, Epoch: e.epoch.Load(), Ops: e.sc.rec, Root: e.host.Root()}
+		epoch := e.epoch.Load()
+		w := replog.Wave{Seq: seq, Epoch: epoch, Ops: e.sc.rec, Root: e.host.Root()}
+		if e.sc.spanActive {
+			// Stamp the record with its trace and seal time (observability
+			// metadata, outside the checksum) and drop the wave's anchor
+			// span. Its ID is the deterministic WaveSpanID(epoch, seq), so
+			// the WAL append and the follower's fetch/apply spans — emitted
+			// in another goroutine or another process — parent onto it
+			// without any span ID crossing the wire.
+			w.TraceID = uint64(e.sc.spanTrace)
+			w.SealedAt = time.Now().UnixNano()
+			if sl := e.opts.Spans; sl != nil {
+				sl.Add(obs.Span{
+					Trace:  e.sc.spanTrace,
+					Span:   obs.WaveSpanID(epoch, seq),
+					Parent: e.sc.spanFlush,
+					Name:   "wave",
+					Tree:   e.traceID.Load(),
+					Seq:    seq,
+					Epoch:  epoch,
+					Start:  w.SealedAt,
+					Reqs:   e.sc.mutating,
+				})
+			}
+		}
 		w.Seal()
 		(*e.sc.tap)(w)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"dyntc/internal/obs"
 	"dyntc/internal/semiring"
 	"dyntc/internal/tree"
 )
@@ -97,9 +98,10 @@ type Future struct {
 	kind kind
 	ref  NodeRef
 	op   semiring.Op
-	a, b int64      // grow: left/right values; set-leaf/collapse: new value in a
-	fn   func(Host) // barrier payload
-	at   time.Time  // submit time, stamped only on timing-enabled engines
+	a, b int64           // grow: left/right values; set-leaf/collapse: new value in a
+	fn   func(Host)      // barrier payload
+	at   time.Time       // submit time, stamped only on timing-enabled engines
+	span obs.SpanContext // distributed-trace context, zero for untraced requests
 
 	// resolution — written by the executor under mu; waiters block on
 	// cond until resolved flips. doneCh is only materialized when Done()
@@ -224,6 +226,7 @@ func (f *Future) Recycle() {
 	f.a, f.b = 0, 0
 	f.fn = nil
 	f.at = time.Time{}
+	f.span = obs.SpanContext{}
 	f.resolved = false
 	f.doneCh = nil
 	f.val = 0

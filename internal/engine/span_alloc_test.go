@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"dyntc/internal/obs"
+)
+
+// newSpanEngine builds an in-package engine with a span log attached and
+// a sampling period large enough that no flush is cadence-sampled.
+func newSpanEngine(t testing.TB) (*Forest, *Engine) {
+	t.Helper()
+	sl, err := obs.NewSpanLog(16, "test", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewForest(Options{Spans: sl, TraceSample: 1 << 30})
+	_, en := f.Add(stubHost{})
+	t.Cleanup(func() { f.Close() })
+	return f, en
+}
+
+// TestBeginFlushSpanUnsampledZeroAlloc guards the acceptance invariant:
+// an engine with span tracing enabled but an unsampled flush (cadence
+// miss, no request carrying a trace header) must not allocate in
+// beginFlushSpan — the per-flush cost is a counter compare plus one span
+// field compare per request.
+func TestBeginFlushSpanUnsampledZeroAlloc(t *testing.T) {
+	_, en := newSpanEngine(t)
+	en.flushSeq = 5 // 5 % (1<<30) != 0 → cadence miss
+	futs := []*Future{{}, {}, {}, {}}
+	now := time.Now()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		en.beginFlushSpan(futs, now)
+	})
+	if allocs != 0 {
+		t.Fatalf("beginFlushSpan allocated %v per unsampled flush, want 0", allocs)
+	}
+	if en.sc.spanActive {
+		t.Fatal("unsampled flush marked span-active")
+	}
+}
+
+// TestBeginFlushSpanAdoptsHeaderTrace checks the force-sampling path: a
+// request carrying an explicit trace context makes the flush sampled
+// regardless of cadence, and its trace/span are adopted as the flush
+// span's trace and parent.
+func TestBeginFlushSpanAdoptsHeaderTrace(t *testing.T) {
+	_, en := newSpanEngine(t)
+	en.flushSeq = 5
+	sc := obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
+	futs := []*Future{{}, {span: sc}, {}}
+
+	en.beginFlushSpan(futs, time.Now())
+	if !en.sc.spanActive {
+		t.Fatal("flush carrying a traced request not sampled")
+	}
+	if en.sc.spanTrace != sc.Trace || en.sc.spanParent != sc.Span {
+		t.Fatalf("adopted trace/parent = %v/%v, want %v/%v",
+			en.sc.spanTrace, en.sc.spanParent, sc.Trace, sc.Span)
+	}
+	if en.sc.spanFlush == 0 {
+		t.Fatal("sampled flush has no flush span id")
+	}
+
+	// Cadence sampling without a header mints a fresh trace.
+	en.flushSeq = 0 // 0 % anything == 0 → cadence hit
+	en.beginFlushSpan([]*Future{{}}, time.Now())
+	if !en.sc.spanActive || en.sc.spanTrace == 0 || en.sc.spanParent != 0 {
+		t.Fatalf("cadence-sampled flush state = %+v", en.sc)
+	}
+}
+
+// BenchmarkBeginFlushSpanUnsampled pins the unsampled flush-path span
+// check; run with -benchmem to watch the 0 allocs/op column.
+func BenchmarkBeginFlushSpanUnsampled(b *testing.B) {
+	_, en := newSpanEngine(b)
+	en.flushSeq = 5
+	futs := make([]*Future, 32)
+	for i := range futs {
+		futs[i] = &Future{}
+	}
+	now := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.beginFlushSpan(futs, now)
+	}
+}

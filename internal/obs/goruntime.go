@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// memStatsCache rate-limits runtime.ReadMemStats: the call stops the
+// world briefly, and a scrape reads several families off the same
+// snapshot, so one read per TTL serves them all.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	ttl  time.Duration
+	seen uint32 // NumGC high-water mark for pause-histogram deltas
+	hist *Histogram
+}
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	if now.Sub(c.at) > c.ttl {
+		runtime.ReadMemStats(&c.ms)
+		c.at = now
+		// Feed GC pauses observed since the last read into the pause
+		// histogram. PauseNs is a ring of the last 256 pauses indexed by
+		// NumGC; replay only the new ones.
+		if c.hist != nil {
+			n := c.ms.NumGC
+			from := c.seen
+			if n > from+256 {
+				from = n - 256
+			}
+			for i := from; i < n; i++ {
+				c.hist.Observe(int64(c.ms.PauseNs[i%256]))
+			}
+			c.seen = n
+		}
+	}
+	return &c.ms
+}
+
+// RegisterGoRuntime registers Go runtime health families on reg:
+// goroutine count, heap bytes, cumulative GC count, a GC pause
+// histogram, and a dyntc_build_info gauge carrying the module version
+// and Go toolchain as labels. Scrape-time gauges share one cached
+// ReadMemStats per 250ms, so scrapes stay cheap.
+func RegisterGoRuntime(r *Registry) {
+	cache := &memStatsCache{ttl: 250 * time.Millisecond}
+	cache.hist = r.Seconds("dyntc_go_gc_pause_seconds", "stop-the-world GC pause durations")
+	r.GaugeFunc("dyntc_go_goroutines", "current goroutine count", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("dyntc_go_heap_alloc_bytes", "bytes of allocated heap objects", func() float64 {
+		return float64(cache.get().HeapAlloc)
+	})
+	r.GaugeFunc("dyntc_go_heap_sys_bytes", "heap memory obtained from the OS", func() float64 {
+		return float64(cache.get().HeapSys)
+	})
+	r.CounterFunc("dyntc_go_gc_total", "completed GC cycles", func() float64 {
+		return float64(cache.get().NumGC)
+	})
+
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.GaugeFunc("dyntc_build_info", "build metadata; value is always 1",
+		func() float64 { return 1 },
+		"version", version, "go", runtime.Version())
+}

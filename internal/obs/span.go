@@ -1,0 +1,362 @@
+// Span-based distributed tracing for the wave lifecycle. A trace follows
+// one batch of requests from HTTP ingest through engine coalesce/flush,
+// the per-stage wave phases, the WAL append, and — across the process
+// boundary — the follower's fetch and apply. Leader-side and
+// follower-side spans are stitched together without any RPC metadata:
+// both processes derive the same deterministic per-wave span ID from
+// (epoch, seq), so the follower's spans parent onto the leader's wave
+// span and one trace ID covers both processes.
+//
+// The exporter is a SpanLog: a lock-cheap bounded ring plus an optional
+// buffered JSONL file, same shape as the WaveTrace ring (trace.go). Spans
+// are only materialised for sampled flushes (or requests that carry an
+// explicit trace header), so the unsampled hot path never allocates.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID is a 64-bit trace or span identifier, rendered as 16 hex digits
+// in JSON and in the X-Dyntc-Trace header.
+type SpanID uint64
+
+// MarshalJSON renders the ID as a fixed-width hex string.
+func (id SpanID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + id.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the hex string form (and, leniently, a bare
+// number for hand-written fixtures).
+func (id *SpanID) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	v, err := ParseSpanID(s)
+	if err != nil {
+		return err
+	}
+	*id = v
+	return nil
+}
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseSpanID parses the hex form produced by String.
+func ParseSpanID(s string) (SpanID, error) {
+	if s == "" || len(s) > 16 {
+		return 0, fmt.Errorf("obs: bad span id %q", s)
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("obs: bad span id %q", s)
+		}
+		v = v<<4 | d
+	}
+	return SpanID(v), nil
+}
+
+// SpanContext is the propagated half of a span: the trace it belongs to
+// and the span itself (the parent of whatever the receiver creates). The
+// zero value means "not traced" and is free to carry.
+type SpanContext struct {
+	Trace SpanID
+	Span  SpanID
+}
+
+// Valid reports whether the context carries a trace.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 }
+
+// idState seeds span-ID generation once per process.
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32)
+}
+
+// nextID returns a process-unique non-zero 64-bit ID: an atomic counter
+// pushed through a splitmix64 finalizer, so IDs are unique, cheap, and
+// well mixed without a lock or a CSPRNG.
+func nextID() SpanID {
+	for {
+		x := idState.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return SpanID(x)
+		}
+	}
+}
+
+// NewTraceID returns a fresh trace ID.
+func NewTraceID() SpanID { return nextID() }
+
+// NewSpanID returns a fresh span ID.
+func NewSpanID() SpanID { return nextID() }
+
+// WaveSpanID is the deterministic span ID of the wave sealed as
+// (epoch, seq). Both leader and follower compute it independently, so
+// follower-side spans can parent onto the leader's wave span without any
+// ID ever crossing the wire. FNV-1a over the two words, forced non-zero.
+func WaveSpanID(epoch, seq uint64) SpanID {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (epoch >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (seq >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return SpanID(h)
+}
+
+// Span is one recorded operation in a trace. Start is a wall-clock
+// nanosecond timestamp (UnixNano) so spans recorded by different
+// processes order on a shared axis; Dur is the span's length in
+// nanoseconds. Tree/Seq/Epoch tie wave-scoped spans back to the change
+// log; Reqs carries the batch width on flush spans.
+type Span struct {
+	Trace  SpanID `json:"trace"`
+	Span   SpanID `json:"span"`
+	Parent SpanID `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Proc   string `json:"proc,omitempty"`
+	Tree   uint64 `json:"tree,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Start  int64  `json:"start"`
+	Dur    int64  `json:"dur_ns"`
+	Reqs   int    `json:"reqs,omitempty"`
+}
+
+// DefaultSpanCap is the span ring capacity when none is given. Spans are
+// finer-grained than wave traces (several per flush plus one per wave),
+// so the default ring is deeper than the trace ring's.
+const DefaultSpanCap = 4096
+
+// SpanLog collects finished spans: a bounded ring for the /v1/spans
+// endpoint plus an optional buffered JSONL file. Add is mutex-guarded —
+// spans are emitted once per sampled flush/wave, never per request, so
+// the lock is off the hot path.
+type SpanLog struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	n     int
+	total uint64
+	proc  string
+
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// NewSpanLog creates a span log retaining up to capacity spans
+// (DefaultSpanCap when <= 0). proc is stamped on every span recorded
+// here ("leader", "follower", ...), identifying the process in merged
+// traces. A non-empty path mirrors every span to an append-only JSONL
+// file.
+func NewSpanLog(capacity int, proc, path string) (*SpanLog, error) {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	l := &SpanLog{buf: make([]Span, capacity), proc: proc}
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		l.f = f
+		l.bw = bufio.NewWriterSize(f, 1<<16)
+	}
+	return l, nil
+}
+
+// Add records a finished span, stamping the log's process label.
+func (l *SpanLog) Add(s Span) {
+	if l == nil {
+		return
+	}
+	if s.Proc == "" {
+		s.Proc = l.proc
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = s
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.total++
+	if l.bw != nil {
+		b, err := json.Marshal(s)
+		if err == nil {
+			l.bw.Write(b)
+			l.bw.WriteByte('\n')
+		}
+	}
+}
+
+// Total returns the number of spans ever recorded (including evicted).
+func (l *SpanLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Len returns the number of spans currently retained.
+func (l *SpanLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// snapshot copies the retained spans oldest-first while holding the lock.
+func (l *SpanLog) snapshot() []Span {
+	out := make([]Span, 0, l.n)
+	start := l.next - l.n
+	if start < 0 {
+		start += len(l.buf)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// Last returns up to n of the most recent spans, oldest first.
+func (l *SpanLog) Last(n int) []Span {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	all := l.snapshot()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// ByTrace returns every retained span of the trace, oldest first.
+func (l *SpanLog) ByTrace(trace SpanID) []Span {
+	if l == nil || trace == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Span
+	for _, s := range l.snapshot() {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BySeq returns every retained span stamped with the wave sequence
+// number, oldest first — the cross-process join key when no trace ID is
+// at hand.
+func (l *SpanLog) BySeq(seq uint64) []Span {
+	if l == nil || seq == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Span
+	for _, s := range l.snapshot() {
+		if s.Seq == seq {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Flush forces buffered JSONL output to the file.
+func (l *SpanLog) Flush() error {
+	if l == nil || l.bw == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bw.Flush()
+}
+
+// Close flushes and closes the JSONL file, if any.
+func (l *SpanLog) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.bw.Flush()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f, l.bw = nil, nil
+	return err
+}
+
+// FormatTraceHeader renders a SpanContext for the X-Dyntc-Trace header:
+// "<trace>-<span>", both 16 hex digits.
+func FormatTraceHeader(sc SpanContext) string {
+	return sc.Trace.String() + "-" + sc.Span.String()
+}
+
+// ParseTraceHeader parses an X-Dyntc-Trace header value. A bare trace ID
+// (no "-<span>") is accepted and yields a context with only the trace
+// set. Returns the zero context for an empty or malformed value — a bad
+// header degrades to "untraced", never to an error.
+func ParseTraceHeader(v string) SpanContext {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return SpanContext{}
+	}
+	var tracePart, spanPart string
+	if i := strings.IndexByte(v, '-'); i >= 0 {
+		tracePart, spanPart = v[:i], v[i+1:]
+	} else {
+		tracePart = v
+	}
+	trace, err := ParseSpanID(tracePart)
+	if err != nil {
+		return SpanContext{}
+	}
+	sc := SpanContext{Trace: trace}
+	if spanPart != "" {
+		if span, err := ParseSpanID(spanPart); err == nil {
+			sc.Span = span
+		}
+	}
+	return sc
+}

@@ -8,13 +8,15 @@ import "sync"
 // flush (and for every flush over the slow-wave threshold); dyntcd dumps
 // the ring via GET /v1/trace?n=.
 type WaveTrace struct {
-	Tree     uint64 `json:"tree"`        // forest tree id (0 for a lone engine)
-	Seq      uint64 `json:"applied_seq"` // applied-wave sequence after the flush
-	Reqs     int    `json:"reqs"`        // requests in the flush
-	Waves    int    `json:"waves"`       // conflict-free waves the flush split into
-	Coalesce int64  `json:"coalesce_ns"` // oldest request's submit→flush-start wait
-	Flush    int64  `json:"flush_ns"`    // flush-start→all-acked span
-	Grow     int64  `json:"grow_ns"`     // per-phase execution time, summed over waves
+	Tree     uint64 `json:"tree"`               // forest tree id (0 for a lone engine)
+	Seq      uint64 `json:"applied_seq"`        // applied-wave sequence after the flush
+	Epoch    uint64 `json:"epoch,omitempty"`    // leadership term the flush ran under
+	TraceID  SpanID `json:"trace_id,omitempty"` // distributed trace the flush belongs to, if sampled into one
+	Reqs     int    `json:"reqs"`               // requests in the flush
+	Waves    int    `json:"waves"`              // conflict-free waves the flush split into
+	Coalesce int64  `json:"coalesce_ns"`        // oldest request's submit→flush-start wait
+	Flush    int64  `json:"flush_ns"`           // flush-start→all-acked span
+	Grow     int64  `json:"grow_ns"`            // per-phase execution time, summed over waves
 	Collapse int64  `json:"collapse_ns"`
 	SetLeaf  int64  `json:"set_leaf_ns"`
 	SetOp    int64  `json:"set_op_ns"`

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dyntc/internal/faults"
+	"dyntc/internal/obs"
 )
 
 // Log errors.
@@ -156,6 +157,34 @@ func (l *Log) Append(w Wave) error {
 	if ep := w.EpochOrDefault(); ep < l.epoch {
 		return fmt.Errorf("%w: log at epoch %d, wave %d carries epoch %d",
 			ErrStaleEpoch, l.epoch, w.Seq, ep)
+	}
+	// Observability: records sealed by a timed engine carry SealedAt;
+	// stamp the append time next to it (ring and file mirror both see it,
+	// so followers can attribute fetch lag), attribute the seal→append
+	// stage, and emit a wal.append span for traced waves. Untimed records
+	// (SealedAt == 0) skip all of this and stay byte-identical to
+	// pre-tracing output.
+	if w.SealedAt != 0 {
+		w.AppendedAt = time.Now().UnixNano()
+		if m := l.m.Load(); m != nil {
+			lag := w.AppendedAt - w.SealedAt
+			if lag < 0 {
+				lag = 0
+			}
+			m.SealedAppended.Observe(lag)
+			if m.Spans != nil && w.TraceID != 0 {
+				m.Spans.Add(obs.Span{
+					Trace:  obs.SpanID(w.TraceID),
+					Span:   obs.NewSpanID(),
+					Parent: obs.WaveSpanID(w.EpochOrDefault(), w.Seq),
+					Name:   "wal.append",
+					Seq:    w.Seq,
+					Epoch:  w.EpochOrDefault(),
+					Start:  w.SealedAt,
+					Dur:    lag,
+				})
+			}
+		}
 	}
 	if l.n == len(l.ring) {
 		// Evict the oldest retained wave.

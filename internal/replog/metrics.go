@@ -4,6 +4,16 @@ import (
 	"dyntc/internal/obs"
 )
 
+// Replication-lag stage labels: the three hops a wave makes between the
+// leader's seal and the follower's apply. Exposed as one histogram
+// family, dyntc_repl_stage_seconds{stage=...}, registered on both roles
+// so a scrape checker sees the family even before traffic flows.
+const (
+	StageSealedAppended = "sealed_appended"  // engine seal → WAL append (leader)
+	StageAppendedFetch  = "appended_fetched" // WAL append → follower fetch (network + poll)
+	StageFetchedApplied = "fetched_applied"  // follower fetch → replay applied
+)
+
 // Metrics is the replication log's instrument bundle. One Metrics is
 // shared by every Log of a process (per-tree label cardinality would not
 // scale to a big forest); attach it with Log.SetMetrics. Lag and
@@ -19,13 +29,32 @@ type Metrics struct {
 	AppendSeconds *obs.Histogram
 	// Compactions counts log compactions started.
 	Compactions *obs.Counter
+
+	// SealedAppended, AppendedFetched, FetchedApplied attribute
+	// replication lag to its three stages. The first is observed by
+	// Log.Append on the leader; the other two by the follower's sync
+	// loop. All three live in the dyntc_repl_stage_seconds family.
+	SealedAppended  *obs.Histogram
+	AppendedFetched *obs.Histogram
+	FetchedApplied  *obs.Histogram
+
+	// Spans, when set, receives a wal.append span for every appended wave
+	// that carries a trace ID (see Log.Append).
+	Spans *obs.SpanLog
 }
 
 // NewMetrics registers the replog families on reg.
 func NewMetrics(r *obs.Registry) *Metrics {
+	stage := func(s string) *obs.Histogram {
+		return r.Seconds("dyntc_repl_stage_seconds",
+			"replication lag per pipeline stage (seal->append->fetch->apply)", "stage", s)
+	}
 	return &Metrics{
-		Appends:       r.Counter("dyntc_replog_appends_total", "waves appended to the change log"),
-		AppendSeconds: r.Seconds("dyntc_replog_append_seconds", "wave append latency: verify, ring insert, WAL encode"),
-		Compactions:   r.Counter("dyntc_replog_compactions_total", "log compactions started"),
+		Appends:         r.Counter("dyntc_replog_appends_total", "waves appended to the change log"),
+		AppendSeconds:   r.Seconds("dyntc_replog_append_seconds", "wave append latency: verify, ring insert, WAL encode"),
+		Compactions:     r.Counter("dyntc_replog_compactions_total", "log compactions started"),
+		SealedAppended:  stage(StageSealedAppended),
+		AppendedFetched: stage(StageAppendedFetch),
+		FetchedApplied:  stage(StageFetchedApplied),
 	}
 }

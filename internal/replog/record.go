@@ -107,6 +107,19 @@ type Wave struct {
 	// epoch word included only when Epoch is non-zero so pre-epoch
 	// records stay verifiable; see Checksum/Seal/Verify.
 	Sum uint64 `json:"sum"`
+
+	// TraceID, SealedAt and AppendedAt are observability metadata: the
+	// distributed trace the wave was sampled into (0 when unsampled) and
+	// UnixNano timestamps taken when the engine sealed the wave and when
+	// the log appended it. They ride the record so the follower can
+	// attribute replication lag per stage, but they are NOT part of the
+	// content checksum — two replicas of the same wave differ in clocks,
+	// never in content — and they are omitted from untimed engines'
+	// records, keeping the wave-log bytes of uninstrumented runs
+	// identical to pre-tracing versions.
+	TraceID    uint64 `json:"trace_id,omitempty"`
+	SealedAt   int64  `json:"sealed_at,omitempty"`
+	AppendedAt int64  `json:"appended_at,omitempty"`
 }
 
 // EpochOrDefault returns the wave's epoch, mapping the zero value (a

@@ -101,6 +101,12 @@ type Pool struct {
 	// task when unset.
 	taskHists atomic.Pointer[[MaxTaskKinds]*obs.Histogram]
 
+	// spanTap, when set by SetSpans, samples pool tasks into a span log
+	// (one sched.<kind> span per sampled task). One atomic pointer load
+	// per task when unset; spanSeq counts tasks for the sampling gate.
+	spanTap atomic.Pointer[spanTap]
+	spanSeq atomic.Uint64
+
 	tasks      atomic.Uint64
 	steals     atomic.Uint64
 	loops      atomic.Uint64
@@ -344,6 +350,17 @@ func (w *worker) run() {
 		if hs := p.taskHists.Load(); hs != nil {
 			hs[kind].Observe(d)
 		}
+		if st := p.spanTap.Load(); st != nil {
+			if p.spanSeq.Add(1)%st.sample == 0 {
+				st.log.Add(obs.Span{
+					Trace: obs.NewTraceID(),
+					Span:  obs.NewSpanID(),
+					Name:  "sched." + st.names[kind],
+					Start: begin.UnixNano(),
+					Dur:   d,
+				})
+			}
+		}
 	}
 }
 
@@ -426,6 +443,41 @@ func (p *Pool) Observe(reg *obs.Registry, kindNames []string) {
 		hs[k] = reg.Seconds("dyntc_sched_task_seconds", "pool task latency, by step kind", "kind", name)
 	}
 	p.taskHists.Store(hs)
+}
+
+// spanTap is the installed task-span configuration (see SetSpans).
+type spanTap struct {
+	log    *obs.SpanLog
+	sample uint64
+	names  [MaxTaskKinds]string
+}
+
+// SetSpans samples pool tasks into log: every sample-th task (1 records
+// all) emits a standalone sched.<kind> span carrying the task's start
+// and duration. Pool tasks belong to no particular request trace — the
+// shared workers interleave every tree's waves — so task spans get fresh
+// trace IDs and serve as a sampled task-latency stream next to the
+// dyntc_sched_task_seconds histogram. kindNames follows Observe; nil log
+// removes the tap.
+func (p *Pool) SetSpans(log *obs.SpanLog, sample uint64, kindNames []string) {
+	if p == nil {
+		return
+	}
+	if log == nil {
+		p.spanTap.Store(nil)
+		return
+	}
+	if sample == 0 {
+		sample = 1
+	}
+	st := &spanTap{log: log, sample: sample}
+	for k := range st.names {
+		st.names[k] = "kind" + string(rune('0'+k))
+		if k < len(kindNames) && kindNames[k] != "" {
+			st.names[k] = kindNames[k]
+		}
+	}
+	p.spanTap.Store(st)
 }
 
 // Stats is a point-in-time snapshot of pool activity.

@@ -45,6 +45,55 @@ type WaveTraceRing = obs.TraceRing
 // records (a default capacity when <= 0).
 func NewWaveTraceRing(capacity int) *WaveTraceRing { return obs.NewTraceRing(capacity) }
 
+// SpanID is a 64-bit trace or span identifier, rendered as 16 hex
+// digits in JSON and in the X-Dyntc-Trace header.
+type SpanID = obs.SpanID
+
+// TraceContext is the propagated half of a distributed trace: the trace
+// ID plus the parent span ID. The zero value means "untraced" and costs
+// nothing to carry. Servers derive it from the X-Dyntc-Trace header
+// (ParseTraceHeader) and pass it to Engine.Traced.
+type TraceContext = obs.SpanContext
+
+// SpanRecord is one finished span of a distributed wave-lifecycle trace.
+type SpanRecord = obs.Span
+
+// SpanLog is the span exporter: a bounded ring (served at GET /v1/spans)
+// plus an optional append-only JSONL file, shared by every engine and
+// log it is attached to (BatchOptions.Spans, WaveLog metrics).
+type SpanLog = obs.SpanLog
+
+// NewSpanLog creates a span log retaining capacity spans (a default when
+// <= 0). proc labels the recording process ("leader", "follower") in
+// merged traces; a non-empty path mirrors spans to a JSONL file.
+func NewSpanLog(capacity int, proc, path string) (*SpanLog, error) {
+	return obs.NewSpanLog(capacity, proc, path)
+}
+
+// NewTraceID returns a fresh process-unique trace ID.
+func NewTraceID() SpanID { return obs.NewTraceID() }
+
+// NewSpanID returns a fresh process-unique span ID.
+func NewSpanID() SpanID { return obs.NewSpanID() }
+
+// WaveSpanID is the deterministic span ID of the wave sealed as
+// (epoch, seq): leader and follower compute it independently, which is
+// what stitches one trace across the process boundary.
+func WaveSpanID(epoch, seq uint64) SpanID { return obs.WaveSpanID(epoch, seq) }
+
+// ParseTraceHeader parses an X-Dyntc-Trace header value
+// ("<trace>-<span>" or a bare trace ID, 16 hex digits each); malformed
+// values degrade to the zero (untraced) context.
+func ParseTraceHeader(v string) TraceContext { return obs.ParseTraceHeader(v) }
+
+// FormatTraceHeader renders a TraceContext for the X-Dyntc-Trace header.
+func FormatTraceHeader(sc TraceContext) string { return obs.FormatTraceHeader(sc) }
+
+// RegisterGoRuntime registers Go runtime health families on r: goroutine
+// count, heap bytes, GC cycle count, a GC pause histogram, and a
+// dyntc_build_info gauge carrying version and Go toolchain labels.
+func RegisterGoRuntime(r *MetricsRegistry) { obs.RegisterGoRuntime(r) }
+
 // QueryMetrics is the cross-tree query engine's instrument bundle:
 // query count, scatter width and join latency. Attach it to a Forest
 // with SetQueryMetrics.

@@ -108,6 +108,14 @@ type BatchOptions struct {
 	// as a WaveTraceRecord (full stage breakdown). Like Metrics it turns
 	// on wave timing; the ring is shared across engines.
 	Trace *WaveTraceRing
+	// Spans, when set, records distributed-trace spans for sampled
+	// flushes (every TraceSample-th, plus every flush carrying a request
+	// submitted through the Traced view): a flush span, per-stage child
+	// spans, and a deterministic wave anchor span per sealed wave that
+	// WAL appends and follower replays stitch to by (epoch, seq). One
+	// SpanLog (NewSpanLog) is shared by every engine it is passed to.
+	// Like Metrics it turns on wave timing.
+	Spans *SpanLog
 	// TraceSample is the flush sampling stride for Trace (default 16; 1
 	// records every flush).
 	TraceSample int
@@ -149,6 +157,7 @@ func (e *Expr) Serve(opts BatchOptions) *Engine {
 			Pool:              opts.Pool,
 			Obs:               opts.Metrics,
 			Trace:             opts.Trace,
+			Spans:             opts.Spans,
 			TraceSample:       opts.TraceSample,
 			SlowWave:          opts.SlowWave,
 			SlowWaveThreshold: opts.SlowWaveThreshold,
@@ -451,6 +460,106 @@ func (en *Engine) ValueIDAsync(nodeID int) *Future {
 	return en.inner.Value(engine.RefID(nodeID))
 }
 
+// --- traced API: the ID-addressed methods carrying a trace context ---
+
+// TracedEngine is an Engine view whose submits carry a distributed-trace
+// context: the flush that executes a traced request adopts its trace and
+// is always recorded into the engine's SpanLog, regardless of sampling.
+// The view is a value — obtaining one allocates nothing — and a zero
+// TraceContext makes every method behave exactly like its plain form.
+type TracedEngine struct {
+	en *Engine
+	sc TraceContext
+}
+
+// Traced returns a view of the engine whose submits carry sc.
+func (en *Engine) Traced(sc TraceContext) TracedEngine {
+	return TracedEngine{en: en, sc: sc}
+}
+
+// GrowID is Engine.GrowID carrying the view's trace context.
+func (t TracedEngine) GrowID(leafID int, op Op, leftVal, rightVal int64) (lID, rID int, err error) {
+	f := t.en.inner.GrowCtx(t.sc, engine.RefID(leafID), op, leftVal, rightVal)
+	l, r, err := f.Pair()
+	f.Recycle()
+	if err != nil {
+		return 0, 0, err
+	}
+	return l.ID, r.ID, nil
+}
+
+// CollapseID is Engine.CollapseID carrying the view's trace context.
+func (t TracedEngine) CollapseID(nodeID int, newValue int64) error {
+	f := t.en.inner.CollapseCtx(t.sc, engine.RefID(nodeID), newValue)
+	err := f.Wait()
+	f.Recycle()
+	return err
+}
+
+// SetLeafID is Engine.SetLeafID carrying the view's trace context.
+func (t TracedEngine) SetLeafID(leafID int, v int64) error {
+	f := t.en.inner.SetLeafCtx(t.sc, engine.RefID(leafID), v)
+	err := f.Wait()
+	f.Recycle()
+	return err
+}
+
+// SetOpID is Engine.SetOpID carrying the view's trace context.
+func (t TracedEngine) SetOpID(nodeID int, op Op) error {
+	f := t.en.inner.SetOpCtx(t.sc, engine.RefID(nodeID), op)
+	err := f.Wait()
+	f.Recycle()
+	return err
+}
+
+// ValueID is Engine.ValueID carrying the view's trace context.
+func (t TracedEngine) ValueID(nodeID int) (int64, error) {
+	f := t.en.inner.ValueCtx(t.sc, engine.RefID(nodeID))
+	v, err := f.Value()
+	f.Recycle()
+	return v, err
+}
+
+// Root is Engine.Root carrying the view's trace context.
+func (t TracedEngine) Root() (int64, error) {
+	f := t.en.inner.RootCtx(t.sc)
+	v, err := f.Value()
+	f.Recycle()
+	return v, err
+}
+
+// GrowIDAsync is Engine.GrowIDAsync carrying the view's trace context.
+func (t TracedEngine) GrowIDAsync(leafID int, op Op, leftVal, rightVal int64) *Future {
+	return t.en.inner.GrowCtx(t.sc, engine.RefID(leafID), op, leftVal, rightVal)
+}
+
+// CollapseIDAsync is Engine.CollapseIDAsync carrying the view's trace
+// context.
+func (t TracedEngine) CollapseIDAsync(nodeID int, newValue int64) *Future {
+	return t.en.inner.CollapseCtx(t.sc, engine.RefID(nodeID), newValue)
+}
+
+// SetLeafIDAsync is Engine.SetLeafIDAsync carrying the view's trace
+// context.
+func (t TracedEngine) SetLeafIDAsync(leafID int, v int64) *Future {
+	return t.en.inner.SetLeafCtx(t.sc, engine.RefID(leafID), v)
+}
+
+// SetOpIDAsync is Engine.SetOpIDAsync carrying the view's trace context.
+func (t TracedEngine) SetOpIDAsync(nodeID int, op Op) *Future {
+	return t.en.inner.SetOpCtx(t.sc, engine.RefID(nodeID), op)
+}
+
+// ValueIDAsync is Engine.ValueIDAsync carrying the view's trace context.
+func (t TracedEngine) ValueIDAsync(nodeID int) *Future {
+	return t.en.inner.ValueCtx(t.sc, engine.RefID(nodeID))
+}
+
+// RootAsync is Engine.RootAsync carrying the view's trace context.
+func (t TracedEngine) RootAsync() *Future {
+	return t.en.inner.RootCtx(t.sc)
+}
+
 // compile-time check: Expr is an engine host.
 var _ engine.Host = (*Expr)(nil)
 
@@ -488,6 +597,7 @@ func NewForest(opts BatchOptions) *Forest {
 			Pool:              opts.Pool,
 			Obs:               opts.Metrics,
 			Trace:             opts.Trace,
+			Spans:             opts.Spans,
 			TraceSample:       opts.TraceSample,
 			SlowWave:          opts.SlowWave,
 			SlowWaveThreshold: opts.SlowWaveThreshold,
