@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"dyntc"
+	"dyntc/internal/obs"
 	"dyntc/internal/prng"
 	"dyntc/internal/query"
 )
@@ -180,29 +181,53 @@ func (f *followerServer) run() {
 
 // noteRound records one poll round's outcome and returns the next delay:
 // the poll interval after a success, capped exponential backoff with
-// seeded jitter after consecutive failures.
+// seeded jitter after consecutive failures. Degraded-mode edges — the
+// round that crossed the threshold, the round that restored contact —
+// are journaled as they happen.
 func (f *followerServer) noteRound(ok bool) time.Duration {
 	f.errMu.Lock()
-	defer f.errMu.Unlock()
+	wasDegraded := f.degradedLocked()
+	outage := time.Since(f.lastContact)
+	var delay time.Duration
 	if ok {
 		f.consecErrs = 0
 		f.backoff = 0
 		f.lastContact = time.Now()
-		return f.poll
+		delay = f.poll
+	} else {
+		f.consecErrs++
+		b := f.poll
+		for i := 1; i < f.consecErrs && b < backoffCap; i++ {
+			b *= 2
+		}
+		if b > backoffCap {
+			b = backoffCap
+		}
+		// Up to +25% jitter so a fleet of followers does not stampede the
+		// leader the moment it returns.
+		b += time.Duration(f.jitter.Int63() % int64(b/4+1))
+		f.backoff = b
+		delay = b
 	}
-	f.consecErrs++
-	b := f.poll
-	for i := 1; i < f.consecErrs && b < backoffCap; i++ {
-		b *= 2
+	nowDegraded := f.degradedLocked()
+	consec := f.consecErrs
+	f.errMu.Unlock()
+	if nowDegraded && !wasDegraded {
+		f.obs.journal().Emit(obs.EvDegradedEnter,
+			"leader unreachable: serving reads in degraded mode",
+			map[string]any{"consecutive_errors": consec, "staleness_ms": outage.Milliseconds()})
+	} else if wasDegraded && !nowDegraded {
+		f.obs.journal().Emit(obs.EvDegradedExit,
+			"leader contact restored",
+			map[string]any{"outage_ms": outage.Milliseconds()})
 	}
-	if b > backoffCap {
-		b = backoffCap
-	}
-	// Up to +25% jitter so a fleet of followers does not stampede the
-	// leader the moment it returns.
-	b += time.Duration(f.jitter.Int63() % int64(b/4+1))
-	f.backoff = b
-	return b
+	return delay
+}
+
+// degradedLocked is the degraded predicate; callers hold errMu.
+func (f *followerServer) degradedLocked() bool {
+	return f.consecErrs >= degradedErrThreshold ||
+		(f.degradedAfter > 0 && time.Since(f.lastContact) > f.degradedAfter)
 }
 
 // health returns the poll-loop state and whether the follower is
@@ -211,10 +236,7 @@ func (f *followerServer) noteRound(ok bool) time.Duration {
 func (f *followerServer) health() (degraded bool, staleness time.Duration, consecErrs int, backoff time.Duration) {
 	f.errMu.Lock()
 	defer f.errMu.Unlock()
-	staleness = time.Since(f.lastContact)
-	degraded = f.consecErrs >= degradedErrThreshold ||
-		(f.degradedAfter > 0 && staleness > f.degradedAfter)
-	return degraded, staleness, f.consecErrs, f.backoff
+	return f.degradedLocked(), time.Since(f.lastContact), f.consecErrs, f.backoff
 }
 
 // Close stops the catch-up loop and waits for it to exit. After a
@@ -324,6 +346,9 @@ func (f *followerServer) bootstrap(id dyntc.TreeID) (*replica, error) {
 	f.mu.Unlock()
 	if rebootstrap && f.obs != nil {
 		f.obs.rebootstraps.Inc()
+		f.obs.journal().EmitTree(obs.EvRebootstrap, uint64(id),
+			"replica rebuilt from a fresh snapshot",
+			map[string]any{"seq": fo.Seq(), "bytes": len(data)})
 	}
 	slog.Info("follower: tree bootstrapped", "tree", id, "seq", fo.Seq())
 	return rep, nil
@@ -429,6 +454,11 @@ func (f *followerServer) observeApply(wv dyntc.Wave, fetched time.Time) {
 	applyLag := time.Now().UnixNano() - fetchedNS
 	b.replog.AppendedFetched.Observe(fetchLag)
 	b.replog.FetchedApplied.Observe(applyLag)
+	// Replication-lag stages feed the flight recorder: a leader whose WAL
+	// or network stalls shows up as a replica.fetch anomaly, a replica
+	// whose verified replay slows down as replica.apply.
+	b.anomaly.Observe(sigReplicaFetch, fetchLag)
+	b.anomaly.Observe(sigReplicaApply, applyLag)
 	if wv.TraceID == 0 || b.spans == nil {
 		return
 	}
@@ -488,6 +518,9 @@ func (f *followerServer) routes() *http.ServeMux {
 		mux.HandleFunc("GET /metrics", f.obs.handleMetrics)
 		mux.HandleFunc("GET /v1/trace", f.obs.handleTrace)
 		mux.HandleFunc("GET /v1/spans", f.obs.handleSpans)
+		mux.HandleFunc("GET /v1/events", f.obs.handleEvents)
+		mux.HandleFunc("GET /v1/hot", f.obs.handleHot)
+		mux.HandleFunc("GET /v1/debug/bundle", f.obs.handleBundle)
 	}
 	reject := func(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, apiError{http.StatusForbidden, "read-only replica: write on the leader " + f.leader})
@@ -598,6 +631,8 @@ func (f *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 	f.leaderSrv = s
 	f.leaderH.Store(http.Handler(s.routes()))
 	failoverMS := time.Since(t0).Milliseconds()
+	f.obs.journal().Emit(obs.EvPromote, "promoted to leader",
+		map[string]any{"trees": len(reps), "epoch": epoch, "failover_ms": failoverMS})
 
 	// Tell the old leader it is demoted. Best-effort and asynchronous: if
 	// it is dead or partitioned the epoch fence still rejects its late
@@ -696,6 +731,12 @@ func (f *followerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if f.pool != nil {
 		body["sched"] = f.pool.Stats()
+	}
+	if f.obs != nil {
+		body["anomaly_active"] = f.obs.anomaly.Active()
+		if ev, ok := f.obs.events.LastEvent(); ok {
+			body["last_event"] = ev
+		}
 	}
 	writeJSON(w, status, body)
 }

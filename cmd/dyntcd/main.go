@@ -140,7 +140,20 @@ func main() {
 		traceSample = flag.Int("trace-sample", 0, "trace every Nth wave flush (0 = default 16)")
 		spanCap     = flag.Int("span-cap", 0, "distributed-trace spans retained for GET /v1/spans (0 = default 4096)")
 		spanLog     = flag.String("span-log", "", "mirror every recorded span to this append-only JSONL file ('' = off)")
-		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		spanLogMax  = flag.Int64("span-log-max-bytes", 0, "rotate the -span-log file before it exceeds this size (0 = no rotation)")
+		spanLogKeep = flag.Int("span-log-keep", 3, "rotated -span-log generations to keep (<file>.1 .. <file>.N)")
+		eventCap    = flag.Int("event-cap", 0, "lifecycle events retained for GET /v1/events (0 = default 1024)")
+		eventLog    = flag.String("event-log", "", "mirror every lifecycle event to this append-only JSONL file ('' = off)")
+		hotK        = flag.Int("hot-k", 0, "trees tracked per hot-spot dimension for GET /v1/hot (0 = default 16)")
+
+		anomGate     = flag.Float64("anomaly-gate", 0, "anomaly cheap gate: sample must exceed EWMA + this many sigma (0 = default 4)")
+		anomMad      = flag.Float64("anomaly-mad", 0, "anomaly robust confirm: sample must exceed median + this many scaled MADs (0 = default 5)")
+		anomWarmup   = flag.Int("anomaly-warmup", 0, "samples a signal needs before it may trip (0 = default 64)")
+		anomMin      = flag.Duration("anomaly-min", 0, "absolute floor: samples at or below this never trip (0 = default 1ms)")
+		anomCooldown = flag.Duration("anomaly-cooldown", 0, "per-signal holdoff between anomaly trips (0 = default 10s)")
+		anomBoost    = flag.Duration("anomaly-boost", 0, "how long each anomaly trip boosts trace sampling (0 = default 3s)")
+
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 
@@ -167,13 +180,32 @@ func main() {
 	if *follow != "" {
 		proc = "follower"
 	}
-	ob, err := newObsBundle(*traceCap, *spanCap, proc, *spanLog)
+	ob, err := newObsBundle(obsConfig{
+		traceCap: *traceCap, spanCap: *spanCap, proc: proc,
+		spanPath: *spanLog, spanMaxBytes: *spanLogMax, spanKeep: *spanLogKeep,
+		eventCap: *eventCap, eventPath: *eventLog, hotK: *hotK,
+		anomaly: dyntc.AnomalyConfig{
+			GateK: *anomGate, MadK: *anomMad, Warmup: *anomWarmup,
+			MinNS: float64(*anomMin), Cooldown: *anomCooldown, Boost: *anomBoost,
+		},
+	})
 	if err != nil {
-		fatal("span log", "err", err)
+		fatal("observability init", "err", err)
 	}
 	defer ob.spans.Close()
+	defer ob.events.Close()
 	// Scheduler task spans ride the same exporter, sparsely sampled.
 	pool.SetSpans(ob.spans, schedSpanSample, pram.StepKindNames)
+	// The collapse monitor samples pool utilization every few seconds and
+	// journals a sched.collapse event when workers go idle with tasks
+	// still queued (the starvation signature).
+	go func() {
+		t := time.NewTicker(2 * time.Second)
+		defer t.Stop()
+		for range t.C {
+			pool.CheckCollapse(ob.events)
+		}
+	}()
 	if *pprofAddr != "" {
 		startPprof(*pprofAddr)
 	}
@@ -203,6 +235,7 @@ func main() {
 		Metrics: ob.engine, Trace: ob.trace, TraceSample: *traceSample, Faults: faults,
 		Spans: ob.spans,
 	}
+	ob.engineHooks(&opts)
 	if *slowWave > 0 {
 		opts.SlowWave = logSlowWave
 		opts.SlowWaveThreshold = *slowWave
@@ -219,10 +252,13 @@ func main() {
 	s := newServerWAL(opts, *walDir, *logCap)
 	s.compactEvery = *compact
 	s.faults = faults
+	// Observe before recovering: startup recovery journals its lifecycle
+	// events (torn tails, epoch adoptions) and the recovered trees' WALs
+	// pick up their instruments as attachLog re-attaches them.
+	s.observe(ob)
 	if err := s.recover(); err != nil {
 		fatal("startup recovery", "err", err)
 	}
-	s.observe(ob)
 	var handler http.Handler = s.routes()
 	if *accessLog {
 		handler = withAccessLog(handler)

@@ -15,7 +15,10 @@ import (
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"os"
+	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,6 +27,22 @@ import (
 	"dyntc/internal/pram"
 	"dyntc/internal/replog"
 )
+
+// Anomaly detector signal names: each is one windowed latency stream the
+// flight recorder watches. Leader processes feed the first three; the
+// replication-lag pair is follower-side.
+const (
+	sigEngineFlush  = "engine.flush"
+	sigWALAppend    = "wal.append"
+	sigQueryJoin    = "query.join"
+	sigReplicaFetch = "replica.fetch"
+	sigReplicaApply = "replica.apply"
+)
+
+// hotRanks is the fixed label cardinality of the dyntc_hot_tree_* gauge
+// families: the top hotRanks sketch entries per dimension export, however
+// many trees the sketch tracks.
+const hotRanks = 8
 
 // obsBundle is the process-wide observability state: the registry every
 // layer's families live on, plus the instrument bundles the serving code
@@ -42,6 +61,30 @@ type obsBundle struct {
 	// GET /v1/spans serves its ring.
 	spans *dyntc.SpanLog
 
+	// events is the lifecycle event journal: every layer's state changes
+	// (promotions, fences, degraded transitions, WAL recovery, shed
+	// bursts, anomalies) land here; GET /v1/events serves its ring and
+	// per-type counts export as dyntc_events_total.
+	events *dyntc.EventJournal
+	// boost is the flight recorder's sampling override, shared by every
+	// engine through BatchOptions.Boost; anomaly trips arm it.
+	boost *dyntc.TraceBoost
+	// anomaly is the flight recorder: streaming latency detectors that,
+	// on a confirmed outlier, journal an anomaly event with a runtime
+	// snapshot and arm the boost.
+	anomaly *dyntc.AnomalyRecorder
+	// Per-tree hot-spot sketches (GET /v1/hot): wave cost in flush
+	// nanoseconds, request counts, and shed counts.
+	hotCost *dyntc.TopK
+	hotReqs *dyntc.TopK
+	hotShed *dyntc.TopK
+
+	// proc labels this process's spans, events and debug bundles.
+	proc string
+	// bundleExtra, set by the serving role's observe, adds its live stats
+	// (engine aggregate or follower health) to GET /v1/debug/bundle.
+	bundleExtra func() map[string]any
+
 	// Snapshot traffic, both directions: leader compaction/GET encodes,
 	// follower bootstrap downloads.
 	snapshotBytes   *obs.Histogram
@@ -53,24 +96,54 @@ type obsBundle struct {
 	promotions *obs.Counter
 }
 
+// obsConfig sizes the process-wide observability state: ring capacities,
+// the span/event JSONL mirrors (with size-based rotation for spans), the
+// hot-spot sketch width and the anomaly detector tuning. The zero value
+// of every field means "default".
+type obsConfig struct {
+	traceCap, spanCap int
+	proc              string
+	spanPath          string
+	spanMaxBytes      int64
+	spanKeep          int
+	eventCap          int
+	eventPath         string
+	hotK              int
+	anomaly           dyntc.AnomalyConfig
+}
+
 // newObsBundle builds the registry and every process-level family. The
-// engine histogram bundle, the trace ring and the span log are created
-// here and passed into BatchOptions, so all trees share one set of
-// instruments. proc labels this process's spans ("leader", "follower");
-// a non-empty spanPath mirrors spans to an append-only JSONL file.
-func newObsBundle(traceCap, spanCap int, proc, spanPath string) (*obsBundle, error) {
-	spans, err := dyntc.NewSpanLog(spanCap, proc, spanPath)
+// engine histogram bundle, the trace ring, the span log, the event
+// journal and the anomaly flight recorder are created here and passed
+// into BatchOptions (engineHooks), so all trees share one set of
+// instruments. cfg.proc labels this process's spans and events
+// ("leader", "follower").
+func newObsBundle(cfg obsConfig) (*obsBundle, error) {
+	spans, err := dyntc.NewSpanLogRotating(cfg.spanCap, cfg.proc, cfg.spanPath, cfg.spanMaxBytes, cfg.spanKeep)
 	if err != nil {
 		return nil, err
 	}
+	events, err := dyntc.NewEventJournal(cfg.eventCap, cfg.proc, cfg.eventPath)
+	if err != nil {
+		spans.Close()
+		return nil, err
+	}
 	reg := dyntc.NewMetricsRegistry()
+	boost := &dyntc.TraceBoost{}
 	b := &obsBundle{
-		reg:    reg,
-		engine: dyntc.NewEngineMetrics(reg),
-		trace:  dyntc.NewWaveTraceRing(traceCap),
-		replog: replog.NewMetrics(reg),
-		query:  dyntc.NewQueryMetrics(reg),
-		spans:  spans,
+		reg:     reg,
+		engine:  dyntc.NewEngineMetrics(reg),
+		trace:   dyntc.NewWaveTraceRing(cfg.traceCap),
+		replog:  replog.NewMetrics(reg),
+		query:   dyntc.NewQueryMetrics(reg),
+		spans:   spans,
+		events:  events,
+		boost:   boost,
+		anomaly: dyntc.NewAnomalyRecorder(cfg.anomaly, events, boost),
+		hotCost: dyntc.NewTopK(cfg.hotK),
+		hotReqs: dyntc.NewTopK(cfg.hotK),
+		hotShed: dyntc.NewTopK(cfg.hotK),
+		proc:    cfg.proc,
 		snapshotBytes: reg.HistogramWith("dyntc_replog_snapshot_bytes",
 			"size of one tree snapshot encode or download", obs.SizeBuckets, 1),
 		snapshotSeconds: reg.Seconds("dyntc_replog_snapshot_seconds",
@@ -83,10 +156,100 @@ func newObsBundle(traceCap, spanCap int, proc, spanPath string) (*obsBundle, err
 	// Every WAL append records the sealed→appended lag and its wal.append
 	// span through the replog bundle.
 	b.replog.Spans = spans
+	// Per-type event counts (dyntc_events_total) ride the registry too.
+	events.Observe(reg)
+	// Hot-tree attribution exports at fixed cardinality: the top hotRanks
+	// sketch entries per dimension, as (tree id, weight) gauge pairs.
+	for _, dim := range []struct {
+		name string
+		t    *dyntc.TopK
+	}{{"cost_ns", b.hotCost}, {"reqs", b.hotReqs}, {"shed", b.hotShed}} {
+		t := dim.t
+		for rank := 0; rank < hotRanks; rank++ {
+			rank := rank
+			reg.GaugeFunc("dyntc_hot_tree_id",
+				"tree id at this rank of the hot-spot sketch (0 = unoccupied rank)",
+				func() float64 {
+					if items := t.Snapshot(); rank < len(items) {
+						return float64(items[rank].Key)
+					}
+					return 0
+				}, "dim", dim.name, "rank", strconv.Itoa(rank))
+			reg.GaugeFunc("dyntc_hot_tree_weight",
+				"estimated weight (dim units) of the tree at this rank of the hot-spot sketch",
+				func() float64 {
+					if items := t.Snapshot(); rank < len(items) {
+						return float64(items[rank].Count)
+					}
+					return 0
+				}, "dim", dim.name, "rank", strconv.Itoa(rank))
+		}
+	}
+	reg.CounterFunc("dyntc_anomaly_trips_total",
+		"anomaly detector trips (confirmed latency outliers) this process journaled",
+		func() float64 { return float64(b.anomaly.Trips()) })
+	reg.GaugeFunc("dyntc_anomaly_active",
+		"1 while an anomaly trip's trace-sampling boost window is open, else 0",
+		func() float64 {
+			if b.anomaly.Active() {
+				return 1
+			}
+			return 0
+		})
 	// Process health families (goroutines, heap, GC pauses, build info)
 	// ride the same registry on leader and follower alike.
 	dyntc.RegisterGoRuntime(reg)
+	events.Emit(obs.EvProcessStart, "observability initialized", map[string]any{
+		"pid": os.Getpid(), "go": runtime.Version(), "proc": cfg.proc,
+	})
 	return b, nil
+}
+
+// engineHooks wires the bundle's engine-facing callbacks into
+// BatchOptions: the lifecycle journal, the anomaly boost, and the
+// per-flush / per-shed sinks feeding hot-spot attribution and the
+// flush-latency anomaly detector. Nil-safe, so servers built without
+// observability skip it all.
+func (b *obsBundle) engineHooks(opts *dyntc.BatchOptions) {
+	if b == nil {
+		return
+	}
+	opts.Events = b.events
+	opts.Boost = b.boost
+	opts.FlushSink = b.flushDone
+	opts.ShedSink = b.shedDone
+}
+
+// flushDone is the BatchOptions.FlushSink: every flush charges its wall
+// time and request count to its tree's hot-spot sketches and feeds the
+// flush-latency anomaly detector.
+func (b *obsBundle) flushDone(tree uint64, reqs int, flushNS int64) {
+	b.hotCost.Add(tree, uint64(flushNS))
+	b.hotReqs.Add(tree, uint64(reqs))
+	b.anomaly.Observe(sigEngineFlush, flushNS)
+}
+
+// shedDone is the BatchOptions.ShedSink: shed requests are attributed to
+// the tree that shed them, so /v1/hot answers "who is being turned away".
+func (b *obsBundle) shedDone(tree uint64, n int) {
+	b.hotShed.Add(tree, uint64(n))
+}
+
+// journal returns the bundle's event journal, nil-safely: every Journal
+// method is itself nil-safe, so call sites can emit unconditionally.
+func (b *obsBundle) journal() *dyntc.EventJournal {
+	if b == nil {
+		return nil
+	}
+	return b.events
+}
+
+// recorder returns the anomaly flight recorder, nil-safely.
+func (b *obsBundle) recorder() *dyntc.AnomalyRecorder {
+	if b == nil {
+		return nil
+	}
+	return b.anomaly
 }
 
 // snapshotDone feeds the snapshot instruments; safe on a nil bundle so
@@ -171,6 +334,112 @@ func (b *obsBundle) handleSpans(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleEvents serves the lifecycle event journal, oldest first.
+// ?type=X filters to one event type (a trailing dot matches the prefix:
+// type=anomaly. returns every anomaly signal), ?since=SEQ returns events
+// after that journal sequence number, ?n=N caps the result to the most
+// recent N.
+func (b *obsBundle) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	if s := q.Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeErr(w, apiError{http.StatusBadRequest, "bad since"})
+			return
+		}
+		since = v
+	}
+	n := 0
+	if s := q.Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeErr(w, apiError{http.StatusBadRequest, "bad n"})
+			return
+		}
+		n = v
+	}
+	events := b.events.Query(q.Get("type"), since, n)
+	if events == nil {
+		events = []dyntc.Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  b.events.Total(),
+		"events": events,
+	})
+}
+
+// hotDim renders one hot-spot sketch dimension: total weight observed
+// and the ranked entries, each bracketing the true weight within its err.
+func hotDim(t *dyntc.TopK) map[string]any {
+	items := t.Snapshot()
+	if items == nil {
+		items = []dyntc.TopKItem{}
+	}
+	return map[string]any{"total": t.Total(), "trees": items}
+}
+
+// handleHot serves per-tree hot-spot attribution: which trees are
+// consuming wave execution time, which are receiving the requests, and
+// which are shedding.
+func (b *obsBundle) handleHot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cost": hotDim(b.hotCost),
+		"reqs": hotDim(b.hotReqs),
+		"shed": hotDim(b.hotShed),
+	})
+}
+
+// handleBundle serves the one-shot debug bundle: everything a first
+// responder pastes into an incident channel — build and process info,
+// the full metrics text, recent lifecycle events, recent spans and wave
+// traces, hot-spot attribution, the flight recorder's state, and the
+// serving role's live stats — as one JSON document.
+func (b *obsBundle) handleBundle(w http.ResponseWriter, r *http.Request) {
+	var metrics strings.Builder
+	_, _ = b.reg.WriteTo(&metrics)
+	events := b.events.Last(256)
+	if events == nil {
+		events = []dyntc.Event{}
+	}
+	spans := b.spans.Last(256)
+	if spans == nil {
+		spans = []dyntc.SpanRecord{}
+	}
+	traces := b.trace.Last(64)
+	if traces == nil {
+		traces = []dyntc.WaveTraceRecord{}
+	}
+	bundle := map[string]any{
+		"generated_at": time.Now().UTC().Format(time.RFC3339Nano),
+		"proc":         b.proc,
+		"pid":          os.Getpid(),
+		"go":           runtime.Version(),
+		"goroutines":   runtime.NumGoroutine(),
+		"args":         os.Args,
+		"events":       events,
+		"spans":        spans,
+		"traces":       traces,
+		"hot": map[string]any{
+			"cost": hotDim(b.hotCost),
+			"reqs": hotDim(b.hotReqs),
+			"shed": hotDim(b.hotShed),
+		},
+		"anomaly": map[string]any{
+			"trips":          b.anomaly.Trips(),
+			"active":         b.anomaly.Active(),
+			"boost_deadline": b.boost.Deadline(),
+		},
+		"metrics": metrics.String(),
+	}
+	if b.bundleExtra != nil {
+		for k, v := range b.bundleExtra() {
+			bundle[k] = v
+		}
+	}
+	writeJSON(w, http.StatusOK, bundle)
+}
+
 // statsCache memoizes one forest-wide stats aggregation per TTL: a
 // scrape reads a dozen engine counter funcs, and each would otherwise
 // walk every engine's stats independently.
@@ -200,6 +469,33 @@ func (s *server) observe(b *obsBundle) {
 	s.obs = b
 	cache := &statsCache{fn: s.forest.Stats, ttl: 250 * time.Millisecond}
 	dyntc.RegisterEngineStats(b.reg, cache.get)
+	// Anomaly events carry a snapshot of the engine aggregate at trip
+	// time; the debug bundle carries the same plus scheduler state.
+	b.anomaly.SetSnapshot(func() map[string]any {
+		st := cache.get()
+		return map[string]any{
+			"queue_depth":   st.QueueDepth,
+			"flushes":       st.Flushes,
+			"waves":         st.Waves,
+			"shed":          st.Shed,
+			"cur_max_batch": st.CurMaxBatch,
+			"flush_p50_us":  st.FlushP50US,
+			"flush_p99_us":  st.FlushP99US,
+		}
+	})
+	b.bundleExtra = func() map[string]any {
+		m := map[string]any{
+			"role":            "leader",
+			"trees":           s.forest.Len(),
+			"engine":          cache.get(),
+			"epoch":           s.maxEpoch(),
+			"fenced_at_epoch": s.fenced.Load(),
+		}
+		if s.pool != nil {
+			m["sched"] = s.pool.Stats()
+		}
+		return m
+	}
 	if s.pool != nil {
 		s.pool.Observe(b.reg, pram.StepKindNames)
 	}
@@ -249,6 +545,32 @@ func (f *followerServer) observe(b *obsBundle) {
 		f.pool.Observe(b.reg, pram.StepKindNames)
 	}
 	f.planner.SetMetrics(b.query)
+	// Replication-lag anomalies snapshot the poll loop's health; the
+	// debug bundle carries the same plus scheduler state.
+	b.anomaly.SetSnapshot(func() map[string]any {
+		degraded, staleness, consecErrs, backoff := f.health()
+		return map[string]any{
+			"degraded":           degraded,
+			"staleness_ms":       staleness.Milliseconds(),
+			"consecutive_errors": consecErrs,
+			"backoff_ms":         backoff.Milliseconds(),
+		}
+	})
+	b.bundleExtra = func() map[string]any {
+		degraded, staleness, consecErrs, backoff := f.health()
+		m := map[string]any{
+			"role":               "follower",
+			"leader":             f.leader,
+			"degraded":           degraded,
+			"staleness_ms":       staleness.Milliseconds(),
+			"consecutive_errors": consecErrs,
+			"backoff_ms":         backoff.Milliseconds(),
+		}
+		if f.pool != nil {
+			m["sched"] = f.pool.Stats()
+		}
+		return m
+	}
 	snap := func(fn func(rep *replica) uint64, fold func(acc, v float64) float64) float64 {
 		f.mu.Lock()
 		reps := make([]*replica, 0, len(f.reps))

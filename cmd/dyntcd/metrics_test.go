@@ -19,7 +19,7 @@ import (
 // and the /metrics + /v1/trace routes.
 func startObsServer(t *testing.T) (*httptest.Server, *server, *obsBundle) {
 	t.Helper()
-	ob, err := newObsBundle(16, 0, "leader", "")
+	ob, err := newObsBundle(obsConfig{traceCap: 16, proc: "leader"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@ package main
 import (
 	"net/http"
 	"sort"
+	"time"
 
 	"dyntc"
 	"dyntc/internal/query"
@@ -147,8 +148,12 @@ func serveQuery(w http.ResponseWriter, r *http.Request, run func(query.Spec) (qu
 }
 
 // handleQuery is the leader endpoint: scatter over the forest's engines.
+// The whole scatter-gather's wall time feeds the flight recorder's
+// query.join signal.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	serveQuery(w, r, s.forest.Query)
+	s.obs.recorder().Observe(sigQueryJoin, int64(time.Since(t0)))
 }
 
 // --- follower side: the same endpoint against the local replica set ---

@@ -17,6 +17,7 @@ import (
 
 	"dyntc"
 	"dyntc/internal/engine"
+	"dyntc/internal/obs"
 	"dyntc/internal/replog"
 )
 
@@ -104,6 +105,9 @@ func (s *server) fence(epoch uint64) {
 		}
 		if s.fenced.CompareAndSwap(cur, epoch) {
 			slog.Warn("fenced read-only: observed leadership epoch above ours", "epoch", epoch)
+			s.obs.journal().Emit(obs.EvDemote,
+				"fenced read-only: observed leadership epoch above ours",
+				map[string]any{"epoch": epoch})
 			return
 		}
 	}
@@ -266,6 +270,7 @@ func (s *server) attachLog(id dyntc.TreeID, en *dyntc.Engine) error {
 	}
 	if s.obs != nil {
 		wl.SetMetrics(s.obs.replog)
+		wl.SetEvents(s.obs.events)
 	}
 	if s.faults != nil {
 		wl.SetFaults(s.faults)
@@ -282,9 +287,14 @@ func (s *server) attachLog(id dyntc.TreeID, en *dyntc.Engine) error {
 		go s.compactLoop(id, en, wl, c)
 	}
 	en.SetWaveTap(func(w dyntc.Wave) {
+		t0 := time.Now()
 		if err := wl.Append(w); err != nil {
 			slog.Error("wave log append failed", "tree", id, "seq", w.Seq, "err", err)
 		}
+		// The append's wall time feeds the flight recorder: a stalling
+		// disk shows up as a wal.append anomaly before it backs the
+		// executor up far enough to shed.
+		s.obs.recorder().Observe(sigWALAppend, int64(time.Since(t0)))
 		// Kick the compactor every compactEvery waves; the send is
 		// non-blocking (the tap runs on the executor) and coalesces.
 		if c != nil && w.Seq%uint64(s.compactEvery) == 0 {
@@ -342,6 +352,7 @@ func (s *server) recover() error {
 			continue
 		}
 		epoch := en.Epoch()
+		snapEpoch := epoch
 		walPath := filepath.Join(s.walDir, fmt.Sprintf("tree-%d.wal", id))
 		if _, serr := os.Stat(walPath); serr == nil {
 			waves, dropped, werr := dyntc.RecoverWaveLog(walPath)
@@ -376,10 +387,22 @@ func (s *server) recover() error {
 						epoch = ep
 					}
 				}
+				if dropped > 0 {
+					// Journaled after replay so recovered_to is the seq the
+					// tree actually serves from, not the snapshot anchor.
+					s.obs.journal().EmitTree(obs.EvWALTorn, id,
+						"wal recover truncated a torn tail",
+						map[string]any{"bytes": dropped, "recovered_to": seq})
+				}
 			}
 		}
 		en.SetAppliedSeq(seq)
 		en.SetEpoch(epoch)
+		if epoch > snapEpoch {
+			s.obs.journal().EmitTree(obs.EvEpochAdopt, id,
+				"adopted a newer leadership epoch from the wal tail",
+				map[string]any{"epoch": epoch, "from": snapEpoch})
+		}
 		var ring dyntc.Ring
 		if qerr := en.Query(func(e *dyntc.Expr) { ring = e.Tree().Ring }); qerr != nil {
 			return qerr
@@ -453,6 +476,9 @@ func (s *server) routes() *http.ServeMux {
 		mux.HandleFunc("GET /metrics", s.obs.handleMetrics)
 		mux.HandleFunc("GET /v1/trace", s.obs.handleTrace)
 		mux.HandleFunc("GET /v1/spans", s.obs.handleSpans)
+		mux.HandleFunc("GET /v1/events", s.obs.handleEvents)
+		mux.HandleFunc("GET /v1/hot", s.obs.handleHot)
+		mux.HandleFunc("GET /v1/debug/bundle", s.obs.handleBundle)
 	}
 	return mux
 }
@@ -1150,6 +1176,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.pool != nil {
 		body["sched"] = s.pool.Stats()
+	}
+	if s.obs != nil {
+		body["anomaly_active"] = s.obs.anomaly.Active()
+		if ev, ok := s.obs.events.LastEvent(); ok {
+			body["last_event"] = ev
+		}
 	}
 	writeJSON(w, status, body)
 }

@@ -46,7 +46,7 @@ func bySpanName(spans []dyntc.SpanRecord, name string) []dyntc.SpanRecord {
 // boundary — the follower's fetch and apply, with the three lag-stage
 // histograms non-empty and consistent with the span timestamps.
 func TestDistributedTraceEndToEnd(t *testing.T) {
-	lob, err := newObsBundle(64, 0, "leader", "")
+	lob, err := newObsBundle(obsConfig{traceCap: 64, proc: "leader"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestDistributedTraceEndToEnd(t *testing.T) {
 	}
 	call(t, "POST", leaderSrv.URL+"/v1/trees", map[string]any{"root": 1}, 201, &created)
 
-	fob, err := newObsBundle(64, 0, "follower", "")
+	fob, err := newObsBundle(obsConfig{traceCap: 64, proc: "follower"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestPromotionKeepsObservability(t *testing.T) {
 	base := fmt.Sprintf("%s/v1/trees/%d", leaderSrv.URL, created.Tree)
 	lastLeaf := growSome(t, base, 5, 0)
 
-	fob, err := newObsBundle(16, 0, "follower", "")
+	fob, err := newObsBundle(obsConfig{traceCap: 16, proc: "follower"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -112,6 +112,11 @@ var RequiredLeaderFamilies = []string{
 	"dyntc_replog_appends_total",
 	"dyntc_repl_stage_seconds",
 	"dyntc_query_join_seconds",
+	"dyntc_events_total",
+	"dyntc_hot_tree_id",
+	"dyntc_hot_tree_weight",
+	"dyntc_anomaly_trips_total",
+	"dyntc_anomaly_active",
 	"dyntc_go_goroutines",
 	"dyntc_go_heap_alloc_bytes",
 	"dyntc_go_gc_pause_seconds",
@@ -126,9 +131,88 @@ var RequiredFollowerFamilies = []string{
 	"dyntc_replog_lag",
 	"dyntc_repl_stage_seconds",
 	"dyntc_epoch",
+	"dyntc_events_total",
+	"dyntc_anomaly_trips_total",
+	"dyntc_anomaly_active",
 	"dyntc_go_goroutines",
 	"dyntc_go_heap_alloc_bytes",
 	"dyntc_build_info",
+}
+
+// CheckObsEndpoints validates the self-diagnosis surface both roles
+// serve: the lifecycle event journal, the hot-tree attribution and the
+// one-shot debug bundle must all answer well-formed JSON. wantRole pins
+// the bundle's role field; wantHot additionally requires the hot-tree
+// cost dimension to have absorbed traffic (true on a leader that just
+// served load, false on an idle follower whose engines never flush).
+func CheckObsEndpoints(get func(path string) (string, error), wantRole string, wantHot bool) error {
+	evBody, err := get("/v1/events?n=64")
+	if err != nil {
+		return err
+	}
+	var ev struct {
+		Total  uint64        `json:"total"`
+		Events []dyntc.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(evBody), &ev); err != nil {
+		return fmt.Errorf("events: bad body: %v", err)
+	}
+	if ev.Total == 0 || len(ev.Events) == 0 {
+		return fmt.Errorf("events: journal empty (every process journals at least process.start)")
+	}
+	for _, e := range ev.Events {
+		if e.Seq == 0 || e.Type == "" {
+			return fmt.Errorf("events: malformed event %+v", e)
+		}
+	}
+
+	hotBody, err := get("/v1/hot")
+	if err != nil {
+		return err
+	}
+	var hot map[string]struct {
+		Total uint64           `json:"total"`
+		Trees []dyntc.TopKItem `json:"trees"`
+	}
+	if err := json.Unmarshal([]byte(hotBody), &hot); err != nil {
+		return fmt.Errorf("hot: bad body: %v", err)
+	}
+	for _, dim := range []string{"cost", "reqs", "shed"} {
+		if _, ok := hot[dim]; !ok {
+			return fmt.Errorf("hot: missing dimension %q", dim)
+		}
+	}
+	if wantHot && (hot["cost"].Total == 0 || len(hot["cost"].Trees) == 0) {
+		return fmt.Errorf("hot: cost dimension empty after load")
+	}
+
+	bundleBody, err := get("/v1/debug/bundle")
+	if err != nil {
+		return err
+	}
+	var bundle struct {
+		Role    string          `json:"role"`
+		Metrics string          `json:"metrics"`
+		Events  []dyntc.Event   `json:"events"`
+		Anomaly map[string]any  `json:"anomaly"`
+		Hot     json.RawMessage `json:"hot"`
+	}
+	if err := json.Unmarshal([]byte(bundleBody), &bundle); err != nil {
+		return fmt.Errorf("debug bundle: bad body: %v", err)
+	}
+	if bundle.Role != wantRole {
+		return fmt.Errorf("debug bundle: role %q, want %q", bundle.Role, wantRole)
+	}
+	if !strings.Contains(bundle.Metrics, "dyntc_events_total") {
+		return fmt.Errorf("debug bundle: embedded metrics snapshot missing dyntc_events_total")
+	}
+	if len(bundle.Events) == 0 || len(bundle.Hot) == 0 {
+		return fmt.Errorf("debug bundle: missing events or hot sections")
+	}
+	if _, ok := bundle.Anomaly["trips"]; !ok {
+		return fmt.Errorf("debug bundle: anomaly section missing trips: %v", bundle.Anomaly)
+	}
+	return nil
 }
 
 // ScrapeCheck drives the CI scrape smoke against a live dyntcd at
@@ -317,7 +401,9 @@ func ScrapeCheck(baseURL string, ops int) error {
 	if ring.Total <= 0 {
 		return fmt.Errorf("trace: no waves sampled after %d ops", ops)
 	}
-	return nil
+
+	// The self-diagnosis surface: journal, hot-tree attribution, bundle.
+	return CheckObsEndpoints(get, "leader", true)
 }
 
 // FollowerScrapeCheck validates a live follower dyntcd at baseURL
@@ -420,7 +506,9 @@ func FollowerScrapeCheck(leaderURL, baseURL string) error {
 			return nil
 		}()
 		if lastErr == nil {
-			return nil
+			// Replication attribution converged; finish with the
+			// self-diagnosis surface.
+			return CheckObsEndpoints(get, "follower", false)
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("follower scrape: %w", lastErr)

@@ -138,6 +138,27 @@ type Options struct {
 	// SlowWaveThreshold is the flush duration that counts as slow
 	// (default 25ms when SlowWave is set).
 	SlowWaveThreshold time.Duration
+	// Events, when set, receives the engine's lifecycle events: shed
+	// bursts (rate-limited to one event per second per engine) and
+	// adaptive flush-cap shifts. Shared with the server's journal; nil
+	// costs one pointer check on the rare paths that emit.
+	Events *obs.Journal
+	// Boost, when set, is the anomaly flight recorder's sampling
+	// override: while active, every flush is trace- and span-sampled
+	// regardless of TraceSample, so the slow period around a detector
+	// trip is densely traced. Checking it costs the unsampled flush path
+	// one atomic load — no allocation.
+	Boost *obs.TraceBoost
+	// FlushSink, when set, receives every flush's cost sample — the
+	// engine's forest tree id, request count and flush duration — on the
+	// executor. This feeds the anomaly detectors and the per-tree
+	// hot-spot sketch; it must be fast and must not call back into the
+	// engine. Setting FlushSink enables timing like Obs/Trace/Spans do.
+	FlushSink func(tree uint64, reqs int, flushNS int64)
+	// ShedSink, when set, receives per-tree load-shed counts (the
+	// hot-spot sketch's shed dimension). Called on the submitting
+	// goroutine, only when a request is actually shed.
+	ShedSink func(tree uint64, n int)
 	// Faults, when set, is the deterministic fault-injection schedule:
 	// site "engine.wave" is checked once per executed wave on the
 	// executor. An injected error panics the wave, which the engine's
@@ -241,6 +262,10 @@ type Engine struct {
 	traceID  atomic.Uint64
 	flushSeq uint64
 
+	// shedEventAt rate-limits shed-burst journal events (one per second
+	// per engine; written by shedding submitters via CAS).
+	shedEventAt atomic.Int64
+
 	done chan struct{}
 }
 
@@ -281,7 +306,8 @@ func New(host Host, opts Options) *Engine {
 	} else {
 		e.epoch.Store(1)
 	}
-	e.timing = e.opts.Obs != nil || e.opts.Trace != nil || e.opts.SlowWave != nil || e.opts.Spans != nil
+	e.timing = e.opts.Obs != nil || e.opts.Trace != nil || e.opts.SlowWave != nil ||
+		e.opts.Spans != nil || e.opts.FlushSink != nil
 	e.phaseFns = [numPhases]func(){
 		e.phaseGrows, e.phaseCollapses, e.phaseSetLeaves,
 		e.phaseSetOps, e.phaseSealWave, e.phaseValues,
@@ -389,6 +415,10 @@ func (e *Engine) submit(f *Future) *Future {
 		default:
 			e.mu.RUnlock()
 			e.stats.shed(1)
+			if sink := e.opts.ShedSink; sink != nil {
+				sink(e.traceID.Load(), 1)
+			}
+			e.noteShedBurst()
 			f.resolve(0, [2]*NodeT{}, ErrOverloaded)
 		}
 		return f
@@ -509,6 +539,25 @@ func (e *Engine) run() {
 	}
 }
 
+// noteShedBurst journals that the engine is shedding, rate-limited to
+// one event per second per engine: individual rejections are counted by
+// stats and the ShedSink; the journal records that a burst is happening
+// at all, with the running total for scale.
+func (e *Engine) noteShedBurst() {
+	j := e.opts.Events
+	if j == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := e.shedEventAt.Load()
+	if now-last < int64(time.Second) || !e.shedEventAt.CompareAndSwap(last, now) {
+		return
+	}
+	j.EmitTree(obs.EvShedBurst, e.traceID.Load(),
+		"submit queue full, shedding requests",
+		map[string]any{"shed_total": e.stats.shedded.Load(), "queue_cap": e.opts.Queue})
+}
+
 // adaptBatch is the adaptive flush cap (Options.MaxBatch docs): grow
 // while flushes saturate — a flush that reaches the cap was clipped by
 // it, i.e. demand outran the executor — and decay after a run of
@@ -524,6 +573,11 @@ func (e *Engine) adaptBatch(flushLen int) {
 		}
 		e.curMax.Store(int64(next))
 		e.stats.batchGrows.Add(1)
+		if j := e.opts.Events; j != nil {
+			j.EmitTree(obs.EvBatchGrow, e.traceID.Load(),
+				"adaptive flush cap doubled under saturation",
+				map[string]any{"from": cur, "to": next})
+		}
 		e.underfull = 0
 	case flushLen < cur/4 && cur > e.opts.MaxBatch:
 		if e.underfull++; e.underfull >= 8 {
@@ -533,6 +587,11 @@ func (e *Engine) adaptBatch(flushLen int) {
 			}
 			e.curMax.Store(int64(next))
 			e.stats.batchShrinks.Add(1)
+			if j := e.opts.Events; j != nil {
+				j.EmitTree(obs.EvBatchShrink, e.traceID.Load(),
+					"adaptive flush cap decayed after underfull flushes",
+					map[string]any{"from": cur, "to": next})
+			}
 			e.underfull = 0
 		}
 	default:

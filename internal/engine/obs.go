@@ -108,11 +108,12 @@ func RegisterStatsFuncs(r *obs.Registry, stats func() Stats) {
 func (e *Engine) SetTraceID(id uint64) { e.traceID.Store(id) }
 
 // beginFlushSpan decides, at flush start, whether this flush is recorded
-// into the span log: every TraceSample-th flush, or any flush carrying a
+// into the span log: every TraceSample-th flush, any flush while the
+// anomaly flight recorder's boost is active, or any flush carrying a
 // request with an explicit trace context (the first such request's trace
 // is adopted, so an X-Dyntc-Trace header forces end-to-end tracing). The
-// unsampled path is allocation-free: one counter compare plus one span
-// field compare per request.
+// unsampled path is allocation-free: one counter compare, one atomic
+// boost load, plus one span field compare per request.
 func (e *Engine) beginFlushSpan(flush []*Future, flushStart time.Time) {
 	sc := &e.sc
 	sc.spanActive = false
@@ -121,7 +122,8 @@ func (e *Engine) beginFlushSpan(flush []*Future, flushStart time.Time) {
 	if e.opts.Spans == nil {
 		return
 	}
-	sampled := e.flushSeq%uint64(e.opts.TraceSample) == 0
+	sampled := e.flushSeq%uint64(e.opts.TraceSample) == 0 ||
+		e.opts.Boost.Active(flushStart.UnixNano())
 	for _, f := range flush {
 		if f.span.Valid() {
 			sc.spanTrace, sc.spanParent = f.span.Trace, f.span.Span
@@ -211,11 +213,15 @@ func (e *Engine) observeFlush(reqs int, coalesceNS, flushNS int64) {
 	if sc.spanActive {
 		e.emitFlushSpans(reqs, coalesceNS, flushNS)
 	}
+	if sink := e.opts.FlushSink; sink != nil {
+		sink(e.traceID.Load(), reqs, flushNS)
+	}
 	ring, slow := e.opts.Trace, e.opts.SlowWave
 	if ring == nil && slow == nil {
 		return
 	}
-	sampled := ring != nil && e.flushSeq%uint64(e.opts.TraceSample) == 0
+	sampled := ring != nil && (e.flushSeq%uint64(e.opts.TraceSample) == 0 ||
+		e.opts.Boost.Active(sc.flushT0.UnixNano()))
 	isSlow := slow != nil && flushNS >= int64(e.opts.SlowWaveThreshold)
 	if !sampled && !isSlow {
 		return

@@ -7,15 +7,17 @@ import (
 	"dyntc/internal/obs"
 )
 
-// newSpanEngine builds an in-package engine with a span log attached and
-// a sampling period large enough that no flush is cadence-sampled.
+// newSpanEngine builds an in-package engine with a span log attached, a
+// sampling period large enough that no flush is cadence-sampled, and a
+// (never-triggered) anomaly boost, so the zero-alloc guard covers the
+// boost check too.
 func newSpanEngine(t testing.TB) (*Forest, *Engine) {
 	t.Helper()
 	sl, err := obs.NewSpanLog(16, "test", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := NewForest(Options{Spans: sl, TraceSample: 1 << 30})
+	f := NewForest(Options{Spans: sl, TraceSample: 1 << 30, Boost: &obs.TraceBoost{}})
 	_, en := f.Add(stubHost{})
 	t.Cleanup(func() { f.Close() })
 	return f, en
@@ -70,6 +72,37 @@ func TestBeginFlushSpanAdoptsHeaderTrace(t *testing.T) {
 	en.beginFlushSpan([]*Future{{}}, time.Now())
 	if !en.sc.spanActive || en.sc.spanTrace == 0 || en.sc.spanParent != 0 {
 		t.Fatalf("cadence-sampled flush state = %+v", en.sc)
+	}
+}
+
+// TestBeginFlushSpanBoostSamples checks the flight-recorder override: an
+// active TraceBoost forces span sampling on a cadence-missed flush, and
+// an expired boost decays back to the unsampled (still zero-alloc) path.
+func TestBeginFlushSpanBoostSamples(t *testing.T) {
+	_, en := newSpanEngine(t)
+	en.flushSeq = 5 // cadence miss
+	futs := []*Future{{}, {}}
+
+	en.opts.Boost.Trigger(time.Hour)
+	en.beginFlushSpan(futs, time.Now())
+	if !en.sc.spanActive {
+		t.Fatal("flush during an active boost not sampled")
+	}
+	if en.sc.spanTrace == 0 || en.sc.spanFlush == 0 {
+		t.Fatalf("boost-sampled flush state = %+v", en.sc)
+	}
+
+	// Decay: a flush timestamped past the boost deadline is unsampled
+	// again — and allocation-free, boost present or not.
+	past := time.Unix(0, en.opts.Boost.Deadline()+1)
+	allocs := testing.AllocsPerRun(200, func() {
+		en.beginFlushSpan(futs, past)
+	})
+	if en.sc.spanActive {
+		t.Fatal("flush past the boost deadline still sampled")
+	}
+	if allocs != 0 {
+		t.Fatalf("beginFlushSpan allocated %v with an expired boost, want 0", allocs)
 	}
 }
 

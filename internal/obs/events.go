@@ -1,0 +1,285 @@
+// Lifecycle event journal: the system's own incident log. Where metrics
+// aggregate and spans sample, the journal records the rare, discrete
+// state transitions an operator asks about first — who promoted, when a
+// follower went degraded, why the WAL was truncated — as structured
+// events in a lock-cheap bounded ring with an optional JSONL sink.
+// Every subsystem emits into one shared Journal; the server serves it at
+// GET /v1/events and counts emissions per type in /metrics
+// (dyntc_events_total{type=...}).
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event type taxonomy. Types are dot-separated <layer>.<transition>
+// strings; the set below is what the built-in subsystems emit. Emitters
+// may add new types freely — the journal and its counters are
+// type-agnostic — but anything listed here is load-bearing for the
+// chaos-suite event-sequence assertions.
+const (
+	// EvProcessStart marks process boot. Emitted first, so the
+	// dyntc_events_total family always renders on a fresh scrape.
+	EvProcessStart = "process.start"
+	// EvPromote marks a follower committing a promotion to leader.
+	EvPromote = "leader.promote"
+	// EvDemote marks a leader fencing itself behind a higher epoch.
+	EvDemote = "leader.demote"
+	// EvEpochAdopt marks a process adopting a higher epoch from its WAL.
+	EvEpochAdopt = "epoch.adopt"
+	// EvDegradedEnter / EvDegradedExit mark a follower crossing its
+	// consecutive-error threshold, and recovering from it.
+	EvDegradedEnter = "follower.degraded.enter"
+	EvDegradedExit  = "follower.degraded.exit"
+	// EvRebootstrap marks a follower discarding state and re-bootstrapping
+	// from a leader snapshot (410-truncated log or divergence).
+	EvRebootstrap = "follower.rebootstrap"
+	// EvWALTorn marks startup recovery truncating a torn WAL tail.
+	EvWALTorn = "wal.recover.torn"
+	// EvWALCompact marks a WAL compaction pass.
+	EvWALCompact = "wal.compact"
+	// EvShedBurst marks a burst of load-shedded requests (rate-limited to
+	// at most one event per second per engine).
+	EvShedBurst = "engine.shed.burst"
+	// EvBatchGrow / EvBatchShrink mark the adaptive flush cap moving.
+	EvBatchGrow   = "engine.maxbatch.grow"
+	EvBatchShrink = "engine.maxbatch.shrink"
+	// EvSchedCollapse marks scheduler utilization collapsing while work
+	// is still queued — the starvation signature.
+	EvSchedCollapse = "sched.collapse"
+	// EvAnomaly marks an anomaly detector tripping; the concrete type is
+	// EvAnomaly + "." + signal name (e.g. "anomaly.engine.flush").
+	EvAnomaly = "anomaly"
+	// EvTraceBoost marks the flight recorder boosting trace sampling.
+	EvTraceBoost = "trace.boost"
+)
+
+// Event is one recorded lifecycle transition. Time is UnixNano so events
+// from different processes order on a shared axis; Seq orders events
+// within one journal. Fields carries type-specific detail (sequence
+// numbers, epochs, measured values) and, on anomaly events, the flight
+// recorder's stats snapshot.
+type Event struct {
+	Seq    uint64         `json:"seq"`
+	Time   int64          `json:"time"`
+	Type   string         `json:"type"`
+	Proc   string         `json:"proc,omitempty"`
+	Tree   uint64         `json:"tree,omitempty"`
+	Msg    string         `json:"msg,omitempty"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// DefaultJournalCap is the journal ring capacity when none is given.
+// Events are rare (state transitions, not samples), so a small ring
+// covers hours of incident history.
+const DefaultJournalCap = 1024
+
+// Journal is the bounded lifecycle event ring plus an optional JSONL
+// sink. All methods are safe for concurrent use and nil-safe: emitting
+// into a nil journal is a no-op, so subsystems thread an optional
+// *Journal without guarding every call site.
+type Journal struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	n    int
+	seq  uint64
+	proc string
+
+	sink *rotatingFile
+
+	reg      *Registry
+	counters map[string]*Counter
+}
+
+// NewJournal creates a journal retaining up to capacity events
+// (DefaultJournalCap when <= 0). proc stamps every event with the
+// emitting process's role. A non-empty path mirrors every event to an
+// append-only JSONL file.
+func NewJournal(capacity int, proc, path string) (*Journal, error) {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	j := &Journal{buf: make([]Event, capacity), proc: proc}
+	if path != "" {
+		sink, err := openRotatingFile(path, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		j.sink = sink
+	}
+	return j, nil
+}
+
+// Observe attaches a metrics registry: every emission after this call
+// increments dyntc_events_total{type=<event type>}. Counters are created
+// lazily per type, so cardinality is bounded by the taxonomy actually
+// exercised.
+func (j *Journal) Observe(r *Registry) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.reg = r
+	j.counters = make(map[string]*Counter)
+	j.mu.Unlock()
+}
+
+// Record appends one event, stamping Seq, Time (when zero), and the
+// journal's process label.
+func (j *Journal) Record(e Event) {
+	if j == nil {
+		return
+	}
+	if e.Time == 0 {
+		e.Time = time.Now().UnixNano()
+	}
+	if e.Proc == "" {
+		e.Proc = j.proc
+	}
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	j.buf[j.next] = e
+	j.next = (j.next + 1) % len(j.buf)
+	if j.n < len(j.buf) {
+		j.n++
+	}
+	if j.reg != nil {
+		c, ok := j.counters[e.Type]
+		if !ok {
+			c = j.reg.Counter("dyntc_events_total",
+				"lifecycle events journaled, by type", "type", e.Type)
+			j.counters[e.Type] = c
+		}
+		c.Inc()
+	}
+	if j.sink != nil {
+		if b, err := json.Marshal(e); err == nil {
+			j.sink.Write(b)
+			j.sink.Write(nl)
+			j.sink.Flush() // events are rare and precious: push each one down
+		}
+	}
+	j.mu.Unlock()
+}
+
+// Emit journals one event of the given type.
+func (j *Journal) Emit(typ, msg string, fields map[string]any) {
+	j.Record(Event{Type: typ, Msg: msg, Fields: fields})
+}
+
+// EmitTree journals one event scoped to a tree.
+func (j *Journal) EmitTree(typ string, tree uint64, msg string, fields map[string]any) {
+	j.Record(Event{Type: typ, Tree: tree, Msg: msg, Fields: fields})
+}
+
+// snapshot copies the retained events oldest-first under the lock.
+func (j *Journal) snapshot() []Event {
+	out := make([]Event, 0, j.n)
+	start := j.next - j.n
+	if start < 0 {
+		start += len(j.buf)
+	}
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(start+i)%len(j.buf)])
+	}
+	return out
+}
+
+// Last returns up to n of the most recent events, oldest first
+// (n <= 0 means all retained).
+func (j *Journal) Last(n int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	all := j.snapshot()
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Query returns up to n retained events with Seq > since, oldest first,
+// filtered to the given type when typ is non-empty. A typ ending in "."
+// matches as a prefix, so typ="anomaly." selects every anomaly signal.
+// n <= 0 means no count limit.
+func (j *Journal) Query(typ string, since uint64, n int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	for _, e := range j.snapshot() {
+		if e.Seq <= since {
+			continue
+		}
+		if typ != "" && e.Type != typ &&
+			!(strings.HasSuffix(typ, ".") && strings.HasPrefix(e.Type, typ)) {
+			continue
+		}
+		out = append(out, e)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// LastEvent returns the most recent event (ok=false when none yet).
+func (j *Journal) LastEvent() (Event, bool) {
+	if j == nil {
+		return Event{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.n == 0 {
+		return Event{}, false
+	}
+	i := j.next - 1
+	if i < 0 {
+		i += len(j.buf)
+	}
+	return j.buf[i], true
+}
+
+// Len returns the number of retained events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Total returns the number of events ever journaled (including evicted).
+func (j *Journal) Total() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Close flushes and closes the JSONL sink, if any.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.sink == nil {
+		return nil
+	}
+	err := j.sink.Close()
+	j.sink = nil
+	return err
+}

@@ -14,7 +14,6 @@
 package obs
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -171,27 +170,33 @@ type SpanLog struct {
 	total uint64
 	proc  string
 
-	f  *os.File
-	bw *bufio.Writer
+	sink *rotatingFile
 }
 
 // NewSpanLog creates a span log retaining up to capacity spans
 // (DefaultSpanCap when <= 0). proc is stamped on every span recorded
 // here ("leader", "follower", ...), identifying the process in merged
 // traces. A non-empty path mirrors every span to an append-only JSONL
-// file.
+// file that grows without bound; use NewSpanLogRotating to cap it.
 func NewSpanLog(capacity int, proc, path string) (*SpanLog, error) {
+	return NewSpanLogRotating(capacity, proc, path, 0, 1)
+}
+
+// NewSpanLogRotating is NewSpanLog with a bounded JSONL sink: once the
+// file would exceed maxBytes it is rotated aside (path.1 … path.keep,
+// oldest dropped) and a fresh file continues the stream. maxBytes <= 0
+// disables rotation.
+func NewSpanLogRotating(capacity int, proc, path string, maxBytes int64, keep int) (*SpanLog, error) {
 	if capacity <= 0 {
 		capacity = DefaultSpanCap
 	}
 	l := &SpanLog{buf: make([]Span, capacity), proc: proc}
 	if path != "" {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		sink, err := openRotatingFile(path, maxBytes, keep)
 		if err != nil {
 			return nil, err
 		}
-		l.f = f
-		l.bw = bufio.NewWriterSize(f, 1<<16)
+		l.sink = sink
 	}
 	return l, nil
 }
@@ -212,11 +217,11 @@ func (l *SpanLog) Add(s Span) {
 		l.n++
 	}
 	l.total++
-	if l.bw != nil {
+	if l.sink != nil {
 		b, err := json.Marshal(s)
 		if err == nil {
-			l.bw.Write(b)
-			l.bw.WriteByte('\n')
+			l.sink.Write(b)
+			l.sink.Write(nl)
 		}
 	}
 }
@@ -304,26 +309,29 @@ func (l *SpanLog) BySeq(seq uint64) []Span {
 
 // Flush forces buffered JSONL output to the file.
 func (l *SpanLog) Flush() error {
-	if l == nil || l.bw == nil {
+	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.bw.Flush()
+	if l.sink == nil {
+		return nil
+	}
+	return l.sink.Flush()
 }
 
 // Close flushes and closes the JSONL file, if any.
 func (l *SpanLog) Close() error {
-	if l == nil || l.f == nil {
+	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	err := l.bw.Flush()
-	if cerr := l.f.Close(); err == nil {
-		err = cerr
+	if l.sink == nil {
+		return nil
 	}
-	l.f, l.bw = nil, nil
+	err := l.sink.Close()
+	l.sink = nil
 	return err
 }
 

@@ -155,3 +155,53 @@ func TestSpanLogJSONLFile(t *testing.T) {
 		t.Fatalf("decoded %+v, want %+v", got, want)
 	}
 }
+
+func TestSpanLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spans.jsonl")
+	// Each span record is ~120 bytes; a 1 KiB cap forces rotations fast.
+	l, err := NewSpanLogRotating(8, "leader", path, 1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		l.Add(Span{Trace: SpanID(i + 1), Span: SpanID(i + 1), Name: "engine.flush", Start: int64(i), Dur: 1})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 1024 {
+		t.Fatalf("current file %d bytes, cap 1024", st.Size())
+	}
+	// keep=2: at most two rotated files survive, and no third generation.
+	for _, rotated := range []string{path + ".1", path + ".2"} {
+		rst, err := os.Stat(rotated)
+		if err != nil {
+			t.Fatalf("rotated file %s missing: %v", rotated, err)
+		}
+		if rst.Size() > 1024+256 {
+			t.Fatalf("rotated file %s is %d bytes", rotated, rst.Size())
+		}
+	}
+	if _, err := os.Stat(path + ".3"); err == nil {
+		t.Fatal("keep=2 left a third rotated file behind")
+	}
+	// Every surviving file must still be valid JSONL — rotation never
+	// splits a record.
+	for _, p := range []string{path + ".2", path + ".1", path} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			var s Span
+			if err := json.Unmarshal([]byte(line), &s); err != nil {
+				t.Fatalf("%s: bad line %q: %v", p, line, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Per-tree hot-spot attribution: a space-saving heavy-hitters sketch
+// (Metwally et al., "Efficient computation of frequent and top-k
+// elements in data streams") over weighted per-tree samples — wave cost
+// in nanoseconds, request counts, shed counts. The sketch holds exactly
+// k counters regardless of how many trees a forest cycles through, so
+// both the /v1/hot endpoint and the rank-labeled dyntc_hot_tree_*
+// metrics stay bounded while still naming the trees that dominate the
+// load — the skew signal a future shard map needs.
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopKItem is one sketch entry: Count overestimates the key's true
+// accumulated weight by at most Err (Err is the evicted floor the key
+// inherited when it entered the sketch; Count - Err is a guaranteed
+// lower bound).
+type TopKItem struct {
+	Key   uint64 `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err"`
+}
+
+// TopK is a bounded weighted heavy-hitters sketch, safe for concurrent
+// use. The classic space-saving guarantees carry over to weighted
+// updates: any key whose true weight exceeds total/k is present, and no
+// count is off by more than the smallest retained count at eviction
+// time.
+type TopK struct {
+	mu      sync.Mutex
+	k       int
+	entries []TopKItem     // min-heap on Count
+	idx     map[uint64]int // key -> heap position
+	total   uint64
+}
+
+// DefaultTopK is the sketch width when none is given: enough ranks to
+// see real skew, few enough that rank-labeled metrics stay scrapeable.
+const DefaultTopK = 16
+
+// NewTopK creates a sketch retaining k counters (DefaultTopK when <= 0).
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	return &TopK{k: k, idx: make(map[uint64]int, k)}
+}
+
+// Add accumulates weight inc onto key. Nil-safe; inc == 0 is a no-op.
+func (t *TopK) Add(key uint64, inc uint64) {
+	if t == nil || inc == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.total += inc
+	if i, ok := t.idx[key]; ok {
+		t.entries[i].Count += inc
+		t.down(i)
+	} else if len(t.entries) < t.k {
+		t.entries = append(t.entries, TopKItem{Key: key, Count: inc})
+		t.idx[key] = len(t.entries) - 1
+		t.up(len(t.entries) - 1)
+	} else {
+		// Evict the minimum: the newcomer inherits its count as error
+		// floor — the space-saving overestimate invariant.
+		min := t.entries[0]
+		delete(t.idx, min.Key)
+		t.entries[0] = TopKItem{Key: key, Count: min.Count + inc, Err: min.Count}
+		t.idx[key] = 0
+		t.down(0)
+	}
+	t.mu.Unlock()
+}
+
+// Total returns the total weight ever added.
+func (t *TopK) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Len returns the number of retained keys (<= k).
+func (t *TopK) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Snapshot returns the retained entries, heaviest first.
+func (t *TopK) Snapshot() []TopKItem {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TopKItem, len(t.entries))
+	copy(out, t.entries)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// up restores the min-heap property from position i toward the root.
+func (t *TopK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.entries[p].Count <= t.entries[i].Count {
+			return
+		}
+		t.swap(p, i)
+		i = p
+	}
+}
+
+// down restores the min-heap property from position i toward the leaves.
+func (t *TopK) down(i int) {
+	n := len(t.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && t.entries[l].Count < t.entries[m].Count {
+			m = l
+		}
+		if r < n && t.entries[r].Count < t.entries[m].Count {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.swap(m, i)
+		i = m
+	}
+}
+
+func (t *TopK) swap(i, j int) {
+	t.entries[i], t.entries[j] = t.entries[j], t.entries[i]
+	t.idx[t.entries[i].Key] = i
+	t.idx[t.entries[j].Key] = j
+}

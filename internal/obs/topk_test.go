@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trueCounts accumulates exact weights next to the sketch for error bounds.
+func feed(t *TopK, exact map[uint64]uint64, key, inc uint64) {
+	t.Add(key, inc)
+	exact[key] += inc
+}
+
+func TestTopKHotspotSkew(t *testing.T) {
+	// A handful of heavy trees inside a sea of light ones: the classic
+	// case the sketch exists for. Every heavy hitter must be retained
+	// with its count bracketed by [true, true+err].
+	sk := NewTopK(8)
+	exact := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(1))
+	heavy := []uint64{3, 17, 99}
+	for i := 0; i < 20000; i++ {
+		if i%4 != 3 {
+			feed(sk, exact, heavy[i%3], 1000+uint64(rng.Intn(100)))
+		} else {
+			feed(sk, exact, uint64(200+rng.Intn(500)), 1+uint64(rng.Intn(10)))
+		}
+	}
+	if sk.Len() > 8 {
+		t.Fatalf("cardinality %d > k", sk.Len())
+	}
+	snap := sk.Snapshot()
+	got := make(map[uint64]TopKItem)
+	for _, it := range snap {
+		got[it.Key] = it
+	}
+	for _, h := range heavy {
+		it, ok := got[h]
+		if !ok {
+			t.Fatalf("heavy key %d evicted; snapshot %+v", h, snap)
+		}
+		truth := exact[h]
+		if it.Count < truth || it.Count-it.Err > truth {
+			t.Fatalf("key %d: count %d err %d vs true %d — bound violated",
+				h, it.Count, it.Err, truth)
+		}
+	}
+	// The three heavies must be the top three ranks.
+	for i := 0; i < 3; i++ {
+		if exact[snap[i].Key] < exact[heavy[0]]/2 {
+			t.Fatalf("rank %d is light key %d: %+v", i, snap[i].Key, snap[:4])
+		}
+	}
+}
+
+func TestTopKUniformBounds(t *testing.T) {
+	// Uniform traffic over many more keys than k: no key is heavy, but
+	// the space-saving bound must still hold — every retained count
+	// overestimates truth by at most its recorded err, and the structure
+	// never exceeds k entries.
+	sk := NewTopK(16)
+	exact := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(2))
+	var total uint64
+	for i := 0; i < 50000; i++ {
+		inc := 1 + uint64(rng.Intn(5))
+		feed(sk, exact, uint64(rng.Intn(1000)), inc)
+		total += inc
+	}
+	if sk.Len() != 16 {
+		t.Fatalf("cardinality %d, want k=16", sk.Len())
+	}
+	if sk.Total() != total {
+		t.Fatalf("total %d, want %d", sk.Total(), total)
+	}
+	for _, it := range sk.Snapshot() {
+		truth := exact[it.Key]
+		if it.Count < truth {
+			t.Fatalf("key %d: count %d below true %d", it.Key, it.Count, truth)
+		}
+		if it.Count-it.Err > truth {
+			t.Fatalf("key %d: guaranteed floor %d above true %d",
+				it.Key, it.Count-it.Err, truth)
+		}
+		// Space-saving: no retained count exceeds true + total/k.
+		if it.Count > truth+total/16 {
+			t.Fatalf("key %d: count %d exceeds true+total/k (%d)",
+				it.Key, it.Count, truth+total/16)
+		}
+	}
+}
+
+func TestTopKChurn(t *testing.T) {
+	// Churn: the hot set moves over time. The sketch must track the
+	// current regime — after the switch, the new heavies dominate the
+	// top ranks even though the old ones had a head start.
+	sk := NewTopK(8)
+	exact := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		feed(sk, exact, uint64(1+i%4), 100)
+		feed(sk, exact, uint64(1000+rng.Intn(300)), 1)
+	}
+	for i := 0; i < 15000; i++ {
+		feed(sk, exact, uint64(51+i%4), 150)
+		feed(sk, exact, uint64(1000+rng.Intn(300)), 1)
+	}
+	snap := sk.Snapshot()
+	if len(snap) > 8 {
+		t.Fatalf("cardinality %d > k", len(snap))
+	}
+	newHot := map[uint64]bool{51: true, 52: true, 53: true, 54: true}
+	hits := 0
+	for _, it := range snap[:4] {
+		if newHot[it.Key] {
+			hits++
+		}
+	}
+	if hits < 4 {
+		t.Fatalf("post-churn top ranks missing new regime: %+v", snap[:6])
+	}
+	for _, it := range snap {
+		truth := exact[it.Key]
+		if it.Count < truth || it.Count-it.Err > truth {
+			t.Fatalf("key %d: count %d err %d vs true %d", it.Key, it.Count, it.Err, truth)
+		}
+	}
+}
+
+func TestTopKNilAndZero(t *testing.T) {
+	var sk *TopK
+	sk.Add(1, 1)
+	if sk.Len() != 0 || sk.Total() != 0 || sk.Snapshot() != nil {
+		t.Fatal("nil sketch not inert")
+	}
+	real := NewTopK(4)
+	real.Add(1, 0)
+	if real.Len() != 0 {
+		t.Fatal("zero-weight add retained a key")
+	}
+}

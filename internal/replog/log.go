@@ -76,10 +76,19 @@ type Log struct {
 	// m is the optional metrics bundle (SetMetrics); swappable at runtime
 	// so servers can attach instruments to already-serving logs.
 	m atomic.Pointer[Metrics]
+
+	// ev is the optional lifecycle event journal (SetEvents): compactions
+	// are rare, operator-relevant transitions, so the log journals them
+	// itself rather than leaving every caller to.
+	ev atomic.Pointer[obs.Journal]
 }
 
 // SetMetrics attaches (or, with nil, detaches) the metrics bundle.
 func (l *Log) SetMetrics(m *Metrics) { l.m.Store(m) }
+
+// SetEvents attaches (or, with nil, detaches) the lifecycle event
+// journal compactions are recorded into.
+func (l *Log) SetEvents(j *obs.Journal) { l.ev.Store(j) }
 
 // SetFaults attaches (or, with nil, detaches) a fault-injection
 // schedule to the WAL I/O path.
@@ -272,6 +281,10 @@ func (l *Log) Compact(seq uint64) error {
 		l.base = l.ring[l.start].Seq
 	} else {
 		l.base = 0
+	}
+	if j := l.ev.Load(); j != nil {
+		j.Emit(obs.EvWALCompact, "change log compacted behind a snapshot",
+			map[string]any{"through": seq, "retained": l.n, "base": l.base})
 	}
 	if l.f == nil || l.appendErr != nil {
 		err := l.appendErr

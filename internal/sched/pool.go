@@ -112,6 +112,16 @@ type Pool struct {
 	loops      atomic.Uint64
 	taskPanics atomic.Uint64
 	busyNS     atomic.Int64
+
+	// CheckCollapse's interval state: the previous sample of the busy
+	// clock and the collapse latch (one event per collapse, not one per
+	// tick). Guarded by collapseMu; touched only by the monitor caller.
+	collapseMu  sync.Mutex
+	lastBusyNS  int64
+	lastCheckAt time.Time
+	lastUtil    float64
+	collapsed   bool
+
 	// blockedNS is the wall-clock spent inside blocking-lane tasks; it is
 	// subtracted from busyNS for the utilization gauge so a worker parked
 	// on I/O or a future does not read as CPU use.
@@ -312,6 +322,63 @@ func (p *Pool) steal(self int) (task, bool) {
 		}
 	}
 	return task{}, false
+}
+
+// Collapse detection thresholds: an interval utilization falling from
+// at or above collapseHigh to below collapseLow while work is still
+// queued is the starvation signature CheckCollapse journals.
+const (
+	collapseLow  = 0.05
+	collapseHigh = 0.25
+)
+
+// CheckCollapse samples the pool's utilization over the interval since
+// the previous call (not since pool start, which the Stats gauge already
+// covers) and journals a sched.collapse event into j when utilization
+// falls off a cliff while tasks are still queued — workers idle or
+// parked on blocking work with a backlog behind them. The latch re-arms
+// once utilization recovers past collapseHigh, so a sustained collapse
+// journals once, not once per tick. Designed to be driven by a periodic
+// monitor; returns the interval utilization for that monitor's own use.
+func (p *Pool) CheckCollapse(j *obs.Journal) float64 {
+	now := time.Now()
+	busy := p.busyNS.Load() - p.blockedNS.Load()
+	p.collapseMu.Lock()
+	defer p.collapseMu.Unlock()
+	if p.lastCheckAt.IsZero() {
+		p.lastCheckAt, p.lastBusyNS = now, busy
+		return 0
+	}
+	elapsed := now.Sub(p.lastCheckAt)
+	delta := busy - p.lastBusyNS
+	p.lastCheckAt, p.lastBusyNS = now, busy
+	if elapsed <= 0 {
+		return p.lastUtil
+	}
+	util := float64(delta) / (float64(elapsed) * float64(len(p.workers)))
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	prev := p.lastUtil
+	p.lastUtil = util
+	switch {
+	case !p.collapsed && prev >= collapseHigh && util < collapseLow && p.anyQueued():
+		p.collapsed = true
+		j.Emit(obs.EvSchedCollapse,
+			"worker utilization collapsed with tasks still queued",
+			map[string]any{
+				"utilization": util,
+				"previous":    prev,
+				"workers":     len(p.workers),
+				"blocking":    p.blocking.Load(),
+			})
+	case p.collapsed && util >= collapseHigh:
+		p.collapsed = false
+	}
+	return util
 }
 
 // anyQueued reports whether any deque holds work (park-path only).

@@ -70,6 +70,70 @@ func NewSpanLog(capacity int, proc, path string) (*SpanLog, error) {
 	return obs.NewSpanLog(capacity, proc, path)
 }
 
+// NewSpanLogRotating is NewSpanLog with size-based rotation of the JSONL
+// mirror: when the current file would exceed maxBytes the log rotates it
+// to path.1 (shifting older generations up) and keeps at most keep
+// rotated files. maxBytes <= 0 disables rotation.
+func NewSpanLogRotating(capacity int, proc, path string, maxBytes int64, keep int) (*SpanLog, error) {
+	return obs.NewSpanLogRotating(capacity, proc, path, maxBytes, keep)
+}
+
+// EventJournal is the lifecycle event journal: a bounded in-memory ring
+// of structured events (promotions, epoch adoptions, degraded-mode
+// transitions, WAL recovery, shed bursts, batch-cap shifts, anomalies)
+// plus an optional JSONL sink. Shared by every layer of a process and
+// served at GET /v1/events; per-type counts export as dyntc_events_total.
+type EventJournal = obs.Journal
+
+// Event is one journal entry: a monotonic sequence number, wall-clock
+// nanoseconds, a dotted type from the event taxonomy, the recording
+// process, an optional tree id and free-form fields.
+type Event = obs.Event
+
+// NewEventJournal creates a journal retaining capacity events (a default
+// when <= 0). proc labels the recording process; a non-empty path mirrors
+// events to a JSONL file.
+func NewEventJournal(capacity int, proc, path string) (*EventJournal, error) {
+	return obs.NewJournal(capacity, proc, path)
+}
+
+// TraceBoost is the flight recorder's sampling override: a single atomic
+// deadline that, while in the future, makes every flush span-sampled and
+// trace-sampled regardless of cadence. Trigger extends it; it decays by
+// doing nothing. The inactive check is one atomic load.
+type TraceBoost = obs.TraceBoost
+
+// AnomalyConfig tunes the anomaly detectors: EWMA gate, robust
+// (median+MAD) confirmation, warmup, absolute floor, per-signal cooldown
+// and the boost window applied on a trip.
+type AnomalyConfig = obs.AnomalyConfig
+
+// AnomalyRecorder is the anomaly-triggered flight recorder: streaming
+// latency detectors per signal that, on a confirmed outlier, journal an
+// anomaly event carrying a runtime snapshot and boost trace sampling for
+// a bounded window.
+type AnomalyRecorder = obs.Recorder
+
+// NewAnomalyRecorder builds a recorder journaling trips to j and arming
+// boost b. Zero-value cfg fields take defaults.
+func NewAnomalyRecorder(cfg AnomalyConfig, j *EventJournal, b *TraceBoost) *AnomalyRecorder {
+	return obs.NewRecorder(cfg, j, b)
+}
+
+// TopK is a space-saving (Metwally) top-k sketch: fixed memory, every
+// key whose true count exceeds total/k is guaranteed present, and each
+// reported count brackets the truth within its Err. Used for per-tree
+// hot-spot attribution, served at GET /v1/hot.
+type TopK = obs.TopK
+
+// TopKItem is one sketch entry: key, estimated count, and the maximum
+// overestimate Err (truth is within [Count-Err, Count]).
+type TopKItem = obs.TopKItem
+
+// NewTopK creates a sketch tracking the k heaviest keys (a default
+// when <= 0).
+func NewTopK(k int) *TopK { return obs.NewTopK(k) }
+
 // NewTraceID returns a fresh process-unique trace ID.
 func NewTraceID() SpanID { return obs.NewTraceID() }
 

@@ -131,6 +131,23 @@ type BatchOptions struct {
 	// poisoned engine — the chaos suite's stand-in for a leader dying
 	// mid-traffic. Nil (production) injects nothing.
 	Faults *FaultInjector
+	// Events, when set, receives the engine's lifecycle events (shed
+	// bursts, adaptive flush-cap shifts) in the shared journal served at
+	// /v1/events. One EventJournal is shared by every subsystem.
+	Events *EventJournal
+	// Boost, when set, is the anomaly flight recorder's sampling
+	// override: while active, every flush is trace- and span-sampled
+	// regardless of TraceSample. Checking it costs the unsampled flush
+	// path one atomic load.
+	Boost *TraceBoost
+	// FlushSink, when set, receives every flush's cost sample (forest
+	// tree id, request count, duration) on the executor — the feed for
+	// anomaly detectors and per-tree hot-spot attribution. Setting it
+	// turns on wave timing like Metrics/Trace/Spans do. Keep it cheap.
+	FlushSink func(tree uint64, reqs int, flushNS int64)
+	// ShedSink, when set, receives per-tree load-shed counts on the
+	// shedding submitter's goroutine.
+	ShedSink func(tree uint64, n int)
 }
 
 // Serve starts an engine over e and returns it. Close the engine to drain
@@ -162,6 +179,10 @@ func (e *Expr) Serve(opts BatchOptions) *Engine {
 			SlowWave:          opts.SlowWave,
 			SlowWaveThreshold: opts.SlowWaveThreshold,
 			Faults:            opts.Faults,
+			Events:            opts.Events,
+			Boost:             opts.Boost,
+			FlushSink:         opts.FlushSink,
+			ShedSink:          opts.ShedSink,
 		}),
 	}
 }
@@ -602,6 +623,10 @@ func NewForest(opts BatchOptions) *Forest {
 			SlowWave:          opts.SlowWave,
 			SlowWaveThreshold: opts.SlowWaveThreshold,
 			Faults:            opts.Faults,
+			Events:            opts.Events,
+			Boost:             opts.Boost,
+			FlushSink:         opts.FlushSink,
+			ShedSink:          opts.ShedSink,
 		}),
 		workers: opts.Workers,
 		pool:    opts.Pool,
