@@ -16,6 +16,7 @@
 //	dyntc-bench -engine                          # default sweep
 //	dyntc-bench -engine -clients=1,8,64 -windows=0,1ms -ops=5000
 //	dyntc-bench -engine -workers=1,2,4 -grain=128
+//	dyntc-bench -engine -shape=path              # adversarial deep topology
 //	dyntc-bench -engine -quick -out=BENCH_engine.json
 //
 // The -workers sweep serves each run's waves on a PRAM worker pool of
@@ -42,6 +43,7 @@
 //	dyntc-bench -query
 //	dyntc-bench -query -quick -query-out=BENCH_query.json
 //	dyntc-bench -query -forests=64,1024 -workers=1,4,8
+//	dyntc-bench -query -query-baseline=BENCH_query.json  # regression gate
 package main
 
 import (
@@ -58,7 +60,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
+		exp      = flag.String("experiment", "all", "experiment ID (E1..E13) or 'all'")
 		quick    = flag.Bool("quick", false, "reduced problem sizes")
 		seed     = flag.Uint64("seed", 42, "randomness seed")
 		engine   = flag.Bool("engine", false, "run the engine load driver instead of the experiments")
@@ -66,6 +68,7 @@ func main() {
 		windows  = flag.String("windows", "", "engine mode: comma-separated batch windows, e.g. 0,100us,1ms")
 		workers  = flag.String("workers", "", "engine mode: comma-separated PRAM worker hints (default 1,4)")
 		grain    = flag.Int("grain", 0, "engine mode: pin the machine sequential threshold (0 = adaptive)")
+		shape    = flag.String("shape", "", "engine mode: pre-grown tree topology — star (default), path, random")
 		ops      = flag.Int("ops", 0, "engine mode: operations per client (default 2000; 300 with -quick)")
 		out      = flag.String("out", "BENCH_engine.json", "engine mode: output JSON path ('' to skip)")
 		sharedP  = flag.Bool("shared-pool", false, "engine/query mode: additionally run every cell on one shared scheduler pool and record shared-vs-private speedups")
@@ -78,6 +81,7 @@ func main() {
 		repBase  = flag.String("replay-baseline", "", "replay mode: committed BENCH_replay.json to compare against; fails on >max-regress throughput regression for matching rows on the same host class")
 		queryB   = flag.Bool("query", false, "run the cross-tree query driver (scatter-gather vs naive per-tree GETs + follower offload)")
 		qryOut   = flag.String("query-out", "BENCH_query.json", "query mode: output JSON path ('' to skip)")
+		qryBase  = flag.String("query-baseline", "", "query mode: committed BENCH_query.json to compare against; fails on >max-regress queries/sec regression for matching rows on the same host class")
 		forests  = flag.String("forests", "", "query mode: comma-separated forest sizes (default 64,256,1024)")
 
 		scrape    = flag.Bool("scrape", false, "engine mode: attach a metrics registry to every run and embed its before/after sample deltas in the output JSON")
@@ -119,6 +123,21 @@ func main() {
 			if !r.Match {
 				fmt.Fprintf(os.Stderr, "dyntc-bench: FAIL trees=%d workers=%d: combined %d != naive per-tree sum %d\n",
 					r.Trees, r.Workers, r.Combined, r.NaiveSum)
+				os.Exit(1)
+			}
+		}
+		if *qryBase != "" {
+			baseline, err := bench.ReadQueryJSON(*qryBase)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dyntc-bench: read query baseline %s: %v\n", *qryBase, err)
+				os.Exit(1)
+			}
+			compared, failures := bench.CompareQueryBaseline(results, baseline, *maxRegr)
+			fmt.Printf("query baseline check vs %s: %d comparable rows, %d regressions\n", *qryBase, compared, len(failures))
+			if len(failures) > 0 {
+				for _, f := range failures {
+					fmt.Fprintf(os.Stderr, "dyntc-bench: REGRESSION %s\n", f)
+				}
 				os.Exit(1)
 			}
 		}
@@ -193,6 +212,13 @@ func main() {
 		if *ops > 0 {
 			ecfg.OpsPerClient = *ops
 		}
+		switch *shape {
+		case "", "star", "path", "random":
+			ecfg.Shape = *shape
+		default:
+			fmt.Fprintf(os.Stderr, "dyntc-bench: bad -shape %q (want star, path or random)\n", *shape)
+			os.Exit(2)
+		}
 		ecfg.SharedPool = *sharedP
 		if *forestT != "" {
 			ecfg.ForestTrees = mustInts(*forestT)
@@ -263,7 +289,7 @@ func main() {
 	}
 	tb, ok := bench.ByID(*exp, cfg)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "dyntc-bench: unknown experiment %q (want E1..E11 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "dyntc-bench: unknown experiment %q (want E1..E13 or all)\n", *exp)
 		os.Exit(2)
 	}
 	tb.Fprint(os.Stdout)

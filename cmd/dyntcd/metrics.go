@@ -711,6 +711,9 @@ func logSlowWave(t dyntc.WaveTraceRecord) {
 		"seal_ns", t.Seal,
 		"value_ns", t.Value,
 		"barrier_ns", t.Barrier,
+		"heal_records", t.HealRecords,
+		"resims", t.Resims,
+		"trace_records", t.TraceRecords,
 	}
 	if t.TraceID != 0 {
 		attrs = append(attrs, "trace", t.TraceID.String())

@@ -969,6 +969,8 @@ func (s *server) handleTreeStats(w http.ResponseWriter, r *http.Request, en *dyn
 		"last_heal": map[string]any{
 			"wound_records":  heal.WoundRecords,
 			"wound_rounds":   heal.WoundRounds,
+			"struct_records": heal.StructRecords,
+			"total_records":  heal.TotalRecords,
 			"resimulated":    heal.Resimulated,
 			"rebuild_leaves": heal.RebuildLeaves,
 		},

@@ -1,8 +1,8 @@
 // Package bench contains the experiment harness that regenerates every
 // table of EXPERIMENTS.md. The paper (an extended abstract) publishes
-// theorems rather than measured tables, so each experiment E1–E11 validates
+// theorems rather than measured tables, so each experiment E1–E13 validates
 // the *shape* of one claimed bound — slopes, ratios and crossovers on the
-// metered PRAM simulator — as laid out in DESIGN.md §5.
+// metered PRAM simulator (see the experiments section of the README).
 //
 // Each experiment function returns a Table; cmd/dyntc-bench prints them,
 // and the root bench_test.go wraps each in a testing.B benchmark.
@@ -107,6 +107,7 @@ func All(cfg Config) []Table {
 		E9LCACanon(cfg),
 		E10Baselines(cfg),
 		E11Ablation(cfg),
+		E13Propagation(cfg),
 	}
 }
 
@@ -135,6 +136,8 @@ func ByID(id string, cfg Config) (Table, bool) {
 		return E10Baselines(cfg), true
 	case "E11":
 		return E11Ablation(cfg), true
+	case "E13":
+		return E13Propagation(cfg), true
 	}
 	return Table{}, false
 }

@@ -10,7 +10,7 @@ import (
 func TestAllExperimentsQuick(t *testing.T) {
 	cfg := Config{Quick: true, Seed: 42}
 	tables := All(cfg)
-	if len(tables) != 11 {
+	if len(tables) != 12 {
 		t.Fatalf("got %d experiments", len(tables))
 	}
 	for _, tb := range tables {
@@ -28,7 +28,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 
 func TestByID(t *testing.T) {
 	cfg := Config{Quick: true, Seed: 1}
-	for _, id := range []string{"E1", "e5", "E11"} {
+	for _, id := range []string{"E1", "e5", "E11", "e13"} {
 		tb, ok := ByID(id, cfg)
 		if !ok || len(tb.Rows) == 0 {
 			t.Fatalf("ByID(%q) failed", id)

@@ -289,7 +289,7 @@ func E6DynamicBatch(cfg Config) Table {
 		}
 	}
 	t.Notes = append(t.Notes,
-		"addleaves re-simulates the trace after the PT repair (DESIGN.md §4.3); rebuild_leaves validates the Theorem 2.2 component")
+		"addleaves repairs the trace by change propagation over the PT rebuild diff (full re-simulation is the fallback; see E13); rebuild_leaves validates the Theorem 2.2 component")
 	return t
 }
 
@@ -540,5 +540,90 @@ func E11Ablation(cfg Config) Table {
 			t.AddRow(n, u, fast, slow, float64(slow)/float64(fast))
 		}
 	}
+	return t
+}
+
+// E13Propagation measures the change-propagation contraction core
+// against the full re-simulation it replaced: a k-leaf structural wave
+// on an n-leaf tree must touch O(k log(n/k)) trace records — a
+// vanishing fraction of the trace as n grows — and charge
+// proportionally less PRAM work than re-simulating all Θ(n) records.
+// The resim twin runs the identical op sequence on a structurally
+// identical tree with the gate off, so work_ratio is apples-to-apples
+// and the matching roots double as a correctness oracle.
+func E13Propagation(cfg Config) Table {
+	t := Table{
+		ID:      "E13",
+		Title:   "Change propagation: structural waves (batch × tree sweep)",
+		Claim:   "k-leaf structural wave touches O(k log(n/k)) records — ≤5% of the trace for k≤16 on n≥64k — with ≥5× less pram work than full re-simulation",
+		Columns: []string{"n", "k", "records_touched", "touched/total", "touched/(k·ln(n/k))", "resim_waves", "work/wave", "resim_work/wave", "work_ratio", "roots_match"},
+	}
+	src := prng.New(cfg.Seed + 13)
+	trials := 12
+	if cfg.Quick {
+		trials = 4
+	}
+	for _, n := range cfg.sizes([]int{1 << 12, 1 << 14, 1 << 16}, []int{1 << 10, 1 << 12}) {
+		for _, k := range []int{1, 4, 16} {
+			// Twin trees: same generator stream → identical structure, so
+			// leaf indices address the same logical leaf in both.
+			trP := tree.Generate(ring, prng.New(cfg.Seed+uint64(n)), n, tree.ShapeRandom)
+			cP := core.New(trP, cfg.Seed+17, nil)
+			trR := tree.Generate(ring, prng.New(cfg.Seed+uint64(n)), n, tree.ShapeRandom)
+			cR := core.New(trR, cfg.Seed+17, nil)
+			cR.SetPropagate(false)
+
+			touched, total, resims := 0, 0, 0
+			var workP, workR int64
+			match := true
+			for trial := 0; trial < trials; trial++ {
+				leavesP, leavesR := trP.Leaves(), trR.Leaves()
+				seen := map[int]bool{}
+				idx := make([]int, 0, k)
+				for len(idx) < k {
+					i := src.Intn(len(leavesP))
+					if !seen[i] {
+						seen[i] = true
+						idx = append(idx, i)
+					}
+				}
+				opsP := make([]core.AddOp, k)
+				opsR := make([]core.AddOp, k)
+				for j, i := range idx {
+					lv, rv := src.Int63(), src.Int63()
+					opsP[j] = core.AddOp{Leaf: leavesP[i], Op: semiring.OpAdd(ring), LeftVal: lv, RightVal: rv}
+					opsR[j] = core.AddOp{Leaf: leavesR[i], Op: semiring.OpAdd(ring), LeftVal: lv, RightVal: rv}
+				}
+				before := cP.Machine().Metrics().Work
+				cP.AddLeaves(opsP)
+				workP += cP.Machine().Metrics().Work - before
+				heal := cP.LastHeal()
+				touched += heal.StructRecords
+				total += heal.TotalRecords
+				if heal.Resimulated {
+					resims++
+				}
+				before = cR.Machine().Metrics().Work
+				cR.AddLeaves(opsR)
+				workR += cR.Machine().Metrics().Work - before
+				match = match && cP.RootValue() == cR.RootValue()
+			}
+			meanTouched := float64(touched) / float64(trials)
+			frac := float64(touched) / float64(total)
+			wp := float64(workP) / float64(trials)
+			wr := float64(workR) / float64(trials)
+			ratio := 0.0
+			if wp > 0 {
+				ratio = wr / wp
+			}
+			t.AddRow(n, k, meanTouched, frac,
+				meanTouched/(float64(k)*math.Log(float64(n)/float64(k))),
+				resims, wp, wr, ratio, match)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"records_touched = trace records re-executed per structural wave (heal.StructRecords); touched/total divides by the trace size after the wave",
+		"work_ratio = resim twin's pram work per wave / propagation's — the speedup change propagation buys",
+		"resim_waves counts propagation-path waves that fell back to full re-simulation (0 expected at these sizes)")
 	return t
 }

@@ -35,6 +35,11 @@ type EngineConfig struct {
 	MaxBatch     int             // flush size cap floor (0 = engine default)
 	Grain        int             // machine sequential threshold (0 = adaptive)
 	Seed         uint64
+	// Shape selects the pre-grown topology the clients' base leaves hang
+	// off: "star" (the default: FIFO expansion, a wide shallow fan),
+	// "path" (LIFO expansion, one maximal-depth spine — the adversarial
+	// shape for contraction depth) or "random" (uniform leaf expansion).
+	Shape string
 
 	// SharedPool additionally runs every cell in shared-pool mode (one
 	// process-wide scheduler for machines + wave task groups) next to the
@@ -114,6 +119,15 @@ type EngineResult struct {
 	MaxFlush  int64   `json:"max_flush"`
 	Flushes   uint64  `json:"flushes"`
 	Waves     uint64  `json:"waves"`
+
+	// Change-propagation evidence: the pre-grown topology, the mean trace
+	// records re-executed per mutating wave, the waves that fell back to
+	// a full re-simulation, and the contraction's final trace size (so
+	// records_touched/trace_records is the fraction a wave touches).
+	Shape          string  `json:"shape,omitempty"`
+	RecordsTouched float64 `json:"records_touched"`
+	ResimWaves     uint64  `json:"resim_waves"`
+	TraceRecords   int     `json:"trace_records,omitempty"`
 
 	// Adaptive MaxBatch evidence: where the flush cap ended up and how
 	// often it moved.
@@ -264,12 +278,32 @@ func (c *loadClient) step(a loadApplier) error {
 	}
 }
 
-// engineFanOut grows the single-leaf tree into n disjoint client bases.
+// engineFanOut grows the single-leaf tree into n disjoint client bases
+// with star (FIFO, wide) topology.
 func engineFanOut(e *dyntc.Expr, ring dyntc.Ring, n int) []*dyntc.Node {
+	return engineFanOutShape(e, ring, n, "", 0)
+}
+
+// engineFanOutShape grows the single-leaf tree into n disjoint client
+// bases with the requested topology: "star"/"" expands FIFO (wide,
+// depth log n), "path" expands the newest leaf (one spine, depth n-1),
+// "random" expands a seeded uniform leaf.
+func engineFanOutShape(e *dyntc.Expr, ring dyntc.Ring, n int, shape string, seed uint64) []*dyntc.Node {
 	leaves := []*dyntc.Node{e.Tree().Root}
+	rng := prng.New(seed + 1)
 	for len(leaves) < n {
-		l, r := e.Grow(leaves[0], dyntc.OpAdd(ring), 1, 1)
-		leaves = append(leaves[1:], l, r)
+		var i int
+		switch shape {
+		case "path":
+			i = len(leaves) - 1
+		case "random":
+			i = rng.Intn(len(leaves))
+		default: // "star"
+			i = 0
+		}
+		l, r := e.Grow(leaves[i], dyntc.OpAdd(ring), 1, 1)
+		leaves[i] = leaves[len(leaves)-1]
+		leaves = append(leaves[:len(leaves)-1], l, r)
 	}
 	return leaves
 }
@@ -298,7 +332,7 @@ func runEngineLoad(cfg EngineConfig, clients int, window time.Duration, workers 
 		exprOpts = append(exprOpts, dyntc.WithPool(pool))
 	}
 	live := dyntc.NewExpr(ring, 1, exprOpts...)
-	bases := engineFanOut(live, ring, clients)
+	bases := engineFanOutShape(live, ring, clients, cfg.Shape, cfg.Seed)
 	en := live.Serve(bo)
 
 	start := time.Now()
@@ -334,7 +368,7 @@ func runEngineLoad(cfg EngineConfig, clients int, window time.Duration, workers 
 
 	// Sequential replay oracle.
 	replay := dyntc.NewExpr(ring, 1, dyntc.WithSeed(cfg.Seed))
-	rbases := engineFanOut(replay, ring, clients)
+	rbases := engineFanOutShape(replay, ring, clients, cfg.Shape, cfg.Seed)
 	for i := 0; i < clients; i++ {
 		c := &loadClient{rng: prng.New(cfg.Seed + uint64(i)*1000), ring: ring, base: rbases[i]}
 		a := seqLoad{e: replay}
@@ -348,29 +382,41 @@ func runEngineLoad(cfg EngineConfig, clients int, window time.Duration, workers 
 	st := en.Stats()
 	pm := live.PRAM()
 	ops := clients * cfg.OpsPerClient
+	var touched float64
+	if st.AppliedSeq > 0 {
+		touched = float64(st.HealRecords) / float64(st.AppliedSeq)
+	}
+	shape := cfg.Shape
+	if shape == "" {
+		shape = "star"
+	}
 	return EngineResult{
-		Clients:     clients,
-		WindowUS:    float64(window) / float64(time.Microsecond),
-		Workers:     st.Workers,
-		Trees:       1,
-		Shared:      shared,
-		MaxBatch:    maxBatch,
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Ops:         ops,
-		Seconds:     elapsed.Seconds(),
-		OpsPerSec:   float64(ops) / elapsed.Seconds(),
-		MeanBatch:   st.MeanFlush(),
-		MeanWave:    st.MeanWave(),
-		MaxFlush:    st.MaxFlush,
-		Flushes:     st.Flushes,
-		Waves:       st.Waves,
-		CurMaxBatch: st.CurMaxBatch,
-		BatchGrows:  st.BatchGrows,
-		PRAMSteps:   pm.Steps,
-		PRAMWork:    pm.Work,
-		Root:        live.Root(),
-		ReplayRoot:  replay.Root(),
-		Match:       live.Root() == replay.Root(),
+		Clients:        clients,
+		WindowUS:       float64(window) / float64(time.Microsecond),
+		Workers:        st.Workers,
+		Trees:          1,
+		Shared:         shared,
+		MaxBatch:       maxBatch,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Ops:            ops,
+		Seconds:        elapsed.Seconds(),
+		OpsPerSec:      float64(ops) / elapsed.Seconds(),
+		MeanBatch:      st.MeanFlush(),
+		MeanWave:       st.MeanWave(),
+		MaxFlush:       st.MaxFlush,
+		Flushes:        st.Flushes,
+		Waves:          st.Waves,
+		Shape:          shape,
+		RecordsTouched: touched,
+		ResimWaves:     st.Resimulations,
+		TraceRecords:   live.LastHeal().TotalRecords,
+		CurMaxBatch:    st.CurMaxBatch,
+		BatchGrows:     st.BatchGrows,
+		PRAMSteps:      pm.Steps,
+		PRAMWork:       pm.Work,
+		Root:           live.Root(),
+		ReplayRoot:     replay.Root(),
+		Match:          live.Root() == replay.Root(),
 	}
 }
 
@@ -507,26 +553,33 @@ func runForestLoad(cfg EngineConfig, trees, workers int, shared bool) EngineResu
 	}
 
 	ops := trees * cfg.OpsPerClient
+	var touched float64
+	if st.AppliedSeq > 0 {
+		touched = float64(st.HealRecords) / float64(st.AppliedSeq)
+	}
 	return EngineResult{
-		Clients:     trees,
-		Workers:     workers,
-		Trees:       trees,
-		Shared:      shared,
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Ops:         ops,
-		Seconds:     elapsed.Seconds(),
-		OpsPerSec:   float64(ops) / elapsed.Seconds(),
-		MeanBatch:   st.MeanFlush(),
-		MeanWave:    st.MeanWave(),
-		MaxFlush:    st.MaxFlush,
-		Flushes:     st.Flushes,
-		Waves:       st.Waves,
-		CurMaxBatch: st.CurMaxBatch,
-		BatchGrows:  st.BatchGrows,
-		Goroutines:  goroutines,
-		Root:        rootFold,
-		ReplayRoot:  replayFold,
-		Match:       rootFold == replayFold,
+		Clients:        trees,
+		Workers:        workers,
+		Trees:          trees,
+		Shared:         shared,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Ops:            ops,
+		Seconds:        elapsed.Seconds(),
+		OpsPerSec:      float64(ops) / elapsed.Seconds(),
+		MeanBatch:      st.MeanFlush(),
+		MeanWave:       st.MeanWave(),
+		MaxFlush:       st.MaxFlush,
+		Flushes:        st.Flushes,
+		Waves:          st.Waves,
+		Shape:          "star",
+		RecordsTouched: touched,
+		ResimWaves:     st.Resimulations,
+		CurMaxBatch:    st.CurMaxBatch,
+		BatchGrows:     st.BatchGrows,
+		Goroutines:     goroutines,
+		Root:           rootFold,
+		ReplayRoot:     replayFold,
+		Match:          rootFold == replayFold,
 	}
 }
 
@@ -601,28 +654,36 @@ func runSaturationProbe(cfg EngineConfig, workers int, shared bool) EngineResult
 	st := en.Stats()
 	pm := live.PRAM()
 	ops := probeClients * cfg.OpsPerClient
+	var touched float64
+	if st.AppliedSeq > 0 {
+		touched = float64(st.HealRecords) / float64(st.AppliedSeq)
+	}
 	return EngineResult{
-		Clients:     probeClients,
-		Workers:     st.Workers,
-		Trees:       1,
-		Shared:      shared,
-		MaxBatch:    probeFloor,
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Ops:         ops,
-		Seconds:     elapsed.Seconds(),
-		OpsPerSec:   float64(ops) / elapsed.Seconds(),
-		MeanBatch:   st.MeanFlush(),
-		MeanWave:    st.MeanWave(),
-		MaxFlush:    st.MaxFlush,
-		Flushes:     st.Flushes,
-		Waves:       st.Waves,
-		CurMaxBatch: st.CurMaxBatch,
-		BatchGrows:  st.BatchGrows,
-		PRAMSteps:   pm.Steps,
-		PRAMWork:    pm.Work,
-		Root:        live.Root(),
-		ReplayRoot:  replay.Root(),
-		Match:       live.Root() == replay.Root(),
+		Clients:        probeClients,
+		Workers:        st.Workers,
+		Trees:          1,
+		Shared:         shared,
+		MaxBatch:       probeFloor,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Ops:            ops,
+		Seconds:        elapsed.Seconds(),
+		OpsPerSec:      float64(ops) / elapsed.Seconds(),
+		MeanBatch:      st.MeanFlush(),
+		MeanWave:       st.MeanWave(),
+		MaxFlush:       st.MaxFlush,
+		Flushes:        st.Flushes,
+		Waves:          st.Waves,
+		Shape:          "star",
+		RecordsTouched: touched,
+		ResimWaves:     st.Resimulations,
+		TraceRecords:   live.LastHeal().TotalRecords,
+		CurMaxBatch:    st.CurMaxBatch,
+		BatchGrows:     st.BatchGrows,
+		PRAMSteps:      pm.Steps,
+		PRAMWork:       pm.Work,
+		Root:           live.Root(),
+		ReplayRoot:     replay.Root(),
+		Match:          live.Root() == replay.Root(),
 	}
 }
 
@@ -721,18 +782,27 @@ func CompareEngineBaseline(results, baseline []EngineResult, tolerance float64) 
 		maxBatch int
 		ops      int
 		gmp      int
+		shape    string
+	}
+	// Rows written before the shape column carry "", which is the star
+	// fan-out — normalize so old baselines stay comparable.
+	shapeOf := func(r EngineResult) string {
+		if r.Shape == "" {
+			return "star"
+		}
+		return r.Shape
 	}
 	base := make(map[key]EngineResult)
 	for _, r := range baseline {
 		if r.Shared {
-			base[key{r.Clients, r.WindowUS, r.Workers, r.Trees, r.MaxBatch, r.Ops, r.GoMaxProcs}] = r
+			base[key{r.Clients, r.WindowUS, r.Workers, r.Trees, r.MaxBatch, r.Ops, r.GoMaxProcs, shapeOf(r)}] = r
 		}
 	}
 	for _, r := range results {
 		if !r.Shared {
 			continue
 		}
-		b, ok := base[key{r.Clients, r.WindowUS, r.Workers, r.Trees, r.MaxBatch, r.Ops, r.GoMaxProcs}]
+		b, ok := base[key{r.Clients, r.WindowUS, r.Workers, r.Trees, r.MaxBatch, r.Ops, r.GoMaxProcs, shapeOf(r)}]
 		if !ok || b.OpsPerSec <= 0 {
 			continue
 		}
@@ -794,19 +864,24 @@ func EngineTable(results []EngineResult) Table {
 		ID:      "E12",
 		Title:   "engine: concurrent request coalescing",
 		Claim:   "batch size grows with concurrency; shared scheduler beats per-tree pools at forest scale; results identical to sequential replay",
-		Columns: []string{"trees", "clients", "window_us", "workers", "shared", "ops/s", "speedup", "vs_private", "mean_batch", "cur_max_batch", "goroutines", "match"},
+		Columns: []string{"trees", "clients", "shape", "window_us", "workers", "shared", "ops/s", "speedup", "vs_private", "mean_batch", "records_touched", "resim_waves", "match"},
 	}
 	for _, r := range results {
-		t.AddRow(r.Trees, r.Clients, fmt.Sprintf("%.0f", r.WindowUS), fmt.Sprint(r.Workers),
+		shape := r.Shape
+		if shape == "" {
+			shape = "star"
+		}
+		t.AddRow(r.Trees, r.Clients, shape, fmt.Sprintf("%.0f", r.WindowUS), fmt.Sprint(r.Workers),
 			fmt.Sprint(r.Shared),
 			fmt.Sprintf("%.0f", r.OpsPerSec), fmt.Sprintf("%.2f", r.SpeedupVsSeq),
 			fmt.Sprintf("%.2f", r.SpeedupVsPrivate),
-			r.MeanBatch, fmt.Sprint(r.CurMaxBatch), fmt.Sprint(r.Goroutines), fmt.Sprint(r.Match))
+			r.MeanBatch, fmt.Sprintf("%.1f", r.RecordsTouched), fmt.Sprint(r.ResimWaves), fmt.Sprint(r.Match))
 	}
 	t.Notes = append(t.Notes,
 		"structural ops blocking, label/value ops pipelined; every run replayed sequentially and compared",
 		"workers = per-tree PRAM hint; shared = one scheduler pool for the whole run vs a pool per tree",
 		"speedup vs the workers=1 run of the same cell; vs_private vs the private-pools run of the same cell",
-		"cur_max_batch > the configured floor demonstrates adaptive MaxBatch growth under saturation")
+		"cur_max_batch > the configured floor demonstrates adaptive MaxBatch growth under saturation",
+		"records_touched = trace records re-executed per mutating wave (change propagation); resim_waves = waves that fell back to full re-simulation")
 	return t
 }

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -68,9 +69,14 @@ func DefaultQueryConfig(quick bool, seed uint64) QueryConfig {
 
 // QueryResult is one (forest size, workers) measurement.
 type QueryResult struct {
-	Trees   int  `json:"trees"`
-	Workers int  `json:"workers"`
-	Shared  bool `json:"shared_pool"`
+	Trees      int  `json:"trees"`
+	Workers    int  `json:"workers"`
+	Shared     bool `json:"shared_pool"`
+	GoMaxProcs int  `json:"gomaxprocs"` // host class marker for baseline comparisons
+	// Rounds is the measured query count and Seconds its wall clock, kept
+	// so baseline gates can skip statistically unstable rows.
+	Rounds  int     `json:"rounds"`
+	Seconds float64 `json:"seconds"`
 	// SpeedupVsPrivate is QueriesPerSec relative to the private run of the
 	// same (trees, workers) cell (0 without one).
 	SpeedupVsPrivate float64 `json:"speedup_vs_private"`
@@ -340,6 +346,9 @@ func runQueryBench(cfg QueryConfig, trees, workers int, shared bool) QueryResult
 		Trees:          trees,
 		Workers:        workers,
 		Shared:         shared,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Rounds:         cfg.Rounds,
+		Seconds:        elapsed.Seconds(),
 		QueriesPerSec:  float64(cfg.Rounds) / elapsed.Seconds(),
 		JoinP50US:      latPct(lats, 0.50),
 		JoinP99US:      latPct(lats, 0.99),
@@ -395,6 +404,62 @@ func QueryLoad(cfg QueryConfig) []QueryResult {
 		}
 	}
 	return out
+}
+
+// ReadQueryJSON loads a BENCH_query.json payload (for baseline checks).
+func ReadQueryJSON(path string) ([]QueryResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		Results []QueryResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, err
+	}
+	return payload.Results, nil
+}
+
+// CompareQueryBaseline checks results against a committed BENCH_query.json:
+// rows whose (trees, workers, shared, rounds, gomaxprocs) match a baseline
+// row must not regress QueriesPerSec by more than tolerance. Rows without a
+// comparable baseline row — a different host class included — are skipped,
+// as are measurements too short to be stable (under 0.2s on either side)
+// and pre-gate baseline rows that never recorded a host class. It returns
+// the comparisons performed and the failures.
+func CompareQueryBaseline(results, baseline []QueryResult, tolerance float64) (compared int, failures []string) {
+	const baselineMinSeconds = 0.2
+	type key struct {
+		trees   int
+		workers int
+		shared  bool
+		rounds  int
+		gmp     int
+	}
+	base := make(map[key]QueryResult)
+	for _, r := range baseline {
+		if r.GoMaxProcs > 0 {
+			base[key{r.Trees, r.Workers, r.Shared, r.Rounds, r.GoMaxProcs}] = r
+		}
+	}
+	for _, r := range results {
+		b, ok := base[key{r.Trees, r.Workers, r.Shared, r.Rounds, r.GoMaxProcs}]
+		if !ok || b.QueriesPerSec <= 0 {
+			continue
+		}
+		if r.Seconds < baselineMinSeconds || b.Seconds < baselineMinSeconds {
+			continue
+		}
+		compared++
+		if r.QueriesPerSec < (1-tolerance)*b.QueriesPerSec {
+			failures = append(failures, fmt.Sprintf(
+				"trees=%d workers=%d shared=%v: %.0f queries/s vs baseline %.0f (-%.1f%%, tolerance %.0f%%)",
+				r.Trees, r.Workers, r.Shared,
+				r.QueriesPerSec, b.QueriesPerSec, 100*(1-r.QueriesPerSec/b.QueriesPerSec), 100*tolerance))
+		}
+	}
+	return compared, failures
 }
 
 // WriteQueryJSON writes results as the tracked BENCH_query.json payload.

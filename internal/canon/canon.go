@@ -4,8 +4,8 @@
 //
 // The classical deterministic canonical form (AHU) sorts subtree encodings
 // bottom-up; that combination is not a ring operation, so instead the
-// dynamic code uses the randomized-identity substitution documented in
-// DESIGN.md §4.5: every internal node combines its children with the same
+// dynamic code uses a randomized-identity substitution instead: every
+// internal node combines its children with the same
 // symmetric bilinear operation
 //
 //	q(x, y) = a·x·y + b·(x + y) + c  over GF(p),

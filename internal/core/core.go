@@ -32,11 +32,16 @@
 //     O(log n) chain).
 //   - Structural modifications (add/delete leaves, §4.1) first update PT
 //     with the randomized-rebuild machinery of Theorems 2.2/2.3 (expected
-//     O(|U| log n) rebuild size), then re-simulate the rake trace. The
-//     re-simulation is global — the extended abstract defers the
-//     fully-incremental schedule repair to the never-published full paper;
-//     the deviation is documented in DESIGN.md §4.3 and measured in
-//     experiment E6.
+//     O(|U| log n) rebuild size), then repair the rake trace by change
+//     propagation (propagate.go): the rebuild diff seeds exactly the
+//     records whose schedule or participants changed, and the same
+//     round-ordered worklist that heals label wounds re-executes them —
+//     structurally — against the versioned per-node touch chains. The
+//     extended abstract defers this schedule repair to the never-published
+//     full paper; the scheme here follows the change-propagation
+//     formulation of Acar et al. (arXiv:2002.05129). A full re-simulation
+//     remains as the fallback (gate off, full PT rebuilds, oversized
+//     wounds); see README "Change propagation" for the design note.
 //   - Value queries at arbitrary nodes replay the expansion lazily:
 //     val(n) = op_n applied to the values merged into n's two children at
 //     the record that removed n, a well-founded recursion over strict
@@ -75,12 +80,29 @@ type Record struct {
 	// into W's position, or W itself when nothing was merged yet. It
 	// drives the expansion recursion for value queries.
 	Wrep *tree.Node
+	// Prep is the node whose subtree value flows through W's position
+	// after this record (rep of P at rake time): the value rep[w] is set
+	// to when the rake splices W into P's place.
+	Prep *tree.Node
+
+	// G is the overlay parent of P at rake time (W's parent after the
+	// splice), nil when P was the overlay root. WLeft records which child
+	// slot of G the record's P occupied (and W occupies afterwards). Both
+	// let change propagation re-resolve overlay positions in O(1) from a
+	// record's predecessor links instead of replaying the contraction.
+	G     *tree.Node
+	WLeft bool
 
 	VPrev, PPrev, WPrev *Record
 	Next                *Record
 
-	// dirty marks membership in the current wound's worklist.
-	dirty bool
+	// dirty marks membership in the current wound's worklist; structDirty
+	// additionally requests a full structural re-execution (participants,
+	// splice metadata and chain links, not just labels). dead marks a
+	// record whose gap no longer exists.
+	dirty       bool
+	structDirty bool
+	dead        bool
 }
 
 // Contraction is the dynamic parallel tree contraction structure.
@@ -104,19 +126,32 @@ type Contraction struct {
 
 	machine *pram.Machine
 
+	// noPropagate disables change propagation for structural updates,
+	// forcing the full re-simulation path (the CorePropagate feature gate,
+	// per instance).
+	noPropagate bool
+
 	// stats of the most recent operation, for the experiments.
 	lastHeal HealStats
 }
 
 // HealStats reports the cost of the most recent dynamic operation.
 type HealStats struct {
-	// WoundRecords is the number of rake records re-executed.
+	// WoundRecords is the number of rake records re-executed (label-only
+	// and structural together). A full re-simulation counts every record.
 	WoundRecords int
 	// WoundRounds is the number of distinct rounds among them (the span of
 	// the healing phase in the PRAM model).
 	WoundRounds int
-	// Resimulated reports that the whole trace was rebuilt (structural
-	// updates).
+	// StructRecords is the number of records structurally re-executed by
+	// change propagation (participants and links recomputed, not just
+	// labels). Zero for label-only waves and for full re-simulations.
+	StructRecords int
+	// TotalRecords is the trace size (leaves-1) after the operation, the
+	// denominator for the records-touched ratio.
+	TotalRecords int
+	// Resimulated reports that the whole trace was rebuilt (the structural
+	// fallback path: gate off, full PT rebuild, or oversized wound).
 	Resimulated bool
 	// RebuildLeaves is the total size of PT subtree rebuilds (Theorem 2.2's
 	// random variable S).
@@ -131,9 +166,10 @@ func New(t *tree.Tree, seed uint64, m *pram.Machine) *Contraction {
 		m = pram.Sequential()
 	}
 	c := &Contraction{
-		T:       t,
-		ring:    t.Ring,
-		machine: m,
+		T:           t,
+		ring:        t.Ring,
+		machine:     m,
+		noPropagate: !CorePropagate,
 	}
 	leaves := t.Leaves()
 	c.pt = rbsts.New[*tree.Node, struct{}](seed, nil, nil, leaves)
@@ -150,6 +186,20 @@ func (c *Contraction) Machine() *pram.Machine { return c.machine }
 
 // LastHeal returns cost statistics of the most recent dynamic operation.
 func (c *Contraction) LastHeal() HealStats { return c.lastHeal }
+
+// CorePropagate is the package-wide default for the change-propagation
+// feature gate: when true (the default), structural updates repair the
+// rake trace incrementally; when false they fall back to the historical
+// full re-simulation. Per-instance overrides via SetPropagate win.
+var CorePropagate = true
+
+// SetPropagate overrides the CorePropagate feature gate for this
+// contraction instance.
+func (c *Contraction) SetPropagate(on bool) { c.noPropagate = !on }
+
+// PropagateEnabled reports whether structural waves use change
+// propagation on this instance.
+func (c *Contraction) PropagateEnabled() bool { return !c.noPropagate }
 
 // RootValue returns the value of the whole expression (exactly maintained).
 func (c *Contraction) RootValue() int64 { return c.rootValue }
@@ -258,15 +308,19 @@ func (c *Contraction) simulate() {
 			r.LwOut = lpOut.Compose(c.ring, r.LwIn)
 			label[w.ID] = r.LwOut
 			r.Wrep = rep[w.ID]
+			r.Prep = rep[p.ID]
 			rep[w.ID] = rep[p.ID]
 			// Splice w into p's place.
 			g := parent[p.ID]
 			parent[w.ID] = g
+			r.G = g
 			if g != nil {
 				if childL[g.ID] == p {
 					childL[g.ID] = w
+					r.WLeft = true
 				} else {
 					childR[g.ID] = w
+					r.WLeft = false
 				}
 			}
 			c.recOf[v] = r

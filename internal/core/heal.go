@@ -157,6 +157,7 @@ func (c *Contraction) heal(seeds []*Record) {
 	}
 	c.lastHeal.WoundRounds = roundCount
 	c.machine.ChargeSpan(int64(roundCount), 0, 1)
+	c.lastHeal.TotalRecords = len(c.recOf)
 }
 
 // labelFromProducer returns the node's label as of a record's execution:
@@ -182,13 +183,13 @@ type AddOp struct {
 
 // AddLeaves applies a batch of leaf expansions: T mutates, PT replaces each
 // expanded leaf by the two new leaves using the randomized-rebuild
-// insert/delete of Theorems 2.2/2.3, and the rake trace is re-simulated on
-// the healed PT (see the package comment for the scope of this step).
-// It returns the new (left, right) leaf pairs in batch order.
+// insert/delete of Theorems 2.2/2.3, and the rake trace is repaired by
+// change propagation seeded from the rebuild diff (propagate.go), falling
+// back to a full re-simulation when the gate is off or the wound is not
+// local. It returns the new (left, right) leaf pairs in batch order.
 func (c *Contraction) AddLeaves(ops []AddOp) [][2]*tree.Node {
-	c.lastHeal = HealStats{Resimulated: true}
+	c.lastHeal = HealStats{}
 	if len(ops) == 0 {
-		c.lastHeal.Resimulated = false
 		return nil
 	}
 	out := make([][2]*tree.Node, len(ops))
@@ -218,10 +219,14 @@ func (c *Contraction) AddLeaves(ops []AddOp) [][2]*tree.Node {
 	}
 	drep := c.pt.BatchDelete(c.machine, oldLeaves)
 	c.lastHeal.RebuildLeaves += drep.RebuildLeaves
+	deleted := make([]*tree.Node, 0, len(ops))
 	for _, op := range ops {
 		delete(c.ptLeaf, op.Leaf)
+		deleted = append(deleted, op.Leaf)
 	}
-	c.simulate()
+	// The expanded leaves left the leaf set (their records die) and their
+	// initial labels flipped from Const to Identity.
+	c.propagateStructural([]rbsts.Report[*tree.Node, struct{}]{rep, drep}, deleted, deleted)
 	return out
 }
 
@@ -234,9 +239,8 @@ type RemoveOp struct {
 
 // RemoveLeaves applies a batch of leaf-pair deletions, mirroring AddLeaves.
 func (c *Contraction) RemoveLeaves(ops []RemoveOp) {
-	c.lastHeal = HealStats{Resimulated: true}
+	c.lastHeal = HealStats{}
 	if len(ops) == 0 {
-		c.lastHeal.Resimulated = false
 		return
 	}
 	insOps := make([]rbsts.InsertOp[*tree.Node], 0, len(ops))
@@ -260,10 +264,16 @@ func (c *Contraction) RemoveLeaves(ops []RemoveOp) {
 	}
 	drep := c.pt.BatchDelete(c.machine, oldLeaves)
 	c.lastHeal.RebuildLeaves += drep.RebuildLeaves
+	deleted := make([]*tree.Node, 0, 2*len(ops))
+	relabeled := make([]*tree.Node, 0, len(ops))
 	for _, op := range ops {
 		delete(c.ptLeaf, op.Node.Left)
 		delete(c.ptLeaf, op.Node.Right)
+		deleted = append(deleted, op.Node.Left, op.Node.Right)
 		c.T.DeleteChildren(op.Node, op.NewValue)
+		// The collapsed node's initial label flipped from Identity to
+		// Const(NewValue).
+		relabeled = append(relabeled, op.Node)
 	}
-	c.simulate()
+	c.propagateStructural([]rbsts.Report[*tree.Node, struct{}]{rep, drep}, deleted, relabeled)
 }

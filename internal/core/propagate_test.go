@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dyntc/internal/prng"
+	"dyntc/internal/semiring"
+	"dyntc/internal/tree"
+)
+
+// twinStep drives one randomized workload step against a contraction.
+// Decisions are drawn from wrk, node choices by index, so the same
+// sequence replays identically on a structurally identical twin.
+type twinStep struct {
+	kind   int // 0=AddLeaves, 1=RemoveLeaves, 2=SetValue, 3=SetOp, 4=query
+	leafIx []int
+	valA   int64
+	valB   int64
+	mulOp  bool
+	nodeIx int
+}
+
+func planStep(wrk *prng.Source, tr *tree.Tree) twinStep {
+	st := twinStep{kind: wrk.Intn(5)}
+	leaves := tr.Leaves()
+	switch st.kind {
+	case 0:
+		k := 1 + wrk.Intn(3)
+		seen := map[int]bool{}
+		for len(st.leafIx) < k && len(st.leafIx) < len(leaves) {
+			ix := wrk.Intn(len(leaves))
+			if !seen[ix] {
+				seen[ix] = true
+				st.leafIx = append(st.leafIx, ix)
+			}
+		}
+		st.valA, st.valB = wrk.Int63(), wrk.Int63()
+		st.mulOp = wrk.Intn(2) == 1
+	case 1:
+		// Collapsible nodes: internal with two leaf children.
+		var cands []int
+		for i, n := range tr.Nodes {
+			if n != nil && !n.IsLeaf() && n.Left.IsLeaf() && n.Right.IsLeaf() {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 || len(leaves) < 4 {
+			st.kind = 2 // too small to shrink: fall through to SetValue
+		} else {
+			st.nodeIx = cands[wrk.Intn(len(cands))]
+			st.valA = wrk.Int63()
+		}
+	case 3:
+		var cands []int
+		for i, n := range tr.Nodes {
+			if n != nil && !n.IsLeaf() {
+				cands = append(cands, i)
+			}
+		}
+		st.nodeIx = cands[wrk.Intn(len(cands))]
+		st.mulOp = wrk.Intn(2) == 1
+	case 4:
+		for {
+			ix := wrk.Intn(len(tr.Nodes))
+			if tr.Nodes[ix] != nil {
+				st.nodeIx = ix
+				break
+			}
+		}
+	}
+	if st.kind == 2 {
+		st.leafIx = []int{wrk.Intn(len(leaves))}
+		st.valA = wrk.Int63()
+	}
+	return st
+}
+
+func applyStep(t *testing.T, r semiring.Ring, tr *tree.Tree, c *Contraction, st twinStep) {
+	t.Helper()
+	leaves := tr.Leaves()
+	switch st.kind {
+	case 0:
+		op := semiring.OpAdd(r)
+		if st.mulOp {
+			op = semiring.OpMul(r)
+		}
+		ops := make([]AddOp, 0, len(st.leafIx))
+		for _, ix := range st.leafIx {
+			ops = append(ops, AddOp{Leaf: leaves[ix], Op: op,
+				LeftVal: r.Normalize(st.valA), RightVal: r.Normalize(st.valB)})
+		}
+		c.AddLeaves(ops)
+	case 1:
+		c.RemoveLeaves([]RemoveOp{{Node: tr.Nodes[st.nodeIx], NewValue: r.Normalize(st.valA)}})
+	case 2:
+		c.SetValue(leaves[st.leafIx[0]], r.Normalize(st.valA))
+	case 3:
+		op := semiring.OpAdd(r)
+		if st.mulOp {
+			op = semiring.OpMul(r)
+		}
+		c.SetOp(tr.Nodes[st.nodeIx], op)
+	case 4:
+		n := tr.Nodes[st.nodeIx]
+		if got, want := c.Value(n), c.ValueOracle(n); got != want {
+			t.Fatalf("query node %d: got %d want %d", n.ID, got, want)
+		}
+	}
+}
+
+// TestPropagationTwinOracle runs the same randomized structural workload
+// against a change-propagation contraction and a full-recontraction twin
+// (gate off) and demands they agree on every observable: root value,
+// per-node queries, and internal invariants. The propagating twin's
+// trace is additionally compared field-by-field against a freshly
+// simulated oracle after every step.
+func TestPropagationTwinOracle(t *testing.T) {
+	rings := []semiring.Ring{semiring.MaxPlus{}, semiring.MinPlus{}, semiring.NewMod(1_000_003)}
+	for si, seed := range []uint64{3, 7, 41} {
+		seed := seed
+		ring := rings[si%len(rings)]
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			trA := tree.Generate(ring, prng.New(seed), 96, tree.ShapeRandom)
+			trB := tree.Generate(ring, prng.New(seed), 96, tree.ShapeRandom)
+			cA := New(trA, seed+100, nil)
+			cB := New(trB, seed+100, nil)
+			cA.SetPropagate(true)
+			cB.SetPropagate(false)
+
+			wrk := prng.New(seed * 977)
+			propagated, structural := 0, 0
+			for step := 0; step < 120; step++ {
+				st := planStep(wrk, trA)
+				applyStep(t, ring, trA, cA, st)
+				applyStep(t, ring, trB, cB, st)
+				if st.kind == 0 || st.kind == 1 {
+					structural++
+					if !cA.LastHeal().Resimulated {
+						propagated++
+					}
+					if cB.LastHeal().Resimulated != true {
+						t.Fatalf("step %d: gate-off twin must re-simulate", step)
+					}
+				}
+				if got, want := cA.RootValue(), cB.RootValue(); got != want {
+					t.Fatalf("step %d: root %d, twin %d", step, got, want)
+				}
+				if got, want := cA.RootValue(), trA.Eval(); got != want {
+					t.Fatalf("step %d: root %d, oracle %d", step, got, want)
+				}
+				for _, n := range trA.Nodes {
+					if n != nil && wrk.Intn(8) == 0 {
+						if got, want := cA.Value(n), cA.ValueOracle(n); got != want {
+							t.Fatalf("step %d node %d: %d want %d", step, n.ID, got, want)
+						}
+					}
+				}
+				if err := cA.Validate(); err != nil {
+					t.Fatalf("step %d: validate: %v", step, err)
+				}
+				if err := cB.Validate(); err != nil {
+					t.Fatalf("step %d: twin validate: %v", step, err)
+				}
+				if err := cA.validateTrace(); err != nil {
+					t.Fatalf("step %d: trace oracle: %v", step, err)
+				}
+			}
+			if structural == 0 {
+				t.Fatal("workload produced no structural waves")
+			}
+			if propagated*2 < structural {
+				t.Fatalf("only %d/%d structural waves propagated", propagated, structural)
+			}
+		})
+	}
+}
+
+// TestPropagationDeterminism asserts that two identical propagating runs
+// produce bit-identical traces, heal statistics and PRAM meters.
+func TestPropagationDeterminism(t *testing.T) {
+	ring := semiring.MaxPlus{}
+	type obs struct {
+		heal HealStats
+		root int64
+	}
+	run := func() ([]obs, int64, int64) {
+		tr := tree.Generate(ring, prng.New(19), 128, tree.ShapeRandom)
+		c := New(tr, 5, nil)
+		c.SetPropagate(true)
+		wrk := prng.New(555)
+		var log []obs
+		for step := 0; step < 80; step++ {
+			applyStep(t, ring, tr, c, planStep(wrk, tr))
+			log = append(log, obs{heal: c.LastHeal(), root: c.RootValue()})
+		}
+		m := c.Machine().Metrics()
+		return log, m.Work, m.Steps
+	}
+	logA, workA, stepsA := run()
+	logB, workB, stepsB := run()
+	if workA != workB || stepsA != stepsB {
+		t.Fatalf("metering diverged: work %d/%d steps %d/%d", workA, workB, stepsA, stepsB)
+	}
+	for i := range logA {
+		if logA[i] != logB[i] {
+			t.Fatalf("step %d: %+v vs %+v", i, logA[i], logB[i])
+		}
+	}
+}
+
+// TestSmallWavePropagatesOnLargeTree is the headline bound: a k=1
+// structural update on a 64k-leaf tree must propagate (not re-simulate)
+// and touch O(log n) records, not Θ(n).
+func TestSmallWavePropagatesOnLargeTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large tree")
+	}
+	ring := semiring.MaxPlus{}
+	src := prng.New(23)
+	tr := tree.Generate(ring, src, 1<<16, tree.ShapeRandom)
+	c := New(tr, 31, nil)
+	c.SetPropagate(true)
+
+	logN := math.Log2(float64(1 << 16))
+	maxTouched := 0
+	for i := 0; i < 24; i++ {
+		leaves := tr.Leaves()
+		leaf := leaves[src.Intn(len(leaves))]
+		c.AddLeaves([]AddOp{{Leaf: leaf, Op: semiring.OpAdd(ring),
+			LeftVal: src.Int63() % 1000, RightVal: src.Int63() % 1000}})
+		hs := c.LastHeal()
+		if hs.Resimulated {
+			t.Fatalf("update %d: k=1 wave re-simulated on %d-leaf tree", i, 1<<16)
+		}
+		if hs.WoundRecords > maxTouched {
+			maxTouched = hs.WoundRecords
+		}
+		if got, want := c.RootValue(), tr.Eval(); got != want {
+			t.Fatalf("update %d: root %d want %d", i, got, want)
+		}
+	}
+	// O(log n) with a generous constant: far below any Θ(n) regression.
+	if bound := int(64 * logN); maxTouched > bound {
+		t.Fatalf("k=1 wave touched %d records, want <= %d (~64 log n)", maxTouched, bound)
+	}
+	if frac := float64(maxTouched) / float64(c.Records()); frac > 0.05 {
+		t.Fatalf("k=1 wave touched %.2f%% of records, want <= 5%%", 100*frac)
+	}
+}
+
+// validateTrace compares the live trace, field by field, against a
+// freshly simulated oracle trace over the same T and PT. It is the
+// bit-identity half of the propagation contract: propagation must leave
+// exactly the trace a full re-simulation would build.
+func (c *Contraction) validateTrace() error {
+	liveRec, liveRem, liveFirst := c.recOf, c.removedBy, c.firstTouch
+	liveRoot, liveSurv := c.rootValue, c.survivor
+	c.simulate()
+	oraRec, oraRem, oraFirst := c.recOf, c.removedBy, c.firstTouch
+	oraRoot, oraSurv := c.rootValue, c.survivor
+	c.recOf, c.removedBy, c.firstTouch = liveRec, liveRem, liveFirst
+	c.rootValue, c.survivor = liveRoot, liveSurv
+
+	key := func(r *Record) int {
+		if r == nil {
+			return -1
+		}
+		return r.V.ID
+	}
+	if len(liveRec) != len(oraRec) {
+		return fmt.Errorf("%d records want %d", len(liveRec), len(oraRec))
+	}
+	for v, o := range oraRec {
+		l := liveRec[v]
+		if l == nil {
+			return fmt.Errorf("missing record for leaf %d", v.ID)
+		}
+		if l.Round != o.Round {
+			return fmt.Errorf("leaf %d: round %d want %d", v.ID, l.Round, o.Round)
+		}
+		if l.P != o.P || l.W != o.W {
+			return fmt.Errorf("leaf %d: P/W differ", v.ID)
+		}
+		if l.G != o.G || l.WLeft != o.WLeft {
+			return fmt.Errorf("leaf %d: G/WLeft differ", v.ID)
+		}
+		if l.Prep != o.Prep || l.Wrep != o.Wrep {
+			return fmt.Errorf("leaf %d: Prep/Wrep differ", v.ID)
+		}
+		if l.Lv != o.Lv || l.LpIn != o.LpIn || l.LwIn != o.LwIn || l.LwOut != o.LwOut {
+			return fmt.Errorf("leaf %d: labels differ", v.ID)
+		}
+		if key(l.VPrev) != key(o.VPrev) || key(l.PPrev) != key(o.PPrev) ||
+			key(l.WPrev) != key(o.WPrev) || key(l.Next) != key(o.Next) {
+			return fmt.Errorf("leaf %d: chain links differ", v.ID)
+		}
+	}
+	if len(liveRem) != len(oraRem) {
+		return fmt.Errorf("removedBy size %d want %d", len(liveRem), len(oraRem))
+	}
+	for n, o := range oraRem {
+		if l := liveRem[n]; l == nil || key(l) != key(o) {
+			return fmt.Errorf("removedBy[%d] differs", n.ID)
+		}
+	}
+	if len(liveFirst) != len(oraFirst) {
+		return fmt.Errorf("firstTouch size %d want %d", len(liveFirst), len(oraFirst))
+	}
+	for n, o := range oraFirst {
+		if l := liveFirst[n]; l == nil || key(l) != key(o) {
+			return fmt.Errorf("firstTouch[%d] differs", n.ID)
+		}
+	}
+	if liveRoot != oraRoot {
+		return fmt.Errorf("root %d want %d", liveRoot, oraRoot)
+	}
+	if liveSurv != oraSurv {
+		return fmt.Errorf("survivor differs")
+	}
+	return nil
+}

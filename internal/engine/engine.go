@@ -249,10 +249,12 @@ type Engine struct {
 	phaseFns [numPhases]func()
 	laneFns  [numPhases]func()
 
-	// kinder/grainer are the host's optional tuning capabilities, cached
-	// once (dyntc.Expr implements both).
+	// kinder/grainer/healer are the host's optional tuning and
+	// observability capabilities, cached once (dyntc.Expr implements all
+	// three).
 	kinder  stepKinder
 	grainer grainReporter
+	healer  healReporter
 
 	// timing enables the per-flush clock reads (immutable after New): set
 	// when any of Obs / Trace / SlowWave is configured. traceID is the
@@ -278,6 +280,11 @@ type stepKinder interface{ SetStepKind(pram.StepKind) }
 // current per-kind grain for Stats.
 type grainReporter interface{ StepGrains() [pram.NumStepKinds]int }
 
+// healReporter is the optional host capability exposing the contraction
+// core's per-wave heal cost (records touched, re-simulation fallbacks),
+// folded into Stats, the wave traces and the heal histograms.
+type healReporter interface{ LastHeal() HealStats }
+
 // New starts an engine (and its executor goroutine) over host.
 func New(host Host, opts Options) *Engine {
 	e := &Engine{
@@ -299,6 +306,7 @@ func New(host Host, opts Options) *Engine {
 	}
 	e.kinder, _ = host.(stepKinder)
 	e.grainer, _ = host.(grainReporter)
+	e.healer, _ = host.(healReporter)
 	// A host restored from a snapshot carries its leadership term; seed
 	// the wave stamp from it (same capability pattern as kinder).
 	if ep, ok := host.(interface{ Epoch() uint64 }); ok {

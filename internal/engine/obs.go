@@ -40,7 +40,17 @@ type Obs struct {
 	// per non-empty stage (grow, collapse, set-leaf, set-op, seal —
 	// change-record build plus tap/WAL append —, value, barrier).
 	Stage [numStages]*obs.Histogram
+	// HealRecords is the number of trace records a mutating wave's heal
+	// re-executed — the change-propagation cost, one sample per wave. A
+	// distribution hugging the tree's log n is healthy; samples near the
+	// trace size mean waves are re-simulating.
+	HealRecords *obs.Histogram
 }
+
+// healRecordBuckets are power-of-four record counts: heal costs range
+// from a handful of records (a local wound) to millions (a re-simulated
+// big tree), so the buckets must span six orders of magnitude cheaply.
+var healRecordBuckets = []int64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
 
 // NewObs registers the engine histogram families on reg and returns the
 // instrument bundle to put in Options.Obs.
@@ -55,6 +65,8 @@ func NewObs(r *obs.Registry) *Obs {
 		o.Stage[i] = r.Seconds("dyntc_engine_stage_seconds",
 			"execution time of one wave phase, summed per flush", "stage", name)
 	}
+	o.HealRecords = r.HistogramWith("dyntc_heal_wave_records",
+		"trace records re-executed by one mutating wave's heal", healRecordBuckets, 1)
 	return o
 }
 
@@ -85,6 +97,10 @@ func RegisterStatsFuncs(r *obs.Registry, stats func() Stats) {
 		func() float64 { return float64(stats().Flushes) })
 	r.CounterFunc("dyntc_engine_waves_total", "conflict-free waves executed",
 		func() float64 { return float64(stats().Waves) })
+	r.CounterFunc("dyntc_heal_records_total", "trace records re-executed by mutating-wave heals",
+		func() float64 { return float64(stats().HealRecords) })
+	r.CounterFunc("dyntc_resimulations_total", "mutating waves that fell back to full re-simulation",
+		func() float64 { return float64(stats().Resimulations) })
 	r.CounterFunc("dyntc_engine_errors_total", "requests failed by validation",
 		func() float64 { return float64(stats().Errors) })
 	r.CounterFunc("dyntc_engine_dropped_total", "requests discarded unexecuted (closed or poisoned)",
@@ -241,6 +257,10 @@ func (e *Engine) observeFlush(reqs int, coalesceNS, flushNS int64) {
 		Seal:     sc.stageNS[phaseSealWaveIdx],
 		Value:    sc.stageNS[phaseValuesIdx],
 		Barrier:  sc.stageNS[stageBarrierIdx],
+
+		HealRecords:  sc.healRecords,
+		Resims:       sc.healResims,
+		TraceRecords: sc.traceRecords,
 	}
 	if sc.spanActive {
 		tr.TraceID = sc.spanTrace
@@ -250,6 +270,32 @@ func (e *Engine) observeFlush(reqs int, coalesceNS, flushNS int64) {
 	}
 	if isSlow {
 		slow(tr)
+	}
+}
+
+// noteHeal folds the host's last heal report into the engine counters,
+// the per-flush trace accumulators and the records-touched histogram. It
+// runs right after each mutating host call, on the wave's execution
+// context, so the report it reads is the wave's own.
+func (e *Engine) noteHeal(executed int) {
+	if e.healer == nil || executed == 0 {
+		return
+	}
+	hs := e.healer.LastHeal()
+	e.stats.healRecords.Add(uint64(hs.WoundRecords))
+	if hs.Resimulated {
+		e.stats.resims.Add(1)
+	}
+	if o := e.opts.Obs; o != nil && o.HealRecords != nil {
+		o.HealRecords.Observe(int64(hs.WoundRecords))
+	}
+	if e.timing {
+		sc := &e.sc
+		sc.healRecords += int64(hs.WoundRecords)
+		if hs.Resimulated {
+			sc.healResims++
+		}
+		sc.traceRecords = hs.TotalRecords
 	}
 }
 

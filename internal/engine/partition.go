@@ -176,6 +176,14 @@ type scratch struct {
 	stageNS [numStages]int64
 	waveN   int
 
+	// Per-flush heal accumulators (timing-enabled engines with a
+	// heal-reporting host): trace records re-executed across the flush's
+	// mutating waves, waves that fell back to re-simulation, and the
+	// contraction's trace size after the last mutating wave.
+	healRecords  int64
+	healResims   int
+	traceRecords int
+
 	// Per-flush distributed-trace state (engines with Options.Spans):
 	// spanActive marks a flush sampled into the span log — every
 	// TraceSample-th flush, or any flush carrying an explicitly traced
@@ -277,6 +285,7 @@ func (e *Engine) executeFlush(flush []*Future) {
 		}
 		e.sc.stageNS = [numStages]int64{}
 		e.sc.waveN = 0
+		e.sc.healRecords, e.sc.healResims, e.sc.traceRecords = 0, 0, 0
 		e.flushSeq++
 		e.beginFlushSpan(flush, flushStart)
 	}
@@ -589,6 +598,7 @@ func (e *Engine) phaseGrows() {
 		sc.growOps = append(sc.growOps, GrowOp{Leaf: f.ref.N, Op: f.op, LeftVal: f.a, RightVal: f.b})
 	}
 	pairs := e.host.GrowBatch(sc.growOps)
+	e.noteHeal(len(sc.grows))
 	for i, f := range sc.grows {
 		if sc.rec != nil {
 			sc.rec = append(sc.rec, replog.Op{
@@ -612,6 +622,7 @@ func (e *Engine) phaseCollapses() {
 		sc.colOps = append(sc.colOps, CollapseOp{Node: f.ref.N, NewValue: f.a})
 	}
 	e.host.CollapseBatch(sc.colOps)
+	e.noteHeal(len(sc.collapses))
 	for _, f := range sc.collapses {
 		if sc.rec != nil {
 			sc.rec = append(sc.rec, replog.Op{Kind: replog.OpCollapse, Node: f.ref.N.ID, Value: f.a})
@@ -632,6 +643,7 @@ func (e *Engine) phaseSetLeaves() {
 		sc.vals = append(sc.vals, f.a)
 	}
 	e.host.SetLeaves(sc.nodes, sc.vals)
+	e.noteHeal(len(sc.setLeaves))
 	for _, f := range sc.setLeaves {
 		if sc.rec != nil {
 			sc.rec = append(sc.rec, replog.Op{Kind: replog.OpSetLeaf, Node: f.ref.N.ID, Value: f.a})
@@ -652,6 +664,7 @@ func (e *Engine) phaseSetOps() {
 		sc.opArgs = append(sc.opArgs, f.op)
 	}
 	e.host.SetOps(sc.nodes, sc.opArgs)
+	e.noteHeal(len(sc.setOps))
 	for _, f := range sc.setOps {
 		if sc.rec != nil {
 			sc.rec = append(sc.rec, replog.Op{Kind: replog.OpSetOp, Node: f.ref.N.ID, A: f.op.A, B: f.op.B, C: f.op.C})

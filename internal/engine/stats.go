@@ -34,6 +34,8 @@ type statsRec struct {
 	values       atomic.Uint64
 	roots        atomic.Uint64
 	barriers     atomic.Uint64
+	healRecords  atomic.Uint64
+	resims       atomic.Uint64
 
 	latMu sync.Mutex
 	lat   [latWindow]int64 // recent flush durations, nanoseconds
@@ -169,6 +171,12 @@ type Stats struct {
 	Values    uint64 `json:"values"`
 	Roots     uint64 `json:"roots"`
 	Barriers  uint64 `json:"barriers"`
+
+	// Heal cost of the mutating waves: trace records re-executed in
+	// total, and how many waves fell back to a full re-simulation of the
+	// contraction instead of change propagation.
+	HealRecords   uint64 `json:"heal_records"`
+	Resimulations uint64 `json:"resimulations"`
 }
 
 // GrainStats is the host machine's current per-kind sequential threshold
@@ -259,6 +267,8 @@ func (s *Stats) Add(other Stats) {
 	s.Values += other.Values
 	s.Roots += other.Roots
 	s.Barriers += other.Barriers
+	s.HealRecords += other.HealRecords
+	s.Resimulations += other.Resimulations
 }
 
 // Stats returns a point-in-time snapshot.
@@ -289,6 +299,9 @@ func (e *Engine) Stats() Stats {
 		Values:       e.stats.values.Load(),
 		Roots:        e.stats.roots.Load(),
 		Barriers:     e.stats.barriers.Load(),
+
+		HealRecords:   e.stats.healRecords.Load(),
+		Resimulations: e.stats.resims.Load(),
 	}
 	if e.grainer != nil {
 		g := e.grainer.StepGrains()

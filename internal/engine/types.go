@@ -19,4 +19,6 @@ type (
 	GrowOp = core.AddOp
 	// CollapseOp is one leaf-pair deletion of a collapse batch.
 	CollapseOp = core.RemoveOp
+	// HealStats is the per-wave heal cost report of the contraction core.
+	HealStats = core.HealStats
 )

@@ -23,6 +23,14 @@ type WaveTrace struct {
 	Seal     int64  `json:"seal_ns"` // wave seal: change-log record build + tap/WAL append
 	Value    int64  `json:"value_ns"`
 	Barrier  int64  `json:"barrier_ns"`
+
+	// Heal cost of the flush's mutating waves: trace records re-executed
+	// (the change-propagation work), waves that fell back to a full
+	// re-simulation, and the contraction's trace size after the last
+	// mutating wave (so records/size ratios read straight off the trace).
+	HealRecords  int64 `json:"heal_records,omitempty"`
+	Resims       int   `json:"resims,omitempty"`
+	TraceRecords int   `json:"trace_records,omitempty"`
 }
 
 // TraceRing is a bounded ring of WaveTrace records: Add keeps the newest

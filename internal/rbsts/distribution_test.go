@@ -1,6 +1,6 @@
 package rbsts
 
-// Statistical tests of the random-split distribution (DESIGN.md §4.6): the
+// Statistical tests of the random-split distribution: the
 // RBST over leaves is equivalent to a treap over gaps with i.i.d.
 // priorities, whose root split is uniform. These tests verify uniformity
 // of split positions in trees maintained through the randomized-rebuild

@@ -34,6 +34,15 @@ type Report[P, S any] struct {
 	// batch order (ops[0].Payloads[0], ops[0].Payloads[1], ...). Empty for
 	// deletions.
 	NewLeaves []*Node[P, S]
+	// HeightChanged holds the surviving ancestors (outside any rebuilt
+	// subtree) whose height changed when metadata was refreshed up the root
+	// paths. Their gaps keep their old gap leaves but fire at a new round,
+	// so the contraction layer must reschedule exactly these records.
+	HeightChanged []*Node[P, S]
+	// GapRelinked holds surviving internal nodes whose gapLeaf pointer was
+	// repointed to a different leaf object (the leaf just left of a rebuilt
+	// span was removed or replaced). Their records change raked leaf.
+	GapRelinked []*Node[P, S]
 }
 
 // pendingItem is one payload waiting to be spliced into a rebuild, at gap
@@ -428,10 +437,13 @@ func (t *Tree[P, S]) executePlans(m *pram.Machine, pl *planner[P, S], rep *Repor
 		newLast := merged[len(merged)-1]
 		newLast.gapNode = outerGap
 		if outerGap != nil {
+			if outerGap.gapLeaf != newLast {
+				rep.GapRelinked = append(rep.GapRelinked, outerGap)
+			}
 			outerGap.gapLeaf = newLast
 		}
 		t.count += len(merged) - len(orig)
-		t.recomputeUp(fresh)
+		rep.HeightChanged = append(rep.HeightChanged, t.recomputeUpDiff(fresh)...)
 		stack := t.ancestorStack(fresh)
 		t.assignShortcuts(fresh, stack)
 		// Ancestors whose height just crossed the shortcut threshold

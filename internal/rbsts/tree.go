@@ -284,6 +284,25 @@ func (t *Tree[P, S]) recomputeUp(v *Node[P, S]) {
 	}
 }
 
+// recomputeUpDiff is recomputeUp, additionally returning the ancestors
+// whose height changed. Rebuild reports expose the list so the dynamic
+// contraction layer can reschedule exactly the gaps whose rounds moved.
+func (t *Tree[P, S]) recomputeUpDiff(v *Node[P, S]) []*Node[P, S] {
+	var changed []*Node[P, S]
+	for a := v.parent; a != nil; a = a.parent {
+		a.leaves = a.left.leaves + a.right.leaves
+		h := 1 + max(a.left.height, a.right.height)
+		if h != a.height {
+			a.height = h
+			changed = append(changed, a)
+		}
+		if t.mergeFn != nil {
+			a.sum = t.mergeFn(a.left.sum, a.right.sum)
+		}
+	}
+	return changed
+}
+
 // UpdateLeaf replaces the payload of a leaf and recomputes sums along the
 // root path (the sequential single-update path of Theorem 4.2: O(log n)
 // expected with one processor).
